@@ -1,0 +1,1 @@
+"""Benchmark harness package (one benchmark per paper artifact/claim)."""

@@ -1,0 +1,61 @@
+"""Benchmarks regenerating Figure 5 (experiments E1 and E2 in DESIGN.md).
+
+Figure 5(a): iterative lower-bound improvement at the uniform belief,
+Random vs Average bootstrapping.  Figure 5(b): bound-vector growth.  Each
+benchmark runs the full bootstrap trace and asserts the paper's qualitative
+claims on the produced series, so a timing regression or a correctness
+regression both fail here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.controllers.bootstrap import bootstrap_bounds
+
+ITERATIONS = 20
+
+
+@pytest.mark.parametrize("variant", ["random", "average"])
+def test_fig5a_bounds_improvement(benchmark, emn_system, variant):
+    """E1 / Figure 5(a): 20 bootstrap iterations at depth 1."""
+
+    def run():
+        _, trace = bootstrap_bounds(
+            emn_system.model,
+            iterations=ITERATIONS,
+            depth=1,
+            variant=variant,
+            seed=2006,
+        )
+        return trace
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    series = np.concatenate([[-trace.initial_bound], trace.cost_upper_bounds])
+    # Paper claims: monotone improvement, rapid at first.
+    assert np.all(np.diff(series) <= 1e-6)
+    assert series[-1] < series[0] / 5
+    benchmark.extra_info["initial_cost_bound"] = float(series[0])
+    benchmark.extra_info["final_cost_bound"] = float(series[-1])
+    benchmark.extra_info["series"] = [round(float(v), 1) for v in series]
+
+
+@pytest.mark.parametrize("variant", ["random", "average"])
+def test_fig5b_vector_growth(benchmark, emn_system, variant):
+    """E2 / Figure 5(b): bound-vector count over bootstrap iterations."""
+
+    def run():
+        _, trace = bootstrap_bounds(
+            emn_system.model,
+            iterations=ITERATIONS,
+            depth=1,
+            variant=variant,
+            seed=2006,
+        )
+        return trace
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    growth = np.diff(np.concatenate([[1], trace.vector_counts]))
+    # At most one vector per incremental update (Section 4.1).
+    assert np.all(growth <= trace.update_counts)
+    benchmark.extra_info["final_vectors"] = int(trace.vector_counts[-1])
+    benchmark.extra_info["counts"] = trace.vector_counts.tolist()

@@ -1,0 +1,33 @@
+"""Benchmarks for RA-Bound scalability (Section 4.3's state-space claim).
+
+One benchmark per model size on the tiered family: the measured quantity
+*is* the claim — a sparse linear solve over the original state space stays
+fast as the state count grows to the hundreds of thousands.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scalability import verify_against_dense
+from repro.systems.tiered import solve_tiered_ra_bound
+
+
+@pytest.mark.parametrize("replicas_per_tier", [10, 1_000, 50_000])
+def test_ra_bound_scaling(benchmark, replicas_per_tier):
+    """RA-Bound sparse solve on a 3-tier system of growing size."""
+    replicas = (replicas_per_tier,) * 3
+
+    values = benchmark.pedantic(
+        solve_tiered_ra_bound, args=(replicas,), rounds=1, iterations=1
+    )
+    assert np.all(np.isfinite(values))
+    assert np.all(values <= 0)
+    benchmark.extra_info["n_states"] = int(values.shape[0])
+
+
+def test_sparse_construction_correctness(benchmark):
+    """The sparse chain must agree with the dense model (fast guard)."""
+    discrepancy = benchmark.pedantic(
+        verify_against_dense, args=((2, 2, 2),), rounds=1, iterations=1
+    )
+    assert discrepancy < 1e-8

@@ -1,0 +1,77 @@
+"""Benchmarks for the POMDP solver substrate.
+
+Not a paper artifact — performance tracking for the reference solvers the
+reproduction is validated against (Monahan exact VI, Perseus PBVI, HSVI),
+plus the reachable-belief-MDP expansion used by the test oracle.  All run
+on the discounted two-server example where the exact solution is known.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.vector_set import BoundVectorSet
+from repro.pomdp.belief_mdp import expand_belief_mdp, solve_belief_mdp
+from repro.pomdp.exact import solve_exact
+from repro.pomdp.hsvi import solve_hsvi
+from repro.pomdp.pbvi import solve_pbvi
+from repro.systems.simple import build_simple_system
+
+
+@pytest.fixture(scope="module")
+def discounted_pomdp():
+    return build_simple_system(
+        recovery_notification=False, discount=0.85
+    ).model.pomdp
+
+
+def test_monahan_exact(benchmark, discounted_pomdp):
+    """Exact value iteration to a 1e-4 certificate."""
+    solution = benchmark.pedantic(
+        solve_exact, args=(discounted_pomdp,), kwargs={"tol": 1e-4},
+        rounds=1, iterations=1,
+    )
+    assert solution.error_bound <= 1e-4
+    benchmark.extra_info["alpha_vectors"] = int(solution.vectors.shape[0])
+
+
+def test_pbvi(benchmark, discounted_pomdp):
+    """Perseus PBVI on 64 sampled points."""
+    solution = benchmark.pedantic(
+        solve_pbvi,
+        args=(discounted_pomdp,),
+        kwargs={"n_points": 64, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["alpha_vectors"] = int(solution.vectors.shape[0])
+    benchmark.extra_info["iterations"] = solution.iterations
+
+
+def test_hsvi(benchmark, discounted_pomdp):
+    """HSVI to a 0.05 certified gap at the uniform belief."""
+    solution = benchmark.pedantic(
+        solve_hsvi,
+        args=(discounted_pomdp,),
+        kwargs={"epsilon": 0.05},
+        rounds=1,
+        iterations=1,
+    )
+    assert solution.gap <= 0.05
+    benchmark.extra_info["trials"] = solution.trials
+
+
+def test_belief_mdp_expansion_and_solve(benchmark, discounted_pomdp):
+    """Horizon-4 reachable-belief enumeration plus value iteration."""
+    initial = np.full(discounted_pomdp.n_states, 1.0 / discounted_pomdp.n_states)
+    leaf = BoundVectorSet(ra_bound_vector(discounted_pomdp))
+
+    def run():
+        belief_mdp = expand_belief_mdp(
+            discounted_pomdp, initial, horizon=4, max_beliefs=1_000
+        )
+        return belief_mdp, solve_belief_mdp(belief_mdp, leaf)
+
+    belief_mdp, values = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.all(np.isfinite(values))
+    benchmark.extra_info["beliefs"] = belief_mdp.n_beliefs

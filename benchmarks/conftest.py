@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to reduced injection counts so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_BENCH_INJECTIONS`` to
+scale any campaign-style benchmark up toward the paper's 10,000 (see
+EXPERIMENTS.md for full-scale results and the scripts that produced them).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.controllers.bootstrap import bootstrap_bounds
+from repro.systems.emn import build_emn_system
+
+
+def bench_injections(default: int) -> int:
+    """Injection count for campaign benchmarks (env-overridable)."""
+    return int(os.environ.get("REPRO_BENCH_INJECTIONS", default))
+
+
+@pytest.fixture(scope="session")
+def emn_system():
+    """The EMN system with the paper's parameters."""
+    return build_emn_system()
+
+
+@pytest.fixture(scope="session")
+def bootstrapped_bounds(emn_system):
+    """The paper's bootstrap configuration: 10 runs at depth 2."""
+    bound_set, _ = bootstrap_bounds(
+        emn_system.model, iterations=10, depth=2, variant="average", seed=0
+    )
+    return bound_set

@@ -1,0 +1,91 @@
+"""Iterative lower-bound improvement — a miniature of Figure 5.
+
+Shows the three bound families of Section 3.1 on the EMN recovery model
+(the RA-Bound is the only one that converges undiscounted), then runs both
+bootstrapping variants and prints the Figure 5(a)/(b) series: the bound at
+the all-states-equally-likely belief tightening with every simulated
+recovery, and the bound-vector count growing at most linearly.
+
+Run:  python examples/bounds_improvement.py
+"""
+
+import numpy as np
+
+from repro import (
+    bi_pomdp_bound,
+    blind_policy_bound,
+    bootstrap_bounds,
+    build_emn_system,
+    ra_bound,
+)
+from repro.exceptions import DivergenceError
+from repro.util import render_table
+
+ITERATIONS = 12
+SEED = 2006
+
+
+def describe_bound(name: str, compute) -> list:
+    try:
+        value = compute()
+        return [name, "finite", -value]
+    except DivergenceError:
+        return [name, "DIVERGES", float("nan")]
+
+
+def main() -> None:
+    system = build_emn_system()
+    pomdp = system.model.pomdp
+    uniform = np.full(pomdp.n_states, 1.0 / pomdp.n_states)
+
+    print(
+        render_table(
+            ["Bound", "Convergence", "Cost upper bound at uniform"],
+            [
+                describe_bound("RA-Bound (this paper)",
+                               lambda: ra_bound(pomdp, uniform)),
+                describe_bound("BI-POMDP (worst action) [14]",
+                               lambda: bi_pomdp_bound(pomdp, uniform)),
+                describe_bound("Blind policy [6]",
+                               lambda: blind_policy_bound(pomdp, uniform)),
+            ],
+            title="Undiscounted bounds on the EMN recovery model (Section 3.1)",
+        )
+    )
+    print()
+
+    traces = {}
+    for variant in ("random", "average"):
+        _, traces[variant] = bootstrap_bounds(
+            system.model,
+            iterations=ITERATIONS,
+            depth=1,
+            variant=variant,
+            seed=SEED,
+        )
+
+    rows = [["0 (RA-Bound)",
+             -traces["random"].initial_bound, "-",
+             -traces["average"].initial_bound, "-"]]
+    for i in range(ITERATIONS):
+        rows.append(
+            [
+                str(i + 1),
+                traces["random"].cost_upper_bounds[i],
+                int(traces["random"].vector_counts[i]),
+                traces["average"].cost_upper_bounds[i],
+                int(traces["average"].vector_counts[i]),
+            ]
+        )
+    print(
+        render_table(
+            ["Iteration", "Random bound", "Random |B|",
+             "Average bound", "Average |B|"],
+            rows,
+            title="Bootstrapping phase (cf. Figures 5(a) and 5(b))",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""POMDP value-function bounds (Sections 3 and 4 of the paper).
+
+* :mod:`repro.bounds.ra_bound` — the paper's contribution: the random-action
+  lower bound, computed on the underlying MDP state space (Eq. 5).
+* :mod:`repro.bounds.bi_pomdp` — the BI-POMDP worst-action bound of
+  Washington [14], which Section 3.1 shows diverges on undiscounted recovery
+  models.
+* :mod:`repro.bounds.blind_policy` — Hauskrecht's blind-policy bounds [6],
+  divergent with recovery notification, finite without.
+* :mod:`repro.bounds.vector_set` — piecewise-linear lower bounds as sets of
+  bounding hyperplanes (Eq. 6), with optional storage limits and
+  least-used eviction (Section 4.3).
+* :mod:`repro.bounds.incremental` — the incremental linear-function
+  refinement of Hauskrecht [7] used in Section 4.1, plus the empirical
+  checker for Property 1's invariant ``V_B^- <= L_p V_B^-``.
+* :mod:`repro.bounds.upper` — upper bounds (trivial zero, QMDP, FIB); listed
+  as future work in the paper's conclusion and used here to report bound
+  gaps.
+"""
+
+from repro.bounds.bi_pomdp import bi_pomdp_bound, bi_pomdp_vector
+from repro.bounds.blind_policy import blind_policy_bound, blind_policy_vectors
+from repro.bounds.incremental import (
+    incremental_update,
+    refine_at,
+    verify_lower_bound_invariant,
+)
+from repro.bounds.ra_bound import ra_bound, ra_bound_vector
+from repro.bounds.sawtooth import SawtoothUpperBound
+from repro.bounds.upper import FIBBound, QMDPBound, TrivialUpperBound, fib_vectors
+from repro.bounds.vector_set import BoundVectorSet
+
+__all__ = [
+    "BoundVectorSet",
+    "SawtoothUpperBound",
+    "FIBBound",
+    "QMDPBound",
+    "TrivialUpperBound",
+    "bi_pomdp_bound",
+    "bi_pomdp_vector",
+    "blind_policy_bound",
+    "blind_policy_vectors",
+    "fib_vectors",
+    "incremental_update",
+    "ra_bound",
+    "ra_bound_vector",
+    "refine_at",
+    "verify_lower_bound_invariant",
+]

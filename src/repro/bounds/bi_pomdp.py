@@ -1,0 +1,41 @@
+"""The BI-POMDP worst-action bound of Washington [14].
+
+``V_m^BI(s)`` solves Eq. 1 with the ``max`` replaced by a ``min``: the value
+of always suffering the worst action.  It lower-bounds the POMDP value for
+discounted models, but Section 3.1 observes that it fails on undiscounted
+recovery models — with or without recovery notification — because the worst
+action usually makes no progress while accruing cost, so the recursion
+diverges to minus infinity.  This module implements the bound faithfully and
+lets that divergence surface as :class:`~repro.exceptions.DivergenceError`,
+which is the behaviour the comparison experiment (E5) demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mdp.model import MDP
+from repro.mdp.value_iteration import value_iteration
+from repro.pomdp.model import POMDP
+
+
+def bi_pomdp_vector(
+    model: MDP | POMDP, tol: float = 1e-10, max_iterations: int = 100_000
+) -> np.ndarray:
+    """Compute ``V_m^BI`` by worst-action value iteration.
+
+    Raises:
+        DivergenceError: when the recursion is unbounded below, which is the
+            generic outcome for undiscounted recovery models (Section 3.1).
+    """
+    mdp = model.to_mdp() if isinstance(model, POMDP) else model
+    solution = value_iteration(
+        mdp, tol=tol, max_iterations=max_iterations, minimize=True
+    )
+    return solution.value
+
+
+def bi_pomdp_bound(model: MDP | POMDP, belief: np.ndarray, **kwargs) -> float:
+    """The BI-POMDP bound at ``belief``: ``sum_s pi(s) V_m^BI(s)``."""
+    vector = bi_pomdp_vector(model, **kwargs)
+    return float(np.asarray(belief, dtype=float) @ vector)

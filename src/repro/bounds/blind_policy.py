@@ -1,0 +1,78 @@
+"""Blind-policy bounds (Hauskrecht [6]).
+
+One bound vector per action: ``V_m^{ba}(s, a)`` is the value of starting in
+``s`` and blindly repeating action ``a`` forever (Eq. 1 without the max,
+restricted to a single action).  The POMDP bound at ``pi`` is
+``max_a sum_s pi(s) V_m^{ba}(s, a)``.
+
+Section 3.1's comparison: with recovery notification the bound is infinite
+for most recovery models, because no single recovery action makes progress
+in every state; without recovery notification the terminate action ``a_T``
+always yields a finite vector, so the bound is trivially finite (but
+typically much looser than a refined RA-Bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DivergenceError
+from repro.mdp.linear_solvers import solve_markov_reward
+from repro.mdp.model import MDP
+from repro.pomdp.model import POMDP
+
+
+def blind_policy_vectors(
+    model: MDP | POMDP,
+    skip_divergent: bool = False,
+    tol: float = 1e-10,
+) -> dict[int, np.ndarray]:
+    """Per-action blind-policy value vectors.
+
+    Args:
+        model: the (possibly augmented) recovery model.
+        skip_divergent: when True, actions whose blind chain accrues
+            unbounded cost are silently omitted (their bound vector is
+            "minus infinity" and can never be the max of Eq. 6); when
+            False, the first divergent action raises.
+
+    Returns:
+        Mapping from action index to its value vector.  An empty mapping
+        means *every* blind policy diverges, i.e. the bound itself is
+        infinite — the "with recovery notification" failure of Section 3.1.
+    """
+    mdp = model.to_mdp() if isinstance(model, POMDP) else model
+    vectors: dict[int, np.ndarray] = {}
+    for action in range(mdp.n_actions):
+        policy = np.full(mdp.n_states, action)
+        chain, reward = mdp.policy_chain(policy)
+        try:
+            vectors[action] = solve_markov_reward(
+                chain, reward, discount=mdp.discount, tol=tol
+            )
+        except DivergenceError:
+            if not skip_divergent:
+                raise DivergenceError(
+                    f"blind policy for action {mdp.action_labels[action]!r} "
+                    "accrues unbounded cost (Section 3.1: no single recovery "
+                    "action progresses in all states)"
+                )
+    return vectors
+
+
+def blind_policy_bound(
+    model: MDP | POMDP, belief: np.ndarray, skip_divergent: bool = True
+) -> float:
+    """``max_a sum_s pi(s) V_m^{ba}(s, a)`` at ``belief``.
+
+    Raises DivergenceError when every per-action vector diverges (the bound
+    is minus infinity everywhere).
+    """
+    vectors = blind_policy_vectors(model, skip_divergent=skip_divergent)
+    if not vectors:
+        raise DivergenceError(
+            "every blind policy diverges; the blind-policy bound is infinite "
+            "for this model"
+        )
+    belief = np.asarray(belief, dtype=float)
+    return max(float(belief @ vector) for vector in vectors.values())

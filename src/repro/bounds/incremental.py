@@ -1,0 +1,167 @@
+"""Incremental linear-function bound refinement (Section 4.1, Eqs. 6-7).
+
+The RA-Bound ignores the observation function, so it can be loose.
+Hauskrecht's incremental linear-function method creates, from an existing
+set of bounding hyperplanes ``B``, one new hyperplane that improves the
+bound at a chosen belief ``pi``:
+
+* for each action ``a`` and observation ``o``, pick the existing vector
+  ``b^{pi,a,o}`` that is best at the *posterior* mass
+  ``m_{a,o}(s') = sum_s p(s', o | s, a) pi(s)``;
+* back those choices up through the model to form one candidate ``b_a`` per
+  action (Eq. 7);
+* keep the candidate that is best at ``pi``.
+
+Because the backup is one application of the POMDP operator ``L_p`` to a
+valid lower bound, the candidate is itself a valid lower bound, and the set
+keeps the invariant ``V_B^- <= L_p V_B^-`` needed by Property 1(b).  The
+paper proves convergence of the procedure only for discounted models and
+verifies improvement experimentally for the undiscounted recovery case
+(Figure 5(a)); :func:`verify_lower_bound_invariant` makes that experimental
+check available as a library call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounds.vector_set import BoundVectorSet
+from repro.pomdp.belief import GAMMA_EPSILON, belief_bellman_backup
+from repro.pomdp.model import POMDP
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of one incremental update at a belief.
+
+    Attributes:
+        vector: the new bounding hyperplane (Eq. 7's ``b``).
+        action: the action whose backup produced it.
+        improvement: ``pi . b - V_B^-(pi)`` before insertion (>= 0).
+        added: whether the vector was actually inserted into the set.
+    """
+
+    vector: np.ndarray
+    action: int
+    improvement: float
+    added: bool
+
+
+def incremental_update(
+    pomdp: POMDP, vectors: np.ndarray, belief: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Compute Eq. 7's new hyperplane from the stack ``vectors`` at ``belief``.
+
+    Returns ``(b, action)`` where ``b`` is the candidate hyperplane and
+    ``action`` the maximising action.  Pure function: nothing is inserted.
+    """
+    belief = np.asarray(belief, dtype=float)
+    best_vector: np.ndarray | None = None
+    best_action = -1
+    best_score = -np.inf
+    for action in range(pomdp.n_actions):
+        predicted = belief @ pomdp.transitions[action]  # (|S'|,)
+        # mass[s', o] = sum_s pi(s) p(s'|s,a) q(o|s',a)
+        mass = predicted[:, None] * pomdp.observations[action]
+        # For each observation pick the existing hyperplane best at `mass`.
+        scores = vectors @ mass  # (|B|, |O|)
+        chosen = np.argmax(scores, axis=0)  # (|O|,)
+        selected = vectors[chosen]  # (|O|, |S'|)
+        # x(s') = sum_o q(o|s',a) * selected[o, s']
+        backup = (pomdp.observations[action] * selected.T).sum(axis=1)
+        candidate = pomdp.rewards[action] + pomdp.discount * (
+            pomdp.transitions[action] @ backup
+        )
+        score = float(candidate @ belief)
+        if score > best_score:
+            best_score = score
+            best_vector = candidate
+            best_action = action
+    return best_vector, best_action
+
+
+def refine_at(
+    pomdp: POMDP,
+    bound_set: BoundVectorSet,
+    belief: np.ndarray,
+    min_improvement: float = 0.0,
+) -> RefinementResult:
+    """Run one incremental update at ``belief`` and insert the result.
+
+    The vector is inserted only when it improves the bound at ``belief`` by
+    more than ``min_improvement`` and is not pointwise-dominated (per
+    :meth:`BoundVectorSet.add`); the paper notes non-improving hyperplanes
+    "can be discarded".
+    """
+    belief = np.asarray(belief, dtype=float)
+    vector, action = incremental_update(pomdp, bound_set.vectors, belief)
+    improvement = bound_set.improvement_at(vector, belief)
+    added = bound_set.add(vector, belief=belief, min_improvement=min_improvement)
+    return RefinementResult(
+        vector=vector, action=action, improvement=max(improvement, 0.0), added=added
+    )
+
+
+def verify_lower_bound_invariant(
+    pomdp: POMDP,
+    bound_set: BoundVectorSet,
+    beliefs: np.ndarray,
+    tol: float = 1e-8,
+) -> bool:
+    """Empirically check Property 1(b): ``V_B^-(pi) <= L_p V_B^-(pi)``.
+
+    Evaluates the invariant at every row of ``beliefs``.  This is the
+    condition that, together with the no-free-actions condition (Property
+    1(a)), guarantees the bounded controller terminates after finitely many
+    actions.  The check is exact at the tested beliefs (not a proof over the
+    whole simplex, which the paper leaves to future work).
+    """
+    beliefs = np.atleast_2d(np.asarray(beliefs, dtype=float))
+    for belief in beliefs:
+        current = float(np.max(bound_set.vectors @ belief))
+        backed_up = belief_bellman_backup(
+            pomdp, belief, lambda next_belief: float(
+                np.max(bound_set.vectors @ next_belief)
+            )
+        )
+        if current > backed_up + tol:
+            return False
+    return True
+
+
+def sample_reachable_beliefs(
+    pomdp: POMDP,
+    initial: np.ndarray,
+    depth: int,
+    max_beliefs: int = 512,
+) -> np.ndarray:
+    """Breadth-first enumeration of beliefs reachable from ``initial``.
+
+    Used by invariant checks and by tests to exercise the bound over the
+    countable reachable belief set (Section 2 observes reachability is
+    countable even though the simplex is not).
+    """
+    frontier = [np.asarray(initial, dtype=float)]
+    seen = [frontier[0]]
+    for _ in range(depth):
+        next_frontier = []
+        for belief in frontier:
+            for action in range(pomdp.n_actions):
+                predicted = belief @ pomdp.transitions[action]
+                joint = predicted[:, None] * pomdp.observations[action]
+                gamma = joint.sum(axis=0)
+                for observation in np.flatnonzero(gamma > GAMMA_EPSILON):
+                    posterior = joint[:, observation] / gamma[observation]
+                    if not any(
+                        np.allclose(posterior, known, atol=1e-12) for known in seen
+                    ):
+                        seen.append(posterior)
+                        next_frontier.append(posterior)
+                        if len(seen) >= max_beliefs:
+                            return np.array(seen)
+        frontier = next_frontier
+        if not frontier:
+            break
+    return np.array(seen)

@@ -1,0 +1,165 @@
+"""Sets of bounding hyperplanes (Eq. 6).
+
+A piecewise-linear lower bound is represented as a set ``B`` of "bound
+vectors"; the bound at belief ``pi`` is ``V_B^-(pi) = max_{b in B} pi . b``.
+The set starts from the RA-Bound hyperplane and grows by incremental updates
+(Section 4.1).  Section 4.3 notes that the number of vectors is not bounded
+in general and suggests finite storage with least-used eviction; this class
+implements that suggestion behind the ``max_vectors`` knob while defaulting
+to the paper's unlimited behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.pomdp import alpha
+
+
+class BoundVectorSet:
+    """A mutable set of bounding hyperplanes over the belief simplex.
+
+    Implements the :class:`repro.pomdp.tree.LeafValue` protocol so it can be
+    plugged directly into the lookahead tree.
+
+    Args:
+        initial: one vector ``(|S|,)`` or a stack ``(k, |S|)`` to seed the
+            set; for recovery controllers this is the RA-Bound vector.
+        max_vectors: optional storage limit.  When adding a vector would
+            exceed it, the least-used *non-seed* vector is evicted; the seed
+            (index 0) is pinned because Property 1(b) is guaranteed when the
+            RA-Bound hyperplane is present.
+    """
+
+    def __init__(self, initial: np.ndarray, max_vectors: int | None = None):
+        stack = np.atleast_2d(np.asarray(initial, dtype=float)).copy()
+        if stack.ndim != 2 or stack.shape[0] == 0:
+            raise ModelError(f"initial vectors must be (k, |S|), got {stack.shape}")
+        if max_vectors is not None and max_vectors < stack.shape[0]:
+            raise ModelError(
+                f"max_vectors={max_vectors} below initial count {stack.shape[0]}"
+            )
+        self._vectors = stack
+        self._usage = np.zeros(stack.shape[0], dtype=np.int64)
+        self._pinned = stack.shape[0]  # seed vectors are never evicted
+        self.max_vectors = max_vectors
+        self.additions = 0
+        self.rejections = 0
+        self.evictions = 0
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """Read-only view of the current ``(k, |S|)`` hyperplane stack."""
+        view = self._vectors.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def n_states(self) -> int:
+        """Dimension of the belief simplex the bound lives on."""
+        return self._vectors.shape[1]
+
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    def value(self, belief: np.ndarray) -> float:
+        """``V_B^-(belief)`` per Eq. 6; records usage for eviction."""
+        scores = self._vectors @ belief
+        winner = int(np.argmax(scores))
+        self._usage[winner] += 1
+        return float(scores[winner])
+
+    def value_batch(self, beliefs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value` over a ``(m, |S|)`` belief stack."""
+        scores = self._vectors @ beliefs.T
+        winners = np.argmax(scores, axis=0)
+        np.add.at(self._usage, winners, 1)
+        return scores[winners, np.arange(beliefs.shape[0])]
+
+    def improvement_at(self, vector: np.ndarray, belief: np.ndarray) -> float:
+        """How much ``vector`` would raise the bound at ``belief``."""
+        return float(vector @ belief - np.max(self._vectors @ belief))
+
+    def add(
+        self,
+        vector: np.ndarray,
+        belief: np.ndarray | None = None,
+        min_improvement: float = 0.0,
+    ) -> bool:
+        """Add ``vector`` to the set if it is useful.
+
+        A vector is useful if it is not pointwise-dominated by an existing
+        vector ("any additional bound hyperplanes that are not better in at
+        least some regions of the probability simplex can be discarded",
+        Section 4.1).  When ``belief`` is given, the vector is additionally
+        required to improve the bound *at that belief* by more than
+        ``min_improvement`` — the acceptance test of the incremental update
+        procedure.  A non-zero ``min_improvement`` keeps the set compact by
+        rejecting marginal hyperplanes, trading a slightly looser bound for
+        bounded storage and update cost (the paper observes exactly this
+        rapid-then-stable improvement profile in Figures 5(a)/(b)).
+
+        Returns True when the vector was added.
+        """
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (self.n_states,):
+            raise ModelError(
+                f"vector must have shape ({self.n_states},), got {vector.shape}"
+            )
+        threshold = max(alpha.LP_EPSILON, min_improvement)
+        if belief is not None and self.improvement_at(vector, belief) <= threshold:
+            self.rejections += 1
+            return False
+        if alpha.pointwise_dominated(vector, self._vectors):
+            self.rejections += 1
+            return False
+        if self.max_vectors is not None and len(self) >= self.max_vectors:
+            self._evict()
+        self._vectors = np.vstack([self._vectors, vector])
+        self._usage = np.append(self._usage, 0)
+        self.additions += 1
+        return True
+
+    def _evict(self) -> None:
+        """Drop the least-used evictable vector (Section 4.3's suggestion)."""
+        if len(self) <= self._pinned:
+            raise ModelError("cannot evict: only pinned seed vectors remain")
+        candidates = np.arange(self._pinned, len(self))
+        victim = candidates[np.argmin(self._usage[candidates])]
+        self._vectors = np.delete(self._vectors, victim, axis=0)
+        self._usage = np.delete(self._usage, victim)
+        self.evictions += 1
+
+    def prune(self, method: str = "pointwise") -> int:
+        """Remove redundant vectors; returns how many were dropped.
+
+        ``"pointwise"`` drops pointwise-dominated vectors; ``"lp"`` runs the
+        exact witness-LP prune.  Seed pinning is preserved by re-inserting
+        the seed rows first if pruning removed them (they may be dominated
+        once refinement has swept past them — in that case they are truly
+        redundant and dropping them is sound, so we only keep them if
+        present; the pin count is adjusted).
+        """
+        before = len(self)
+        if method == "lp":
+            pruned = alpha.prune_lp(self._vectors)
+        elif method == "pointwise":
+            pruned = alpha.prune_pointwise(self._vectors)
+        else:
+            raise ValueError(f"unknown prune method {method!r}")
+        kept_rows = [
+            i
+            for i in range(before)
+            if any(np.array_equal(self._vectors[i], row) for row in pruned)
+        ]
+        self._vectors = self._vectors[kept_rows]
+        self._usage = self._usage[kept_rows]
+        self._pinned = sum(1 for i in kept_rows if i < self._pinned)
+        return before - len(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BoundVectorSet(|B|={len(self)}, additions={self.additions}, "
+            f"rejections={self.rejections}, evictions={self.evictions})"
+        )

@@ -1,0 +1,44 @@
+"""Recovery controllers (Sections 4 and 5).
+
+* :mod:`repro.controllers.bounded` — the paper's controller: finite-depth
+  lookahead with the piecewise-linear lower bound at the leaves, online
+  refinement, and termination through the terminate action ``a_T``.
+* :mod:`repro.controllers.heuristic` — the SRDS'05 heuristic controller used
+  as the main baseline (heuristic leaf value, probability-threshold
+  termination).
+* :mod:`repro.controllers.most_likely` — Bayes diagnosis plus the cheapest
+  action that fixes the most likely fault.
+* :mod:`repro.controllers.oracle` — the unattainable ideal: knows the fault,
+  fixes it in one action.
+* :mod:`repro.controllers.random_controller` — uniform random recovery
+  actions; the policy whose value *is* the RA-Bound, kept as a sanity
+  baseline.
+* :mod:`repro.controllers.bootstrap` — the offline bounds-improvement phase
+  of Section 4.1 (Random and Average variants) that produces the data for
+  Figures 5(a) and 5(b).
+"""
+
+from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.bootstrap import BootstrapResult, bootstrap_bounds
+from repro.controllers.bounded import BoundedController
+from repro.controllers.branch_and_bound import BranchAndBoundController
+from repro.controllers.heuristic import HeuristicController, HeuristicLeaf
+from repro.controllers.most_likely import MostLikelyController
+from repro.controllers.oracle import OracleController
+from repro.controllers.qmdp import QMDPController
+from repro.controllers.random_controller import RandomController
+
+__all__ = [
+    "BootstrapResult",
+    "BoundedController",
+    "BranchAndBoundController",
+    "Decision",
+    "HeuristicController",
+    "HeuristicLeaf",
+    "MostLikelyController",
+    "OracleController",
+    "QMDPController",
+    "RandomController",
+    "RecoveryController",
+    "bootstrap_bounds",
+]

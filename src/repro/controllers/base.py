@@ -1,0 +1,138 @@
+"""The controller protocol shared by every recovery strategy.
+
+A controller's life cycle, mirroring Section 4's description of the decision
+loop: ``reset()`` at fault-detection time, then alternating ``observe()``
+(Bayesian belief update with the latest monitor outputs, Eq. 4) and
+``decide()`` (choose the next recovery action) until a decision with
+``is_terminate`` set ends the episode.  The campaign driver in
+:mod:`repro.sim` owns the loop; controllers only own belief tracking and
+action selection, and they never see the true system state (except the
+oracle, which overrides the hook provided for it).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BeliefError, ControllerError
+from repro.pomdp.belief import update_belief
+from repro.recovery.model import RecoveryModel
+from repro.util.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One controller decision.
+
+    Attributes:
+        action: index of the chosen action in the model's action space;
+            meaningless when ``is_terminate`` is True and ``action`` is
+            negative (threshold-based terminations do not execute an
+            action).
+        is_terminate: the controller declares recovery finished.  For the
+            bounded controller this coincides with choosing ``a_T``; for
+            the baselines it is the probability-threshold test.
+        value: the root value of the lookahead tree, when one was built.
+    """
+
+    action: int
+    is_terminate: bool = False
+    value: float | None = None
+
+
+class RecoveryController(abc.ABC):
+    """Base class handling belief tracking, timing, and episode state."""
+
+    #: Display name used in experiment tables (subclasses override).
+    name: str = "controller"
+
+    def __init__(self, model: RecoveryModel):
+        self.model = model
+        self.stopwatch = Stopwatch()
+        self._belief: np.ndarray | None = None
+        self._done = True
+
+    # -- episode life cycle -------------------------------------------------
+
+    def reset(self, initial_belief: np.ndarray | None = None) -> None:
+        """Start a new recovery episode.
+
+        The default initial belief is the paper's "all faults equally
+        likely" distribution; the campaign then immediately feeds the first
+        monitor outputs through :meth:`observe`.
+        """
+        if initial_belief is None:
+            self._belief = self.model.initial_belief()
+        else:
+            belief = np.asarray(initial_belief, dtype=float)
+            if belief.shape != (self.model.pomdp.n_states,):
+                raise ControllerError(
+                    f"initial belief must have length {self.model.pomdp.n_states}"
+                )
+            self._belief = belief.copy()
+        self._done = False
+        self._on_reset()
+
+    @property
+    def belief(self) -> np.ndarray:
+        """The controller's current belief state (copy)."""
+        if self._belief is None:
+            raise ControllerError("controller has not been reset onto an episode")
+        return self._belief.copy()
+
+    @property
+    def done(self) -> bool:
+        """True once the controller has terminated the current episode."""
+        return self._done
+
+    def observe(self, action: int, observation: int) -> None:
+        """Fold the monitor outputs after ``action`` into the belief (Eq. 4).
+
+        If the observation is impossible under the current belief (a
+        model/environment mismatch), the belief is re-seeded from the
+        initial fault distribution and the update retried, so the
+        controller re-diagnoses instead of crashing mid-recovery.
+        """
+        if self._belief is None:
+            raise ControllerError("observe() before reset()")
+        pomdp = self.model.pomdp
+        try:
+            self._belief = update_belief(pomdp, self._belief, action, observation)
+        except BeliefError:
+            fallback = self.model.initial_belief()
+            try:
+                self._belief = update_belief(pomdp, fallback, action, observation)
+            except BeliefError:
+                self._belief = fallback
+
+    def decide(self) -> Decision:
+        """Choose the next action; timed for the "algorithm time" metric."""
+        if self._belief is None:
+            raise ControllerError("decide() before reset()")
+        if self._done:
+            raise ControllerError("decide() after the episode terminated")
+        with self.stopwatch:
+            decision = self._decide(self._belief)
+        if decision.is_terminate:
+            self._done = True
+        return decision
+
+    def sync_true_state(self, state: int) -> None:
+        """Ground-truth hook; a no-op for every honest controller.
+
+        The campaign calls this after every environment transition.  Only
+        the oracle controller overrides it — it models omniscient
+        diagnosis, not something a real controller could do.
+        """
+
+    # -- subclass responsibilities -------------------------------------------
+
+    def _on_reset(self) -> None:
+        """Per-episode subclass state reset (optional)."""
+
+    @abc.abstractmethod
+    def _decide(self, belief: np.ndarray) -> Decision:
+        """Choose an action for ``belief`` (already guarded and timed)."""

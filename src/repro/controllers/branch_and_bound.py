@@ -1,0 +1,227 @@
+"""Branch-and-bound recovery controller (the paper's named future work).
+
+The conclusion of the paper lists "generation of upper bounds in addition
+to the lower bounds to facilitate branch and bound techniques" as an
+extension.  This controller implements it: at every decision node of the
+finite-depth expansion it first scores each action *optimistically* with a
+one-step backup of the sawtooth upper bound; actions whose optimistic score
+cannot beat the best *pessimistic* (lower-bound) score found so far are
+pruned without expanding their observation subtrees.
+
+The chosen action is identical to the plain bounded controller's — pruning
+is sound because an action whose upper bound is below another action's
+lower bound can never be the argmax — so the pay-off is purely
+computational, and the controller records its pruning statistics so the
+benefit is measurable (see ``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.incremental import refine_at
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.sawtooth import SawtoothUpperBound
+from repro.bounds.vector_set import BoundVectorSet
+from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.bounded import TIE_EPSILON
+from repro.pomdp.belief import GAMMA_EPSILON
+from repro.recovery.model import RecoveryModel
+
+
+class BranchAndBoundController(RecoveryController):
+    """Bounded controller with upper-bound action pruning.
+
+    With ``certified_termination`` the controller additionally implements
+    the first item of the paper's future-work list — "providing of
+    guarantees against early termination of the recovery process": it
+    chooses ``a_T`` only when the termination reward is at least the
+    *upper bound* of every alternative action's value, i.e. when
+    terminating is provably optimal under the model.  Until that
+    certificate holds, the best non-terminate action runs instead, so the
+    controller can never quit while the model can prove recovery is the
+    better deal.  (The guarantee is model-relative, like everything else:
+    the robustness experiment shows what model overtrust does to it.)
+
+    Args:
+        model: the (augmented) recovery model.
+        depth: lookahead depth.
+        lower: lower-bound hyperplane set (RA-Bound-seeded when None).
+        upper: sawtooth upper bound (QMDP-corner-seeded when None).
+        refine_online: refine both bounds at every visited belief.
+        refine_min_improvement: lower-bound acceptance threshold.
+        certified_termination: require the upper-bound certificate before
+            choosing ``a_T`` (see above).
+    """
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        depth: int = 1,
+        lower: BoundVectorSet | None = None,
+        upper: SawtoothUpperBound | None = None,
+        refine_online: bool = True,
+        refine_min_improvement: float = 0.0,
+        certified_termination: bool = False,
+    ):
+        super().__init__(model)
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.depth = depth
+        if lower is None:
+            lower = BoundVectorSet(ra_bound_vector(model.pomdp))
+        if upper is None:
+            upper = SawtoothUpperBound(model.pomdp)
+        self.lower = lower
+        self.upper = upper
+        self.refine_online = refine_online
+        self.refine_min_improvement = refine_min_improvement
+        self.certified_termination = certified_termination
+        self.expanded_actions = 0
+        self.pruned_actions = 0
+        self.withheld_terminations = 0
+        self.name = f"branch-and-bound (depth {depth})"
+
+    # -- lookahead with pruning ---------------------------------------------
+
+    def _children(self, belief: np.ndarray, action: int):
+        pomdp = self.model.pomdp
+        predicted = belief @ pomdp.transitions[action]
+        joint = predicted[:, None] * pomdp.observations[action]
+        gamma = joint.sum(axis=0)
+        reachable = gamma > GAMMA_EPSILON
+        posteriors = (joint[:, reachable] / gamma[reachable]).T
+        return gamma[reachable], posteriors
+
+    def _optimistic_action_value(self, belief: np.ndarray, action: int) -> float:
+        """One-step backup of the sawtooth bound — an upper bound on the
+        action's value at any remaining depth (monotonicity of L_p)."""
+        pomdp = self.model.pomdp
+        gamma, posteriors = self._children(belief, action)
+        future = self.upper.value_batch(posteriors)
+        return float(belief @ pomdp.rewards[action]) + pomdp.discount * float(
+            gamma @ future
+        )
+
+    def _node_value(self, belief: np.ndarray, remaining: int) -> float:
+        pomdp = self.model.pomdp
+        rewards = pomdp.rewards @ belief
+        # Cheap pessimistic scores first: order actions best-first so the
+        # incumbent is strong early and pruning bites.
+        optimistic = np.array(
+            [
+                self._optimistic_action_value(belief, action)
+                for action in range(pomdp.n_actions)
+            ]
+        )
+        order = np.argsort(-optimistic)
+        incumbent = -np.inf
+        for action in order:
+            if optimistic[action] <= incumbent + TIE_EPSILON:
+                self.pruned_actions += 1
+                continue
+            self.expanded_actions += 1
+            gamma, posteriors = self._children(belief, int(action))
+            if remaining == 1:
+                future = self.lower.value_batch(posteriors)
+            else:
+                future = np.array(
+                    [
+                        self._node_value(child, remaining - 1)
+                        for child in posteriors
+                    ]
+                )
+            value = float(rewards[action]) + pomdp.discount * float(
+                gamma @ future
+            )
+            incumbent = max(incumbent, value)
+        return incumbent
+
+    def _decide(self, belief: np.ndarray) -> Decision:
+        pomdp = self.model.pomdp
+        if (
+            self.model.recovery_notification
+            and self.model.recovered_probability(belief) >= 1.0 - 1e-9
+        ):
+            return Decision(action=-1, is_terminate=True, value=0.0)
+        if self.refine_online:
+            refine_at(
+                pomdp, self.lower, belief,
+                min_improvement=self.refine_min_improvement,
+            )
+            self.upper.refine_at(belief)
+
+        optimistic = np.array(
+            [
+                self._optimistic_action_value(belief, action)
+                for action in range(pomdp.n_actions)
+            ]
+        )
+        order = np.argsort(-optimistic)
+        rewards = pomdp.rewards @ belief
+        best_action = -1
+        best_value = -np.inf
+        for action in order:
+            if optimistic[action] <= best_value + TIE_EPSILON:
+                self.pruned_actions += 1
+                continue
+            self.expanded_actions += 1
+            gamma, posteriors = self._children(belief, int(action))
+            if self.depth == 1:
+                future = self.lower.value_batch(posteriors)
+            else:
+                future = np.array(
+                    [
+                        self._node_value(child, self.depth - 1)
+                        for child in posteriors
+                    ]
+                )
+            value = float(rewards[action]) + pomdp.discount * float(
+                gamma @ future
+            )
+            if value > best_value:
+                best_value = value
+                best_action = int(action)
+
+        terminate = self.model.terminate_action
+        if terminate is not None and best_action != terminate:
+            # Same terminate-on-tie policy as the bounded controller: the
+            # pruning loop may have skipped a_T when it merely tied.
+            gamma, posteriors = self._children(belief, terminate)
+            terminate_value = float(rewards[terminate]) + pomdp.discount * float(
+                gamma @ self.lower.value_batch(posteriors)
+            )
+            if terminate_value >= best_value - TIE_EPSILON:
+                best_action = terminate
+                best_value = max(best_value, terminate_value)
+        if (
+            self.certified_termination
+            and terminate is not None
+            and best_action == terminate
+        ):
+            # Future-work guarantee: only terminate when no alternative's
+            # *upper bound* exceeds the termination value — i.e. the model
+            # cannot prove that continuing recovery would be better.
+            terminate_value = float(rewards[terminate])
+            rivals = [
+                action
+                for action in range(pomdp.n_actions)
+                if action != terminate
+                and optimistic[action] > terminate_value + TIE_EPSILON
+            ]
+            if rivals:
+                self.withheld_terminations += 1
+                best_action = max(
+                    rivals, key=lambda action: float(optimistic[action])
+                )
+                # Re-score the substitute action pessimistically for the
+                # decision record.
+                gamma, posteriors = self._children(belief, best_action)
+                best_value = float(rewards[best_action]) + pomdp.discount * float(
+                    gamma @ self.lower.value_batch(posteriors)
+                )
+        return Decision(
+            action=best_action,
+            is_terminate=best_action == terminate,
+            value=best_value,
+        )

@@ -1,0 +1,48 @@
+"""The oracle controller (Section 5) — the unattainable ideal.
+
+"A hypothetical controller that knows the fault in the system, and can
+always recover from it via a single action."  It exists to put a floor under
+Table 1: no diagnosing controller can beat it.  The campaign driver feeds it
+the ground-truth state through :meth:`sync_true_state`, the hook every
+honest controller ignores; it makes no monitor calls at all
+(``uses_monitors`` is False), matching the zeros in its Table 1 row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.most_likely import cheapest_fixing_actions
+from repro.exceptions import ControllerError
+from repro.recovery.model import RecoveryModel
+
+
+class OracleController(RecoveryController):
+    """Knows the true fault; repairs it with the single cheapest action."""
+
+    #: The campaign skips monitor invocations for controllers that opt out.
+    uses_monitors: bool = False
+
+    def __init__(self, model: RecoveryModel):
+        super().__init__(model)
+        self._fixing_action = cheapest_fixing_actions(model)
+        self._true_state: int | None = None
+        self.name = "oracle"
+
+    def _on_reset(self) -> None:
+        self._true_state = None
+
+    def sync_true_state(self, state: int) -> None:
+        """Receive the ground truth the campaign exposes only to the oracle."""
+        self._true_state = int(state)
+
+    def _decide(self, belief: np.ndarray) -> Decision:
+        if self._true_state is None:
+            raise ControllerError(
+                "oracle controller was never given the true state; the "
+                "campaign must call sync_true_state() after reset"
+            )
+        if self.model.is_recovered(self._true_state):
+            return Decision(action=-1, is_terminate=True)
+        return Decision(action=self._fixing_action[self._true_state])

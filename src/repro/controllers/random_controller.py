@@ -1,0 +1,65 @@
+"""Uniform-random recovery controller.
+
+Chooses uniformly among the model's recovery actions regardless of belief.
+This is exactly the policy whose expected cost the RA-Bound computes
+(Section 3.1 constructs the bound "by replacing the non-deterministic
+actions with probabilistic transitions with a transition probability of
+1/|A|"), so the test suite uses it to validate the bound empirically:
+the mean episode reward of this controller can be no better than the
+optimal value, and the RA-Bound can be no better than this controller when
+evaluated over the *full* action set.  It also serves as the sanity floor
+in ablation tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.controllers.base import Decision, RecoveryController
+from repro.recovery.model import RecoveryModel
+from repro.util.rng import as_generator
+
+
+class RandomController(RecoveryController):
+    """Picks actions uniformly at random.
+
+    Args:
+        model: the recovery model.
+        include_all_actions: when True the draw covers *every* model action
+            (including observe and ``a_T``), which is the exact RA-Bound
+            policy; when False only repairing actions are drawn and
+            termination falls back to the recovered-probability threshold.
+        termination_probability: threshold used when ``a_T`` is excluded.
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        include_all_actions: bool = True,
+        termination_probability: float = 0.9999,
+        seed=None,
+    ):
+        super().__init__(model)
+        self._rng = as_generator(seed)
+        if include_all_actions:
+            self._choices = np.arange(model.pomdp.n_actions)
+        else:
+            self._choices = np.flatnonzero(model.recovery_actions)
+        self.include_all_actions = include_all_actions
+        self.termination_probability = termination_probability
+        self.name = "random"
+
+    def _decide(self, belief: np.ndarray) -> Decision:
+        if not self.include_all_actions:
+            recovered = self.model.recovered_probability(belief)
+            if recovered >= self.termination_probability:
+                return Decision(action=-1, is_terminate=True)
+        action = int(self._rng.choice(self._choices))
+        is_terminate = action == self.model.terminate_action
+        if (
+            self.model.recovery_notification
+            and self.model.recovered_probability(belief) >= 1.0 - 1e-9
+        ):
+            is_terminate = True
+        return Decision(action=action, is_terminate=is_terminate)

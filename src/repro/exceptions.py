@@ -1,0 +1,70 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause while
+still being able to distinguish the failure modes that the paper's theory
+cares about (model validity, bound divergence, belief inconsistencies).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ModelError(ReproError):
+    """A model definition is structurally invalid.
+
+    Raised when transition matrices are not row-stochastic, observation
+    matrices do not normalise, dimensions disagree, or labels are duplicated.
+    """
+
+
+class ConditionViolation(ModelError):
+    """A recovery-model condition from the paper does not hold.
+
+    ``condition`` is 1 for Condition 1 (every state can reach the null-fault
+    set ``S_phi``) and 2 for Condition 2 (all single-step rewards are
+    non-positive).
+    """
+
+    def __init__(self, condition: int, message: str):
+        super().__init__(f"Condition {condition} violated: {message}")
+        self.condition = condition
+
+
+class DivergenceError(ReproError):
+    """An iterative computation diverged (value is unbounded below).
+
+    The paper's Section 3.1 shows this is the *expected* outcome for the
+    BI-POMDP bound on undiscounted recovery models and for blind-policy
+    bounds on models with recovery notification; this error is how the
+    library reports that outcome.
+    """
+
+
+class NotConvergedError(ReproError):
+    """An iterative solver hit its iteration budget before its tolerance."""
+
+    def __init__(self, message: str, iterations: int, residual: float):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class BeliefError(ReproError):
+    """A belief-state operation is impossible.
+
+    The prominent case is conditioning on an observation whose probability is
+    zero under the current belief (a modelling mismatch between the
+    environment and the controller's model).
+    """
+
+
+class ControllerError(ReproError):
+    """A recovery controller was used outside its contract.
+
+    Examples: asking a controller for a decision before it has been reset
+    onto an episode, or stepping it after it has terminated recovery.
+    """

@@ -1,0 +1,27 @@
+"""Experiment harnesses regenerating the paper's tables and figures.
+
+Each module reproduces one artifact of Section 5 (see DESIGN.md's
+per-experiment index):
+
+* :mod:`repro.experiments.fig5` — Figure 5(a) (iterative lower-bound
+  improvement) and Figure 5(b) (bound-vector growth), Random vs Average
+  bootstrapping.
+* :mod:`repro.experiments.table1` — Table 1's fault-injection comparison of
+  the six controllers.
+* :mod:`repro.experiments.ablations` — the bound-comparison experiment of
+  Section 3.1 (RA vs BI-POMDP vs blind-policy convergence), plus sweeps the
+  paper motivates: operator response time, lookahead depth, monitor
+  quality, and bound-computation cost.
+
+Run them from the command line::
+
+    python -m repro.experiments table1 --injections 1000 --seed 0
+    python -m repro.experiments fig5a
+    python -m repro.experiments fig5b
+    python -m repro.experiments ablations
+"""
+
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = ["Fig5Result", "Table1Result", "run_fig5", "run_table1"]

@@ -1,0 +1,175 @@
+"""Command-line entry point for the experiment harnesses.
+
+Examples::
+
+    python -m repro.experiments table1 --injections 1000
+    python -m repro.experiments fig5a --iterations 20
+    python -m repro.experiments fig5b
+    python -m repro.experiments bounds
+    python -m repro.experiments ablations --injections 200
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import ablations as ablations_module
+from repro.experiments.fig5 import format_fig5a, format_fig5b, run_fig5, shape_checks
+from repro.experiments.table1 import (
+    DEFAULT_CONTROLLERS,
+    format_table1,
+    ordering_checks,
+    run_table1,
+)
+
+
+def _render_checks(checks: dict[str, bool]) -> str:
+    lines = ["", "Claim checks:"]
+    for claim, passed in checks.items():
+        lines.append(f"  [{'PASS' if passed else 'FAIL'}] {claim}")
+    return "\n".join(lines)
+
+
+def _cmd_fig5(args, which: str) -> None:
+    result = run_fig5(iterations=args.iterations, seed=args.seed)
+    if which == "a":
+        print(format_fig5a(result))
+    else:
+        print(format_fig5b(result))
+    print(_render_checks(shape_checks(result)))
+
+
+def _cmd_table1(args) -> None:
+    controllers = DEFAULT_CONTROLLERS
+    if args.skip_depth3:
+        controllers = tuple(
+            name for name in controllers if name != "heuristic (depth 3)"
+        )
+    result = run_table1(
+        injections=args.injections, seed=args.seed, controllers=controllers
+    )
+    print(format_table1(result))
+    print(_render_checks(ordering_checks(result)))
+
+
+def _cmd_bounds(args) -> None:
+    outcomes = ablations_module.bounds_comparison()
+    print(ablations_module.format_bounds_comparison(outcomes))
+
+
+def _cmd_robustness(args) -> None:
+    from repro.experiments.robustness import format_mismatch, run_mismatch_sweep
+
+    points = run_mismatch_sweep(injections=args.injections, seed=args.seed)
+    print(format_mismatch(points))
+
+
+def _cmd_scalability(args) -> None:
+    from repro.experiments.scalability import (
+        format_scalability,
+        run_scalability,
+        verify_against_dense,
+    )
+
+    discrepancy = verify_against_dense((2, 2, 2))
+    print(f"Sparse-vs-dense RA-Bound check (62 states): "
+          f"max discrepancy {discrepancy:.2e}")
+    print()
+    print(format_scalability(run_scalability()))
+
+
+def _cmd_ablations(args) -> None:
+    print(
+        ablations_module.format_summary_sweep(
+            "t_op (s)",
+            ablations_module.operator_response_sweep(
+                injections=args.injections, seed=args.seed
+            ),
+            "Operator-response-time sweep (bounded controller, depth 1)",
+        )
+    )
+    print()
+    print(
+        ablations_module.format_summary_sweep(
+            "Path coverage",
+            ablations_module.monitor_quality_sweep(
+                injections=args.injections, seed=args.seed
+            ),
+            "Path-monitor coverage sweep (bounded controller, depth 1)",
+        )
+    )
+    print()
+    profile = ablations_module.bound_computation_cost()
+    print(f"RA-Bound solve time: {profile.ra_solve_seconds * 1000:.2f} ms")
+    if profile.refine_seconds_by_set_size:
+        first_size, first_time = profile.refine_seconds_by_set_size[0]
+        last_size, last_time = profile.refine_seconds_by_set_size[-1]
+        print(
+            "Incremental update time: "
+            f"{first_time * 1000:.3f} ms at |B|={first_size} -> "
+            f"{last_time * 1000:.3f} ms at |B|={last_size}"
+        )
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Parse arguments and dispatch to an experiment."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_seed(sub):
+        sub.add_argument("--seed", type=int, default=2006, help="RNG seed")
+
+    for name in ("fig5a", "fig5b"):
+        sub = subparsers.add_parser(name, help=f"Figure 5({name[-1]})")
+        sub.add_argument("--iterations", type=int, default=20)
+        add_seed(sub)
+
+    table1 = subparsers.add_parser("table1", help="Table 1 fault injections")
+    table1.add_argument("--injections", type=int, default=1000)
+    table1.add_argument(
+        "--skip-depth3",
+        action="store_true",
+        help="omit the (very slow) heuristic depth-3 row",
+    )
+    add_seed(table1)
+
+    bounds = subparsers.add_parser("bounds", help="Section 3.1 bound comparison")
+    add_seed(bounds)
+
+    ablations = subparsers.add_parser("ablations", help="parameter sweeps")
+    ablations.add_argument("--injections", type=int, default=200)
+    add_seed(ablations)
+
+    scalability = subparsers.add_parser(
+        "scalability", help="RA-Bound solve time vs state count (Section 4.3)"
+    )
+    add_seed(scalability)
+
+    robustness = subparsers.add_parser(
+        "robustness", help="controller-vs-environment model mismatch sweep"
+    )
+    robustness.add_argument("--injections", type=int, default=200)
+    add_seed(robustness)
+
+    args = parser.parse_args(argv)
+    if args.command == "fig5a":
+        _cmd_fig5(args, "a")
+    elif args.command == "fig5b":
+        _cmd_fig5(args, "b")
+    elif args.command == "table1":
+        _cmd_table1(args)
+    elif args.command == "bounds":
+        _cmd_bounds(args)
+    elif args.command == "ablations":
+        _cmd_ablations(args)
+    elif args.command == "scalability":
+        _cmd_scalability(args)
+    elif args.command == "robustness":
+        _cmd_robustness(args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Markdown report generation for paper-vs-measured comparisons.
+
+Renders the outputs of :mod:`repro.experiments.fig5` and
+:mod:`repro.experiments.table1` as the markdown sections that EXPERIMENTS.md
+is built from, so the recorded results are regenerable with one command::
+
+    python -m repro.experiments table1 ...   # human-readable tables
+    repro.experiments.report.table1_markdown(result)  # EXPERIMENTS.md rows
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import Fig5Result, shape_checks
+from repro.experiments.table1 import PAPER_TABLE1, Table1Result, ordering_checks
+
+
+def _md_table(headers: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def table1_markdown(result: Table1Result) -> str:
+    """EXPERIMENTS.md section for Table 1 (paper vs measured, per metric)."""
+    headers = [
+        "Algorithm", "Cost (paper / ours)", "Recovery s (paper / ours)",
+        "Residual s (paper / ours)", "Algo ms (paper / ours)",
+        "Actions (paper / ours)", "Monitor calls (paper / ours)",
+    ]
+    rows = []
+    for campaign in result.campaigns:
+        name = campaign.controller_name
+        summary = campaign.summary
+        paper = PAPER_TABLE1.get(name)
+        if paper is None:
+            continue
+
+        def pair(paper_value, measured, digits=2):
+            paper_text = (
+                "-" if paper_value != paper_value else _fmt(paper_value, digits)
+            )
+            return f"{paper_text} / {_fmt(measured, digits)}"
+
+        rows.append(
+            [
+                name,
+                pair(paper[0], summary.cost),
+                pair(paper[1], summary.recovery_time),
+                pair(paper[2], summary.residual_time),
+                pair(paper[3], summary.algorithm_time_ms),
+                pair(paper[4], summary.actions, 2),
+                pair(paper[5], summary.monitor_calls, 2),
+            ]
+        )
+    checks = ordering_checks(result)
+    check_lines = "\n".join(
+        f"- {'PASS' if ok else 'FAIL'}: {claim}" for claim, ok in checks.items()
+    )
+    return (
+        f"{_md_table(headers, rows)}\n\n"
+        f"({result.injections} injections, seed {result.seed}.)\n\n"
+        f"Qualitative claims:\n\n{check_lines}"
+    )
+
+
+def fig5_markdown(result: Fig5Result) -> str:
+    """EXPERIMENTS.md section for Figures 5(a) and 5(b)."""
+    headers = ["Iteration", "Random bound", "Random |B|", "Average bound",
+               "Average |B|"]
+    rows = [
+        [
+            "0 (RA-Bound)",
+            _fmt(-result.random.initial_bound, 0),
+            "1",
+            _fmt(-result.average.initial_bound, 0),
+            "1",
+        ]
+    ]
+    for i in range(result.iterations):
+        rows.append(
+            [
+                str(i + 1),
+                _fmt(result.random.cost_upper_bounds[i], 1),
+                str(int(result.random.vector_counts[i])),
+                _fmt(result.average.cost_upper_bounds[i], 1),
+                str(int(result.average.vector_counts[i])),
+            ]
+        )
+    checks = shape_checks(result)
+    check_lines = "\n".join(
+        f"- {'PASS' if ok else 'FAIL'}: {claim}" for claim, ok in checks.items()
+    )
+    return f"{_md_table(headers, rows)}\n\nShape claims:\n\n{check_lines}"

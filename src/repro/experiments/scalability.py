@@ -1,0 +1,95 @@
+"""RA-Bound scalability (Section 4.3's state-space claim).
+
+"This linear system is defined on the original state-space of the POMDP
+(S) and, with the appropriate sparse structure, can be solved using
+standard, numerically stable linear system solvers for models with up to
+hundreds of thousands of states."  This experiment measures exactly that:
+RA-Bound solve time on the tiered model family
+(:mod:`repro.systems.tiered`) as the state count grows from tens to
+hundreds of thousands.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.systems.tiered import build_tiered_system, solve_tiered_ra_bound
+from repro.util.tables import render_table
+
+#: Default replica counts per tier for the sweep (3 tiers each).
+DEFAULT_SIZES = (2, 10, 100, 1_000, 10_000, 50_000)
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One measurement of the sweep."""
+
+    replicas_per_tier: int
+    n_states: int
+    solve_seconds: float
+    sample_value: float
+
+
+def run_scalability(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    n_tiers: int = 3,
+) -> list[ScalabilityPoint]:
+    """Time the sparse RA-Bound solve across model sizes.
+
+    Each point is a 3-tier system with ``r`` replicas per tier, i.e.
+    ``2 + 2 * n_tiers * r`` states.  Small instances are cross-checked
+    against the dense solver elsewhere (the test suite); here we record
+    wall-clock time and a sample value for sanity.
+    """
+    points = []
+    for r in sizes:
+        replicas = tuple([r] * n_tiers)
+        started = time.perf_counter()
+        values = solve_tiered_ra_bound(replicas)
+        elapsed = time.perf_counter() - started
+        points.append(
+            ScalabilityPoint(
+                replicas_per_tier=r,
+                n_states=values.shape[0],
+                solve_seconds=elapsed,
+                sample_value=float(values[1]),
+            )
+        )
+    return points
+
+
+def verify_against_dense(replicas: tuple[int, ...]) -> float:
+    """Max |sparse - dense| RA-Bound discrepancy on a small instance.
+
+    The direct sparse construction must agree with the RA-Bound computed
+    from the fully-materialised recovery model.
+    """
+    system = build_tiered_system(replicas=replicas)
+    dense = ra_bound_vector(system.model.pomdp)
+    sparse = solve_tiered_ra_bound(replicas)
+    return float(np.max(np.abs(dense - sparse)))
+
+
+def format_scalability(points: list[ScalabilityPoint]) -> str:
+    """Render the sweep as a table."""
+    rows = [
+        [
+            point.replicas_per_tier,
+            point.n_states,
+            point.solve_seconds * 1000.0,
+            point.sample_value,
+        ]
+        for point in points
+    ]
+    return render_table(
+        ["Replicas/tier", "States", "RA solve (ms)", "V-(first fault)"],
+        rows,
+        title=(
+            "RA-Bound scalability on the tiered model family (Section 4.3: "
+            "sparse\nlinear solves scale to hundreds of thousands of states)"
+        ),
+    )

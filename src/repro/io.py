@@ -1,0 +1,167 @@
+"""Serialization for models and bound sets.
+
+Section 4.3 positions the RA-Bound computation and much of the refinement
+as *off-line* work; a production controller therefore needs to persist what
+it computed — the model it was built for and the bound hyperplanes it has
+accumulated — and reload them at startup.  Everything serialises to a
+single ``.npz`` archive (arrays) with labels stored as fixed-width unicode
+arrays, so an archive is self-contained and loadable without pickle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bounds.vector_set import BoundVectorSet
+from repro.exceptions import ModelError
+from repro.pomdp.model import POMDP
+from repro.recovery.model import RecoveryModel
+
+#: Archive format version; bumped on layout changes.
+FORMAT_VERSION = 1
+
+
+def _labels_array(labels: tuple[str, ...]) -> np.ndarray:
+    return np.array(list(labels), dtype=np.str_)
+
+
+def _labels_tuple(array: np.ndarray) -> tuple[str, ...]:
+    return tuple(str(label) for label in array)
+
+
+def save_pomdp(path, pomdp: POMDP) -> None:
+    """Write ``pomdp`` to ``path`` as a ``.npz`` archive."""
+    np.savez_compressed(
+        path,
+        kind=np.array("pomdp"),
+        version=np.array(FORMAT_VERSION),
+        transitions=pomdp.transitions,
+        observations=pomdp.observations,
+        rewards=pomdp.rewards,
+        state_labels=_labels_array(pomdp.state_labels),
+        action_labels=_labels_array(pomdp.action_labels),
+        observation_labels=_labels_array(pomdp.observation_labels),
+        discount=np.array(pomdp.discount),
+    )
+
+
+def _check_kind(archive, expected: str, path) -> None:
+    kind = str(archive.get("kind", ""))
+    if kind != expected:
+        raise ModelError(
+            f"{path} holds a {kind or 'unknown'} archive, expected {expected}"
+        )
+    version = int(archive.get("version", -1))
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"{path} uses archive format {version}, this build reads "
+            f"{FORMAT_VERSION}"
+        )
+
+
+def load_pomdp(path) -> POMDP:
+    """Read a POMDP previously written by :func:`save_pomdp`."""
+    with np.load(path, allow_pickle=False) as archive:
+        _check_kind(archive, "pomdp", path)
+        return POMDP(
+            transitions=archive["transitions"],
+            observations=archive["observations"],
+            rewards=archive["rewards"],
+            state_labels=_labels_tuple(archive["state_labels"]),
+            action_labels=_labels_tuple(archive["action_labels"]),
+            observation_labels=_labels_tuple(archive["observation_labels"]),
+            discount=float(archive["discount"]),
+        )
+
+
+def save_recovery_model(path, model: RecoveryModel) -> None:
+    """Write a recovery model (augmented POMDP + recovery metadata)."""
+    optional = {}
+    if model.terminate_state is not None:
+        optional["terminate_state"] = np.array(model.terminate_state)
+        optional["terminate_action"] = np.array(model.terminate_action)
+        optional["operator_response_time"] = np.array(
+            model.operator_response_time
+        )
+    np.savez_compressed(
+        path,
+        kind=np.array("recovery-model"),
+        version=np.array(FORMAT_VERSION),
+        transitions=model.pomdp.transitions,
+        observations=model.pomdp.observations,
+        rewards=model.pomdp.rewards,
+        state_labels=_labels_array(model.pomdp.state_labels),
+        action_labels=_labels_array(model.pomdp.action_labels),
+        observation_labels=_labels_array(model.pomdp.observation_labels),
+        discount=np.array(model.pomdp.discount),
+        null_states=model.null_states,
+        rate_rewards=model.rate_rewards,
+        durations=model.durations,
+        passive_actions=model.passive_actions,
+        recovery_notification=np.array(model.recovery_notification),
+        **optional,
+    )
+
+
+def load_recovery_model(path) -> RecoveryModel:
+    """Read a recovery model previously written by :func:`save_recovery_model`."""
+    with np.load(path, allow_pickle=False) as archive:
+        _check_kind(archive, "recovery-model", path)
+        pomdp = POMDP(
+            transitions=archive["transitions"],
+            observations=archive["observations"],
+            rewards=archive["rewards"],
+            state_labels=_labels_tuple(archive["state_labels"]),
+            action_labels=_labels_tuple(archive["action_labels"]),
+            observation_labels=_labels_tuple(archive["observation_labels"]),
+            discount=float(archive["discount"]),
+        )
+        has_terminate = "terminate_state" in archive
+        return RecoveryModel(
+            pomdp=pomdp,
+            null_states=archive["null_states"],
+            rate_rewards=archive["rate_rewards"],
+            durations=archive["durations"],
+            passive_actions=archive["passive_actions"],
+            recovery_notification=bool(archive["recovery_notification"]),
+            terminate_state=(
+                int(archive["terminate_state"]) if has_terminate else None
+            ),
+            terminate_action=(
+                int(archive["terminate_action"]) if has_terminate else None
+            ),
+            operator_response_time=(
+                float(archive["operator_response_time"])
+                if has_terminate
+                else None
+            ),
+        )
+
+
+def save_bound_set(path, bound_set: BoundVectorSet) -> None:
+    """Persist a refined bound set (the off-line artefact of Section 4.3)."""
+    np.savez_compressed(
+        path,
+        kind=np.array("bound-set"),
+        version=np.array(FORMAT_VERSION),
+        vectors=bound_set.vectors,
+        usage=bound_set._usage,
+        pinned=np.array(bound_set._pinned),
+        max_vectors=np.array(
+            -1 if bound_set.max_vectors is None else bound_set.max_vectors
+        ),
+    )
+
+
+def load_bound_set(path) -> BoundVectorSet:
+    """Reload a bound set; usage counters and pinning survive the round trip."""
+    with np.load(path, allow_pickle=False) as archive:
+        _check_kind(archive, "bound-set", path)
+        max_vectors = int(archive["max_vectors"])
+        bound_set = BoundVectorSet(
+            archive["vectors"],
+            max_vectors=None if max_vectors < 0 else max_vectors,
+        )
+        bound_set._usage = archive["usage"].copy()
+        bound_set._pinned = int(archive["pinned"])
+        return bound_set

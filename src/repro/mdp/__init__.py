@@ -1,0 +1,38 @@
+"""Markov decision process substrate.
+
+This package is the fully-observable foundation that Section 2 of the paper
+builds on: the MDP model type, exact solvers (value and policy iteration),
+stationary policies and their evaluation, the linear-system solvers used for
+the RA-Bound (Gauss-Seidel with successive over-relaxation, per Section 3.1),
+and the state-classification analysis used to decide whether an undiscounted
+chain has a finite expected accumulated reward.
+"""
+
+from repro.mdp.classify import ChainClassification, classify_chain
+from repro.mdp.linear_solvers import (
+    gauss_seidel,
+    jacobi,
+    solve_direct,
+    solve_markov_reward,
+)
+from repro.mdp.model import MDP
+from repro.mdp.modified_policy_iteration import modified_policy_iteration
+from repro.mdp.policy import Policy, evaluate_policy
+from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.value_iteration import MDPSolution, value_iteration
+
+__all__ = [
+    "MDP",
+    "ChainClassification",
+    "MDPSolution",
+    "Policy",
+    "classify_chain",
+    "evaluate_policy",
+    "gauss_seidel",
+    "jacobi",
+    "modified_policy_iteration",
+    "policy_iteration",
+    "solve_direct",
+    "solve_markov_reward",
+    "value_iteration",
+]

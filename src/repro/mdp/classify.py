@@ -1,0 +1,83 @@
+"""State classification for Markov chains.
+
+The convergence arguments of Section 3.1 hinge on which states of the
+RA-Bound chain are recurrent: Eq. 5 has a finite solution iff every action
+originating in a recurrent state has zero reward.  This module computes the
+recurrent/transient split from the chain's strongly-connected components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+#: Probabilities below this are treated as structural zeros.
+EDGE_EPSILON = 1e-12
+
+
+@dataclass(frozen=True)
+class ChainClassification:
+    """Recurrent/transient structure of a finite Markov chain.
+
+    Attributes:
+        recurrent: boolean mask over states; ``True`` for states inside some
+            closed (bottom) strongly-connected component.
+        transient: boolean mask, the complement of ``recurrent``.
+        absorbing: boolean mask of single-state closed classes with a
+            self-loop probability of one.
+        recurrent_classes: tuple of frozensets, one per closed SCC.
+    """
+
+    recurrent: np.ndarray
+    transient: np.ndarray
+    absorbing: np.ndarray
+    recurrent_classes: tuple[frozenset, ...]
+
+
+def classify_chain(chain: np.ndarray) -> ChainClassification:
+    """Classify the states of a row-stochastic ``chain``.
+
+    A strongly-connected component is *closed* (and hence recurrent in a
+    finite chain) iff no edge leaves it.
+    """
+    chain = np.asarray(chain, dtype=float)
+    n = chain.shape[0]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(chain > EDGE_EPSILON)
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+
+    recurrent = np.zeros(n, dtype=bool)
+    recurrent_classes = []
+    condensation = nx.condensation(graph)
+    for node in condensation.nodes:
+        if condensation.out_degree(node) == 0:
+            members = condensation.nodes[node]["members"]
+            recurrent_classes.append(frozenset(members))
+            for s in members:
+                recurrent[s] = True
+
+    absorbing = np.array(
+        [chain[s, s] >= 1.0 - EDGE_EPSILON for s in range(n)], dtype=bool
+    )
+    return ChainClassification(
+        recurrent=recurrent,
+        transient=~recurrent,
+        absorbing=absorbing,
+        recurrent_classes=tuple(recurrent_classes),
+    )
+
+
+def reachable_set(chain: np.ndarray, sources: np.ndarray) -> np.ndarray:
+    """States reachable (in any number of steps) from the ``sources`` mask."""
+    chain = np.asarray(chain, dtype=float)
+    adjacency = chain > EDGE_EPSILON
+    reached = np.asarray(sources, dtype=bool).copy()
+    frontier = reached.copy()
+    while frontier.any():
+        successors = adjacency[frontier].any(axis=0)
+        frontier = successors & ~reached
+        reached |= successors
+    return reached

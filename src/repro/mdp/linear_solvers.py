@@ -1,0 +1,214 @@
+"""Linear-system solvers for Markov reward chains.
+
+The RA-Bound (Eq. 5) reduces to the linear system ``v = r + beta * P v`` for
+the uniform-random chain.  Section 3.1 of the paper solves it with
+"Gauss-Seidel iterations with successive over-relaxation"; this module
+provides that solver plus a Jacobi iteration and a direct sparse solve, all
+verified against each other in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.exceptions import DivergenceError, NotConvergedError
+
+#: Value magnitude past which an undiscounted iteration is declared divergent.
+DIVERGENCE_THRESHOLD = 1e12
+
+#: Sweeps between residual-stagnation checks.  A linearly diverging
+#: iteration (constant per-sweep decrement, e.g. a recurrent state accruing
+#: cost forever) keeps a constant residual, while any convergent iteration
+#: shrinks it; comparing residuals one window apart separates the two long
+#: before the magnitude threshold trips.
+STAGNATION_WINDOW = 1_000
+STAGNATION_RATIO = 0.99
+
+
+def _check_stagnation(
+    residual: float, checkpoint: float, values_growing: bool, context: str
+) -> None:
+    if values_growing and residual > 0 and residual >= STAGNATION_RATIO * checkpoint:
+        raise DivergenceError(
+            f"{context}: residual stalled at {residual:.3g} over "
+            f"{STAGNATION_WINDOW} sweeps while values keep growing — the "
+            "iteration diverges linearly (a recurrent state accrues reward; "
+            "see Section 3.1 conditions)"
+        )
+
+
+def gauss_seidel(
+    chain: np.ndarray,
+    reward: np.ndarray,
+    discount: float = 1.0,
+    omega: float = 1.0,
+    tol: float = 1e-10,
+    max_iterations: int = 100_000,
+) -> np.ndarray:
+    """Solve ``v = r + discount * P v`` by Gauss-Seidel with SOR.
+
+    Args:
+        chain: row-stochastic transition matrix ``P`` of shape ``(n, n)``.
+        reward: expected single-step reward vector ``r`` of shape ``(n,)``.
+        discount: the factor ``beta``; 1.0 for the paper's undiscounted
+            criterion.
+        omega: SOR relaxation factor in ``(0, 2)``; 1.0 is plain
+            Gauss-Seidel, values above 1 over-relax ("successive
+            over-relaxation", as used by the paper's implementation).
+        tol: sup-norm change below which the iteration stops.
+        max_iterations: iteration budget.
+
+    Raises:
+        DivergenceError: if iterates blow past :data:`DIVERGENCE_THRESHOLD`
+            (the chain accumulates unbounded reward, e.g. a recurrent state
+            with non-zero reward in an undiscounted model).
+        NotConvergedError: if the budget is exhausted first.
+    """
+    if not 0.0 < omega < 2.0:
+        raise ValueError(f"omega must be in (0, 2), got {omega}")
+    chain = np.asarray(chain, dtype=float)
+    reward = np.asarray(reward, dtype=float)
+    n = reward.shape[0]
+    value = np.zeros(n)
+    checkpoint_residual = np.inf
+    checkpoint_norm = 0.0
+    for iteration in range(max_iterations):
+        delta = 0.0
+        for s in range(n):
+            # The self-loop term is moved to the left-hand side so states
+            # with high self-transition probability converge in one sweep.
+            row = chain[s]
+            diagonal = discount * row[s]
+            others = discount * (row @ value) - diagonal * value[s]
+            if diagonal >= 1.0:
+                # Absorbing state with discount 1: value is determined by its
+                # own reward stream; finite only when the reward is zero.
+                if abs(reward[s]) > 0.0:
+                    raise DivergenceError(
+                        f"state {s} is absorbing with non-zero reward "
+                        f"{reward[s]:.3g}; undiscounted value is infinite"
+                    )
+                updated = 0.0
+            else:
+                updated = (reward[s] + others) / (1.0 - diagonal)
+            updated = value[s] + omega * (updated - value[s])
+            delta = max(delta, abs(updated - value[s]))
+            value[s] = updated
+        if not np.all(np.isfinite(value)) or np.max(np.abs(value)) > DIVERGENCE_THRESHOLD:
+            raise DivergenceError(
+                "Gauss-Seidel iterates diverged; the chain has recurrent "
+                "reward-accruing states (see Section 3.1 conditions)"
+            )
+        if delta < tol:
+            return value
+        if (iteration + 1) % STAGNATION_WINDOW == 0:
+            norm = float(np.max(np.abs(value)))
+            _check_stagnation(
+                delta, checkpoint_residual, norm > checkpoint_norm, "Gauss-Seidel"
+            )
+            checkpoint_residual = delta
+            checkpoint_norm = norm
+    raise NotConvergedError(
+        f"Gauss-Seidel did not reach tol={tol} in {max_iterations} iterations",
+        iterations=max_iterations,
+        residual=delta,
+    )
+
+
+def jacobi(
+    chain: np.ndarray,
+    reward: np.ndarray,
+    discount: float = 1.0,
+    tol: float = 1e-10,
+    max_iterations: int = 200_000,
+) -> np.ndarray:
+    """Solve ``v = r + discount * P v`` by Jacobi (simultaneous) iteration.
+
+    Kept as an independently-implemented cross-check for
+    :func:`gauss_seidel`; the test suite asserts the two agree.
+    """
+    chain = np.asarray(chain, dtype=float)
+    reward = np.asarray(reward, dtype=float)
+    value = np.zeros_like(reward)
+    checkpoint_residual = np.inf
+    checkpoint_norm = 0.0
+    for iteration in range(max_iterations):
+        updated = reward + discount * (chain @ value)
+        if not np.all(np.isfinite(updated)) or np.max(np.abs(updated)) > DIVERGENCE_THRESHOLD:
+            raise DivergenceError("Jacobi iterates diverged")
+        residual = float(np.max(np.abs(updated - value)))
+        if residual < tol:
+            return updated
+        value = updated
+        if (iteration + 1) % STAGNATION_WINDOW == 0:
+            norm = float(np.max(np.abs(value)))
+            _check_stagnation(
+                residual, checkpoint_residual, norm > checkpoint_norm, "Jacobi"
+            )
+            checkpoint_residual = residual
+            checkpoint_norm = norm
+    raise NotConvergedError(
+        f"Jacobi did not reach tol={tol} in {max_iterations} iterations",
+        iterations=max_iterations,
+        residual=residual,
+    )
+
+
+def solve_direct(
+    chain: np.ndarray,
+    reward: np.ndarray,
+    discount: float = 1.0,
+    transient_states: np.ndarray | None = None,
+) -> np.ndarray:
+    """Solve ``(I - discount * P) v = r`` with a direct sparse factorisation.
+
+    For an undiscounted chain, ``I - P`` is singular whenever the chain has a
+    recurrent class, so the caller must restrict the solve to the transient
+    states (whose sub-matrix is non-singular) and pin recurrent states to
+    zero — exactly the structure the paper's model modifications guarantee
+    (recurrent states are zero-reward absorbing states).  Pass
+    ``transient_states`` as a boolean mask to do that; with ``None`` the full
+    system is solved (valid for ``discount < 1``).
+    """
+    chain = np.asarray(chain, dtype=float)
+    reward = np.asarray(reward, dtype=float)
+    n = reward.shape[0]
+    if transient_states is None:
+        matrix = sp.eye(n, format="csc") - discount * sp.csc_matrix(chain)
+        return spla.spsolve(matrix, reward)
+    mask = np.asarray(transient_states, dtype=bool)
+    value = np.zeros(n)
+    if not mask.any():
+        return value
+    sub_chain = chain[np.ix_(mask, mask)]
+    size = int(mask.sum())
+    matrix = sp.eye(size, format="csc") - discount * sp.csc_matrix(sub_chain)
+    value[mask] = spla.spsolve(matrix, reward[mask])
+    return value
+
+
+def solve_markov_reward(
+    chain: np.ndarray,
+    reward: np.ndarray,
+    discount: float = 1.0,
+    method: str = "gauss-seidel",
+    omega: float = 1.05,
+    tol: float = 1e-10,
+    transient_states: np.ndarray | None = None,
+) -> np.ndarray:
+    """Front door for expected-accumulated-reward solves.
+
+    ``method`` selects between ``"gauss-seidel"`` (the paper's choice, with
+    mild over-relaxation by default), ``"jacobi"``, and ``"direct"``.
+    """
+    if method == "gauss-seidel":
+        return gauss_seidel(chain, reward, discount=discount, omega=omega, tol=tol)
+    if method == "jacobi":
+        return jacobi(chain, reward, discount=discount, tol=tol)
+    if method == "direct":
+        return solve_direct(
+            chain, reward, discount=discount, transient_states=transient_states
+        )
+    raise ValueError(f"unknown method {method!r}")

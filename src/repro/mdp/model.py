@@ -1,0 +1,157 @@
+"""The Markov decision process model type.
+
+An MDP is the tuple ``(S, A, p(.|s,a), r(s,a))`` of Section 2.  States and
+actions carry human-readable labels because recovery models are built from
+named components and named recovery actions, and every report in the
+experiment harness prints those names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.util.validation import check_stochastic_matrix
+
+
+def _default_labels(prefix: str, count: int) -> tuple[str, ...]:
+    return tuple(f"{prefix}{i}" for i in range(count))
+
+
+def _check_unique(labels: tuple[str, ...], kind: str) -> None:
+    if len(set(labels)) != len(labels):
+        raise ModelError(f"{kind} labels must be unique, got {labels}")
+
+
+@dataclass(frozen=True)
+class MDP:
+    """A finite MDP with dense transition and reward arrays.
+
+    Attributes:
+        transitions: array of shape ``(|A|, |S|, |S|)``;
+            ``transitions[a, s, s']`` is ``p(s'|s, a)``.  Every
+            ``transitions[a]`` must be row-stochastic.
+        rewards: array of shape ``(|A|, |S|)``; ``rewards[a, s]`` is
+            ``r(s, a)``.  Recovery models use non-positive rewards (costs)
+            but the MDP type itself does not require that.
+        state_labels: one label per state.
+        action_labels: one label per action.
+        discount: the discounting factor ``beta`` in ``[0, 1]``.  Recovery
+            models use the undiscounted criterion ``beta = 1`` (Section 2).
+    """
+
+    transitions: np.ndarray
+    rewards: np.ndarray
+    state_labels: tuple[str, ...] = ()
+    action_labels: tuple[str, ...] = ()
+    discount: float = 1.0
+    _state_index: dict = field(init=False, repr=False, compare=False, default=None)
+    _action_index: dict = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self):
+        transitions = np.asarray(self.transitions, dtype=float)
+        rewards = np.asarray(self.rewards, dtype=float)
+        if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
+            raise ModelError(
+                f"transitions must have shape (|A|, |S|, |S|), got {transitions.shape}"
+            )
+        n_actions, n_states, _ = transitions.shape
+        if n_actions == 0 or n_states == 0:
+            raise ModelError("an MDP needs at least one state and one action")
+        if rewards.shape != (n_actions, n_states):
+            raise ModelError(
+                f"rewards must have shape (|A|, |S|) = ({n_actions}, {n_states}), "
+                f"got {rewards.shape}"
+            )
+        for a in range(n_actions):
+            check_stochastic_matrix(transitions[a], name=f"transitions[{a}]")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ModelError(f"discount must be in [0, 1], got {self.discount}")
+
+        state_labels = self.state_labels or _default_labels("s", n_states)
+        action_labels = self.action_labels or _default_labels("a", n_actions)
+        if len(state_labels) != n_states:
+            raise ModelError(
+                f"{len(state_labels)} state labels for {n_states} states"
+            )
+        if len(action_labels) != n_actions:
+            raise ModelError(
+                f"{len(action_labels)} action labels for {n_actions} actions"
+            )
+        _check_unique(tuple(state_labels), "state")
+        _check_unique(tuple(action_labels), "action")
+
+        object.__setattr__(self, "transitions", transitions)
+        object.__setattr__(self, "rewards", rewards)
+        object.__setattr__(self, "state_labels", tuple(state_labels))
+        object.__setattr__(self, "action_labels", tuple(action_labels))
+        object.__setattr__(
+            self, "_state_index", {s: i for i, s in enumerate(state_labels)}
+        )
+        object.__setattr__(
+            self, "_action_index", {a: i for i, a in enumerate(action_labels)}
+        )
+
+    @property
+    def n_states(self) -> int:
+        """Number of states ``|S|``."""
+        return self.transitions.shape[1]
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions ``|A|``."""
+        return self.transitions.shape[0]
+
+    def state_index(self, label: str) -> int:
+        """Index of the state with ``label`` (KeyError if unknown)."""
+        return self._state_index[label]
+
+    def action_index(self, label: str) -> int:
+        """Index of the action with ``label`` (KeyError if unknown)."""
+        return self._action_index[label]
+
+    def uniform_chain(self) -> tuple[np.ndarray, np.ndarray]:
+        """The Markov reward chain of the uniformly-random policy.
+
+        This is the chain that defines the RA-Bound (Section 3.1): every
+        action is chosen with probability ``1/|A|`` regardless of state.
+        Returns ``(P, r)`` where ``P[s, s']`` is the chain's transition
+        probability and ``r[s]`` its expected single-step reward.
+        """
+        chain = self.transitions.mean(axis=0)
+        reward = self.rewards.mean(axis=0)
+        return chain, reward
+
+    def policy_chain(self, policy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The Markov reward chain induced by a deterministic ``policy``.
+
+        ``policy[s]`` is the action index chosen in state ``s``.  Returns
+        ``(P, r)`` as in :meth:`uniform_chain`.
+        """
+        policy = np.asarray(policy, dtype=int)
+        if policy.shape != (self.n_states,):
+            raise ModelError(
+                f"policy must have shape ({self.n_states},), got {policy.shape}"
+            )
+        if np.any(policy < 0) or np.any(policy >= self.n_actions):
+            raise ModelError("policy contains out-of-range action indices")
+        states = np.arange(self.n_states)
+        return self.transitions[policy, states, :], self.rewards[policy, states]
+
+    def with_discount(self, discount: float) -> "MDP":
+        """A copy of this MDP with a different discount factor."""
+        return MDP(
+            transitions=self.transitions,
+            rewards=self.rewards,
+            state_labels=self.state_labels,
+            action_labels=self.action_labels,
+            discount=discount,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MDP(|S|={self.n_states}, |A|={self.n_actions}, "
+            f"discount={self.discount})"
+        )

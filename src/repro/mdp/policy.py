@@ -1,0 +1,93 @@
+"""Stationary deterministic Markov policies and their evaluation.
+
+Section 2 of the paper: "a stationary deterministic, Markov policy rho(s) is
+a mapping from states to the actions that should be chosen when the system is
+in those states" — exactly what a fully-observable recovery controller would
+need.  Policy evaluation reuses the chain solvers from
+:mod:`repro.mdp.linear_solvers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.mdp.linear_solvers import solve_markov_reward
+from repro.mdp.model import MDP
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A deterministic stationary policy over an MDP's states.
+
+    Attributes:
+        actions: array of shape ``(|S|,)``; ``actions[s]`` is the index of
+            the action chosen in state ``s``.
+        action_labels: optional labels used for pretty-printing.
+    """
+
+    actions: np.ndarray
+    action_labels: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        actions = np.asarray(self.actions, dtype=int)
+        if actions.ndim != 1:
+            raise ModelError(f"policy actions must be 1-D, got {actions.shape}")
+        object.__setattr__(self, "actions", actions)
+        object.__setattr__(self, "action_labels", tuple(self.action_labels))
+
+    def __getitem__(self, state: int) -> int:
+        return int(self.actions[state])
+
+    def __len__(self) -> int:
+        return self.actions.shape[0]
+
+    def label(self, state: int) -> str:
+        """Human-readable name of the action chosen in ``state``."""
+        action = self[state]
+        if self.action_labels:
+            return self.action_labels[action]
+        return f"a{action}"
+
+    def describe(self, state_labels: tuple[str, ...] | None = None) -> str:
+        """A multi-line "state -> action" rendering of the policy."""
+        lines = []
+        for s in range(len(self)):
+            state_name = state_labels[s] if state_labels else f"s{s}"
+            lines.append(f"{state_name} -> {self.label(s)}")
+        return "\n".join(lines)
+
+
+def evaluate_policy(
+    mdp: MDP,
+    policy: Policy | np.ndarray,
+    method: str = "gauss-seidel",
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Expected accumulated reward of ``policy`` from every state.
+
+    For undiscounted models this converges only when the policy's chain
+    accrues zero reward on its recurrent classes; otherwise the underlying
+    solver raises :class:`~repro.exceptions.DivergenceError`, which is the
+    behaviour Section 3.1 relies on when comparing bounds.
+    """
+    actions = policy.actions if isinstance(policy, Policy) else np.asarray(policy)
+    chain, reward = mdp.policy_chain(actions)
+    return solve_markov_reward(
+        chain, reward, discount=mdp.discount, method=method, tol=tol
+    )
+
+
+def greedy_policy(mdp: MDP, value: np.ndarray) -> Policy:
+    """The policy that is greedy with respect to ``value``.
+
+    Implements the argmax of Eq. 1: for each state pick the action
+    maximising ``r(s,a) + beta * sum_s' p(s'|s,a) value(s')``.
+    """
+    value = np.asarray(value, dtype=float)
+    q_values = mdp.rewards + mdp.discount * (mdp.transitions @ value)
+    return Policy(
+        actions=np.argmax(q_values, axis=0), action_labels=mdp.action_labels
+    )

@@ -1,0 +1,84 @@
+"""Howard policy iteration.
+
+A second exact MDP solver, used by the test suite to cross-validate
+:mod:`repro.mdp.value_iteration` and by the oracle controller construction
+(which needs the optimal fully-observable recovery policy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DivergenceError, NotConvergedError
+from repro.mdp.model import MDP
+from repro.mdp.policy import Policy, evaluate_policy, greedy_policy
+from repro.mdp.value_iteration import MDPSolution
+
+
+def policy_iteration(
+    mdp: MDP,
+    initial_policy: Policy | np.ndarray | None = None,
+    max_iterations: int = 1_000,
+    evaluation_tol: float = 1e-12,
+) -> MDPSolution:
+    """Solve ``mdp`` by policy iteration.
+
+    For undiscounted models an arbitrary initial policy may induce a chain
+    with infinite cost (a non-proper policy); such policies raise
+    :class:`~repro.exceptions.DivergenceError` during evaluation.  Callers
+    solving recovery models should start from a proper policy — the recovery
+    augmentations of :mod:`repro.recovery` make the uniform-random policy
+    proper, so its greedy improvement is a safe default, which is what this
+    function does when ``initial_policy`` is ``None``.
+    """
+    if initial_policy is None:
+        # Greedy improvement of the uniform chain's value is proper whenever
+        # the uniform chain itself is (Section 3.1's model modifications).
+        from repro.mdp.linear_solvers import solve_markov_reward
+
+        chain, reward = mdp.uniform_chain()
+        uniform_value = solve_markov_reward(chain, reward, discount=mdp.discount)
+        policy = greedy_policy(mdp, uniform_value)
+    elif isinstance(initial_policy, Policy):
+        policy = initial_policy
+    else:
+        policy = Policy(
+            actions=np.asarray(initial_policy), action_labels=mdp.action_labels
+        )
+
+    value = evaluate_policy(mdp, policy, tol=evaluation_tol)
+    for iteration in range(1, max_iterations + 1):
+        improved = greedy_policy(mdp, value)
+        if np.array_equal(improved.actions, policy.actions):
+            return MDPSolution(
+                value=value, policy=policy, iterations=iteration, residual=0.0
+            )
+        try:
+            improved_value = evaluate_policy(mdp, improved, tol=evaluation_tol)
+        except DivergenceError:
+            # Greedy switches can momentarily propose a non-proper policy in
+            # undiscounted models when several actions tie at zero advantage;
+            # keep the incumbent for those states.
+            ties = np.isclose(
+                (mdp.rewards + mdp.discount * (mdp.transitions @ value))[
+                    improved.actions, np.arange(mdp.n_states)
+                ],
+                (mdp.rewards + mdp.discount * (mdp.transitions @ value))[
+                    policy.actions, np.arange(mdp.n_states)
+                ],
+            )
+            merged = improved.actions.copy()
+            merged[ties] = policy.actions[ties]
+            improved = Policy(actions=merged, action_labels=mdp.action_labels)
+            if np.array_equal(improved.actions, policy.actions):
+                return MDPSolution(
+                    value=value, policy=policy, iterations=iteration, residual=0.0
+                )
+            improved_value = evaluate_policy(mdp, improved, tol=evaluation_tol)
+        policy = improved
+        value = improved_value
+    raise NotConvergedError(
+        f"policy iteration did not stabilise in {max_iterations} iterations",
+        iterations=max_iterations,
+        residual=float("nan"),
+    )

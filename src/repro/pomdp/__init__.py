@@ -1,0 +1,53 @@
+"""Partially observable MDP substrate.
+
+Implements the POMDP tuple ``(S, A, O, p, q, r)`` of Section 2, the
+belief-state machinery of Eqs. 2-4, the finite-depth Max-Avg lookahead tree
+of Figure 1(b), a trajectory simulator used by the fault-injection harness,
+and Monahan's exact alpha-vector value iteration as a reference solver for
+tiny models.
+"""
+
+from repro.pomdp.belief import (
+    belief_bellman_backup,
+    belief_reward,
+    next_beliefs,
+    observation_probabilities,
+    point_belief,
+    predicted_belief,
+    uniform_belief,
+    update_belief,
+)
+from repro.pomdp.belief_mdp import BeliefMDP, expand_belief_mdp, solve_belief_mdp
+from repro.pomdp.exact import ExactSolution, solve_exact
+from repro.pomdp.hsvi import HSVISolution, solve_hsvi
+from repro.pomdp.model import POMDP
+from repro.pomdp.pbvi import PBVISolution, sample_belief_points, solve_pbvi
+from repro.pomdp.simulator import POMDPSimulator, StepResult
+from repro.pomdp.tree import LeafValue, TreeDecision, expand_tree
+
+__all__ = [
+    "BeliefMDP",
+    "ExactSolution",
+    "HSVISolution",
+    "LeafValue",
+    "PBVISolution",
+    "POMDP",
+    "POMDPSimulator",
+    "StepResult",
+    "TreeDecision",
+    "belief_bellman_backup",
+    "belief_reward",
+    "expand_belief_mdp",
+    "expand_tree",
+    "next_beliefs",
+    "observation_probabilities",
+    "point_belief",
+    "predicted_belief",
+    "sample_belief_points",
+    "solve_belief_mdp",
+    "solve_exact",
+    "solve_hsvi",
+    "solve_pbvi",
+    "uniform_belief",
+    "update_belief",
+]

@@ -1,0 +1,165 @@
+"""The POMDP model type.
+
+A POMDP extends an MDP with a finite observation set ``O`` and an
+observation function ``q(o|s, a)``: the probability of observing ``o`` when
+the system *arrives* in state ``s`` as a result of action ``a`` (Section 2).
+In the recovery setting, observations are the joint outputs of the system's
+monitors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.mdp.model import MDP, _check_unique, _default_labels
+from repro.util.validation import check_stochastic_matrix
+
+
+@dataclass(frozen=True)
+class POMDP:
+    """A finite POMDP with dense arrays.
+
+    Attributes:
+        transitions: ``(|A|, |S|, |S|)`` array; ``transitions[a, s, s']`` is
+            ``p(s'|s, a)``.
+        observations: ``(|A|, |S|, |O|)`` array; ``observations[a, s', o]``
+            is ``q(o|s', a)`` — note the state index is the *arrival* state.
+        rewards: ``(|A|, |S|)`` array; ``rewards[a, s]`` is ``r(s, a)``.
+        state_labels / action_labels / observation_labels: display names.
+        discount: ``beta``; recovery models use 1.0 (undiscounted).
+    """
+
+    transitions: np.ndarray
+    observations: np.ndarray
+    rewards: np.ndarray
+    state_labels: tuple[str, ...] = ()
+    action_labels: tuple[str, ...] = ()
+    observation_labels: tuple[str, ...] = ()
+    discount: float = 1.0
+    _state_index: dict = field(init=False, repr=False, compare=False, default=None)
+    _action_index: dict = field(init=False, repr=False, compare=False, default=None)
+    _observation_index: dict = field(
+        init=False, repr=False, compare=False, default=None
+    )
+
+    def __post_init__(self):
+        transitions = np.asarray(self.transitions, dtype=float)
+        observations = np.asarray(self.observations, dtype=float)
+        rewards = np.asarray(self.rewards, dtype=float)
+        if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
+            raise ModelError(
+                f"transitions must have shape (|A|, |S|, |S|), got {transitions.shape}"
+            )
+        n_actions, n_states, _ = transitions.shape
+        if observations.ndim != 3 or observations.shape[:2] != (n_actions, n_states):
+            raise ModelError(
+                "observations must have shape (|A|, |S|, |O|) = "
+                f"({n_actions}, {n_states}, ...), got {observations.shape}"
+            )
+        n_observations = observations.shape[2]
+        if n_observations == 0:
+            raise ModelError("a POMDP needs at least one observation")
+        if rewards.shape != (n_actions, n_states):
+            raise ModelError(
+                f"rewards must have shape ({n_actions}, {n_states}), "
+                f"got {rewards.shape}"
+            )
+        for a in range(n_actions):
+            check_stochastic_matrix(transitions[a], name=f"transitions[{a}]")
+            check_stochastic_matrix(observations[a], name=f"observations[{a}]")
+        if not 0.0 <= self.discount <= 1.0:
+            raise ModelError(f"discount must be in [0, 1], got {self.discount}")
+
+        state_labels = tuple(self.state_labels) or _default_labels("s", n_states)
+        action_labels = tuple(self.action_labels) or _default_labels("a", n_actions)
+        observation_labels = tuple(self.observation_labels) or _default_labels(
+            "o", n_observations
+        )
+        for labels, count, kind in (
+            (state_labels, n_states, "state"),
+            (action_labels, n_actions, "action"),
+            (observation_labels, n_observations, "observation"),
+        ):
+            if len(labels) != count:
+                raise ModelError(f"{len(labels)} {kind} labels for {count} {kind}s")
+            _check_unique(labels, kind)
+
+        object.__setattr__(self, "transitions", transitions)
+        object.__setattr__(self, "observations", observations)
+        object.__setattr__(self, "rewards", rewards)
+        object.__setattr__(self, "state_labels", state_labels)
+        object.__setattr__(self, "action_labels", action_labels)
+        object.__setattr__(self, "observation_labels", observation_labels)
+        object.__setattr__(
+            self, "_state_index", {s: i for i, s in enumerate(state_labels)}
+        )
+        object.__setattr__(
+            self, "_action_index", {a: i for i, a in enumerate(action_labels)}
+        )
+        object.__setattr__(
+            self,
+            "_observation_index",
+            {o: i for i, o in enumerate(observation_labels)},
+        )
+
+    @property
+    def n_states(self) -> int:
+        """Number of states ``|S|``."""
+        return self.transitions.shape[1]
+
+    @property
+    def n_actions(self) -> int:
+        """Number of actions ``|A|``."""
+        return self.transitions.shape[0]
+
+    @property
+    def n_observations(self) -> int:
+        """Number of observations ``|O|``."""
+        return self.observations.shape[2]
+
+    def state_index(self, label: str) -> int:
+        """Index of the state labelled ``label``."""
+        return self._state_index[label]
+
+    def action_index(self, label: str) -> int:
+        """Index of the action labelled ``label``."""
+        return self._action_index[label]
+
+    def observation_index(self, label: str) -> int:
+        """Index of the observation labelled ``label``."""
+        return self._observation_index[label]
+
+    def to_mdp(self) -> MDP:
+        """The underlying fully-observable MDP ``(S, A, p, r)``.
+
+        This is the exponentially smaller model on which the RA-Bound is
+        computed (Section 3.1) and on which the oracle controller operates.
+        """
+        return MDP(
+            transitions=self.transitions,
+            rewards=self.rewards,
+            state_labels=self.state_labels,
+            action_labels=self.action_labels,
+            discount=self.discount,
+        )
+
+    def with_discount(self, discount: float) -> "POMDP":
+        """A copy of this POMDP with a different discount factor."""
+        return POMDP(
+            transitions=self.transitions,
+            observations=self.observations,
+            rewards=self.rewards,
+            state_labels=self.state_labels,
+            action_labels=self.action_labels,
+            observation_labels=self.observation_labels,
+            discount=discount,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"POMDP(|S|={self.n_states}, |A|={self.n_actions}, "
+            f"|O|={self.n_observations}, discount={self.discount})"
+        )

@@ -1,0 +1,86 @@
+"""Ground-truth POMDP trajectory simulator.
+
+The fault-injection environment of :mod:`repro.sim` needs to *be* the system:
+it holds the true (hidden) state, applies the controller's actions by
+sampling ``p``, and emits monitor outputs by sampling ``q``.  This class is
+that machinery, independent of any recovery semantics so it can also drive
+the bootstrapping phase of Section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ControllerError
+from repro.pomdp.model import POMDP
+from repro.util.rng import as_generator
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Outcome of executing one action against the true system.
+
+    Attributes:
+        state: the (hidden) state the system arrived in.
+        observation: the sampled observation index.
+        reward: the single-step reward ``r(s, a)`` of the *origin* state.
+    """
+
+    state: int
+    observation: int
+    reward: float
+
+
+class POMDPSimulator:
+    """Samples trajectories of a POMDP from the ground-truth side.
+
+    The controller must never read :attr:`state`; only the oracle controller
+    and the metrics collector are allowed to (they represent omniscient
+    infrastructure, not the controller under test).
+    """
+
+    def __init__(self, pomdp: POMDP, seed=None):
+        self.pomdp = pomdp
+        self._rng = as_generator(seed)
+        self._state: int | None = None
+
+    @property
+    def state(self) -> int:
+        """The current true state (raises before :meth:`reset`)."""
+        if self._state is None:
+            raise ControllerError("simulator not reset onto an episode")
+        return self._state
+
+    def reset(self, state: int) -> None:
+        """Place the system in ``state`` (e.g. inject a fault)."""
+        if not 0 <= state < self.pomdp.n_states:
+            raise ControllerError(
+                f"state {state} out of range for {self.pomdp.n_states} states"
+            )
+        self._state = int(state)
+
+    def observe(self, action: int) -> int:
+        """Sample an observation for the current state via ``q(.|s, a)``.
+
+        Used for the *initial* observation of an episode, where monitors run
+        before any recovery action has been taken.
+        """
+        distribution = self.pomdp.observations[action, self.state]
+        return int(self._rng.choice(self.pomdp.n_observations, p=distribution))
+
+    def step(self, action: int) -> StepResult:
+        """Execute ``action``: sample the transition, then the observation."""
+        if not 0 <= action < self.pomdp.n_actions:
+            raise ControllerError(
+                f"action {action} out of range for {self.pomdp.n_actions} actions"
+            )
+        origin = self.state
+        reward = float(self.pomdp.rewards[action, origin])
+        transition = self.pomdp.transitions[action, origin]
+        arrival = int(self._rng.choice(self.pomdp.n_states, p=transition))
+        observation_distribution = self.pomdp.observations[action, arrival]
+        observation = int(
+            self._rng.choice(self.pomdp.n_observations, p=observation_distribution)
+        )
+        self._state = arrival
+        return StepResult(state=arrival, observation=observation, reward=reward)

@@ -1,0 +1,133 @@
+"""Finite-depth Max-Avg lookahead (Figure 1(b)).
+
+The online controller chooses actions by unrolling the belief-state Bellman
+recursion (Eq. 2) to a small fixed depth and substituting a value estimate —
+a lower bound, in the bounded controller — at the leaf beliefs.  The tree is
+a Max-Avg tree: values of sibling observation branches are averaged with the
+observation probabilities ``gamma^{pi,a}(o)`` (Eq. 3), and the maximum over
+actions is taken at each decision node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.pomdp.belief import GAMMA_EPSILON
+from repro.pomdp.model import POMDP
+
+
+class LeafValue(Protocol):
+    """A value estimate evaluated at the leaves of the lookahead tree."""
+
+    def value(self, belief: np.ndarray) -> float:
+        """Estimate of the POMDP value at ``belief``."""
+        ...  # pragma: no cover - protocol
+
+    def value_batch(self, beliefs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`value` over a ``(k, |S|)`` stack of beliefs."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass(frozen=True)
+class TreeDecision:
+    """Outcome of one lookahead expansion.
+
+    Attributes:
+        action: index of the maximising action at the root.
+        value: root value (the max over ``action_values``).
+        action_values: per-action root values; disallowed actions are
+            ``-inf``.
+        leaf_evaluations: number of leaf-value evaluations performed.
+        nodes: number of internal decision nodes expanded.
+    """
+
+    action: int
+    value: float
+    action_values: np.ndarray
+    leaf_evaluations: int
+    nodes: int
+
+
+def _children(pomdp: POMDP, belief: np.ndarray, action: int):
+    """Reachable ``(gamma, posteriors)`` for one action, pruned by gamma."""
+    predicted = belief @ pomdp.transitions[action]
+    joint = predicted[:, None] * pomdp.observations[action]
+    gamma = joint.sum(axis=0)
+    reachable = gamma > GAMMA_EPSILON
+    posteriors = (joint[:, reachable] / gamma[reachable]).T
+    return gamma[reachable], posteriors
+
+
+def expand_tree(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    depth: int,
+    leaf: LeafValue,
+    allowed_actions: np.ndarray | None = None,
+) -> TreeDecision:
+    """Expand the Max-Avg tree of Figure 1(b) and pick the best root action.
+
+    Args:
+        pomdp: the model being controlled.
+        belief: root belief state.
+        depth: number of action layers to expand; must be at least 1.
+        leaf: value estimate substituted at depth-0 beliefs.
+        allowed_actions: optional boolean mask restricting the *root*
+            decision (inner nodes always consider every action, matching the
+            recursion of Eq. 2).
+
+    Returns:
+        A :class:`TreeDecision`; ties at the root break toward the
+        lowest-index action, so action ordering in the model is the
+        deterministic tie-breaker.
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    counters = {"leaves": 0, "nodes": 0}
+
+    def node_value(node_belief: np.ndarray, remaining: int) -> float:
+        counters["nodes"] += 1
+        best = -np.inf
+        rewards = pomdp.rewards @ node_belief
+        for action in range(pomdp.n_actions):
+            gamma, posteriors = _children(pomdp, node_belief, action)
+            if remaining == 1:
+                counters["leaves"] += posteriors.shape[0]
+                future = leaf.value_batch(posteriors)
+            else:
+                future = np.array(
+                    [node_value(child, remaining - 1) for child in posteriors]
+                )
+            total = rewards[action] + pomdp.discount * float(gamma @ future)
+            best = max(best, total)
+        return best
+
+    counters["nodes"] += 1
+    rewards = pomdp.rewards @ belief
+    action_values = np.full(pomdp.n_actions, -np.inf)
+    for action in range(pomdp.n_actions):
+        if allowed_actions is not None and not allowed_actions[action]:
+            continue
+        gamma, posteriors = _children(pomdp, belief, action)
+        if depth == 1:
+            counters["leaves"] += posteriors.shape[0]
+            future = leaf.value_batch(posteriors)
+        else:
+            future = np.array(
+                [node_value(child, depth - 1) for child in posteriors]
+            )
+        action_values[action] = rewards[action] + pomdp.discount * float(
+            gamma @ future
+        )
+
+    best_action = int(np.argmax(action_values))
+    return TreeDecision(
+        action=best_action,
+        value=float(action_values[best_action]),
+        action_values=action_values,
+        leaf_evaluations=counters["leaves"],
+        nodes=counters["nodes"],
+    )

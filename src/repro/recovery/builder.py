@@ -1,0 +1,285 @@
+"""Declarative construction of recovery models.
+
+The builder assembles the POMDP arrays from named states, actions, and an
+observation model, applies the single-step reward composition
+``r(s, a) = rbar(s, a) * t_a + rhat(s, a)`` of Section 2, runs the condition
+checks, and performs the appropriate Figure 2 augmentation.  The concrete
+system models in :mod:`repro.systems` are all expressed through it, and it
+is the intended public entry point for users modelling their own systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.pomdp.model import POMDP
+from repro.recovery.model import (
+    RecoveryModel,
+    make_null_absorbing,
+    with_termination_action,
+)
+from repro.recovery.notification import detect_recovery_notification
+
+
+@dataclass
+class _StateSpec:
+    label: str
+    rate_cost: float
+    null: bool
+
+
+@dataclass
+class _ActionSpec:
+    label: str
+    duration: float
+    transitions: dict[str, dict[str, float]]
+    costs: dict[str, float]
+    impulse_costs: dict[str, float]
+    passive: bool
+
+
+@dataclass
+class RecoveryModelBuilder:
+    """Accumulates states, actions, and observations into a RecoveryModel.
+
+    Typical usage::
+
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", rate_cost=0.0, null=True)
+        builder.add_state("fault(a)", rate_cost=0.5)
+        builder.add_action(
+            "restart(a)", duration=60.0,
+            transitions={"fault(a)": {"null": 1.0}},
+        )
+        builder.set_observation_matrix(labels, matrix)
+        model = builder.build(recovery_notification=False,
+                              operator_response_time=21_600.0)
+
+    Transitions default to self-loops for unlisted states.  Action cost in a
+    state defaults to ``rate_cost(state) * duration`` (the system keeps
+    dropping requests while the action runs); pass explicit per-state
+    ``costs`` when an action makes extra components unavailable, and
+    ``impulse_costs`` for one-off penalties (the ``rhat`` term).
+    """
+
+    _states: list[_StateSpec] = field(default_factory=list)
+    _actions: list[_ActionSpec] = field(default_factory=list)
+    _observation_labels: tuple[str, ...] | None = None
+    _observation_matrix: np.ndarray | None = None
+    _per_action_observations: dict[str, np.ndarray] = field(default_factory=dict)
+    discount: float = 1.0
+
+    def add_state(
+        self, label: str, rate_cost: float = 0.0, null: bool = False
+    ) -> "RecoveryModelBuilder":
+        """Declare a state with a non-negative cost *rate* (per second)."""
+        if rate_cost < 0:
+            raise ModelError(
+                f"rate_cost is a magnitude and must be >= 0, got {rate_cost}"
+            )
+        if any(state.label == label for state in self._states):
+            raise ModelError(f"duplicate state label {label!r}")
+        if null and rate_cost != 0.0:
+            raise ModelError(f"null state {label!r} must have zero cost rate")
+        self._states.append(_StateSpec(label=label, rate_cost=rate_cost, null=null))
+        return self
+
+    def add_action(
+        self,
+        label: str,
+        duration: float,
+        transitions: dict[str, dict[str, float]] | None = None,
+        costs: dict[str, float] | None = None,
+        impulse_costs: dict[str, float] | None = None,
+        passive: bool = False,
+    ) -> "RecoveryModelBuilder":
+        """Declare an action.
+
+        Args:
+            label: action name.
+            duration: execution time ``t_a`` in seconds.
+            transitions: per-origin-state next-state distributions; states
+                not listed keep a deterministic self-loop.
+            costs: per-state cost *magnitudes* accrued over the whole action
+                (overrides the default ``rate_cost * duration``).
+            impulse_costs: per-state one-off cost magnitudes (``rhat``).
+            passive: True for observe-style actions that never change state.
+        """
+        if duration < 0:
+            raise ModelError(f"duration must be >= 0, got {duration}")
+        if any(action.label == label for action in self._actions):
+            raise ModelError(f"duplicate action label {label!r}")
+        self._actions.append(
+            _ActionSpec(
+                label=label,
+                duration=duration,
+                transitions=transitions or {},
+                costs=costs or {},
+                impulse_costs=impulse_costs or {},
+                passive=passive,
+            )
+        )
+        return self
+
+    def set_observation_matrix(
+        self,
+        labels: tuple[str, ...],
+        matrix: np.ndarray,
+        action: str | None = None,
+    ) -> "RecoveryModelBuilder":
+        """Attach observation distributions.
+
+        ``matrix[s, o]`` is ``q(o | s, .)``; rows follow the order in which
+        states were added.  Without ``action`` the matrix applies to every
+        action (monitor outputs usually depend only on the system state);
+        with ``action`` it overrides the default for that action only.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if action is None:
+            self._observation_labels = tuple(labels)
+            self._observation_matrix = matrix
+        else:
+            if self._observation_labels is not None and tuple(labels) != tuple(
+                self._observation_labels
+            ):
+                raise ModelError("per-action observation labels must match")
+            self._per_action_observations[action] = matrix
+        return self
+
+    # -- assembly ---------------------------------------------------------
+
+    def _state_index(self) -> dict[str, int]:
+        return {state.label: i for i, state in enumerate(self._states)}
+
+    def _assemble_pomdp(self) -> tuple[POMDP, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if not self._states:
+            raise ModelError("no states declared")
+        if not self._actions:
+            raise ModelError("no actions declared")
+        if self._observation_matrix is None:
+            raise ModelError("no observation matrix declared")
+        index = self._state_index()
+        n_states = len(self._states)
+        n_actions = len(self._actions)
+
+        transitions = np.zeros((n_actions, n_states, n_states))
+        rewards = np.zeros((n_actions, n_states))
+        for a, action in enumerate(self._actions):
+            for s, state in enumerate(self._states):
+                row = action.transitions.get(state.label)
+                if row is None:
+                    transitions[a, s, s] = 1.0
+                else:
+                    for target, probability in row.items():
+                        if target not in index:
+                            raise ModelError(
+                                f"action {action.label!r} transitions from "
+                                f"{state.label!r} to unknown state {target!r}"
+                            )
+                        transitions[a, s, index[target]] = probability
+                if action.passive and row is not None and (
+                    len(row) != 1 or row.get(state.label) != 1.0
+                ):
+                    raise ModelError(
+                        f"passive action {action.label!r} must not change state"
+                    )
+                rate_cost = action.costs.get(
+                    state.label, state.rate_cost * action.duration
+                )
+                impulse = action.impulse_costs.get(state.label, 0.0)
+                if rate_cost < 0 or impulse < 0:
+                    raise ModelError(
+                        "costs are magnitudes and must be >= 0 "
+                        f"(action {action.label!r}, state {state.label!r})"
+                    )
+                rewards[a, s] = -(rate_cost + impulse)
+
+        observation_matrix = self._observation_matrix
+        if observation_matrix.shape[0] != n_states:
+            raise ModelError(
+                f"observation matrix has {observation_matrix.shape[0]} rows "
+                f"for {n_states} states"
+            )
+        observations = np.broadcast_to(
+            observation_matrix,
+            (n_actions,) + observation_matrix.shape,
+        ).copy()
+        for label, matrix in self._per_action_observations.items():
+            matching = [
+                a for a, action in enumerate(self._actions) if action.label == label
+            ]
+            if not matching:
+                raise ModelError(f"observation override for unknown action {label!r}")
+            observations[matching[0]] = matrix
+
+        pomdp = POMDP(
+            transitions=transitions,
+            observations=observations,
+            rewards=rewards,
+            state_labels=tuple(state.label for state in self._states),
+            action_labels=tuple(action.label for action in self._actions),
+            observation_labels=self._observation_labels,
+            discount=self.discount,
+        )
+        null_states = np.array([state.null for state in self._states])
+        rate_rewards = -np.array([state.rate_cost for state in self._states])
+        durations = np.array([action.duration for action in self._actions])
+        passive = np.array([action.passive for action in self._actions])
+        return pomdp, null_states, rate_rewards, durations, passive
+
+    def build(
+        self,
+        recovery_notification: bool | None = None,
+        operator_response_time: float | None = None,
+    ) -> RecoveryModel:
+        """Assemble, check conditions, augment, and return a RecoveryModel.
+
+        Args:
+            recovery_notification: whether monitors reveal entry into
+                ``S_phi``.  ``None`` auto-detects from the observation
+                function (:func:`detect_recovery_notification`).
+            operator_response_time: ``t_op`` in seconds; required (and only
+                meaningful) for models without recovery notification.
+        """
+        pomdp, null_states, rate_rewards, durations, passive = self._assemble_pomdp()
+        if recovery_notification is None:
+            recovery_notification = detect_recovery_notification(pomdp, null_states)
+
+        if recovery_notification:
+            if operator_response_time is not None:
+                raise ModelError(
+                    "operator_response_time is only used without recovery "
+                    "notification"
+                )
+            augmented = make_null_absorbing(pomdp, null_states)
+            return RecoveryModel(
+                pomdp=augmented,
+                null_states=null_states,
+                rate_rewards=rate_rewards,
+                durations=durations,
+                passive_actions=passive,
+                recovery_notification=True,
+            )
+
+        if operator_response_time is None:
+            raise ModelError(
+                "models without recovery notification need an "
+                "operator_response_time to derive termination rewards"
+            )
+        augmented, terminate_state, terminate_action = with_termination_action(
+            pomdp, null_states, rate_rewards, operator_response_time
+        )
+        return RecoveryModel(
+            pomdp=augmented,
+            null_states=np.append(null_states, False),
+            rate_rewards=np.append(rate_rewards, 0.0),
+            durations=np.append(durations, 0.0),
+            passive_actions=np.append(passive, False),
+            recovery_notification=False,
+            terminate_state=terminate_state,
+            terminate_action=terminate_action,
+            operator_response_time=operator_response_time,
+        )

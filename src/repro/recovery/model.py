@@ -1,0 +1,293 @@
+"""The recovery model: a POMDP plus recovery semantics (Section 3).
+
+A :class:`RecoveryModel` is what controllers and the fault-injection
+environment consume.  Its POMDP is already *augmented*: for systems with
+recovery notification the null states are absorbing and zero-reward
+(Figure 2(a)); for systems without, a terminate state ``s_T`` and action
+``a_T`` have been appended with termination rewards
+``r(s, a_T) = rbar(s) * t_op`` (Figure 2(b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConditionViolation, ModelError
+from repro.mdp.classify import reachable_set
+from repro.pomdp.model import POMDP
+
+#: Label given to the appended terminate state / action.
+TERMINATE_LABEL = "terminate"
+
+
+def check_condition_1(
+    pomdp: POMDP,
+    null_states: np.ndarray,
+    exempt_states: np.ndarray | None = None,
+) -> None:
+    """Condition 1: every state can reach some null-fault state.
+
+    "Starting in any state s not in S_phi, there is at least one way to
+    recover the system" — i.e. ``S_phi`` is reachable from every state in
+    the graph whose edges are the union of all actions' transitions.
+
+    Args:
+        pomdp: the model to check.
+        null_states: the ``S_phi`` mask.
+        exempt_states: states excluded from the requirement; the appended
+            terminate state ``s_T`` is absorbing *by design* and is the one
+            legitimate exemption.
+
+    Raises:
+        ConditionViolation: naming the first unrecoverable state.
+    """
+    mask = np.asarray(null_states, dtype=bool)
+    if mask.shape != (pomdp.n_states,):
+        raise ModelError(
+            f"null_states must be a mask of length {pomdp.n_states}"
+        )
+    if not mask.any():
+        raise ConditionViolation(1, "the null-fault set S_phi is empty")
+    union = pomdp.transitions.max(axis=0)  # structural union of all actions
+    # Reachability *to* S_phi == reachability *from* S_phi in the reverse graph.
+    can_recover = reachable_set(union.T, mask)
+    if exempt_states is not None:
+        can_recover = can_recover | np.asarray(exempt_states, dtype=bool)
+    stuck = np.flatnonzero(~can_recover)
+    if stuck.size:
+        raise ConditionViolation(
+            1,
+            f"state {pomdp.state_labels[stuck[0]]!r} cannot reach any "
+            f"null-fault state under any action sequence "
+            f"({stuck.size} such states)",
+        )
+
+
+def check_condition_2(pomdp: POMDP) -> None:
+    """Condition 2: all single-step rewards are non-positive."""
+    worst = float(pomdp.rewards.max())
+    if worst > 1e-9:
+        action, state = np.unravel_index(
+            int(pomdp.rewards.argmax()), pomdp.rewards.shape
+        )
+        raise ConditionViolation(
+            2,
+            f"r({pomdp.state_labels[state]!r}, "
+            f"{pomdp.action_labels[action]!r}) = {worst:.3g} > 0",
+        )
+
+
+def termination_rewards(
+    rate_rewards: np.ndarray,
+    operator_response_time: float,
+    null_states: np.ndarray,
+) -> np.ndarray:
+    """Termination rewards ``r(s, a_T)`` (Section 3.1).
+
+    ``r(s, a_T) = rbar(s) * t_op`` for fault states and 0 for null states:
+    terminating early leaves the system paying the fault's cost rate until a
+    human operator responds, ``t_op`` seconds later.  ``rate_rewards`` are
+    non-positive cost rates per second.
+    """
+    if operator_response_time < 0:
+        raise ModelError(
+            f"operator response time must be >= 0, got {operator_response_time}"
+        )
+    rates = np.asarray(rate_rewards, dtype=float)
+    rewards = rates * operator_response_time
+    rewards = np.where(np.asarray(null_states, dtype=bool), 0.0, rewards)
+    return rewards
+
+
+def make_null_absorbing(pomdp: POMDP, null_states: np.ndarray) -> POMDP:
+    """Figure 2(a): rewire every action in ``S_phi`` to a zero-reward self-loop.
+
+    With recovery notification the controller stops on entering ``S_phi``,
+    so nothing that happens "after" matters; making the null states
+    absorbing and free encodes that and gives Eq. 5 a finite solution.
+    """
+    mask = np.asarray(null_states, dtype=bool)
+    transitions = pomdp.transitions.copy()
+    rewards = pomdp.rewards.copy()
+    null_index = np.flatnonzero(mask)
+    for action in range(pomdp.n_actions):
+        transitions[action][null_index, :] = 0.0
+        transitions[action][null_index, null_index] = 1.0
+        rewards[action][null_index] = 0.0
+    return POMDP(
+        transitions=transitions,
+        observations=pomdp.observations,
+        rewards=rewards,
+        state_labels=pomdp.state_labels,
+        action_labels=pomdp.action_labels,
+        observation_labels=pomdp.observation_labels,
+        discount=pomdp.discount,
+    )
+
+
+def with_termination_action(
+    pomdp: POMDP,
+    null_states: np.ndarray,
+    rate_rewards: np.ndarray,
+    operator_response_time: float,
+) -> tuple[POMDP, int, int]:
+    """Figure 2(b): append the terminate state ``s_T`` and action ``a_T``.
+
+    * ``s_T`` is absorbing under every action with zero reward;
+    * ``a_T`` moves every state to ``s_T`` with probability one and reward
+      ``r(s, a_T)`` from :func:`termination_rewards`;
+    * observations in ``s_T`` are uniform (they are never informative —
+      the controller has already stopped).
+
+    Returns ``(augmented_pomdp, terminate_state_index, terminate_action_index)``.
+    """
+    n_states = pomdp.n_states
+    n_actions = pomdp.n_actions
+    n_observations = pomdp.n_observations
+    terminate_state = n_states
+    terminate_action = n_actions
+
+    transitions = np.zeros((n_actions + 1, n_states + 1, n_states + 1))
+    transitions[:n_actions, :n_states, :n_states] = pomdp.transitions
+    # Every original action self-loops in s_T.
+    transitions[:n_actions, terminate_state, terminate_state] = 1.0
+    # a_T sends every state (including s_T) to s_T.
+    transitions[terminate_action, :, terminate_state] = 1.0
+
+    observations = np.zeros((n_actions + 1, n_states + 1, n_observations))
+    observations[:n_actions, :n_states, :] = pomdp.observations
+    observations[:n_actions, terminate_state, :] = 1.0 / n_observations
+    observations[terminate_action, :, :] = 1.0 / n_observations
+
+    term_rewards = termination_rewards(
+        rate_rewards, operator_response_time, null_states
+    )
+    rewards = np.zeros((n_actions + 1, n_states + 1))
+    rewards[:n_actions, :n_states] = pomdp.rewards
+    rewards[:n_actions, terminate_state] = 0.0
+    rewards[terminate_action, :n_states] = term_rewards
+    rewards[terminate_action, terminate_state] = 0.0
+
+    augmented = POMDP(
+        transitions=transitions,
+        observations=observations,
+        rewards=rewards,
+        state_labels=pomdp.state_labels + (TERMINATE_LABEL,),
+        action_labels=pomdp.action_labels + (TERMINATE_LABEL,),
+        observation_labels=pomdp.observation_labels,
+        discount=pomdp.discount,
+    )
+    return augmented, terminate_state, terminate_action
+
+
+@dataclass(frozen=True)
+class RecoveryModel:
+    """A controller-ready recovery model.
+
+    Attributes:
+        pomdp: the augmented POMDP (see module docstring).
+        null_states: mask over the augmented state space; True on ``S_phi``.
+        rate_rewards: per-state cost rates ``rbar(s) <= 0`` (per second) on
+            the augmented space (0 on ``s_T``).
+        durations: per-action execution time ``t_a`` in seconds on the
+            augmented action space (0 for ``a_T``).
+        passive_actions: mask of purely observational actions (they never
+            change the system state); used by the metrics layer to separate
+            "monitor calls" from "recovery actions" in Table 1.
+        recovery_notification: True when monitors reveal entry into
+            ``S_phi`` (Figure 2(a) augmentation); False when the terminate
+            pair was added (Figure 2(b)).
+        terminate_state / terminate_action: indices of ``s_T`` / ``a_T``
+            (None with recovery notification).
+        operator_response_time: ``t_op`` used for the termination rewards
+            (None with recovery notification).
+    """
+
+    pomdp: POMDP
+    null_states: np.ndarray
+    rate_rewards: np.ndarray
+    durations: np.ndarray
+    passive_actions: np.ndarray
+    recovery_notification: bool
+    terminate_state: int | None = None
+    terminate_action: int | None = None
+    operator_response_time: float | None = None
+    fault_states: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        pomdp = self.pomdp
+        null_states = np.asarray(self.null_states, dtype=bool)
+        rate_rewards = np.asarray(self.rate_rewards, dtype=float)
+        durations = np.asarray(self.durations, dtype=float)
+        passive = np.asarray(self.passive_actions, dtype=bool)
+        if null_states.shape != (pomdp.n_states,):
+            raise ModelError("null_states mask has the wrong length")
+        if rate_rewards.shape != (pomdp.n_states,):
+            raise ModelError("rate_rewards has the wrong length")
+        if np.any(rate_rewards > 1e-9):
+            raise ModelError("rate_rewards must be non-positive cost rates")
+        if durations.shape != (pomdp.n_actions,):
+            raise ModelError("durations has the wrong length")
+        if np.any(durations < 0):
+            raise ModelError("durations must be non-negative")
+        if passive.shape != (pomdp.n_actions,):
+            raise ModelError("passive_actions mask has the wrong length")
+        if self.recovery_notification:
+            if self.terminate_action is not None or self.terminate_state is not None:
+                raise ModelError(
+                    "models with recovery notification have no terminate pair"
+                )
+        else:
+            if self.terminate_action is None or self.terminate_state is None:
+                raise ModelError(
+                    "models without recovery notification need s_T and a_T"
+                )
+        exempt = None
+        if self.terminate_state is not None:
+            exempt = np.zeros(pomdp.n_states, dtype=bool)
+            exempt[self.terminate_state] = True
+        check_condition_1(pomdp, null_states, exempt_states=exempt)
+        check_condition_2(pomdp)
+
+        fault_states = ~null_states
+        if self.terminate_state is not None:
+            fault_states = fault_states.copy()
+            fault_states[self.terminate_state] = False
+        object.__setattr__(self, "null_states", null_states)
+        object.__setattr__(self, "rate_rewards", rate_rewards)
+        object.__setattr__(self, "durations", durations)
+        object.__setattr__(self, "passive_actions", passive)
+        object.__setattr__(self, "fault_states", fault_states)
+
+    @property
+    def recovery_actions(self) -> np.ndarray:
+        """Mask of actions that actually repair state (not passive, not a_T)."""
+        mask = ~self.passive_actions
+        if self.terminate_action is not None:
+            mask = mask.copy()
+            mask[self.terminate_action] = False
+        return mask
+
+    def initial_belief(self) -> np.ndarray:
+        """The paper's starting belief: all faults equally likely (Section 4)."""
+        belief = np.zeros(self.pomdp.n_states)
+        faults = self.fault_states
+        belief[faults] = 1.0 / faults.sum()
+        return belief
+
+    def is_recovered(self, state: int) -> bool:
+        """True when ``state`` is a null-fault state."""
+        return bool(self.null_states[state])
+
+    def recovered_probability(self, belief: np.ndarray) -> float:
+        """``P[s in S_phi]`` under ``belief`` (plus ``s_T``, if present).
+
+        This is the quantity baseline controllers threshold on to decide
+        termination (Section 5's termination probability).
+        """
+        probability = float(belief[self.null_states].sum())
+        if self.terminate_state is not None:
+            probability += float(belief[self.terminate_state])
+        return probability

@@ -1,0 +1,69 @@
+"""Recovery-notification detection from the observation function.
+
+Section 3.1: "We believe that it is possible to automatically determine
+whether a system has recovery notification by examining the observation
+function q, but we leave details to future work."  This module implements
+the natural criterion: a system has recovery notification exactly when
+observations *separate* the null-fault set from its complement — every
+observation that can be generated in some null state can never be generated
+in a fault state (and vice versa), under every action.  When that holds, any
+single monitor reading tells the controller with certainty whether the
+system has recovered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.pomdp.model import POMDP
+
+#: Observation probabilities below this count as "cannot be generated".
+SUPPORT_EPSILON = 1e-12
+
+
+def detect_recovery_notification(
+    pomdp: POMDP, null_states: np.ndarray
+) -> bool:
+    """True when ``q`` lets the controller detect entry into ``S_phi``.
+
+    For every action ``a`` and observation ``o``, the support
+    ``{s : q(o|s,a) > 0}`` must lie entirely inside ``S_phi`` or entirely
+    outside it.  If some observation can be produced both by a null state
+    and by a fault state (e.g. "all monitors clear" while a zombie is being
+    routed around, as in the EMN system of Section 5), the controller can
+    never be certain recovery has completed and the model needs the
+    terminate-action augmentation instead.
+    """
+    mask = np.asarray(null_states, dtype=bool)
+    if mask.shape != (pomdp.n_states,):
+        raise ModelError(
+            f"null_states must be a mask of length {pomdp.n_states}"
+        )
+    for action in range(pomdp.n_actions):
+        support = pomdp.observations[action] > SUPPORT_EPSILON  # (|S|, |O|)
+        in_null = support[mask].any(axis=0)  # per observation
+        in_fault = support[~mask].any(axis=0)
+        if np.any(in_null & in_fault):
+            return False
+    return True
+
+
+def ambiguous_observations(
+    pomdp: POMDP, null_states: np.ndarray
+) -> list[tuple[int, int]]:
+    """The ``(action, observation)`` pairs that break notification.
+
+    Diagnostic companion to :func:`detect_recovery_notification`: each
+    returned pair is an observation that both some null state and some fault
+    state can generate under that action.
+    """
+    mask = np.asarray(null_states, dtype=bool)
+    pairs: list[tuple[int, int]] = []
+    for action in range(pomdp.n_actions):
+        support = pomdp.observations[action] > SUPPORT_EPSILON
+        in_null = support[mask].any(axis=0)
+        in_fault = support[~mask].any(axis=0)
+        for observation in np.flatnonzero(in_null & in_fault):
+            pairs.append((action, int(observation)))
+    return pairs

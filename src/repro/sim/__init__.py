@@ -1,0 +1,28 @@
+"""Fault-injection simulation (the experimental apparatus of Section 5).
+
+* :mod:`repro.sim.environment` — the simulated system: holds the hidden
+  true state, applies recovery actions, advances wall-clock time, accrues
+  dropped-request cost, and samples monitor outputs.
+* :mod:`repro.sim.metrics` — per-fault metrics (Table 1's columns) and
+  their aggregation.
+* :mod:`repro.sim.campaign` — drives controller-vs-environment episodes
+  and whole injection campaigns.
+"""
+
+from repro.sim.campaign import CampaignResult, run_campaign, run_episode
+from repro.sim.environment import RecoveryEnvironment
+from repro.sim.metrics import EpisodeMetrics, MetricSummary, summarize
+from repro.sim.trace import EpisodeTrace, TraceStep, trace_episode
+
+__all__ = [
+    "CampaignResult",
+    "EpisodeMetrics",
+    "EpisodeTrace",
+    "MetricSummary",
+    "RecoveryEnvironment",
+    "TraceStep",
+    "run_campaign",
+    "run_episode",
+    "summarize",
+    "trace_episode",
+]

@@ -1,0 +1,152 @@
+"""Episode and campaign drivers.
+
+An *episode* injects one fault and runs one controller against the
+environment until the controller terminates recovery (or a safety cap
+trips).  A *campaign* runs many episodes — Section 5 injects 10,000 faults —
+and aggregates per-fault averages into a Table 1 row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controllers.base import RecoveryController
+from repro.recovery.model import RecoveryModel
+from repro.sim.environment import RecoveryEnvironment
+from repro.sim.metrics import EpisodeMetrics, MetricSummary, summarize
+from repro.util.rng import as_generator
+
+#: Safety cap: no reasonable controller needs this many steps on the EMN
+#: model; hitting it means the controller is stuck in the loop that
+#: Property 1 exists to rule out.
+DEFAULT_MAX_STEPS = 500
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All episodes of a campaign plus their aggregate."""
+
+    controller_name: str
+    episodes: list[EpisodeMetrics]
+    summary: MetricSummary
+
+
+def run_episode(
+    controller: RecoveryController,
+    environment: RecoveryEnvironment,
+    fault_state: int,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> EpisodeMetrics:
+    """Inject ``fault_state`` and drive ``controller`` until it terminates.
+
+    Loop structure, following Section 4's controller description: the
+    controller starts from the all-faults-equally-likely belief, folds in
+    the detection-time monitor outputs, then repeatedly decides, executes,
+    and observes until it chooses to terminate.
+    """
+    model = controller.model
+    uses_monitors = getattr(controller, "uses_monitors", True)
+    environment.inject(fault_state)
+    controller.reset()
+    controller.stopwatch.reset()
+    controller.sync_true_state(environment.state)
+
+    passive = np.flatnonzero(model.passive_actions)
+    if uses_monitors and passive.size:
+        controller.observe(int(passive[0]), environment.initial_observation())
+
+    actions = 0
+    monitor_calls = 0
+    steps = 0
+    terminated = False
+    for _ in range(max_steps):
+        decision = controller.decide()
+        if decision.is_terminate:
+            terminated = True
+            if decision.action == model.terminate_action and decision.action >= 0:
+                environment.execute(decision.action)
+            break
+        steps += 1
+        result = environment.execute(decision.action)
+        if model.recovery_actions[decision.action]:
+            actions += 1
+        if uses_monitors:
+            monitor_calls += 1
+            controller.observe(decision.action, result.observation)
+        controller.sync_true_state(environment.state)
+
+    return EpisodeMetrics(
+        fault_state=fault_state,
+        cost=environment.cost,
+        recovery_time=environment.time,
+        residual_time=environment.residual_time(),
+        algorithm_time=controller.stopwatch.total_seconds,
+        actions=actions,
+        monitor_calls=monitor_calls,
+        recovered=environment.recovered,
+        terminated=terminated,
+        steps=steps,
+    )
+
+
+def run_campaign(
+    controller: RecoveryController,
+    fault_states: np.ndarray,
+    injections: int,
+    seed=None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+    monitor_tail: float = 0.0,
+    model: RecoveryModel | None = None,
+    fault_probabilities: np.ndarray | None = None,
+) -> CampaignResult:
+    """Run ``injections`` episodes with randomly drawn faults.
+
+    Args:
+        controller: the controller under test (reused across episodes —
+            bound sets and caches persist, matching a long-lived
+            controller process).
+        fault_states: candidate fault-state indices; Section 5 draws only
+            zombie faults.
+        injections: number of episodes (the paper uses 10,000).
+        seed: seed for both fault draws and environment sampling.
+        max_steps: per-episode step cap.
+        monitor_tail: see :class:`RecoveryEnvironment`.
+        model: environment-side model; defaults to the controller's own
+            (the paper's setting — pass a different one to study model
+            mismatch).
+        fault_probabilities: draw weights aligned with ``fault_states``;
+            uniform (the paper's fault load) when None.  Use for
+            criticality-weighted fault loads.
+    """
+    if injections <= 0:
+        raise ValueError(f"injections must be positive, got {injections}")
+    fault_states = np.asarray(fault_states, dtype=int)
+    if fault_states.size == 0:
+        raise ValueError("fault_states must not be empty")
+    if fault_probabilities is not None:
+        fault_probabilities = np.asarray(fault_probabilities, dtype=float)
+        if fault_probabilities.shape != fault_states.shape:
+            raise ValueError(
+                "fault_probabilities must align with fault_states"
+            )
+        if np.any(fault_probabilities < 0) or not np.isclose(
+            fault_probabilities.sum(), 1.0
+        ):
+            raise ValueError("fault_probabilities must be a distribution")
+    rng = as_generator(seed)
+    environment = RecoveryEnvironment(
+        model or controller.model, seed=rng, monitor_tail=monitor_tail
+    )
+    episodes = []
+    for _ in range(injections):
+        fault = int(rng.choice(fault_states, p=fault_probabilities))
+        episodes.append(
+            run_episode(controller, environment, fault, max_steps=max_steps)
+        )
+    return CampaignResult(
+        controller_name=controller.name,
+        episodes=episodes,
+        summary=summarize(episodes),
+    )

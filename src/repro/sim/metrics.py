@@ -1,0 +1,102 @@
+"""Per-fault recovery metrics — the columns of Table 1.
+
+* **cost** — "the reward metric defined on the recovery model ... a measure
+  of the number of requests dropped by the system" (accumulated
+  non-positive rewards, reported as a positive magnitude).
+* **recovery time** — wall-clock seconds until the controller terminated
+  recovery.
+* **residual time** — wall-clock seconds the fault was present.
+* **algorithm time** — seconds the controller spent deciding (reported in
+  milliseconds, like the paper).
+* **actions** — recovery actions invoked (restarts/reboots; not observes).
+* **monitor calls** — monitor-suite executions the controller requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EpisodeMetrics:
+    """Metrics for one injected fault."""
+
+    fault_state: int
+    cost: float
+    recovery_time: float
+    residual_time: float
+    algorithm_time: float
+    actions: int
+    monitor_calls: int
+    recovered: bool
+    terminated: bool
+    steps: int
+
+    @property
+    def early_termination(self) -> bool:
+        """True when the controller quit while the fault was still live."""
+        return self.terminated and not self.recovered
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Per-fault averages over a campaign — one Table 1 row.
+
+    All time figures are seconds except ``algorithm_time_ms``.
+    """
+
+    episodes: int
+    cost: float
+    recovery_time: float
+    residual_time: float
+    algorithm_time_ms: float
+    actions: float
+    monitor_calls: float
+    early_terminations: int
+    unrecovered: int
+
+    def as_row(self, name: str) -> list:
+        """Format for the Table 1 renderer."""
+        return [
+            name,
+            self.cost,
+            self.recovery_time,
+            self.residual_time,
+            self.algorithm_time_ms,
+            self.actions,
+            self.monitor_calls,
+        ]
+
+
+def summarize(episodes: list[EpisodeMetrics]) -> MetricSummary:
+    """Aggregate per-episode metrics into per-fault averages."""
+    if not episodes:
+        raise ValueError("cannot summarise an empty campaign")
+    return MetricSummary(
+        episodes=len(episodes),
+        cost=float(np.mean([episode.cost for episode in episodes])),
+        recovery_time=float(
+            np.mean([episode.recovery_time for episode in episodes])
+        ),
+        residual_time=float(
+            np.mean([episode.residual_time for episode in episodes])
+        ),
+        algorithm_time_ms=float(
+            np.mean([episode.algorithm_time for episode in episodes]) * 1000.0
+        ),
+        actions=float(np.mean([episode.actions for episode in episodes])),
+        monitor_calls=float(
+            np.mean([episode.monitor_calls for episode in episodes])
+        ),
+        early_terminations=sum(
+            1 for episode in episodes if episode.early_termination
+        ),
+        unrecovered=sum(1 for episode in episodes if not episode.recovered),
+    )
+
+
+def metrics_field_names() -> tuple[str, ...]:
+    """Column names of :class:`EpisodeMetrics` (for CSV-style exports)."""
+    return tuple(field.name for field in fields(EpisodeMetrics))

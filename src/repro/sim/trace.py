@@ -1,0 +1,180 @@
+"""Step-by-step episode traces for debugging and post-mortems.
+
+The campaign driver reports only per-fault aggregates (Table 1's columns).
+When a recovery goes wrong — or when explaining why the controller chose a
+particular restart — operators need the step-level story: which action ran,
+what the monitors said, how the belief moved, what it cost.  This module
+runs a single instrumented episode and records exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controllers.base import RecoveryController
+from repro.sim.environment import RecoveryEnvironment
+from repro.sim.metrics import EpisodeMetrics
+from repro.util.tables import render_table
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """One executed step of a traced episode.
+
+    Attributes:
+        index: step number, from 0.
+        action: action index the controller chose.
+        action_label: its display name.
+        observation: sampled observation index (-1 when no monitors ran).
+        observation_label: its display name ("" when no monitors ran).
+        true_state_after: ground-truth state after the action.
+        reward: single-step reward incurred.
+        time_after: wall-clock seconds elapsed at the end of the step.
+        recovered_probability: the *controller's* post-update P[recovered].
+        tree_value: root value of the controller's lookahead, when any.
+    """
+
+    index: int
+    action: int
+    action_label: str
+    observation: int
+    observation_label: str
+    true_state_after: int
+    reward: float
+    time_after: float
+    recovered_probability: float
+    tree_value: float | None
+
+
+@dataclass(frozen=True)
+class EpisodeTrace:
+    """A full episode: its steps plus the usual per-fault metrics."""
+
+    fault_label: str
+    steps: tuple[TraceStep, ...]
+    metrics: EpisodeMetrics
+
+    def render(self) -> str:
+        """Human-readable table of the episode."""
+        rows = [
+            [
+                step.index,
+                step.action_label,
+                step.observation_label or "-",
+                f"{step.recovered_probability:.4f}",
+                step.reward,
+                step.time_after,
+            ]
+            for step in self.steps
+        ]
+        table = render_table(
+            ["Step", "Action", "Observation", "P[recovered]", "Reward",
+             "t (s)"],
+            rows,
+            title=f"Recovery trace for {self.fault_label}",
+        )
+        outcome = (
+            "recovered" if self.metrics.recovered else "NOT recovered"
+        )
+        return (
+            f"{table}\n"
+            f"Outcome: {outcome}, cost {self.metrics.cost:.2f}, "
+            f"residual {self.metrics.residual_time:.1f} s"
+        )
+
+
+def trace_episode(
+    controller: RecoveryController,
+    environment: RecoveryEnvironment,
+    fault_state: int,
+    max_steps: int = 200,
+) -> EpisodeTrace:
+    """Run one instrumented episode (same loop as ``run_episode``).
+
+    The metrics in the result match what ``run_episode`` would have
+    produced for the same seed; the trace is a superset of information.
+    """
+    model = controller.model
+    pomdp = model.pomdp
+    uses_monitors = getattr(controller, "uses_monitors", True)
+    environment.inject(fault_state)
+    controller.reset()
+    controller.stopwatch.reset()
+    controller.sync_true_state(environment.state)
+
+    passive = np.flatnonzero(model.passive_actions)
+    if uses_monitors and passive.size:
+        controller.observe(int(passive[0]), environment.initial_observation())
+
+    steps: list[TraceStep] = []
+    actions = 0
+    monitor_calls = 0
+    terminated = False
+    for index in range(max_steps):
+        decision = controller.decide()
+        if decision.is_terminate:
+            terminated = True
+            if decision.action == model.terminate_action and decision.action >= 0:
+                result = environment.execute(decision.action)
+                steps.append(
+                    TraceStep(
+                        index=index,
+                        action=decision.action,
+                        action_label=pomdp.action_labels[decision.action],
+                        observation=-1,
+                        observation_label="",
+                        true_state_after=environment.state,
+                        reward=result.reward,
+                        time_after=environment.time,
+                        recovered_probability=model.recovered_probability(
+                            controller.belief
+                        ),
+                        tree_value=decision.value,
+                    )
+                )
+            break
+        result = environment.execute(decision.action)
+        if model.recovery_actions[decision.action]:
+            actions += 1
+        observation_label = ""
+        if uses_monitors:
+            monitor_calls += 1
+            controller.observe(decision.action, result.observation)
+            observation_label = pomdp.observation_labels[result.observation]
+        controller.sync_true_state(environment.state)
+        steps.append(
+            TraceStep(
+                index=index,
+                action=decision.action,
+                action_label=pomdp.action_labels[decision.action],
+                observation=result.observation if uses_monitors else -1,
+                observation_label=observation_label,
+                true_state_after=environment.state,
+                reward=result.reward,
+                time_after=environment.time,
+                recovered_probability=model.recovered_probability(
+                    controller.belief
+                ),
+                tree_value=decision.value,
+            )
+        )
+
+    metrics = EpisodeMetrics(
+        fault_state=fault_state,
+        cost=environment.cost,
+        recovery_time=environment.time,
+        residual_time=environment.residual_time(),
+        algorithm_time=controller.stopwatch.total_seconds,
+        actions=actions,
+        monitor_calls=monitor_calls,
+        recovered=environment.recovered,
+        terminated=terminated,
+        steps=len([s for s in steps if s.observation >= 0 or s.action >= 0]),
+    )
+    return EpisodeTrace(
+        fault_label=pomdp.state_labels[fault_state],
+        steps=tuple(steps),
+        metrics=metrics,
+    )

@@ -1,0 +1,105 @@
+"""Components, hosts, and deployments.
+
+A deployment is the static architecture the recovery model is generated
+from: which software components exist, which host each one runs on, and how
+long the available repair actions (component restart, host reboot) take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class Host:
+    """A physical or virtual machine.
+
+    Attributes:
+        name: unique host name.
+        reboot_duration: seconds a full reboot takes (all components on the
+            host are unavailable throughout).
+    """
+
+    name: str
+    reboot_duration: float
+
+    def __post_init__(self):
+        if self.reboot_duration < 0:
+            raise ModelError(
+                f"host {self.name!r} has negative reboot duration"
+            )
+
+
+@dataclass(frozen=True)
+class Component:
+    """A software component pinned to a host.
+
+    Attributes:
+        name: unique component name.
+        host: name of the host it runs on.
+        restart_duration: seconds a restart takes (the component is
+            unavailable throughout).
+    """
+
+    name: str
+    host: str
+    restart_duration: float
+
+    def __post_init__(self):
+        if self.restart_duration < 0:
+            raise ModelError(
+                f"component {self.name!r} has negative restart duration"
+            )
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """The component-to-host architecture of the target system."""
+
+    hosts: tuple[Host, ...]
+    components: tuple[Component, ...]
+
+    def __post_init__(self):
+        host_names = [host.name for host in self.hosts]
+        if len(set(host_names)) != len(host_names):
+            raise ModelError(f"duplicate host names in {host_names}")
+        component_names = [component.name for component in self.components]
+        if len(set(component_names)) != len(component_names):
+            raise ModelError(f"duplicate component names in {component_names}")
+        known = set(host_names)
+        for component in self.components:
+            if component.host not in known:
+                raise ModelError(
+                    f"component {component.name!r} is placed on unknown host "
+                    f"{component.host!r}"
+                )
+
+    def host(self, name: str) -> Host:
+        """The host called ``name``."""
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise KeyError(name)
+
+    def component(self, name: str) -> Component:
+        """The component called ``name``."""
+        for component in self.components:
+            if component.name == name:
+                return component
+        raise KeyError(name)
+
+    def components_on(self, host_name: str) -> tuple[str, ...]:
+        """Names of the components deployed on ``host_name``."""
+        if host_name not in {host.name for host in self.hosts}:
+            raise KeyError(host_name)
+        return tuple(
+            component.name
+            for component in self.components
+            if component.host == host_name
+        )
+
+    def host_of(self, component_name: str) -> str:
+        """Name of the host that runs ``component_name``."""
+        return self.component(component_name).host

@@ -1,0 +1,94 @@
+"""Fault types (Section 5's fault model).
+
+Three kinds of faults appear in the EMN model: component *crashes*
+(detectable by ping monitors), host crashes (every component on the host
+goes down), and *zombie* faults — "a component that becomes a 'zombie'
+responds to pings sent by component monitors, but does not correctly
+perform its functions", so only end-to-end path monitors can see it, and
+imprecisely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+from repro.systems.components import Deployment
+
+
+class FaultKind(enum.Enum):
+    """How a fault manifests and which monitors can see it."""
+
+    #: Component is down and fails pings.
+    CRASH = "crash"
+    #: Component answers pings but drops the requests routed through it.
+    ZOMBIE = "zombie"
+    #: The whole host is down; every component on it fails pings.
+    HOST_CRASH = "host_crash"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single activated fault.
+
+    Attributes:
+        kind: the fault type.
+        target: the component name (CRASH / ZOMBIE) or host name
+            (HOST_CRASH) it affects.
+    """
+
+    kind: FaultKind
+    target: str
+
+    @property
+    def label(self) -> str:
+        """Stable state-label encoding, e.g. ``"zombie(S1)"``."""
+        return f"{self.kind.value}({self.target})"
+
+    def validate(self, deployment: Deployment) -> None:
+        """Check the target exists in ``deployment``."""
+        if self.kind is FaultKind.HOST_CRASH:
+            try:
+                deployment.host(self.target)
+            except KeyError:
+                raise ModelError(f"fault targets unknown host {self.target!r}")
+        else:
+            try:
+                deployment.component(self.target)
+            except KeyError:
+                raise ModelError(
+                    f"fault targets unknown component {self.target!r}"
+                )
+
+
+def unavailable_components(
+    fault: Fault | None, deployment: Deployment
+) -> frozenset[str]:
+    """Components that cannot serve requests while ``fault`` is active.
+
+    A zombie is *unavailable for service* even though it looks alive to
+    pings — the distinction between service availability (this function,
+    which drives drop rates) and ping liveness (the component monitors in
+    :mod:`repro.systems.monitors`) is the heart of the diagnosability
+    problem the paper studies.
+    """
+    if fault is None:
+        return frozenset()
+    if fault.kind is FaultKind.HOST_CRASH:
+        return frozenset(deployment.components_on(fault.target))
+    return frozenset({fault.target})
+
+
+def ping_dead_components(
+    fault: Fault | None, deployment: Deployment
+) -> frozenset[str]:
+    """Components that fail pings while ``fault`` is active.
+
+    Crashes and host crashes kill pings; zombies do not.
+    """
+    if fault is None or fault.kind is FaultKind.ZOMBIE:
+        return frozenset()
+    if fault.kind is FaultKind.HOST_CRASH:
+        return frozenset(deployment.components_on(fault.target))
+    return frozenset({fault.target})

@@ -1,0 +1,146 @@
+"""Component and path monitors (Figure 4's HGMon, HPathMon, etc.).
+
+Two monitor families, matching Section 5:
+
+* **Component monitors** ping one component.  They locate crash faults
+  precisely but have low coverage: a zombie answers pings, so they miss it
+  entirely.
+* **Path monitors** issue a synthetic end-to-end request and check the
+  response.  They catch zombies (high coverage) but localise poorly: the
+  probe is load-balanced like real traffic, so a single zombie EMN server
+  fails an HTTP-path probe only with probability 1/2, and the same alarm is
+  raised by several different faults.
+
+A monitor reading is binary (alarm / clear); the POMDP observation space is
+the joint outcome vector of all monitors, and — monitors being independent
+given the system state — ``q(o|s)`` is a product of per-monitor Bernoullis.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.systems.components import Deployment
+from repro.systems.faults import Fault, ping_dead_components, unavailable_components
+from repro.systems.workload import RequestPath
+
+
+def _check_rates(coverage: float, false_positive_rate: float, name: str) -> None:
+    if not 0.0 <= coverage <= 1.0:
+        raise ModelError(f"monitor {name!r} coverage must be in [0, 1]")
+    if not 0.0 <= false_positive_rate <= 1.0:
+        raise ModelError(f"monitor {name!r} false-positive rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ComponentMonitor:
+    """Ping monitor for one component.
+
+    Attributes:
+        name: monitor name (e.g. ``"HGMon"``).
+        component: the component it pings.
+        coverage: probability an actually ping-dead component raises the
+            alarm (1.0 = perfect crash detection).
+        false_positive_rate: probability of an alarm on a healthy component.
+    """
+
+    name: str
+    component: str
+    coverage: float = 1.0
+    false_positive_rate: float = 0.0
+
+    def __post_init__(self):
+        _check_rates(self.coverage, self.false_positive_rate, self.name)
+
+    def alarm_probability(self, fault: Fault | None, deployment: Deployment) -> float:
+        """P[this monitor alarms | fault] — zombies never trip pings."""
+        dead = ping_dead_components(fault, deployment)
+        if self.component in dead:
+            return self.coverage
+        return self.false_positive_rate
+
+
+@dataclass(frozen=True)
+class PathMonitor:
+    """End-to-end probe monitor for one request class.
+
+    Attributes:
+        name: monitor name (e.g. ``"HPathMon"``).
+        path: the request path probes follow (load-balanced exactly like
+            real traffic — the source of the "routed around the zombie"
+            diagnostic ambiguity).
+        coverage: probability a genuinely failing probe is reported.
+        false_positive_rate: probability of reporting failure when the
+            probe actually succeeded.
+    """
+
+    name: str
+    path: RequestPath
+    coverage: float = 1.0
+    false_positive_rate: float = 0.0
+
+    def __post_init__(self):
+        _check_rates(self.coverage, self.false_positive_rate, self.name)
+
+    def alarm_probability(self, fault: Fault | None, deployment: Deployment) -> float:
+        """P[this monitor alarms | fault], marginalised over probe routing."""
+        unavailable = unavailable_components(fault, deployment)
+        failure = self.path.drop_probability(unavailable)
+        return self.coverage * failure + self.false_positive_rate * (1.0 - failure)
+
+
+Monitor = ComponentMonitor | PathMonitor
+
+
+def observation_labels(monitors: Sequence[Monitor]) -> tuple[str, ...]:
+    """Labels for the joint observation space, e.g. ``"HGMon!,HPathMon-"``.
+
+    ``!`` marks an alarm, ``-`` a clear reading; outcomes enumerate in
+    binary-counter order with the first monitor as the most significant bit.
+    """
+    labels = []
+    for outcome in itertools.product((0, 1), repeat=len(monitors)):
+        parts = [
+            f"{monitor.name}{'!' if bit else '-'}"
+            for monitor, bit in zip(monitors, outcome)
+        ]
+        labels.append(",".join(parts))
+    return tuple(labels)
+
+
+def observation_matrix(
+    monitors: Sequence[Monitor],
+    faults: Sequence[Fault | None],
+    deployment: Deployment,
+) -> np.ndarray:
+    """Joint observation distribution ``q(o|s)`` for each fault state.
+
+    Args:
+        monitors: the monitor suite; the observation space is its joint
+            binary outcome vector (``2**len(monitors)`` observations).
+        faults: one entry per model state; ``None`` for null-fault states.
+        deployment: the architecture, for fault-to-component resolution.
+
+    Returns:
+        ``(len(faults), 2**len(monitors))`` row-stochastic matrix ordered
+        like :func:`observation_labels`.
+    """
+    if not monitors:
+        raise ModelError("at least one monitor is required")
+    alarm = np.array(
+        [
+            [monitor.alarm_probability(fault, deployment) for monitor in monitors]
+            for fault in faults
+        ]
+    )  # (|S|, n_monitors)
+    n_states, n_monitors = alarm.shape
+    matrix = np.ones((n_states, 2**n_monitors))
+    for o, outcome in enumerate(itertools.product((0, 1), repeat=n_monitors)):
+        for m, bit in enumerate(outcome):
+            matrix[:, o] *= alarm[:, m] if bit else (1.0 - alarm[:, m])
+    return matrix

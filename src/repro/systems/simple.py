@@ -1,0 +1,145 @@
+"""The two-redundant-server worked example of Figure 1(a).
+
+Two servers ``a`` and ``b``; at most one has an activated fault.  Restarting
+the faulty server repairs it at unavailability cost 0.5; restarting the
+healthy one while the other is faulty wastes a full unit of cost; observing
+costs the fault's rate for one time unit.  A single monitor produces the
+observations "a appears to have failed" / "b appears to have failed" /
+"looks clear", "although there might be false positives and false negatives
+as well" — the monitor-quality knobs model exactly that.
+
+The example exists in both Figure 2 flavours:
+
+* ``recovery_notification=True`` (Figure 2(a)): the monitor never reports
+  "clear" while a fault is active and never reports a failure in the null
+  state, so an all-clear certifies recovery and the null state is made
+  absorbing.
+* ``recovery_notification=False`` (Figure 2(b)): symptoms are intermittent
+  (a faulty server sometimes looks clear), so the terminate state/action
+  pair is appended with ``r(s, a_T) = rbar(s) * t_op``.
+
+The model is small enough for Monahan exact solution after discounting,
+which makes it the test suite's ground-truth workhorse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.recovery.builder import RecoveryModelBuilder
+from repro.recovery.model import RecoveryModel
+
+#: Cost of restarting the faulty server (probability-1 repair).
+RESTART_COST = 0.5
+#: Cost of restarting the healthy server while the other is faulty.
+WRONG_RESTART_COST = 1.0
+#: Cost rate while a fault is active (per unit time; actions take 1 unit).
+FAULT_RATE = 0.5
+
+
+@dataclass(frozen=True)
+class SimpleSystem:
+    """The generated model plus the indices the examples and tests use."""
+
+    model: RecoveryModel
+    observe_action: int
+    fault_a: int
+    fault_b: int
+    null_state: int
+
+
+def build_simple_system(
+    recovery_notification: bool = False,
+    operator_response_time: float = 20.0,
+    localization: float = 0.75,
+    miss_rate: float = 0.3,
+    discount: float = 1.0,
+) -> SimpleSystem:
+    """Build the Figure 1(a) example in either Figure 2 flavour.
+
+    Args:
+        recovery_notification: choose the Figure 2(a) (True) or 2(b)
+            (False) variant.
+        operator_response_time: ``t_op`` for the 2(b) variant; Figure 2(b)
+            annotates the terminate action with reward ``-0.5 * t_op``.  The
+            default of 20 time units prices an unattended fault well above
+            any recovery sequence, so terminating early is never rational —
+            set it low (e.g. 2) to study controllers that prefer giving up.
+        localization: probability the monitor blames the *correct* server,
+            conditioned on the fault being reported at all.
+        miss_rate: probability an active fault produces a "looks clear"
+            reading — must be 0 with recovery notification (that is what
+            notification means) and positive without.
+        discount: ``beta``; keep 1.0 for the paper's undiscounted setting,
+            or pass ``< 1`` to enable exact solution for tests.
+    """
+    if recovery_notification and miss_rate != 0.0:
+        raise ModelError(
+            "with recovery notification an active fault must never look "
+            "clear; set miss_rate=0"
+        )
+    if not recovery_notification and miss_rate <= 0.0:
+        raise ModelError(
+            "without recovery notification symptoms must be intermittent; "
+            "set miss_rate>0"
+        )
+    if not 0.0 <= localization <= 1.0:
+        raise ModelError(f"localization must be in [0, 1], got {localization}")
+    if not 0.0 <= miss_rate < 1.0:
+        raise ModelError(f"miss_rate must be in [0, 1), got {miss_rate}")
+
+    builder = RecoveryModelBuilder()
+    builder.discount = discount
+    builder.add_state("null", rate_cost=0.0, null=True)
+    builder.add_state("fault(a)", rate_cost=FAULT_RATE)
+    builder.add_state("fault(b)", rate_cost=FAULT_RATE)
+
+    builder.add_action(
+        "restart(a)",
+        duration=1.0,
+        transitions={"fault(a)": {"null": 1.0}},
+        costs={
+            "null": RESTART_COST,
+            "fault(a)": RESTART_COST,
+            "fault(b)": WRONG_RESTART_COST,
+        },
+    )
+    builder.add_action(
+        "restart(b)",
+        duration=1.0,
+        transitions={"fault(b)": {"null": 1.0}},
+        costs={
+            "null": RESTART_COST,
+            "fault(a)": WRONG_RESTART_COST,
+            "fault(b)": RESTART_COST,
+        },
+    )
+    builder.add_action("observe", duration=1.0, passive=True)
+
+    report = 1.0 - miss_rate
+    observations = np.array(
+        [
+            # columns: "looks(a)", "looks(b)", "clear"
+            [0.0, 0.0, 1.0],  # null
+            [report * localization, report * (1.0 - localization), miss_rate],
+            [report * (1.0 - localization), report * localization, miss_rate],
+        ]
+    )
+    builder.set_observation_matrix(("looks(a)", "looks(b)", "clear"), observations)
+
+    model = builder.build(
+        recovery_notification=recovery_notification,
+        operator_response_time=(
+            None if recovery_notification else operator_response_time
+        ),
+    )
+    return SimpleSystem(
+        model=model,
+        observe_action=model.pomdp.action_index("observe"),
+        fault_a=model.pomdp.state_index("fault(a)"),
+        fault_b=model.pomdp.state_index("fault(b)"),
+        null_state=model.pomdp.state_index("null"),
+    )

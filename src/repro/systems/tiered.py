@@ -1,0 +1,309 @@
+"""Parametric N-tier replicated deployments.
+
+A second target system beyond the paper's EMN instance: a request pipeline
+of ``T`` tiers with ``R_t`` replicas each (web → app → db, say), where every
+request is load-balanced onto one replica per tier and fails if any chosen
+replica is faulty.  Monitoring is tier-granular: one ping monitor per tier
+(alarms when any replica in the tier is ping-dead — crashes only) and one
+end-to-end probe (alarms when its randomly-routed request fails — catches
+zombies, localises poorly).  The observation space is therefore
+``2^(T+1)`` regardless of the replica counts, so the model family scales
+in the *state* dimension while staying controller-tractable.
+
+Two entry points:
+
+* :func:`build_tiered_system` — a full :class:`RecoveryModel` for moderate
+  sizes, usable with every controller in the library;
+* :func:`tiered_ra_chain` — the RA-Bound Markov chain of the same family
+  constructed *directly in sparse form*, scaling to hundreds of thousands
+  of states.  This backs the scalability experiment for Section 4.3's
+  claim that the RA-Bound linear system "can be solved using standard,
+  numerically stable linear system solvers for models with up to hundreds
+  of thousands of states".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ModelError
+from repro.recovery.builder import RecoveryModelBuilder
+from repro.recovery.model import RecoveryModel
+
+#: Default per-replica restart time and monitor-suite execution time (s).
+RESTART_DURATION = 30.0
+MONITOR_DURATION = 2.0
+#: Default operator response time (s).
+OPERATOR_RESPONSE_TIME = 3600.0
+#: Requests consumed per monitor execution (keeps actions strictly costly).
+PROBE_COST = 0.5
+
+
+@dataclass(frozen=True)
+class TieredSystem:
+    """A generated tiered recovery model plus its layout metadata."""
+
+    model: RecoveryModel
+    tier_names: tuple[str, ...]
+    replicas: tuple[int, ...]
+    components: tuple[str, ...]
+    observe_action: int
+
+    def zombie_states(self) -> np.ndarray:
+        """Indices of the zombie fault states."""
+        pomdp = self.model.pomdp
+        return np.array(
+            [
+                index
+                for index, label in enumerate(pomdp.state_labels)
+                if label.startswith("zombie(")
+            ],
+            dtype=int,
+        )
+
+    def crash_states(self) -> np.ndarray:
+        """Indices of the crash fault states."""
+        pomdp = self.model.pomdp
+        return np.array(
+            [
+                index
+                for index, label in enumerate(pomdp.state_labels)
+                if label.startswith("crash(")
+            ],
+            dtype=int,
+        )
+
+
+def _component_names(
+    tier_names: tuple[str, ...], replicas: tuple[int, ...]
+) -> list[tuple[str, int]]:
+    """Flat (component, tier_index) list, e.g. [("web1", 0), ("web2", 0), ...]."""
+    names = []
+    for tier_index, (tier, count) in enumerate(zip(tier_names, replicas)):
+        for replica in range(1, count + 1):
+            names.append((f"{tier}{replica}", tier_index))
+    return names
+
+
+def build_tiered_system(
+    replicas: tuple[int, ...] = (2, 2, 2),
+    tier_names: tuple[str, ...] | None = None,
+    restart_duration: float = RESTART_DURATION,
+    monitor_duration: float = MONITOR_DURATION,
+    operator_response_time: float = OPERATOR_RESPONSE_TIME,
+    probe_cost: float = PROBE_COST,
+    include_crash_faults: bool = True,
+) -> TieredSystem:
+    """Generate the recovery model for a tiered deployment.
+
+    Args:
+        replicas: replica count per tier (the tier count is its length).
+        tier_names: display names; defaults to ``tier0``, ``tier1``, ...
+        restart_duration: seconds to restart any one replica.
+        monitor_duration: seconds per monitor-suite execution (appended to
+            every action, as in the EMN model).
+        operator_response_time: ``t_op`` for the termination rewards (the
+            system lacks recovery notification: zombies can hide from a
+            routed-around probe).
+        probe_cost: requests consumed per monitor execution.
+        include_crash_faults: drop the crash states for a zombie-only model.
+    """
+    if not replicas or any(count < 1 for count in replicas):
+        raise ModelError(f"replicas must be positive per tier, got {replicas}")
+    n_tiers = len(replicas)
+    if tier_names is None:
+        tier_names = tuple(f"tier{i}" for i in range(n_tiers))
+    if len(tier_names) != n_tiers:
+        raise ModelError(
+            f"{len(tier_names)} tier names for {n_tiers} tiers"
+        )
+    components = _component_names(tuple(tier_names), tuple(replicas))
+
+    def fault_rate(tier_index: int) -> float:
+        """Fraction of requests dropped by one faulty replica in the tier."""
+        return 1.0 / replicas[tier_index]
+
+    builder = RecoveryModelBuilder()
+    builder.add_state("null", rate_cost=0.0, null=True)
+    kinds = ("crash", "zombie") if include_crash_faults else ("zombie",)
+    state_tier: dict[str, int] = {}
+    for name, tier_index in components:
+        for kind in kinds:
+            label = f"{kind}({name})"
+            builder.add_state(label, rate_cost=fault_rate(tier_index))
+            state_tier[label] = tier_index
+
+    all_states = ["null"] + list(state_tier)
+
+    def action_cost(state: str, duration: float) -> float:
+        rate = 0.0 if state == "null" else fault_rate(state_tier[state])
+        return rate * duration + probe_cost
+
+    for name, tier_index in components:
+        repaired = {f"{kind}({name})" for kind in kinds}
+        transitions = {label: {"null": 1.0} for label in repaired}
+        costs = {}
+        for state in all_states:
+            if state in repaired:
+                # The fault's rate applies while the restart runs, then the
+                # system is healthy for the trailing monitor execution.
+                costs[state] = (
+                    fault_rate(tier_index) * restart_duration + probe_cost
+                )
+            else:
+                costs[state] = action_cost(
+                    state, restart_duration + monitor_duration
+                )
+        builder.add_action(
+            f"restart({name})",
+            duration=restart_duration + monitor_duration,
+            transitions=transitions,
+            costs=costs,
+        )
+    builder.add_action(
+        "observe",
+        duration=monitor_duration,
+        costs={
+            state: action_cost(state, monitor_duration) for state in all_states
+        },
+        passive=True,
+    )
+
+    # Observation model: T tier-ping bits + 1 end-to-end probe bit.
+    def alarm_probabilities(state: str) -> np.ndarray:
+        probabilities = np.zeros(n_tiers + 1)
+        if state == "null":
+            return probabilities
+        tier_index = state_tier[state]
+        if state.startswith("crash("):
+            probabilities[tier_index] = 1.0  # tier ping sees the crash
+            probabilities[n_tiers] = fault_rate(tier_index)
+        else:  # zombie: invisible to pings, probabilistically probed
+            probabilities[n_tiers] = fault_rate(tier_index)
+        return probabilities
+
+    n_bits = n_tiers + 1
+    labels = []
+    matrix = np.ones((len(all_states), 2**n_bits))
+    per_state = np.array([alarm_probabilities(state) for state in all_states])
+    for column, outcome in enumerate(itertools.product((0, 1), repeat=n_bits)):
+        for bit, value in enumerate(outcome):
+            matrix[:, column] *= (
+                per_state[:, bit] if value else 1.0 - per_state[:, bit]
+            )
+    for outcome in itertools.product((0, 1), repeat=n_bits):
+        parts = [
+            f"{tier_names[i] if i < n_tiers else 'probe'}"
+            f"{'!' if bit else '-'}"
+            for i, bit in enumerate(outcome)
+        ]
+        labels.append(",".join(parts))
+    builder.set_observation_matrix(tuple(labels), matrix)
+
+    model = builder.build(
+        recovery_notification=False,
+        operator_response_time=operator_response_time,
+    )
+    return TieredSystem(
+        model=model,
+        tier_names=tuple(tier_names),
+        replicas=tuple(replicas),
+        components=tuple(name for name, _ in components),
+        observe_action=model.pomdp.action_index("observe"),
+    )
+
+
+def tiered_ra_chain(
+    replicas: tuple[int, ...],
+    restart_duration: float = RESTART_DURATION,
+    monitor_duration: float = MONITOR_DURATION,
+    operator_response_time: float = OPERATOR_RESPONSE_TIME,
+    probe_cost: float = PROBE_COST,
+) -> tuple[sp.csr_matrix, np.ndarray]:
+    """The RA-Bound chain of the tiered family, built directly and sparsely.
+
+    States: null, then (crash, zombie) per component, then ``s_T``; actions
+    (never materialised): one restart per component, observe, ``a_T``.  The
+    uniform chain has at most three non-zeros per row — stay, jump to null
+    (the one fixing restart), jump to ``s_T`` (the terminate draw) — so the
+    construction and the solve are both linear in the state count.
+
+    Returns ``(chain, rewards)`` ready for
+    :func:`repro.mdp.linear_solvers.solve_markov_reward` (method
+    ``"direct"``) or scipy's sparse solvers.
+    """
+    if not replicas or any(count < 1 for count in replicas):
+        raise ModelError(f"replicas must be positive per tier, got {replicas}")
+    n_components = int(sum(replicas))
+    n_states = 2 + 2 * n_components  # null + 2 faults/component + s_T
+    n_actions = n_components + 2  # restarts + observe + a_T
+    terminate = n_states - 1
+
+    rates = np.zeros(n_states)
+    index = 1
+    for count in replicas:
+        for _ in range(count):
+            rates[index] = 1.0 / count  # crash
+            rates[index + 1] = 1.0 / count  # zombie
+            index += 2
+
+    rows, cols, data = [], [], []
+
+    def add(row, col, probability):
+        rows.append(row)
+        cols.append(col)
+        data.append(probability)
+
+    # Null: every action stays except a_T.
+    add(0, 0, (n_actions - 1) / n_actions)
+    add(0, terminate, 1 / n_actions)
+    # Fault states: own restart fixes, a_T terminates, the rest stay.
+    for state in range(1, terminate):
+        add(state, 0, 1 / n_actions)
+        add(state, terminate, 1 / n_actions)
+        add(state, state, (n_actions - 2) / n_actions)
+    add(terminate, terminate, 1.0)
+
+    chain = sp.csr_matrix(
+        (data, (rows, cols)), shape=(n_states, n_states)
+    )
+
+    # Mean single-step reward per state under the uniform action draw.
+    rewards = np.zeros(n_states)
+    action_time = restart_duration + monitor_duration
+    for state in range(terminate):
+        rate = rates[state]
+        restart_cost = rate * action_time + probe_cost
+        if state > 0:
+            # The one fixing restart pays the fault rate only while the
+            # restart runs (healthy trailing monitor execution).
+            fixing_cost = rate * restart_duration + probe_cost
+            restart_total = fixing_cost + (n_components - 1) * restart_cost
+        else:
+            restart_total = n_components * restart_cost
+        observe_cost = rate * monitor_duration + probe_cost
+        terminate_cost = rate * operator_response_time
+        rewards[state] = -(
+            restart_total + observe_cost + terminate_cost
+        ) / n_actions
+    return chain, rewards
+
+
+def solve_tiered_ra_bound(
+    replicas: tuple[int, ...], **chain_kwargs
+) -> np.ndarray:
+    """RA-Bound values for a tiered family instance via a sparse solve."""
+    chain, rewards = tiered_ra_chain(replicas, **chain_kwargs)
+    n = rewards.shape[0]
+    matrix = sp.eye(n, format="csr") - chain
+    # The terminate state is the single recurrent state; pin it to zero and
+    # solve the transient block (everything else).
+    transient = np.arange(n - 1)
+    block = matrix[transient][:, transient].tocsc()
+    values = np.zeros(n)
+    values[transient] = sp.linalg.spsolve(block, rewards[transient])
+    return values

@@ -1,0 +1,77 @@
+"""Request-mix workload model.
+
+Costs in the EMN recovery model "accrue at a rate equal to the fraction of
+requests being dropped by the system" (Section 5).  A request class follows
+a *path*: a set of components every request needs (its gateway and the
+database) plus a pool it is load-balanced over (the EMN servers, 50/50 in
+Figure 4).  The drop fraction of a component-availability state is then a
+simple sum over request classes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.exceptions import ModelError
+
+
+@dataclass(frozen=True)
+class RequestPath:
+    """One request class and the components it traverses.
+
+    Attributes:
+        name: class name (e.g. ``"http"``).
+        fraction: share of total traffic in ``[0, 1]``.
+        fixed: components every request of this class must traverse.
+        balanced: pool the class is load-balanced over uniformly; a request
+            picks exactly one pool member (empty pool means none needed).
+    """
+
+    name: str
+    fraction: float
+    fixed: tuple[str, ...]
+    balanced: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ModelError(
+                f"path {self.name!r} fraction must be in [0, 1], "
+                f"got {self.fraction}"
+            )
+
+    def drop_probability(self, unavailable: frozenset[str]) -> float:
+        """Probability one request of this class is dropped.
+
+        A request fails if any fixed component is unavailable, or if the
+        uniformly-chosen pool member is.
+        """
+        if any(component in unavailable for component in self.fixed):
+            return 1.0
+        if not self.balanced:
+            return 0.0
+        down = sum(1 for member in self.balanced if member in unavailable)
+        return down / len(self.balanced)
+
+
+def drop_fraction(
+    paths: Iterable[RequestPath], unavailable: frozenset[str]
+) -> float:
+    """Total fraction of traffic dropped given the unavailable set.
+
+    This is the cost *rate* (per second, at a unit request rate) of a system
+    state, and — with the action's own victims added to ``unavailable`` —
+    the rate while a recovery action runs.
+    """
+    return sum(
+        path.fraction * path.drop_probability(unavailable) for path in paths
+    )
+
+
+def check_fractions(paths: Iterable[RequestPath], tol: float = 1e-9) -> None:
+    """Validate that the class fractions partition the traffic."""
+    total = sum(path.fraction for path in paths)
+    if abs(total - 1.0) > tol:
+        raise ModelError(
+            f"request-class fractions must sum to 1, got {total:.6f}"
+        )

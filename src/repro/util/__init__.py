@@ -1,0 +1,22 @@
+"""Shared utilities: RNG handling, validation, timing, and table rendering."""
+
+from repro.util.rng import as_generator, spawn_generators
+from repro.util.tables import render_table
+from repro.util.timing import Stopwatch
+from repro.util.validation import (
+    check_distribution,
+    check_nonpositive,
+    check_stochastic_matrix,
+    normalize,
+)
+
+__all__ = [
+    "Stopwatch",
+    "as_generator",
+    "check_distribution",
+    "check_nonpositive",
+    "check_stochastic_matrix",
+    "normalize",
+    "render_table",
+    "spawn_generators",
+]

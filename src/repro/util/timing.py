@@ -1,0 +1,46 @@
+"""Wall-clock timing used to reproduce Table 1's "algorithm time" column."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    The controller wraps every call to its decision procedure in
+    ``with stopwatch: ...`` and the campaign reports
+    ``stopwatch.total_seconds / decisions`` as the per-decision algorithm
+    time, mirroring the paper's per-fault "Algorithm Time" metric.
+    """
+
+    def __init__(self):
+        self.total_seconds = 0.0
+        self.laps = 0
+        self._started_at: float | None = None
+
+    def __enter__(self) -> "Stopwatch":
+        self._started_at = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._started_at is not None:
+            self.total_seconds += time.perf_counter() - self._started_at
+            self.laps += 1
+            self._started_at = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and lap count."""
+        self.total_seconds = 0.0
+        self.laps = 0
+        self._started_at = None
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean seconds per lap (0.0 before any lap completes)."""
+        if self.laps == 0:
+            return 0.0
+        return self.total_seconds / self.laps
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Stopwatch(total={self.total_seconds:.6f}s, laps={self.laps})"

@@ -1,0 +1,73 @@
+"""Numeric validation helpers for stochastic models.
+
+The model classes (:class:`repro.mdp.MDP`, :class:`repro.pomdp.POMDP`) call
+these at construction time, so every solver and controller downstream can
+assume well-formed inputs instead of re-checking them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+#: Absolute tolerance used when checking that probabilities sum to one.
+PROBABILITY_ATOL = 1e-9
+
+
+def check_distribution(vector: np.ndarray, name: str = "distribution") -> np.ndarray:
+    """Validate that ``vector`` is a probability distribution.
+
+    Returns the validated array (as ``float64``) so calls can be inlined into
+    constructors.  Raises :class:`~repro.exceptions.ModelError` on negative
+    entries or a sum away from one.
+    """
+    array = np.asarray(vector, dtype=float)
+    if array.ndim != 1:
+        raise ModelError(f"{name} must be one-dimensional, got shape {array.shape}")
+    if np.any(array < -PROBABILITY_ATOL):
+        raise ModelError(f"{name} has negative entries: min={array.min():.3g}")
+    total = array.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ModelError(f"{name} must sum to 1, got {total:.9f}")
+    return np.clip(array, 0.0, None)
+
+
+def check_stochastic_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndarray:
+    """Validate that every row of ``matrix`` is a probability distribution."""
+    array = np.asarray(matrix, dtype=float)
+    if array.ndim != 2:
+        raise ModelError(f"{name} must be two-dimensional, got shape {array.shape}")
+    if np.any(array < -PROBABILITY_ATOL):
+        raise ModelError(f"{name} has negative entries: min={array.min():.3g}")
+    row_sums = array.sum(axis=1)
+    bad = np.flatnonzero(~np.isclose(row_sums, 1.0, atol=1e-6))
+    if bad.size:
+        raise ModelError(
+            f"{name} rows {bad.tolist()} do not sum to 1 "
+            f"(sums {row_sums[bad].tolist()})"
+        )
+    return np.clip(array, 0.0, None)
+
+
+def check_nonpositive(array: np.ndarray, name: str = "rewards") -> np.ndarray:
+    """Validate Condition 2: every entry of ``array`` is ``<= 0``."""
+    values = np.asarray(array, dtype=float)
+    if np.any(values > PROBABILITY_ATOL):
+        raise ModelError(
+            f"{name} must be non-positive (Condition 2), max={values.max():.3g}"
+        )
+    return np.minimum(values, 0.0)
+
+
+def normalize(vector: np.ndarray) -> np.ndarray:
+    """Normalise a non-negative vector into a distribution.
+
+    Raises :class:`~repro.exceptions.ModelError` when the vector sums to zero,
+    because that means the caller conditioned on an impossible event.
+    """
+    array = np.asarray(vector, dtype=float)
+    total = array.sum()
+    if total <= 0.0:
+        raise ModelError("cannot normalise a vector with non-positive mass")
+    return array / total

@@ -1,0 +1,61 @@
+"""Shared fixtures: the paper's models at test-friendly scales."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pomdp.model import POMDP
+from repro.systems.emn import build_emn_system
+from repro.systems.simple import build_simple_system
+
+
+@pytest.fixture(scope="session")
+def simple_system():
+    """Figure 1(a) example without recovery notification (Figure 2(b))."""
+    return build_simple_system(recovery_notification=False)
+
+
+@pytest.fixture(scope="session")
+def simple_notified_system():
+    """Figure 1(a) example with recovery notification (Figure 2(a))."""
+    return build_simple_system(recovery_notification=True, miss_rate=0.0)
+
+
+@pytest.fixture(scope="session")
+def simple_discounted_system():
+    """Discounted variant of the example, exactly solvable by Monahan VI."""
+    return build_simple_system(recovery_notification=False, discount=0.9)
+
+
+@pytest.fixture(scope="session")
+def emn_system():
+    """The full EMN system with the paper's parameters."""
+    return build_emn_system()
+
+
+@pytest.fixture(scope="session")
+def emn_zombie_system():
+    """EMN reduced to null + 5 zombie states (faster diagnosis tests)."""
+    return build_emn_system(include_crash_faults=False)
+
+
+def random_pomdp(
+    rng: np.random.Generator,
+    n_states: int = 4,
+    n_actions: int = 3,
+    n_observations: int = 3,
+    discount: float = 0.9,
+) -> POMDP:
+    """A random dense POMDP with non-positive rewards (for property tests)."""
+    transitions = rng.dirichlet(np.ones(n_states), size=(n_actions, n_states))
+    observations = rng.dirichlet(
+        np.ones(n_observations), size=(n_actions, n_states)
+    )
+    rewards = -rng.uniform(0.0, 2.0, size=(n_actions, n_states))
+    return POMDP(
+        transitions=transitions,
+        observations=observations,
+        rewards=rewards,
+        discount=discount,
+    )

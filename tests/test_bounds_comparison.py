@@ -1,0 +1,89 @@
+"""Section 3.1's bound comparison: BI-POMDP and blind-policy behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.bi_pomdp import bi_pomdp_bound, bi_pomdp_vector
+from repro.bounds.blind_policy import blind_policy_bound, blind_policy_vectors
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.exceptions import DivergenceError
+from repro.pomdp.exact import solve_exact
+from repro.systems.simple import build_simple_system
+
+
+class TestBIPOMDP:
+    def test_diverges_without_notification(self, simple_system):
+        with pytest.raises(DivergenceError):
+            bi_pomdp_vector(simple_system.model.pomdp)
+
+    def test_diverges_with_notification(self, simple_notified_system):
+        with pytest.raises(DivergenceError):
+            bi_pomdp_vector(simple_notified_system.model.pomdp)
+
+    def test_converges_when_discounted_and_lower_bounds_value(self):
+        system = build_simple_system(recovery_notification=False, discount=0.85)
+        pomdp = system.model.pomdp
+        vector = bi_pomdp_vector(pomdp)
+        solution = solve_exact(pomdp, tol=1e-6)
+        rng = np.random.default_rng(0)
+        for belief in rng.dirichlet(np.ones(pomdp.n_states), size=32):
+            assert float(belief @ vector) <= solution.value(belief) + 1e-6
+
+    def test_looser_than_ra_bound_when_both_exist(self):
+        """Worst action <= random action, state-wise."""
+        system = build_simple_system(recovery_notification=False, discount=0.85)
+        pomdp = system.model.pomdp
+        bi = bi_pomdp_vector(pomdp)
+        ra = ra_bound_vector(pomdp)
+        assert np.all(bi <= ra + 1e-9)
+
+    def test_bound_wrapper(self):
+        system = build_simple_system(recovery_notification=False, discount=0.85)
+        pomdp = system.model.pomdp
+        belief = np.full(pomdp.n_states, 1.0 / pomdp.n_states)
+        assert bi_pomdp_bound(pomdp, belief) <= 0.0
+
+
+class TestBlindPolicy:
+    def test_all_policies_diverge_with_notification(self, simple_notified_system):
+        """No single recovery action progresses in all states (Section 3.1)."""
+        vectors = blind_policy_vectors(
+            simple_notified_system.model.pomdp, skip_divergent=True
+        )
+        # restart(a) loops forever in fault(b) and vice versa; observe loops
+        # everywhere outside null.  Every blind policy accrues infinite cost.
+        assert vectors == {}
+        with pytest.raises(DivergenceError):
+            blind_policy_bound(
+                simple_notified_system.model.pomdp,
+                np.array([1 / 4, 1 / 4, 1 / 4, 1 / 4])[: simple_notified_system.model.pomdp.n_states],
+            )
+
+    def test_raises_on_first_divergent_when_not_skipping(
+        self, simple_notified_system
+    ):
+        with pytest.raises(DivergenceError, match="blind policy"):
+            blind_policy_vectors(
+                simple_notified_system.model.pomdp, skip_divergent=False
+            )
+
+    def test_terminate_action_makes_bound_finite(self, simple_system):
+        """Figure 2(b) augmentation: a_T's blind value is the term. reward."""
+        model = simple_system.model
+        vectors = blind_policy_vectors(model.pomdp, skip_divergent=True)
+        assert model.terminate_action in vectors
+        expected = model.pomdp.rewards[model.terminate_action]
+        assert np.allclose(vectors[model.terminate_action], expected)
+
+    def test_finite_bound_below_ra_refinable_region(self, simple_system):
+        """At the uniform belief the blind bound exists and is a lower bound."""
+        pomdp = simple_system.model.pomdp
+        belief = np.full(pomdp.n_states, 1.0 / pomdp.n_states)
+        value = blind_policy_bound(pomdp, belief)
+        assert np.isfinite(value)
+        assert value <= 0.0
+
+    def test_discounted_all_policies_finite(self):
+        system = build_simple_system(recovery_notification=False, discount=0.85)
+        vectors = blind_policy_vectors(system.model.pomdp)
+        assert len(vectors) == system.model.pomdp.n_actions

@@ -1,0 +1,118 @@
+"""Tests for the sawtooth upper bound."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.sawtooth import SawtoothUpperBound
+from repro.exceptions import ModelError
+from repro.pomdp.exact import solve_exact
+from repro.systems.simple import build_simple_system
+
+
+@pytest.fixture(scope="module")
+def discounted():
+    system = build_simple_system(recovery_notification=False, discount=0.85)
+    return system, solve_exact(system.model.pomdp, tol=1e-6)
+
+
+class TestInitialisation:
+    def test_qmdp_corners_by_default(self, simple_system):
+        bound = SawtoothUpperBound(simple_system.model.pomdp)
+        assert bound.corner_values.shape == (
+            simple_system.model.pomdp.n_states,
+        )
+        assert len(bound) == 0
+
+    def test_bad_corner_shape_rejected(self, simple_system):
+        with pytest.raises(ModelError):
+            SawtoothUpperBound(
+                simple_system.model.pomdp, corner_values=np.zeros(2)
+            )
+
+
+class TestUpperBoundValidity:
+    def test_above_exact_value_before_refinement(self, discounted):
+        system, exact = discounted
+        bound = SawtoothUpperBound(system.model.pomdp)
+        rng = np.random.default_rng(0)
+        for belief in rng.dirichlet(np.ones(4), size=64):
+            assert bound.value(belief) >= exact.value(belief) - 1e-7
+
+    def test_above_exact_value_after_refinement(self, discounted):
+        system, exact = discounted
+        bound = SawtoothUpperBound(system.model.pomdp)
+        rng = np.random.default_rng(1)
+        beliefs = rng.dirichlet(np.ones(4), size=32)
+        for belief in beliefs:
+            bound.refine_at(belief)
+        for belief in beliefs:
+            assert (
+                bound.value(belief)
+                >= exact.value(belief) - exact.error_bound - 1e-7
+            )
+
+    def test_above_ra_lower_bound_on_emn(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        upper = SawtoothUpperBound(pomdp)
+        lower = ra_bound_vector(pomdp)
+        rng = np.random.default_rng(2)
+        beliefs = rng.dirichlet(np.ones(pomdp.n_states), size=16)
+        for belief in beliefs[:8]:
+            upper.refine_at(belief)
+        for belief in beliefs:
+            assert upper.value(belief) >= float(belief @ lower) - 1e-7
+
+
+class TestRefinement:
+    def test_refinement_monotone_decrease(self, discounted):
+        system, _ = discounted
+        bound = SawtoothUpperBound(system.model.pomdp)
+        belief = system.model.initial_belief()
+        values = []
+        for _ in range(10):
+            bound.refine_at(belief)
+            values.append(bound.value(belief))
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_refinement_tightens_below_corner_interpolation(self, discounted):
+        system, _ = discounted
+        pomdp = system.model.pomdp
+        bound = SawtoothUpperBound(pomdp)
+        belief = system.model.initial_belief()
+        corner_only = bound.value(belief)
+        gain = bound.refine_at(belief)
+        assert gain >= 0.0
+        assert bound.value(belief) <= corner_only
+
+    def test_max_points_evicts_oldest(self, discounted):
+        system, _ = discounted
+        pomdp = system.model.pomdp
+        bound = SawtoothUpperBound(pomdp, max_points=3)
+        rng = np.random.default_rng(3)
+        for belief in rng.dirichlet(np.ones(4), size=12):
+            bound.refine_at(belief)
+        assert len(bound) <= 3
+
+    def test_value_batch_matches_scalar(self, discounted):
+        system, _ = discounted
+        pomdp = system.model.pomdp
+        bound = SawtoothUpperBound(pomdp)
+        rng = np.random.default_rng(4)
+        beliefs = rng.dirichlet(np.ones(4), size=16)
+        for belief in beliefs[:8]:
+            bound.refine_at(belief)
+        batch = bound.value_batch(beliefs)
+        singles = [bound.value(belief) for belief in beliefs]
+        assert np.allclose(batch, singles)
+
+    def test_point_beliefs_match_corners(self, discounted):
+        system, _ = discounted
+        pomdp = system.model.pomdp
+        bound = SawtoothUpperBound(pomdp)
+        for state in range(pomdp.n_states):
+            belief = np.zeros(pomdp.n_states)
+            belief[state] = 1.0
+            assert np.isclose(
+                bound.value(belief), bound.corner_values[state]
+            )

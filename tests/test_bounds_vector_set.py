@@ -1,0 +1,128 @@
+"""Tests for BoundVectorSet (Eq. 6 and Section 4.3 storage management)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.vector_set import BoundVectorSet
+from repro.exceptions import ModelError
+
+
+def make_set(**kwargs):
+    return BoundVectorSet(np.array([-2.0, -3.0]), **kwargs)
+
+
+class TestConstruction:
+    def test_single_vector_seed(self):
+        bound_set = make_set()
+        assert len(bound_set) == 1
+        assert bound_set.n_states == 2
+
+    def test_stack_seed(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        assert len(bound_set) == 2
+
+    def test_max_vectors_below_seed_rejected(self):
+        with pytest.raises(ModelError):
+            BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]), max_vectors=1)
+
+
+class TestEvaluation:
+    def test_value_is_max_hyperplane(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        assert bound_set.value(np.array([1.0, 0.0])) == 0.0
+        assert bound_set.value(np.array([0.5, 0.5])) == -0.5
+
+    def test_value_batch_matches_scalar(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        beliefs = np.array([[0.2, 0.8], [0.9, 0.1]])
+        batch = bound_set.value_batch(beliefs)
+        assert np.allclose(batch, [bound_set.value(b) for b in beliefs])
+
+    def test_improvement_at(self):
+        bound_set = make_set()
+        better = np.array([-1.0, -3.0])
+        assert np.isclose(
+            bound_set.improvement_at(better, np.array([1.0, 0.0])), 1.0
+        )
+
+
+class TestAdd:
+    def test_useful_vector_added(self):
+        bound_set = make_set()
+        assert bound_set.add(np.array([-1.0, -4.0]))
+        assert len(bound_set) == 2
+
+    def test_dominated_vector_rejected(self):
+        bound_set = make_set()
+        assert not bound_set.add(np.array([-3.0, -4.0]))
+        assert bound_set.rejections == 1
+
+    def test_belief_gate_rejects_non_improving(self):
+        bound_set = make_set()
+        # Improves at pi=(0,1) but not at the supplied belief (1,0).
+        vector = np.array([-2.5, -2.0])
+        assert not bound_set.add(vector, belief=np.array([1.0, 0.0]))
+
+    def test_min_improvement_threshold(self):
+        bound_set = make_set()
+        vector = np.array([-1.9, -3.0])  # improves by 0.1 at (1,0)
+        assert not bound_set.add(
+            vector, belief=np.array([1.0, 0.0]), min_improvement=0.5
+        )
+        assert bound_set.add(
+            vector, belief=np.array([1.0, 0.0]), min_improvement=0.05
+        )
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ModelError):
+            make_set().add(np.array([-1.0, -1.0, -1.0]))
+
+
+class TestEviction:
+    def test_least_used_evicted(self):
+        bound_set = make_set(max_vectors=2)
+        bound_set.add(np.array([-1.0, -4.0]))  # index 1
+        # Use index 1 a few times so a later arrival evicts... nothing else
+        # is evictable except index 1 itself (index 0 is pinned).
+        for _ in range(3):
+            bound_set.value(np.array([1.0, 0.0]))
+        bound_set.add(np.array([-3.0, -1.0]))  # forces eviction of index 1
+        assert len(bound_set) == 2
+        assert bound_set.evictions == 1
+        # The seed must survive.
+        assert np.allclose(bound_set.vectors[0], [-2.0, -3.0])
+
+    def test_seed_never_evicted(self):
+        bound_set = make_set(max_vectors=2)
+        bound_set.add(np.array([-1.0, -4.0]))
+        bound_set.add(np.array([-4.0, -1.0]))
+        bound_set.add(np.array([-0.5, -5.0]))
+        assert any(
+            np.allclose(vector, [-2.0, -3.0]) for vector in bound_set.vectors
+        )
+
+
+class TestPrune:
+    def test_pointwise_prune(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        bound_set.add(np.array([-1.5, -0.5]))
+        dropped = bound_set.prune("pointwise")
+        assert dropped >= 0
+        assert len(bound_set) >= 2
+
+    def test_lp_prune_removes_interior(self):
+        bound_set = BoundVectorSet(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+        # Interior vector below max of the two: useless everywhere.
+        bound_set._vectors = np.vstack([bound_set._vectors, [-0.6, -0.6]])
+        bound_set._usage = np.append(bound_set._usage, 0)
+        dropped = bound_set.prune("lp")
+        assert dropped == 1
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            make_set().prune("bogus")
+
+    def test_vectors_view_is_readonly(self):
+        bound_set = make_set()
+        with pytest.raises(ValueError):
+            bound_set.vectors[0, 0] = 7.0

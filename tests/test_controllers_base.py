@@ -1,0 +1,118 @@
+"""Tests for the controller lifecycle and belief-tracking base class."""
+
+import numpy as np
+import pytest
+
+from repro.controllers.base import Decision, RecoveryController
+from repro.exceptions import ControllerError
+
+
+class FixedActionController(RecoveryController):
+    """Minimal concrete controller for lifecycle tests."""
+
+    name = "fixed"
+
+    def __init__(self, model, action=0):
+        super().__init__(model)
+        self.action = action
+
+    def _decide(self, belief):
+        return Decision(action=self.action)
+
+
+class TestLifecycle:
+    def test_decide_before_reset_rejected(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        with pytest.raises(ControllerError):
+            controller.decide()
+
+    def test_observe_before_reset_rejected(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        with pytest.raises(ControllerError):
+            controller.observe(0, 0)
+
+    def test_belief_before_reset_rejected(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        with pytest.raises(ControllerError):
+            _ = controller.belief
+
+    def test_reset_installs_initial_fault_belief(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        controller.reset()
+        assert np.allclose(controller.belief, simple_system.model.initial_belief())
+        assert not controller.done
+
+    def test_custom_initial_belief(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        n = simple_system.model.pomdp.n_states
+        belief = np.zeros(n)
+        belief[simple_system.fault_a] = 1.0
+        controller.reset(initial_belief=belief)
+        assert np.allclose(controller.belief, belief)
+
+    def test_wrong_length_initial_belief_rejected(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        with pytest.raises(ControllerError):
+            controller.reset(initial_belief=np.array([1.0]))
+
+    def test_decide_after_terminate_rejected(self, simple_system):
+        class Terminator(FixedActionController):
+            def _decide(self, belief):
+                return Decision(action=-1, is_terminate=True)
+
+        controller = Terminator(simple_system.model)
+        controller.reset()
+        decision = controller.decide()
+        assert decision.is_terminate
+        assert controller.done
+        with pytest.raises(ControllerError):
+            controller.decide()
+
+    def test_belief_returns_copy(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        controller.reset()
+        controller.belief[:] = 0.0
+        assert np.isclose(controller.belief.sum(), 1.0)
+
+
+class TestObserve:
+    def test_bayes_update_applied(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        controller.reset()
+        pomdp = simple_system.model.pomdp
+        looks_a = pomdp.observation_index("looks(a)")
+        controller.observe(simple_system.observe_action, looks_a)
+        belief = controller.belief
+        assert belief[simple_system.fault_a] > belief[simple_system.fault_b]
+
+    def test_impossible_observation_triggers_rediagnosis(self, simple_system):
+        """An observation with zero probability under the belief must reseed
+        from the initial fault distribution instead of crashing."""
+        controller = FixedActionController(simple_system.model)
+        pomdp = simple_system.model.pomdp
+        n = pomdp.n_states
+        certain_null = np.zeros(n)
+        certain_null[simple_system.null_state] = 1.0
+        controller.reset(initial_belief=certain_null)
+        looks_a = pomdp.observation_index("looks(a)")
+        # From certain-null, observe cannot produce looks(a) (fp = 0).
+        controller.observe(simple_system.observe_action, looks_a)
+        belief = controller.belief
+        assert np.isclose(belief.sum(), 1.0)
+        assert belief[simple_system.fault_a] > 0.0
+
+    def test_sync_true_state_is_noop_by_default(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        controller.reset()
+        before = controller.belief
+        controller.sync_true_state(simple_system.fault_b)
+        assert np.allclose(controller.belief, before)
+
+
+class TestTiming:
+    def test_decide_accumulates_stopwatch(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        controller.reset()
+        controller.decide()
+        controller.decide()
+        assert controller.stopwatch.laps == 2

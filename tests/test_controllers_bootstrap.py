@@ -1,0 +1,87 @@
+"""Tests for the bootstrapping phase (Section 4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.vector_set import BoundVectorSet
+from repro.controllers.bootstrap import bootstrap_bounds, reference_belief
+
+
+class TestReferenceBelief:
+    def test_uniform_over_original_states(self, simple_system):
+        belief = reference_belief(simple_system.model)
+        terminate = simple_system.model.terminate_state
+        assert belief[terminate] == 0.0
+        live = np.delete(belief, terminate)
+        assert np.allclose(live, 1.0 / live.size)
+
+    def test_notified_model_uniform_over_all(self, simple_notified_system):
+        belief = reference_belief(simple_notified_system.model)
+        assert np.allclose(belief, 1.0 / belief.size)
+
+
+class TestBootstrapBounds:
+    @pytest.mark.parametrize("variant", ["random", "average"])
+    def test_bounds_improve_monotonically(self, simple_system, variant):
+        _, result = bootstrap_bounds(
+            simple_system.model, iterations=8, variant=variant, seed=0
+        )
+        series = np.concatenate([[result.initial_bound], result.bound_values])
+        assert np.all(np.diff(series) >= -1e-9)
+
+    def test_cost_upper_bounds_negated(self, simple_system):
+        _, result = bootstrap_bounds(
+            simple_system.model, iterations=3, seed=0
+        )
+        assert np.allclose(result.cost_upper_bounds, -result.bound_values)
+
+    def test_vector_growth_bounded_by_updates(self, simple_system):
+        bound_set, result = bootstrap_bounds(
+            simple_system.model, iterations=6, seed=1, min_improvement=0.0
+        )
+        growth = np.diff(np.concatenate([[1], result.vector_counts]))
+        assert np.all(growth <= result.update_counts)
+        assert len(bound_set) == result.vector_counts[-1]
+
+    def test_reuses_supplied_bound_set(self, simple_system):
+        seed_set = BoundVectorSet(ra_bound_vector(simple_system.model.pomdp))
+        bound_set, _ = bootstrap_bounds(
+            simple_system.model, bound_set=seed_set, iterations=2, seed=0
+        )
+        assert bound_set is seed_set
+
+    def test_zero_iterations(self, simple_system):
+        bound_set, result = bootstrap_bounds(
+            simple_system.model, iterations=0, seed=0
+        )
+        assert len(bound_set) == 1
+        assert result.bound_values.size == 0
+
+    def test_invalid_variant_rejected(self, simple_system):
+        with pytest.raises(ValueError, match="variant"):
+            bootstrap_bounds(simple_system.model, variant="other")
+
+    def test_negative_iterations_rejected(self, simple_system):
+        with pytest.raises(ValueError):
+            bootstrap_bounds(simple_system.model, iterations=-1)
+
+    def test_reproducible_with_seed(self, simple_system):
+        _, first = bootstrap_bounds(simple_system.model, iterations=5, seed=9)
+        _, second = bootstrap_bounds(simple_system.model, iterations=5, seed=9)
+        assert np.allclose(first.bound_values, second.bound_values)
+        assert np.array_equal(first.vector_counts, second.vector_counts)
+
+    def test_works_on_notified_model(self, simple_notified_system):
+        bound_set, result = bootstrap_bounds(
+            simple_notified_system.model, iterations=4, seed=2
+        )
+        assert np.all(np.isfinite(result.bound_values))
+
+    def test_emn_bootstrap_improves(self, emn_system):
+        _, result = bootstrap_bounds(
+            emn_system.model, iterations=4, depth=1, variant="average", seed=0
+        )
+        # The RA-Bound at the uniform belief is thousands of dropped
+        # requests; a few refinements should reclaim most of that.
+        assert result.cost_upper_bounds[-1] < -result.initial_bound * 0.5

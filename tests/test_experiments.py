@@ -1,0 +1,150 @@
+"""Tests for the experiment harnesses (small-scale smoke + claim checks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    BoundOutcome,
+    bound_computation_cost,
+    bounds_comparison,
+    format_bounds_comparison,
+)
+from repro.experiments.fig5 import (
+    format_fig5a,
+    format_fig5b,
+    run_fig5,
+    shape_checks,
+)
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    format_table1,
+    make_controller,
+    ordering_checks,
+    run_table1,
+)
+from repro.systems.emn import build_emn_system
+
+
+@pytest.fixture(scope="module")
+def small_fig5():
+    return run_fig5(iterations=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_table1():
+    # Tiny but complete: exercises every controller except depth 3 (slow).
+    return run_table1(
+        injections=20,
+        seed=0,
+        controllers=(
+            "most likely",
+            "heuristic (depth 1)",
+            "bounded (depth 1)",
+            "oracle",
+        ),
+    )
+
+
+class TestFig5:
+    def test_traces_have_requested_length(self, small_fig5):
+        assert small_fig5.random.bound_values.size == 6
+        assert small_fig5.average.bound_values.size == 6
+
+    def test_shape_checks_pass(self, small_fig5):
+        checks = shape_checks(small_fig5)
+        failed = [claim for claim, ok in checks.items() if not ok]
+        assert not failed, failed
+
+    def test_formatting_contains_series(self, small_fig5):
+        text_a = format_fig5a(small_fig5)
+        assert "Iteration" in text_a
+        assert "RA-Bound" in text_a
+        text_b = format_fig5b(small_fig5)
+        assert "|B|" in text_b
+
+    def test_variant_accessor(self, small_fig5):
+        assert small_fig5.variant("random") is small_fig5.random
+        with pytest.raises(KeyError):
+            small_fig5.variant("other")
+
+
+class TestTable1:
+    def test_all_rows_present(self, small_table1):
+        names = [c.controller_name for c in small_table1.campaigns]
+        assert names == [
+            "most likely",
+            "heuristic (depth 1)",
+            "bounded (depth 1)",
+            "oracle",
+        ]
+
+    def test_never_gives_up(self, small_table1):
+        for campaign in small_table1.campaigns:
+            assert campaign.summary.early_terminations == 0
+            assert campaign.summary.unrecovered == 0
+
+    def test_oracle_floor(self, small_table1):
+        oracle = small_table1.campaign("oracle").summary.cost
+        for campaign in small_table1.campaigns:
+            assert oracle <= campaign.summary.cost + 1e-9
+
+    def test_ordering_checks_structure(self, small_table1):
+        checks = ordering_checks(small_table1)
+        assert "no controller ever quit without recovering" in checks
+        assert checks["no controller ever quit without recovering"]
+
+    def test_formatting_includes_paper_rows(self, small_table1):
+        text = format_table1(small_table1)
+        assert "(paper)" in text
+        assert "Never-give-up" in text
+
+    def test_campaign_lookup(self, small_table1):
+        assert small_table1.campaign("oracle").controller_name == "oracle"
+        with pytest.raises(KeyError):
+            small_table1.campaign("ghost")
+
+    def test_paper_reference_table_complete(self):
+        for name, row in PAPER_TABLE1.items():
+            assert len(row) == 6, name
+
+    def test_make_controller_rejects_unknown(self):
+        system = build_emn_system()
+        with pytest.raises(KeyError):
+            make_controller("ghost", system)
+
+
+class TestBoundsComparison:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return bounds_comparison()
+
+    def test_ra_bound_finite_in_both_variants(self, outcomes):
+        ra = [o for o in outcomes if o.bound == "RA-Bound"]
+        assert len(ra) == 2
+        assert all(o.converged for o in ra)
+
+    def test_bi_pomdp_diverges_in_both_variants(self, outcomes):
+        bi = [o for o in outcomes if o.bound == "BI-POMDP"]
+        assert len(bi) == 2
+        assert not any(o.converged for o in bi)
+
+    def test_blind_policy_split(self, outcomes):
+        blind = {o.model: o.converged for o in outcomes if o.bound == "blind policy"}
+        assert blind == {
+            "with notification": False,
+            "without notification": True,
+        }
+
+    def test_formatting(self, outcomes):
+        text = format_bounds_comparison(outcomes)
+        assert "DIVERGES" in text
+        assert "RA-Bound" in text
+
+
+class TestBoundComputationCost:
+    def test_profile_shapes(self):
+        profile = bound_computation_cost(updates=5)
+        assert profile.ra_solve_seconds > 0
+        assert len(profile.refine_seconds_by_set_size) == 5
+        sizes = [size for size, _ in profile.refine_seconds_by_set_size]
+        assert sizes == sorted(sizes)  # |B| never shrinks during refinement

@@ -1,0 +1,66 @@
+"""Smoke tests for the experiments CLI and the markdown report module."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.report import fig5_markdown, table1_markdown
+from repro.experiments.table1 import run_table1
+
+
+class TestCLI:
+    def test_bounds_command(self, capsys):
+        main(["bounds"])
+        out = capsys.readouterr().out
+        assert "RA-Bound" in out
+        assert "DIVERGES" in out
+
+    def test_fig5a_command(self, capsys):
+        main(["fig5a", "--iterations", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "Claim checks" in out
+
+    def test_fig5b_command(self, capsys):
+        main(["fig5b", "--iterations", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "Figure 5(b)" in out
+
+    def test_table1_command_skip_depth3(self, capsys):
+        main(["table1", "--injections", "5", "--seed", "1", "--skip-depth3"])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "heuristic (depth 3)" not in out
+        assert "bounded (depth 1)" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReportMarkdown:
+    @pytest.fixture(scope="class")
+    def fig5_result(self):
+        return run_fig5(iterations=3, seed=0)
+
+    @pytest.fixture(scope="class")
+    def table1_result(self):
+        return run_table1(
+            injections=5,
+            seed=0,
+            controllers=("most likely", "bounded (depth 1)", "oracle"),
+        )
+
+    def test_fig5_markdown_structure(self, fig5_result):
+        text = fig5_markdown(fig5_result)
+        assert text.startswith("| Iteration |")
+        assert "RA-Bound" in text
+        assert "Shape claims" in text
+
+    def test_table1_markdown_structure(self, table1_result):
+        text = table1_markdown(table1_result)
+        assert "paper / ours" in text
+        assert "most likely" in text
+        assert "Qualitative claims" in text
+        # Oracle's missing paper algorithm time renders as a dash.
+        assert "- /" in text

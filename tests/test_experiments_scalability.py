@@ -1,0 +1,31 @@
+"""Tests for the RA-Bound scalability experiment."""
+
+import numpy as np
+
+from repro.experiments.scalability import (
+    format_scalability,
+    run_scalability,
+    verify_against_dense,
+)
+
+
+class TestScalability:
+    def test_sparse_matches_dense_on_small_instance(self):
+        assert verify_against_dense((2, 2, 2)) < 1e-8
+
+    def test_sweep_points_have_expected_sizes(self):
+        points = run_scalability(sizes=(2, 10), n_tiers=3)
+        assert [point.n_states for point in points] == [14, 62]
+        assert all(point.solve_seconds >= 0 for point in points)
+        assert all(np.isfinite(point.sample_value) for point in points)
+
+    def test_handles_large_instance(self):
+        points = run_scalability(sizes=(5_000,), n_tiers=3)
+        assert points[0].n_states == 30_002
+        assert points[0].sample_value < 0
+
+    def test_formatting(self):
+        points = run_scalability(sizes=(2,), n_tiers=2)
+        text = format_scalability(points)
+        assert "RA solve (ms)" in text
+        assert "States" in text

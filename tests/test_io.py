@@ -1,0 +1,105 @@
+"""Tests for model and bound-set serialization."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.vector_set import BoundVectorSet
+from repro.exceptions import ModelError
+from repro.io import (
+    load_bound_set,
+    load_pomdp,
+    load_recovery_model,
+    save_bound_set,
+    save_pomdp,
+    save_recovery_model,
+)
+from tests.test_pomdp_model import tiny_pomdp
+
+
+class TestPOMDPRoundTrip:
+    def test_arrays_and_labels_survive(self, tmp_path):
+        original = tiny_pomdp(discount=0.9)
+        path = tmp_path / "model.npz"
+        save_pomdp(path, original)
+        loaded = load_pomdp(path)
+        assert np.array_equal(loaded.transitions, original.transitions)
+        assert np.array_equal(loaded.observations, original.observations)
+        assert np.array_equal(loaded.rewards, original.rewards)
+        assert loaded.state_labels == original.state_labels
+        assert loaded.action_labels == original.action_labels
+        assert loaded.observation_labels == original.observation_labels
+        assert loaded.discount == original.discount
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, BoundVectorSet(np.array([-1.0, 0.0])))
+        with pytest.raises(ModelError, match="expected pomdp"):
+            load_pomdp(path)
+
+
+class TestRecoveryModelRoundTrip:
+    def test_unnotified_model(self, tmp_path, simple_system):
+        path = tmp_path / "recovery.npz"
+        save_recovery_model(path, simple_system.model)
+        loaded = load_recovery_model(path)
+        original = simple_system.model
+        assert loaded.terminate_state == original.terminate_state
+        assert loaded.terminate_action == original.terminate_action
+        assert loaded.operator_response_time == original.operator_response_time
+        assert np.array_equal(loaded.null_states, original.null_states)
+        assert np.array_equal(loaded.durations, original.durations)
+        assert np.array_equal(
+            loaded.passive_actions, original.passive_actions
+        )
+        assert np.array_equal(
+            loaded.pomdp.rewards, original.pomdp.rewards
+        )
+
+    def test_notified_model(self, tmp_path, simple_notified_system):
+        path = tmp_path / "recovery.npz"
+        save_recovery_model(path, simple_notified_system.model)
+        loaded = load_recovery_model(path)
+        assert loaded.recovery_notification
+        assert loaded.terminate_state is None
+        assert loaded.operator_response_time is None
+
+    def test_emn_round_trip_preserves_behaviour(self, tmp_path, emn_system):
+        """The reloaded model must produce the identical RA-Bound."""
+        path = tmp_path / "emn.npz"
+        save_recovery_model(path, emn_system.model)
+        loaded = load_recovery_model(path)
+        assert np.allclose(
+            ra_bound_vector(loaded.pomdp),
+            ra_bound_vector(emn_system.model.pomdp),
+        )
+
+
+class TestBoundSetRoundTrip:
+    def test_vectors_usage_and_pinning_survive(self, tmp_path):
+        bound_set = BoundVectorSet(np.array([-2.0, -3.0]), max_vectors=5)
+        bound_set.add(np.array([-1.0, -4.0]))
+        bound_set.value(np.array([1.0, 0.0]))  # bump a usage counter
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, bound_set)
+        loaded = load_bound_set(path)
+        assert np.array_equal(loaded.vectors, bound_set.vectors)
+        assert np.array_equal(loaded._usage, bound_set._usage)
+        assert loaded._pinned == bound_set._pinned
+        assert loaded.max_vectors == 5
+
+    def test_unlimited_storage_round_trip(self, tmp_path):
+        bound_set = BoundVectorSet(np.array([-1.0, -1.0]))
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, bound_set)
+        assert load_bound_set(path).max_vectors is None
+
+    def test_loaded_set_evaluates_identically(self, tmp_path, simple_system):
+        pomdp = simple_system.model.pomdp
+        bound_set = BoundVectorSet(ra_bound_vector(pomdp))
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, bound_set)
+        loaded = load_bound_set(path)
+        rng = np.random.default_rng(0)
+        for belief in rng.dirichlet(np.ones(pomdp.n_states), size=16):
+            assert np.isclose(loaded.value(belief), bound_set.value(belief))

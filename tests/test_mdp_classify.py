@@ -1,0 +1,69 @@
+"""Tests for repro.mdp.classify."""
+
+import numpy as np
+
+from repro.mdp.classify import classify_chain, reachable_set
+
+
+class TestClassifyChain:
+    def test_absorbing_state_detected(self):
+        chain = np.array([[0.5, 0.5], [0.0, 1.0]])
+        result = classify_chain(chain)
+        assert result.absorbing.tolist() == [False, True]
+        assert result.recurrent.tolist() == [False, True]
+        assert result.transient.tolist() == [True, False]
+
+    def test_cycle_is_recurrent_not_absorbing(self):
+        chain = np.array([[0.0, 1.0], [1.0, 0.0]])
+        result = classify_chain(chain)
+        assert result.recurrent.all()
+        assert not result.absorbing.any()
+        assert len(result.recurrent_classes) == 1
+        assert result.recurrent_classes[0] == frozenset({0, 1})
+
+    def test_two_recurrent_classes(self):
+        chain = np.array(
+            [
+                [0.5, 0.25, 0.25],
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        result = classify_chain(chain)
+        assert len(result.recurrent_classes) == 2
+        assert result.transient.tolist() == [True, False, False]
+
+    def test_identity_chain_all_absorbing(self):
+        result = classify_chain(np.eye(3))
+        assert result.absorbing.all()
+        assert len(result.recurrent_classes) == 3
+
+    def test_near_zero_probabilities_ignored(self):
+        chain = np.array([[1.0 - 1e-15, 1e-15], [0.0, 1.0]])
+        result = classify_chain(chain)
+        # The 1e-15 edge is structural noise: state 0 stays recurrent.
+        assert result.recurrent.tolist() == [True, True]
+
+
+class TestReachableSet:
+    def test_simple_path(self):
+        chain = np.array(
+            [
+                [0.0, 1.0, 0.0],
+                [0.0, 0.0, 1.0],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        reached = reachable_set(chain, np.array([True, False, False]))
+        assert reached.all()
+
+    def test_unreachable_island(self):
+        chain = np.eye(2)
+        reached = reachable_set(chain, np.array([True, False]))
+        assert reached.tolist() == [True, False]
+
+    def test_reverse_reachability_pattern(self):
+        # reachable_set on the transpose answers "who can reach the mask".
+        chain = np.array([[0.0, 1.0], [0.0, 1.0]])
+        can_reach_1 = reachable_set(chain.T, np.array([False, True]))
+        assert can_reach_1.all()

@@ -1,0 +1,111 @@
+"""Tests for repro.mdp.linear_solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DivergenceError
+from repro.mdp.linear_solvers import (
+    gauss_seidel,
+    jacobi,
+    solve_direct,
+    solve_markov_reward,
+)
+
+# Absorbing chain: state 0 -> {0 w.p. .5, 1 w.p. .5}, state 1 absorbing.
+CHAIN = np.array([[0.5, 0.5], [0.0, 1.0]])
+REWARD = np.array([-1.0, 0.0])
+# Expected accumulated reward from state 0: -1 * E[steps] = -2.
+EXPECTED = np.array([-2.0, 0.0])
+
+
+class TestAgreementAcrossSolvers:
+    def test_gauss_seidel(self):
+        assert np.allclose(gauss_seidel(CHAIN, REWARD), EXPECTED, atol=1e-8)
+
+    def test_jacobi(self):
+        assert np.allclose(jacobi(CHAIN, REWARD), EXPECTED, atol=1e-8)
+
+    def test_direct_with_transient_mask(self):
+        out = solve_direct(
+            CHAIN, REWARD, transient_states=np.array([True, False])
+        )
+        assert np.allclose(out, EXPECTED, atol=1e-10)
+
+    def test_front_door_dispatch(self):
+        for method in ("gauss-seidel", "jacobi"):
+            out = solve_markov_reward(CHAIN, REWARD, method=method)
+            assert np.allclose(out, EXPECTED, atol=1e-8)
+        out = solve_markov_reward(
+            CHAIN,
+            REWARD,
+            method="direct",
+            transient_states=np.array([True, False]),
+        )
+        assert np.allclose(out, EXPECTED, atol=1e-8)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            solve_markov_reward(CHAIN, REWARD, method="magic")
+
+
+class TestSOR:
+    def test_over_relaxation_converges_to_same_answer(self):
+        for omega in (0.8, 1.0, 1.3):
+            out = gauss_seidel(CHAIN, REWARD, omega=omega)
+            assert np.allclose(out, EXPECTED, atol=1e-8)
+
+    def test_invalid_omega_rejected(self):
+        with pytest.raises(ValueError, match="omega"):
+            gauss_seidel(CHAIN, REWARD, omega=2.5)
+
+
+class TestDiscounted:
+    def test_discounted_absorbing_with_reward(self):
+        # Recurrent state with reward -1 and discount 0.5: value = -2.
+        chain = np.array([[1.0]])
+        reward = np.array([-1.0])
+        for solver in (gauss_seidel, jacobi):
+            out = solver(chain, reward, discount=0.5)
+            assert np.allclose(out, [-2.0], atol=1e-8)
+        out = solve_direct(chain, reward, discount=0.5)
+        assert np.allclose(out, [-2.0], atol=1e-10)
+
+
+class TestDivergence:
+    def test_absorbing_reward_state_diverges(self):
+        chain = np.array([[1.0]])
+        reward = np.array([-1.0])
+        with pytest.raises(DivergenceError):
+            gauss_seidel(chain, reward)
+        with pytest.raises(DivergenceError):
+            jacobi(chain, reward)
+
+    def test_recurrent_class_with_reward_diverges(self):
+        # Two states cycling forever, both accruing cost.
+        chain = np.array([[0.0, 1.0], [1.0, 0.0]])
+        reward = np.array([-1.0, -1.0])
+        with pytest.raises(DivergenceError):
+            jacobi(chain, reward)
+
+    def test_slow_linear_divergence_detected(self):
+        # A long transient runway into a cost-accruing recurrent state:
+        # residuals stall instead of blowing up; the stagnation check must
+        # catch it within a couple of windows, not after 1e12 cost.
+        chain = np.array([[0.9, 0.1], [0.0, 1.0]])
+        reward = np.array([0.0, -0.001])
+        with pytest.raises(DivergenceError):
+            jacobi(chain, reward, max_iterations=50_000)
+
+
+class TestDirectSolver:
+    def test_no_transient_states_returns_zero(self):
+        out = solve_direct(
+            np.array([[1.0]]), np.array([0.0]),
+            transient_states=np.array([False]),
+        )
+        assert np.allclose(out, [0.0])
+
+    def test_full_solve_discounted(self):
+        out = solve_direct(CHAIN, REWARD, discount=0.9)
+        manual = np.linalg.solve(np.eye(2) - 0.9 * CHAIN, REWARD)
+        assert np.allclose(out, manual)

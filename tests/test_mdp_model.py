@@ -1,0 +1,127 @@
+"""Tests for repro.mdp.model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.mdp.model import MDP
+
+
+def two_state_mdp(discount: float = 1.0) -> MDP:
+    """Fault/null toy: action 0 repairs, action 1 idles."""
+    transitions = np.array(
+        [
+            [[0.0, 1.0], [0.0, 1.0]],  # repair: fault -> null, null loops
+            [[1.0, 0.0], [0.0, 1.0]],  # idle
+        ]
+    )
+    rewards = np.array([[-0.5, 0.0], [-1.0, 0.0]])
+    return MDP(
+        transitions=transitions,
+        rewards=rewards,
+        state_labels=("fault", "null"),
+        action_labels=("repair", "idle"),
+        discount=discount,
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        mdp = two_state_mdp()
+        assert mdp.n_states == 2
+        assert mdp.n_actions == 2
+
+    def test_default_labels_generated(self):
+        mdp = MDP(
+            transitions=np.array([[[1.0]]]),
+            rewards=np.array([[0.0]]),
+        )
+        assert mdp.state_labels == ("s0",)
+        assert mdp.action_labels == ("a0",)
+
+    def test_non_stochastic_rejected(self):
+        with pytest.raises(ModelError):
+            MDP(
+                transitions=np.array([[[0.5, 0.4], [0.0, 1.0]]]),
+                rewards=np.array([[0.0, 0.0]]),
+            )
+
+    def test_reward_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError, match="rewards"):
+            MDP(
+                transitions=np.array([[[1.0, 0.0], [0.0, 1.0]]]),
+                rewards=np.array([[0.0]]),
+            )
+
+    def test_bad_discount_rejected(self):
+        with pytest.raises(ModelError, match="discount"):
+            two_state_mdp(discount=1.5)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ModelError, match="unique"):
+            MDP(
+                transitions=np.array([[[1.0, 0.0], [0.0, 1.0]]]),
+                rewards=np.array([[0.0, 0.0]]),
+                state_labels=("x", "x"),
+            )
+
+    def test_wrong_label_count_rejected(self):
+        with pytest.raises(ModelError, match="state labels"):
+            MDP(
+                transitions=np.array([[[1.0, 0.0], [0.0, 1.0]]]),
+                rewards=np.array([[0.0, 0.0]]),
+                state_labels=("only-one",),
+            )
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ModelError):
+            MDP(
+                transitions=np.zeros((0, 1, 1)),
+                rewards=np.zeros((0, 1)),
+            )
+
+
+class TestIndices:
+    def test_state_index(self):
+        mdp = two_state_mdp()
+        assert mdp.state_index("null") == 1
+
+    def test_action_index(self):
+        mdp = two_state_mdp()
+        assert mdp.action_index("repair") == 0
+
+    def test_unknown_label_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            two_state_mdp().state_index("nope")
+
+
+class TestChains:
+    def test_uniform_chain_is_action_mean(self):
+        mdp = two_state_mdp()
+        chain, reward = mdp.uniform_chain()
+        assert np.allclose(chain[0], [0.5, 0.5])  # mean of repair/idle rows
+        assert np.isclose(reward[0], -0.75)
+
+    def test_policy_chain_selects_rows(self):
+        mdp = two_state_mdp()
+        chain, reward = mdp.policy_chain(np.array([0, 1]))
+        assert np.allclose(chain[0], [0.0, 1.0])
+        assert np.isclose(reward[0], -0.5)
+        assert np.isclose(reward[1], 0.0)
+
+    def test_policy_chain_validates_shape(self):
+        with pytest.raises(ModelError):
+            two_state_mdp().policy_chain(np.array([0]))
+
+    def test_policy_chain_validates_range(self):
+        with pytest.raises(ModelError):
+            two_state_mdp().policy_chain(np.array([0, 5]))
+
+
+class TestWithDiscount:
+    def test_returns_new_instance(self):
+        mdp = two_state_mdp()
+        discounted = mdp.with_discount(0.5)
+        assert discounted.discount == 0.5
+        assert mdp.discount == 1.0
+        assert np.array_equal(discounted.transitions, mdp.transitions)

@@ -1,0 +1,137 @@
+"""Tests for value iteration, policy iteration, and policy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DivergenceError
+from repro.mdp.model import MDP
+from repro.mdp.policy import Policy, evaluate_policy, greedy_policy
+from repro.mdp.policy_iteration import policy_iteration
+from repro.mdp.value_iteration import value_iteration
+
+
+def recovery_mdp() -> MDP:
+    """Fully observable Figure 1(a): fault(a), fault(b), null (absorbing).
+
+    restart(x) repairs fault(x) at cost 0.5, costs 1.0 in the other fault,
+    0.5 in null; null is made absorbing and free (Figure 2(a) treatment).
+    """
+    # states: fault(a)=0, fault(b)=1, null=2
+    transitions = np.array(
+        [
+            # restart(a)
+            [[0.0, 0.0, 1.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+            # restart(b)
+            [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.0, 0.0, 1.0]],
+            # observe
+            [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        ]
+    )
+    rewards = np.array(
+        [
+            [-0.5, -1.0, 0.0],
+            [-1.0, -0.5, 0.0],
+            [-0.5, -0.5, 0.0],
+        ]
+    )
+    return MDP(
+        transitions=transitions,
+        rewards=rewards,
+        state_labels=("fault(a)", "fault(b)", "null"),
+        action_labels=("restart(a)", "restart(b)", "observe"),
+    )
+
+
+class TestValueIteration:
+    def test_undiscounted_recovery_value(self):
+        solution = value_iteration(recovery_mdp())
+        # With full observability the right restart fixes each fault at 0.5.
+        assert np.allclose(solution.value, [-0.5, -0.5, 0.0], atol=1e-8)
+        assert solution.policy[0] == 0
+        assert solution.policy[1] == 1
+
+    def test_gauss_seidel_matches_jacobi_sweeps(self):
+        plain = value_iteration(recovery_mdp())
+        in_place = value_iteration(recovery_mdp(), gauss_seidel=True)
+        assert np.allclose(plain.value, in_place.value, atol=1e-8)
+        assert in_place.iterations <= plain.iterations
+
+    def test_discounted_value(self):
+        mdp = recovery_mdp().with_discount(0.9)
+        solution = value_iteration(mdp)
+        assert np.allclose(solution.value, [-0.5, -0.5, 0.0], atol=1e-8)
+
+    def test_minimize_diverges_on_undiscounted_recovery(self):
+        # The worst action never repairs and accrues cost forever.
+        with pytest.raises(DivergenceError):
+            value_iteration(recovery_mdp(), minimize=True)
+
+    def test_minimize_converges_when_discounted(self):
+        mdp = recovery_mdp().with_discount(0.5)
+        solution = value_iteration(mdp, minimize=True)
+        # Worst-case from fault(a): pay 1.0 forever discounted = -2.0.
+        assert np.allclose(solution.value[0], -2.0, atol=1e-8)
+
+    def test_initial_value_honoured(self):
+        solution = value_iteration(
+            recovery_mdp(), initial_value=np.array([-0.5, -0.5, 0.0])
+        )
+        assert solution.iterations <= 2
+
+
+class TestPolicyEvaluation:
+    def test_optimal_policy_value(self):
+        mdp = recovery_mdp()
+        value = evaluate_policy(mdp, Policy(actions=np.array([0, 1, 2])))
+        assert np.allclose(value, [-0.5, -0.5, 0.0], atol=1e-10)
+
+    def test_bad_policy_diverges(self):
+        mdp = recovery_mdp()
+        # restart(b) everywhere never repairs fault(a).
+        with pytest.raises(DivergenceError):
+            evaluate_policy(mdp, Policy(actions=np.array([1, 1, 1])))
+
+    def test_greedy_policy_from_optimal_value(self):
+        mdp = recovery_mdp()
+        policy = greedy_policy(mdp, np.array([-0.5, -0.5, 0.0]))
+        assert policy[0] == 0
+        assert policy[1] == 1
+
+
+class TestPolicyIteration:
+    def test_matches_value_iteration(self):
+        vi = value_iteration(recovery_mdp())
+        pi = policy_iteration(recovery_mdp())
+        assert np.allclose(vi.value, pi.value, atol=1e-8)
+        assert np.array_equal(
+            vi.policy.actions[:2], pi.policy.actions[:2]
+        )  # null state action is arbitrary
+
+    def test_discounted_matches_value_iteration(self):
+        mdp = recovery_mdp().with_discount(0.8)
+        vi = value_iteration(mdp)
+        pi = policy_iteration(mdp)
+        assert np.allclose(vi.value, pi.value, atol=1e-8)
+
+    def test_accepts_explicit_initial_policy(self):
+        solution = policy_iteration(
+            recovery_mdp(), initial_policy=np.array([0, 1, 2])
+        )
+        assert np.allclose(solution.value, [-0.5, -0.5, 0.0], atol=1e-8)
+
+
+class TestPolicyType:
+    def test_describe_uses_labels(self):
+        mdp = recovery_mdp()
+        policy = Policy(actions=np.array([0, 1, 2]), action_labels=mdp.action_labels)
+        text = policy.describe(mdp.state_labels)
+        assert "fault(a) -> restart(a)" in text
+
+    def test_len_and_getitem(self):
+        policy = Policy(actions=np.array([2, 0]))
+        assert len(policy) == 2
+        assert policy[0] == 2
+
+    def test_label_without_names(self):
+        policy = Policy(actions=np.array([1]))
+        assert policy.label(0) == "a1"

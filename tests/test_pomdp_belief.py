@@ -1,0 +1,169 @@
+"""Tests for belief updates (Eqs. 3-4), including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BeliefError
+from repro.pomdp.belief import (
+    belief_bellman_backup,
+    belief_reward,
+    next_beliefs,
+    observation_probabilities,
+    point_belief,
+    predicted_belief,
+    uniform_belief,
+    update_belief,
+)
+from tests.conftest import random_pomdp
+from tests.test_pomdp_model import tiny_pomdp
+
+
+class TestUniformAndPointBeliefs:
+    def test_uniform(self):
+        pomdp = tiny_pomdp()
+        assert np.allclose(uniform_belief(pomdp), [0.5, 0.5])
+
+    def test_uniform_with_support(self):
+        pomdp = tiny_pomdp()
+        belief = uniform_belief(pomdp, support=np.array([True, False]))
+        assert np.allclose(belief, [1.0, 0.0])
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(BeliefError):
+            uniform_belief(tiny_pomdp(), support=np.array([False, False]))
+
+    def test_point(self):
+        assert np.allclose(point_belief(tiny_pomdp(), 1), [0.0, 1.0])
+
+    def test_point_out_of_range(self):
+        with pytest.raises(BeliefError):
+            point_belief(tiny_pomdp(), 5)
+
+
+class TestBayesUpdate:
+    def test_repair_action_concentrates_on_null(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.5, 0.5])
+        posterior = update_belief(pomdp, belief, action=0, observation=1)
+        assert np.allclose(posterior, [0.0, 1.0])
+
+    def test_idle_with_alarm_shifts_toward_fault(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.5, 0.5])
+        posterior = update_belief(pomdp, belief, action=1, observation=0)
+        # P(fault|alarm) = .5*.9 / (.5*.9 + .5*.2)
+        assert np.isclose(posterior[0], 0.45 / 0.55)
+
+    def test_impossible_observation_raises(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([1.0, 0.0])
+        # repair surely moves to null, where alarm has probability 0.2 > 0,
+        # so craft a zero-probability case with a point observation model.
+        deterministic = tiny_pomdp()
+        observations = deterministic.observations.copy()
+        observations[0] = np.array([[1.0, 0.0], [0.0, 1.0]])
+        from repro.pomdp.model import POMDP
+
+        model = POMDP(
+            transitions=deterministic.transitions,
+            observations=observations,
+            rewards=deterministic.rewards,
+        )
+        with pytest.raises(BeliefError):
+            update_belief(model, belief, action=0, observation=0)
+
+    def test_gamma_matches_manual_computation(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.3, 0.7])
+        gamma = observation_probabilities(pomdp, belief, action=1)
+        predicted = predicted_belief(pomdp, belief, 1)
+        manual = predicted @ pomdp.observations[1]
+        assert np.allclose(gamma, manual)
+
+
+class TestNextBeliefs:
+    def test_matches_per_observation_updates(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.4, 0.6])
+        reachable, posteriors = next_beliefs(pomdp, belief, action=1)
+        for index, observation in enumerate(reachable):
+            expected = update_belief(pomdp, belief, 1, int(observation))
+            assert np.allclose(posteriors[index], expected)
+
+    def test_prunes_zero_probability_branches(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([1.0, 0.0])
+        reachable, posteriors = next_beliefs(pomdp, belief, action=0)
+        gamma = observation_probabilities(pomdp, belief, 0)
+        assert set(reachable.tolist()) == set(np.flatnonzero(gamma > 0).tolist())
+
+
+class TestBeliefReward:
+    def test_expected_reward(self):
+        pomdp = tiny_pomdp()
+        assert np.isclose(
+            belief_reward(pomdp, np.array([0.5, 0.5]), 0), -0.25
+        )
+
+
+class TestBellmanBackup:
+    def test_backup_of_zero_value_is_max_expected_reward(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.5, 0.5])
+        backed = belief_bellman_backup(pomdp, belief, lambda b: 0.0)
+        assert np.isclose(backed, -0.25)  # repair is the cheaper action
+
+
+# -- property-based invariants ------------------------------------------------
+
+
+@st.composite
+def pomdp_and_belief(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    pomdp = random_pomdp(rng)
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0),
+            min_size=pomdp.n_states,
+            max_size=pomdp.n_states,
+        )
+    )
+    belief = np.array(weights)
+    return pomdp, belief / belief.sum()
+
+
+@given(pomdp_and_belief())
+@settings(max_examples=40, deadline=None)
+def test_posterior_is_distribution(case):
+    pomdp, belief = case
+    for action in range(pomdp.n_actions):
+        reachable, posteriors = next_beliefs(pomdp, belief, action)
+        assert np.all(posteriors >= -1e-12)
+        assert np.allclose(posteriors.sum(axis=1), 1.0)
+
+
+@given(pomdp_and_belief())
+@settings(max_examples=40, deadline=None)
+def test_gamma_is_distribution(case):
+    pomdp, belief = case
+    for action in range(pomdp.n_actions):
+        gamma = observation_probabilities(pomdp, belief, action)
+        assert np.all(gamma >= -1e-12)
+        assert np.isclose(gamma.sum(), 1.0)
+
+
+@given(pomdp_and_belief())
+@settings(max_examples=40, deadline=None)
+def test_total_probability_of_posteriors(case):
+    """The gamma-weighted posteriors must reconstruct the predicted belief."""
+    pomdp, belief = case
+    for action in range(pomdp.n_actions):
+        gamma = observation_probabilities(pomdp, belief, action)
+        reachable, posteriors = next_beliefs(pomdp, belief, action)
+        reconstruction = gamma[reachable] @ posteriors
+        assert np.allclose(
+            reconstruction, predicted_belief(pomdp, belief, action), atol=1e-9
+        )

@@ -1,0 +1,120 @@
+"""Tests for the reachable belief-state MDP solver."""
+
+import numpy as np
+import pytest
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.vector_set import BoundVectorSet
+from repro.exceptions import ModelError
+from repro.pomdp.belief_mdp import expand_belief_mdp, solve_belief_mdp
+from repro.pomdp.exact import solve_exact
+from repro.pomdp.tree import expand_tree
+from repro.systems.simple import build_simple_system
+
+
+class TestExpansion:
+    def test_initial_belief_is_row_zero(self, simple_system):
+        initial = simple_system.model.initial_belief()
+        belief_mdp = expand_belief_mdp(
+            simple_system.model.pomdp, initial, horizon=2
+        )
+        assert np.allclose(belief_mdp.beliefs[0], initial)
+        assert not belief_mdp.frontier[0]
+
+    def test_horizon_zero_is_all_frontier(self, simple_system):
+        belief_mdp = expand_belief_mdp(
+            simple_system.model.pomdp,
+            simple_system.model.initial_belief(),
+            horizon=0,
+        )
+        assert belief_mdp.n_beliefs == 1
+        assert belief_mdp.frontier.all()
+
+    def test_negative_horizon_rejected(self, simple_system):
+        with pytest.raises(ModelError):
+            expand_belief_mdp(
+                simple_system.model.pomdp,
+                simple_system.model.initial_belief(),
+                horizon=-1,
+            )
+
+    def test_max_beliefs_respected(self, emn_system):
+        belief_mdp = expand_belief_mdp(
+            emn_system.model.pomdp,
+            emn_system.model.initial_belief(),
+            horizon=3,
+            max_beliefs=30,
+        )
+        assert belief_mdp.n_beliefs <= 30
+
+    def test_interior_branches_are_distributions(self, simple_system):
+        belief_mdp = expand_belief_mdp(
+            simple_system.model.pomdp,
+            simple_system.model.initial_belief(),
+            horizon=2,
+        )
+        for node in np.flatnonzero(~belief_mdp.frontier):
+            for branch in belief_mdp.successors[node]:
+                total = sum(probability for probability, _ in branch)
+                assert np.isclose(total, 1.0, atol=1e-9)
+
+    def test_beliefs_deduplicated(self, simple_system):
+        belief_mdp = expand_belief_mdp(
+            simple_system.model.pomdp,
+            simple_system.model.initial_belief(),
+            horizon=3,
+        )
+        rounded = {tuple(np.round(b, 10)) for b in belief_mdp.beliefs}
+        assert len(rounded) == belief_mdp.n_beliefs
+
+
+class TestSolve:
+    def test_value_at_least_leaf_bound(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        leaf = BoundVectorSet(ra_bound_vector(pomdp))
+        belief_mdp = expand_belief_mdp(
+            pomdp, simple_system.model.initial_belief(), horizon=3
+        )
+        values = solve_belief_mdp(belief_mdp, leaf)
+        leaf_values = leaf.value_batch(belief_mdp.beliefs)
+        assert np.all(values >= leaf_values - 1e-9)
+
+    def test_matches_tree_at_depth_one_horizon_one(self, simple_system):
+        """Horizon-1 belief MDP with a lower-bound leaf equals the depth-1
+        tree value at the root."""
+        pomdp = simple_system.model.pomdp
+        leaf = BoundVectorSet(ra_bound_vector(pomdp))
+        initial = simple_system.model.initial_belief()
+        belief_mdp = expand_belief_mdp(pomdp, initial, horizon=1)
+        values = solve_belief_mdp(belief_mdp, leaf, max_iterations=1)
+        tree = expand_tree(pomdp, initial, depth=1, leaf=leaf)
+        assert values[0] >= tree.value - 1e-9
+
+    def test_stays_below_exact_value_discounted(self):
+        system = build_simple_system(recovery_notification=False, discount=0.85)
+        pomdp = system.model.pomdp
+        exact = solve_exact(pomdp, tol=1e-6)
+        leaf = BoundVectorSet(ra_bound_vector(pomdp))
+        belief_mdp = expand_belief_mdp(
+            pomdp, system.model.initial_belief(), horizon=3
+        )
+        values = solve_belief_mdp(belief_mdp, leaf)
+        for node in range(belief_mdp.n_beliefs):
+            assert (
+                values[node]
+                <= exact.value(belief_mdp.beliefs[node])
+                + exact.error_bound
+                + 1e-7
+            )
+
+    def test_deeper_horizon_tightens_root_value(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        leaf = BoundVectorSet(ra_bound_vector(pomdp))
+        initial = simple_system.model.initial_belief()
+        shallow = solve_belief_mdp(
+            expand_belief_mdp(pomdp, initial, horizon=1), leaf
+        )[0]
+        deep = solve_belief_mdp(
+            expand_belief_mdp(pomdp, initial, horizon=3), leaf
+        )[0]
+        assert deep >= shallow - 1e-9

@@ -1,0 +1,68 @@
+"""Tests for Monahan exact value iteration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.pomdp.exact import solve_exact
+from repro.pomdp.tree import expand_tree
+from tests.test_pomdp_model import tiny_pomdp
+
+
+@pytest.fixture(scope="module")
+def tiny_solution():
+    pomdp = tiny_pomdp(discount=0.8)
+    return pomdp, solve_exact(pomdp, tol=1e-5)
+
+
+class TestSolveExact:
+    def test_undiscounted_rejected(self):
+        with pytest.raises(ModelError, match="discount"):
+            solve_exact(tiny_pomdp(discount=1.0))
+
+    def test_error_bound_met(self, tiny_solution):
+        _, solution = tiny_solution
+        assert solution.error_bound <= 1e-5
+
+    def test_value_is_nonpositive(self, tiny_solution):
+        pomdp, solution = tiny_solution
+        rng = np.random.default_rng(0)
+        for belief in rng.dirichlet(np.ones(pomdp.n_states), size=32):
+            assert solution.value(belief) <= 1e-9
+
+    def test_value_function_is_convex_along_a_segment(self, tiny_solution):
+        pomdp, solution = tiny_solution
+        a = np.array([1.0, 0.0])
+        b = np.array([0.0, 1.0])
+        va, vb = solution.value(a), solution.value(b)
+        for t in np.linspace(0, 1, 11):
+            mixed = (1 - t) * a + t * b
+            assert solution.value(mixed) <= (1 - t) * va + t * vb + 1e-9
+
+    def test_bellman_fixed_point(self, tiny_solution):
+        """V* must satisfy V = L_p V up to the error bound."""
+        pomdp, solution = tiny_solution
+        rng = np.random.default_rng(1)
+        for belief in rng.dirichlet(np.ones(pomdp.n_states), size=16):
+            backed_up = expand_tree(pomdp, belief, depth=1, leaf=solution).value
+            assert abs(backed_up - solution.value(belief)) <= 3e-5
+
+    def test_value_batch_matches_scalar(self, tiny_solution):
+        pomdp, solution = tiny_solution
+        beliefs = np.random.default_rng(2).dirichlet(
+            np.ones(pomdp.n_states), size=8
+        )
+        batch = solution.value_batch(beliefs)
+        assert np.allclose(batch, [solution.value(b) for b in beliefs])
+
+    def test_greedy_action_repairs_known_fault(self, tiny_solution):
+        pomdp, solution = tiny_solution
+        assert solution.greedy_action(pomdp, np.array([1.0, 0.0])) == 0
+
+    def test_pointwise_prune_variant_agrees(self):
+        pomdp = tiny_pomdp(discount=0.8)
+        lp = solve_exact(pomdp, tol=1e-4, prune="lp")
+        pw = solve_exact(pomdp, tol=1e-4, prune="pointwise")
+        rng = np.random.default_rng(3)
+        for belief in rng.dirichlet(np.ones(pomdp.n_states), size=16):
+            assert abs(lp.value(belief) - pw.value(belief)) <= 1e-6

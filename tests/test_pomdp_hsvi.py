@@ -1,0 +1,59 @@
+"""Tests for heuristic search value iteration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.pomdp.exact import solve_exact
+from repro.pomdp.hsvi import solve_hsvi
+from repro.systems.simple import build_simple_system
+
+
+@pytest.fixture(scope="module")
+def discounted_system():
+    return build_simple_system(recovery_notification=False, discount=0.9)
+
+
+@pytest.fixture(scope="module")
+def hsvi_solution(discounted_system):
+    return solve_hsvi(discounted_system.model.pomdp, epsilon=0.05)
+
+
+class TestSolveHSVI:
+    def test_undiscounted_rejected(self, simple_system):
+        with pytest.raises(ModelError, match="discount"):
+            solve_hsvi(simple_system.model.pomdp)
+
+    def test_gap_certificate(self, hsvi_solution):
+        assert hsvi_solution.gap <= 0.05
+
+    def test_bounds_sandwich_exact_value(self, discounted_system, hsvi_solution):
+        pomdp = discounted_system.model.pomdp
+        exact = solve_exact(pomdp, tol=1e-6)
+        belief = hsvi_solution.initial_belief
+        truth = exact.value(belief)
+        assert hsvi_solution.lower.value(belief) <= truth + exact.error_bound + 1e-7
+        assert hsvi_solution.upper.value(belief) >= truth - exact.error_bound - 1e-7
+
+    def test_midpoint_within_half_gap(self, discounted_system, hsvi_solution):
+        pomdp = discounted_system.model.pomdp
+        exact = solve_exact(pomdp, tol=1e-6)
+        belief = hsvi_solution.initial_belief
+        assert abs(hsvi_solution.value(belief) - exact.value(belief)) <= (
+            hsvi_solution.gap / 2 + exact.error_bound + 1e-7
+        )
+
+    def test_custom_initial_belief(self, discounted_system):
+        pomdp = discounted_system.model.pomdp
+        belief = np.zeros(pomdp.n_states)
+        belief[discounted_system.fault_a] = 1.0
+        solution = solve_hsvi(pomdp, initial_belief=belief, epsilon=0.05)
+        assert solution.gap <= 0.05
+        assert np.allclose(solution.initial_belief, belief)
+
+    def test_tighter_epsilon_needs_no_fewer_trials(self, discounted_system):
+        pomdp = discounted_system.model.pomdp
+        loose = solve_hsvi(pomdp, epsilon=0.5)
+        tight = solve_hsvi(pomdp, epsilon=0.05)
+        assert tight.trials >= loose.trials
+        assert tight.gap <= loose.gap + 1e-12

@@ -1,0 +1,100 @@
+"""Tests for repro.pomdp.model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.pomdp.model import POMDP
+
+
+def tiny_pomdp(discount: float = 1.0) -> POMDP:
+    transitions = np.array(
+        [
+            [[0.0, 1.0], [0.0, 1.0]],
+            [[1.0, 0.0], [0.0, 1.0]],
+        ]
+    )
+    observations = np.array(
+        [
+            [[0.9, 0.1], [0.2, 0.8]],
+            [[0.9, 0.1], [0.2, 0.8]],
+        ]
+    )
+    rewards = np.array([[-0.5, 0.0], [-1.0, 0.0]])
+    return POMDP(
+        transitions=transitions,
+        observations=observations,
+        rewards=rewards,
+        state_labels=("fault", "null"),
+        action_labels=("repair", "idle"),
+        observation_labels=("alarm", "clear"),
+        discount=discount,
+    )
+
+
+class TestConstruction:
+    def test_shapes(self):
+        pomdp = tiny_pomdp()
+        assert pomdp.n_states == 2
+        assert pomdp.n_actions == 2
+        assert pomdp.n_observations == 2
+
+    def test_non_stochastic_observations_rejected(self):
+        with pytest.raises(ModelError):
+            POMDP(
+                transitions=np.array([[[1.0]]]),
+                observations=np.array([[[0.5, 0.4]]]),
+                rewards=np.array([[0.0]]),
+            )
+
+    def test_observation_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError, match="observations"):
+            POMDP(
+                transitions=np.array([[[1.0, 0.0], [0.0, 1.0]]]),
+                observations=np.array([[[1.0]]]),
+                rewards=np.array([[0.0, 0.0]]),
+            )
+
+    def test_zero_observations_rejected(self):
+        with pytest.raises(ModelError):
+            POMDP(
+                transitions=np.array([[[1.0]]]),
+                observations=np.zeros((1, 1, 0)),
+                rewards=np.array([[0.0]]),
+            )
+
+    def test_duplicate_observation_labels_rejected(self):
+        with pytest.raises(ModelError, match="unique"):
+            POMDP(
+                transitions=np.array([[[1.0]]]),
+                observations=np.array([[[0.5, 0.5]]]),
+                rewards=np.array([[0.0]]),
+                observation_labels=("o", "o"),
+            )
+
+
+class TestIndices:
+    def test_label_lookups(self):
+        pomdp = tiny_pomdp()
+        assert pomdp.state_index("null") == 1
+        assert pomdp.action_index("idle") == 1
+        assert pomdp.observation_index("clear") == 1
+
+
+class TestToMDP:
+    def test_strips_observations(self):
+        pomdp = tiny_pomdp()
+        mdp = pomdp.to_mdp()
+        assert np.array_equal(mdp.transitions, pomdp.transitions)
+        assert np.array_equal(mdp.rewards, pomdp.rewards)
+        assert mdp.state_labels == pomdp.state_labels
+        assert mdp.discount == pomdp.discount
+
+
+class TestWithDiscount:
+    def test_copy_with_new_discount(self):
+        pomdp = tiny_pomdp()
+        discounted = pomdp.with_discount(0.7)
+        assert discounted.discount == 0.7
+        assert pomdp.discount == 1.0
+        assert np.array_equal(discounted.observations, pomdp.observations)

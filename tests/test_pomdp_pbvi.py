@@ -1,0 +1,78 @@
+"""Tests for point-based value iteration (Perseus)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.pomdp.exact import solve_exact
+from repro.pomdp.pbvi import sample_belief_points, solve_pbvi
+from repro.systems.simple import build_simple_system
+
+
+@pytest.fixture(scope="module")
+def discounted_pomdp():
+    return build_simple_system(
+        recovery_notification=False, discount=0.85
+    ).model.pomdp
+
+
+@pytest.fixture(scope="module")
+def exact_solution(discounted_pomdp):
+    return solve_exact(discounted_pomdp, tol=1e-6)
+
+
+class TestSampling:
+    def test_count_and_shape(self, discounted_pomdp):
+        initial = np.full(4, 0.25)
+        points = sample_belief_points(discounted_pomdp, initial, 32, seed=0)
+        assert points.shape == (32, 4)
+        assert np.allclose(points.sum(axis=1), 1.0)
+        assert np.allclose(points[0], initial)
+
+    def test_reproducible(self, discounted_pomdp):
+        initial = np.full(4, 0.25)
+        a = sample_belief_points(discounted_pomdp, initial, 16, seed=3)
+        b = sample_belief_points(discounted_pomdp, initial, 16, seed=3)
+        assert np.allclose(a, b)
+
+
+class TestSolvePBVI:
+    def test_undiscounted_rejected(self, simple_system):
+        with pytest.raises(ModelError, match="discount"):
+            solve_pbvi(simple_system.model.pomdp)
+
+    def test_lower_bounds_exact_value(self, discounted_pomdp, exact_solution):
+        solution = solve_pbvi(discounted_pomdp, n_points=48, seed=0)
+        rng = np.random.default_rng(1)
+        for belief in rng.dirichlet(np.ones(4), size=64):
+            assert (
+                solution.value(belief)
+                <= exact_solution.value(belief) + exact_solution.error_bound + 1e-6
+            )
+
+    def test_tight_at_its_own_points(self, discounted_pomdp, exact_solution):
+        solution = solve_pbvi(discounted_pomdp, n_points=48, seed=0)
+        gaps = [
+            exact_solution.value(point) - solution.value(point)
+            for point in solution.points
+        ]
+        assert max(gaps) <= 0.25  # tight where it backed up (costs ~0.5-10)
+
+    def test_value_batch_matches_scalar(self, discounted_pomdp):
+        solution = solve_pbvi(discounted_pomdp, n_points=16, seed=2)
+        rng = np.random.default_rng(3)
+        beliefs = rng.dirichlet(np.ones(4), size=8)
+        assert np.allclose(
+            solution.value_batch(beliefs),
+            [solution.value(b) for b in beliefs],
+        )
+
+    def test_explicit_point_set(self, discounted_pomdp):
+        points = np.eye(4)
+        solution = solve_pbvi(discounted_pomdp, points=points, seed=0)
+        assert solution.points.shape == (4, 4)
+        assert np.all(np.isfinite(solution.vectors))
+
+    def test_converges_with_small_residual(self, discounted_pomdp):
+        solution = solve_pbvi(discounted_pomdp, n_points=32, seed=5, tol=1e-5)
+        assert solution.residual <= 1e-5

@@ -1,0 +1,73 @@
+"""Tests for the ground-truth POMDP simulator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ControllerError
+from repro.pomdp.simulator import POMDPSimulator
+from tests.test_pomdp_model import tiny_pomdp
+
+
+class TestLifecycle:
+    def test_state_before_reset_raises(self):
+        simulator = POMDPSimulator(tiny_pomdp(), seed=0)
+        with pytest.raises(ControllerError):
+            _ = simulator.state
+
+    def test_reset_validates_state(self):
+        simulator = POMDPSimulator(tiny_pomdp(), seed=0)
+        with pytest.raises(ControllerError):
+            simulator.reset(9)
+
+    def test_step_validates_action(self):
+        simulator = POMDPSimulator(tiny_pomdp(), seed=0)
+        simulator.reset(0)
+        with pytest.raises(ControllerError):
+            simulator.step(7)
+
+
+class TestDynamics:
+    def test_deterministic_transition_followed(self):
+        simulator = POMDPSimulator(tiny_pomdp(), seed=0)
+        simulator.reset(0)
+        result = simulator.step(0)  # repair: fault -> null surely
+        assert result.state == 1
+        assert simulator.state == 1
+
+    def test_reward_comes_from_origin_state(self):
+        simulator = POMDPSimulator(tiny_pomdp(), seed=0)
+        simulator.reset(0)
+        result = simulator.step(0)
+        assert result.reward == -0.5  # r(fault, repair)
+
+    def test_observation_distribution_respected(self):
+        pomdp = tiny_pomdp()
+        simulator = POMDPSimulator(pomdp, seed=42)
+        counts = np.zeros(2)
+        for _ in range(2000):
+            simulator.reset(0)
+            result = simulator.step(1)  # idle: stays in fault
+            counts[result.observation] += 1
+        frequencies = counts / counts.sum()
+        # q(alarm | fault, idle) = 0.9
+        assert abs(frequencies[0] - 0.9) < 0.03
+
+    def test_observe_without_transition(self):
+        pomdp = tiny_pomdp()
+        simulator = POMDPSimulator(pomdp, seed=1)
+        simulator.reset(1)
+        counts = np.zeros(2)
+        for _ in range(2000):
+            counts[simulator.observe(1)] += 1
+        assert simulator.state == 1  # observe never moves the state
+        assert abs(counts[1] / counts.sum() - 0.8) < 0.03
+
+    def test_seeded_runs_reproduce(self):
+        trajectories = []
+        for _ in range(2):
+            simulator = POMDPSimulator(tiny_pomdp(), seed=123)
+            simulator.reset(0)
+            trajectories.append(
+                [simulator.step(1).observation for _ in range(20)]
+            )
+        assert trajectories[0] == trajectories[1]

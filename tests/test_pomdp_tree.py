@@ -1,0 +1,133 @@
+"""Tests for the Max-Avg lookahead tree (Figure 1(b))."""
+
+import numpy as np
+import pytest
+
+from repro.pomdp.belief import belief_bellman_backup
+from repro.pomdp.tree import expand_tree
+from tests.conftest import random_pomdp
+from tests.test_pomdp_model import tiny_pomdp
+
+
+class ZeroLeaf:
+    def value(self, belief):
+        return 0.0
+
+    def value_batch(self, beliefs):
+        return np.zeros(np.atleast_2d(beliefs).shape[0])
+
+
+class LinearLeaf:
+    """pi . w — a single-hyperplane leaf for cross-checks."""
+
+    def __init__(self, weights):
+        self.weights = np.asarray(weights, dtype=float)
+
+    def value(self, belief):
+        return float(belief @ self.weights)
+
+    def value_batch(self, beliefs):
+        return np.atleast_2d(beliefs) @ self.weights
+
+
+class TestDepthOne:
+    def test_equals_bellman_backup(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.5, 0.5])
+        leaf = LinearLeaf([-2.0, 0.0])
+        decision = expand_tree(pomdp, belief, depth=1, leaf=leaf)
+        direct = belief_bellman_backup(pomdp, belief, leaf.value)
+        assert np.isclose(decision.value, direct)
+
+    def test_picks_repair_in_fault_belief(self):
+        pomdp = tiny_pomdp()
+        decision = expand_tree(
+            pomdp, np.array([1.0, 0.0]), depth=1, leaf=LinearLeaf([-2.0, 0.0])
+        )
+        assert decision.action == 0  # repair beats idle (-0.5 vs -1-2)
+
+    def test_action_values_complete(self):
+        pomdp = tiny_pomdp()
+        decision = expand_tree(
+            pomdp, np.array([0.5, 0.5]), depth=1, leaf=ZeroLeaf()
+        )
+        assert decision.action_values.shape == (pomdp.n_actions,)
+        assert np.isfinite(decision.action_values).all()
+
+    def test_counts_leaves(self):
+        pomdp = tiny_pomdp()
+        decision = expand_tree(
+            pomdp, np.array([0.5, 0.5]), depth=1, leaf=ZeroLeaf()
+        )
+        assert decision.leaf_evaluations > 0
+        assert decision.nodes == 1
+
+
+class TestAllowedActions:
+    def test_masked_action_excluded(self):
+        pomdp = tiny_pomdp()
+        allowed = np.array([False, True])
+        decision = expand_tree(
+            pomdp,
+            np.array([1.0, 0.0]),
+            depth=1,
+            leaf=ZeroLeaf(),
+            allowed_actions=allowed,
+        )
+        assert decision.action == 1
+        assert decision.action_values[0] == -np.inf
+
+    def test_mask_only_applies_to_root(self):
+        pomdp = tiny_pomdp()
+        allowed = np.array([False, True])
+        # Depth 2: the inner node may still use action 0, which the root value
+        # of action 1 benefits from — just check it runs and yields finite v.
+        decision = expand_tree(
+            pomdp,
+            np.array([1.0, 0.0]),
+            depth=2,
+            leaf=ZeroLeaf(),
+            allowed_actions=allowed,
+        )
+        assert np.isfinite(decision.value)
+
+
+class TestDeeperTrees:
+    def test_depth_two_matches_nested_backup(self):
+        pomdp = tiny_pomdp()
+        belief = np.array([0.6, 0.4])
+        leaf = LinearLeaf([-3.0, -0.1])
+        decision = expand_tree(pomdp, belief, depth=2, leaf=leaf)
+        nested = belief_bellman_backup(
+            pomdp,
+            belief,
+            lambda b: belief_bellman_backup(pomdp, b, leaf.value),
+        )
+        assert np.isclose(decision.value, nested, atol=1e-10)
+
+    def test_deeper_never_worse_with_zero_leaf_upper_bound(self):
+        # With the trivial zero *upper* bound at the leaves, value estimates
+        # shrink (get more realistic) as depth grows: more real costs folded.
+        pomdp = tiny_pomdp()
+        belief = np.array([0.5, 0.5])
+        v1 = expand_tree(pomdp, belief, depth=1, leaf=ZeroLeaf()).value
+        v2 = expand_tree(pomdp, belief, depth=2, leaf=ZeroLeaf()).value
+        assert v2 <= v1 + 1e-12
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            expand_tree(
+                tiny_pomdp(), np.array([0.5, 0.5]), depth=0, leaf=ZeroLeaf()
+            )
+
+
+class TestMonotonicityInLeaf:
+    def test_better_leaf_never_lowers_root(self):
+        rng = np.random.default_rng(5)
+        pomdp = random_pomdp(rng)
+        belief = rng.dirichlet(np.ones(pomdp.n_states))
+        low = LinearLeaf(-rng.uniform(1, 3, size=pomdp.n_states))
+        high = LinearLeaf(low.weights + rng.uniform(0, 1, size=pomdp.n_states))
+        v_low = expand_tree(pomdp, belief, depth=2, leaf=low).value
+        v_high = expand_tree(pomdp, belief, depth=2, leaf=high).value
+        assert v_high >= v_low - 1e-9

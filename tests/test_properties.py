@@ -1,0 +1,115 @@
+"""Cross-module property-based tests on randomly generated POMDPs.
+
+These invariants tie the whole bound stack together: on *any* discounted
+POMDP with non-positive rewards, the bound hierarchy
+
+    BI-POMDP <= RA-Bound <= V* <= FIB <= QMDP <= 0
+
+must hold at every belief, refinement must move lower bounds up and upper
+bounds down without ever crossing the truth, and the lookahead tree must be
+monotone in its leaf estimate.  Hypothesis drives the model generator.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.bi_pomdp import bi_pomdp_vector
+from repro.bounds.incremental import refine_at
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.sawtooth import SawtoothUpperBound
+from repro.bounds.upper import FIBBound, QMDPBound
+from repro.bounds.vector_set import BoundVectorSet
+from repro.pomdp.tree import expand_tree
+from tests.conftest import random_pomdp
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _beliefs(rng, pomdp, count=16):
+    return rng.dirichlet(np.ones(pomdp.n_states), size=count)
+
+
+@given(SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_bound_hierarchy(seed):
+    rng = np.random.default_rng(seed)
+    pomdp = random_pomdp(rng)
+    bi = bi_pomdp_vector(pomdp)
+    ra = ra_bound_vector(pomdp)
+    fib = FIBBound(pomdp)
+    qmdp = QMDPBound(pomdp)
+    for belief in _beliefs(rng, pomdp):
+        lower_bi = float(belief @ bi)
+        lower_ra = float(belief @ ra)
+        upper_fib = fib.value(belief)
+        upper_qmdp = qmdp.value(belief)
+        assert lower_bi <= lower_ra + 1e-8
+        assert lower_ra <= upper_fib + 1e-8
+        assert upper_fib <= upper_qmdp + 1e-8
+        assert upper_qmdp <= 1e-8  # rewards are non-positive
+
+
+@given(SEEDS)
+@settings(max_examples=25, deadline=None)
+def test_refinement_squeezes_from_both_sides(seed):
+    """Lower refinement moves up, sawtooth refinement moves down, and the
+    two never cross."""
+    rng = np.random.default_rng(seed)
+    pomdp = random_pomdp(rng)
+    lower = BoundVectorSet(ra_bound_vector(pomdp))
+    upper = SawtoothUpperBound(pomdp)
+    target = rng.dirichlet(np.ones(pomdp.n_states))
+    for _ in range(8):
+        low_before = lower.value(target)
+        up_before = upper.value(target)
+        refine_at(pomdp, lower, target)
+        upper.refine_at(target)
+        assert lower.value(target) >= low_before - 1e-9
+        assert upper.value(target) <= up_before + 1e-9
+        assert lower.value(target) <= upper.value(target) + 1e-7
+
+
+@given(SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_tree_value_between_bounds(seed):
+    """The depth-1 tree with the lower bound at the leaves yields a value
+    inside [lower, upper] at the root."""
+    rng = np.random.default_rng(seed)
+    pomdp = random_pomdp(rng)
+    lower = BoundVectorSet(ra_bound_vector(pomdp))
+    qmdp = QMDPBound(pomdp)
+    belief = rng.dirichlet(np.ones(pomdp.n_states))
+    decision = expand_tree(pomdp, belief, depth=1, leaf=lower)
+    # One application of L_p to a valid lower bound stays a lower bound
+    # (so >= the current bound) and below any valid upper bound.
+    assert decision.value >= lower.value(belief) - 1e-8
+    assert decision.value <= qmdp.value(belief) + 1e-8
+
+
+@given(SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_tree_depth_monotone_with_lower_bound_leaf(seed):
+    """With a valid lower bound at the leaves, deeper lookahead can only
+    raise the root value (each extra level is one more L_p application)."""
+    rng = np.random.default_rng(seed)
+    pomdp = random_pomdp(rng, n_states=3, n_actions=2, n_observations=2)
+    lower = BoundVectorSet(ra_bound_vector(pomdp))
+    belief = rng.dirichlet(np.ones(pomdp.n_states))
+    v1 = expand_tree(pomdp, belief, depth=1, leaf=lower).value
+    v2 = expand_tree(pomdp, belief, depth=2, leaf=lower).value
+    assert v2 >= v1 - 1e-9
+
+
+@given(SEEDS)
+@settings(max_examples=20, deadline=None)
+def test_ra_bound_is_uniform_policy_value(seed):
+    """The RA-Bound equals the uniform-random policy's exact chain value."""
+    rng = np.random.default_rng(seed)
+    pomdp = random_pomdp(rng)
+    mdp = pomdp.to_mdp()
+    chain, reward = mdp.uniform_chain()
+    manual = np.linalg.solve(
+        np.eye(mdp.n_states) - mdp.discount * chain, reward
+    )
+    assert np.allclose(ra_bound_vector(pomdp), manual, atol=1e-7)

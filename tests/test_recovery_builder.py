@@ -1,0 +1,225 @@
+"""Tests for the declarative recovery-model builder."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.recovery.builder import RecoveryModelBuilder
+
+
+def observation_block():
+    labels = ("alarm", "clear")
+    matrix = np.array(
+        [
+            [0.0, 1.0],  # null
+            [0.7, 0.3],  # fault
+        ]
+    )
+    return labels, matrix
+
+
+def minimal_builder() -> RecoveryModelBuilder:
+    builder = RecoveryModelBuilder()
+    builder.add_state("null", rate_cost=0.0, null=True)
+    builder.add_state("fault", rate_cost=0.5)
+    builder.add_action(
+        "repair", duration=2.0, transitions={"fault": {"null": 1.0}}
+    )
+    builder.add_action("observe", duration=1.0, passive=True)
+    labels, matrix = observation_block()
+    builder.set_observation_matrix(labels, matrix)
+    return builder
+
+
+class TestHappyPath:
+    def test_builds_unnotified_model(self):
+        model = minimal_builder().build(
+            recovery_notification=False, operator_response_time=10.0
+        )
+        assert model.pomdp.n_states == 3  # null, fault, s_T
+        assert model.pomdp.n_actions == 3  # repair, observe, a_T
+        assert model.terminate_action is not None
+        assert not model.recovery_notification
+
+    def test_default_cost_is_rate_times_duration(self):
+        model = minimal_builder().build(
+            recovery_notification=False, operator_response_time=10.0
+        )
+        fault = model.pomdp.state_index("fault")
+        repair = model.pomdp.action_index("repair")
+        assert np.isclose(model.pomdp.rewards[repair, fault], -1.0)  # 0.5 * 2
+
+    def test_explicit_costs_override(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "repair",
+            duration=2.0,
+            transitions={"fault": {"null": 1.0}},
+            costs={"fault": 3.0},
+        )
+        builder.add_action("observe", duration=1.0, passive=True)
+        labels, matrix = observation_block()
+        builder.set_observation_matrix(labels, matrix)
+        model = builder.build(
+            recovery_notification=False, operator_response_time=10.0
+        )
+        fault = model.pomdp.state_index("fault")
+        assert np.isclose(model.pomdp.rewards[0, fault], -3.0)
+
+    def test_impulse_costs_added(self):
+        builder = minimal_builder()
+        builder._actions[0].impulse_costs["fault"] = 0.25
+        model = builder.build(
+            recovery_notification=False, operator_response_time=10.0
+        )
+        fault = model.pomdp.state_index("fault")
+        assert np.isclose(model.pomdp.rewards[0, fault], -1.25)
+
+    def test_unlisted_states_self_loop(self):
+        model = minimal_builder().build(
+            recovery_notification=False, operator_response_time=10.0
+        )
+        null = model.pomdp.state_index("null")
+        repair = model.pomdp.action_index("repair")
+        assert model.pomdp.transitions[repair, null, null] == 1.0
+
+    def test_auto_detection_chooses_unnotified(self):
+        # "clear" is shared by fault (0.3) and null (1.0): no notification,
+        # so the builder must demand t_op.
+        with pytest.raises(ModelError, match="operator_response_time"):
+            minimal_builder().build()
+
+    def test_notified_build(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "repair", duration=1.0, transitions={"fault": {"null": 1.0}}
+        )
+        labels = ("alarm", "clear")
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])  # perfectly separating
+        builder.set_observation_matrix(labels, matrix)
+        model = builder.build()  # auto-detects notification
+        assert model.recovery_notification
+        assert model.terminate_action is None
+        # Null must be absorbing and free under every action.
+        null = model.pomdp.state_index("null")
+        assert np.all(model.pomdp.transitions[:, null, null] == 1.0)
+        assert np.all(model.pomdp.rewards[:, null] == 0.0)
+
+
+class TestValidation:
+    def test_duplicate_state_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("x")
+        with pytest.raises(ModelError, match="duplicate"):
+            builder.add_state("x")
+
+    def test_duplicate_action_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_action("a", duration=1.0)
+        with pytest.raises(ModelError, match="duplicate"):
+            builder.add_action("a", duration=1.0)
+
+    def test_negative_rate_cost_rejected(self):
+        with pytest.raises(ModelError, match="rate_cost"):
+            RecoveryModelBuilder().add_state("x", rate_cost=-1.0)
+
+    def test_null_state_with_cost_rejected(self):
+        with pytest.raises(ModelError, match="zero cost"):
+            RecoveryModelBuilder().add_state("n", rate_cost=0.5, null=True)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ModelError, match="duration"):
+            RecoveryModelBuilder().add_action("a", duration=-1.0)
+
+    def test_unknown_transition_target_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "bad", duration=1.0, transitions={"fault": {"elsewhere": 1.0}}
+        )
+        labels, matrix = observation_block()
+        builder.set_observation_matrix(labels, matrix)
+        with pytest.raises(ModelError, match="unknown state"):
+            builder.build(recovery_notification=False, operator_response_time=1.0)
+
+    def test_passive_action_changing_state_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "sneaky",
+            duration=1.0,
+            transitions={"fault": {"null": 1.0}},
+            passive=True,
+        )
+        labels, matrix = observation_block()
+        builder.set_observation_matrix(labels, matrix)
+        with pytest.raises(ModelError, match="passive"):
+            builder.build(recovery_notification=False, operator_response_time=1.0)
+
+    def test_missing_observation_matrix_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "repair", duration=1.0, transitions={"fault": {"null": 1.0}}
+        )
+        with pytest.raises(ModelError, match="observation"):
+            builder.build(recovery_notification=False, operator_response_time=1.0)
+
+    def test_no_states_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_action("a", duration=1.0)
+        with pytest.raises(ModelError, match="states"):
+            builder.build(recovery_notification=False, operator_response_time=1.0)
+
+    def test_negative_explicit_cost_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "repair",
+            duration=1.0,
+            transitions={"fault": {"null": 1.0}},
+            costs={"fault": -1.0},
+        )
+        labels, matrix = observation_block()
+        builder.set_observation_matrix(labels, matrix)
+        with pytest.raises(ModelError, match="magnitude"):
+            builder.build(recovery_notification=False, operator_response_time=1.0)
+
+    def test_top_with_notification_rejected(self):
+        builder = RecoveryModelBuilder()
+        builder.add_state("null", null=True)
+        builder.add_state("fault", rate_cost=0.5)
+        builder.add_action(
+            "repair", duration=1.0, transitions={"fault": {"null": 1.0}}
+        )
+        matrix = np.array([[0.0, 1.0], [1.0, 0.0]])
+        builder.set_observation_matrix(("alarm", "clear"), matrix)
+        with pytest.raises(ModelError, match="notification"):
+            builder.build(recovery_notification=True, operator_response_time=5.0)
+
+    def test_per_action_observation_override(self):
+        builder = minimal_builder()
+        labels, matrix = observation_block()
+        richer = np.array([[0.0, 1.0], [0.9, 0.1]])
+        builder.set_observation_matrix(labels, richer, action="observe")
+        model = builder.build(
+            recovery_notification=False, operator_response_time=10.0
+        )
+        observe = model.pomdp.action_index("observe")
+        fault = model.pomdp.state_index("fault")
+        assert np.isclose(model.pomdp.observations[observe, fault, 0], 0.9)
+
+    def test_override_for_unknown_action_rejected(self):
+        builder = minimal_builder()
+        labels, matrix = observation_block()
+        builder.set_observation_matrix(labels, matrix, action="ghost")
+        with pytest.raises(ModelError, match="unknown action"):
+            builder.build(recovery_notification=False, operator_response_time=1.0)

@@ -1,0 +1,260 @@
+"""Tests for the recovery-model layer (conditions, Figure 2 transforms)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConditionViolation, ModelError
+from repro.pomdp.model import POMDP
+from repro.recovery.model import (
+    RecoveryModel,
+    check_condition_1,
+    check_condition_2,
+    make_null_absorbing,
+    termination_rewards,
+    with_termination_action,
+)
+
+
+def raw_pomdp() -> POMDP:
+    """Unaugmented two-state fault/null model with one repair + observe."""
+    transitions = np.array(
+        [
+            [[0.0, 1.0], [0.0, 1.0]],  # repair
+            [[1.0, 0.0], [0.0, 1.0]],  # observe
+        ]
+    )
+    observations = np.array(
+        [
+            [[0.7, 0.3], [0.0, 1.0]],
+            [[0.7, 0.3], [0.0, 1.0]],
+        ]
+    )
+    rewards = np.array([[-0.5, -0.1], [-0.2, 0.0]])
+    return POMDP(
+        transitions=transitions,
+        observations=observations,
+        rewards=rewards,
+        state_labels=("fault", "null"),
+        action_labels=("repair", "observe"),
+        observation_labels=("alarm", "clear"),
+    )
+
+
+NULL_MASK = np.array([False, True])
+RATES = np.array([-0.5, 0.0])
+
+
+class TestCondition1:
+    def test_passes_when_recoverable(self):
+        check_condition_1(raw_pomdp(), NULL_MASK)
+
+    def test_empty_null_set_rejected(self):
+        with pytest.raises(ConditionViolation) as excinfo:
+            check_condition_1(raw_pomdp(), np.array([False, False]))
+        assert excinfo.value.condition == 1
+
+    def test_unrecoverable_state_named(self):
+        pomdp = raw_pomdp()
+        transitions = pomdp.transitions.copy()
+        transitions[0] = np.eye(2)  # repair no longer works
+        broken = POMDP(
+            transitions=transitions,
+            observations=pomdp.observations,
+            rewards=pomdp.rewards,
+            state_labels=pomdp.state_labels,
+            action_labels=pomdp.action_labels,
+            observation_labels=pomdp.observation_labels,
+        )
+        with pytest.raises(ConditionViolation, match="fault"):
+            check_condition_1(broken, NULL_MASK)
+
+    def test_exempt_states_skipped(self):
+        pomdp = raw_pomdp()
+        transitions = pomdp.transitions.copy()
+        transitions[0] = np.eye(2)
+        broken = POMDP(
+            transitions=transitions,
+            observations=pomdp.observations,
+            rewards=pomdp.rewards,
+        )
+        check_condition_1(
+            broken, NULL_MASK, exempt_states=np.array([True, False])
+        )
+
+    def test_wrong_mask_length_rejected(self):
+        with pytest.raises(ModelError):
+            check_condition_1(raw_pomdp(), np.array([True]))
+
+
+class TestCondition2:
+    def test_passes_for_nonpositive(self):
+        check_condition_2(raw_pomdp())
+
+    def test_positive_reward_named(self):
+        pomdp = raw_pomdp()
+        rewards = pomdp.rewards.copy()
+        rewards[1, 0] = 0.3
+        broken = POMDP(
+            transitions=pomdp.transitions,
+            observations=pomdp.observations,
+            rewards=rewards,
+            state_labels=pomdp.state_labels,
+            action_labels=pomdp.action_labels,
+        )
+        with pytest.raises(ConditionViolation) as excinfo:
+            check_condition_2(broken)
+        assert excinfo.value.condition == 2
+        assert "observe" in str(excinfo.value)
+
+
+class TestTerminationRewards:
+    def test_rate_times_top(self):
+        rewards = termination_rewards(RATES, 100.0, NULL_MASK)
+        assert np.isclose(rewards[0], -50.0)
+
+    def test_null_states_zero(self):
+        rewards = termination_rewards(RATES, 100.0, NULL_MASK)
+        assert rewards[1] == 0.0
+
+    def test_negative_top_rejected(self):
+        with pytest.raises(ModelError):
+            termination_rewards(RATES, -1.0, NULL_MASK)
+
+
+class TestMakeNullAbsorbing:
+    def test_null_becomes_absorbing_and_free(self):
+        modified = make_null_absorbing(raw_pomdp(), NULL_MASK)
+        for action in range(modified.n_actions):
+            assert modified.transitions[action, 1, 1] == 1.0
+            assert modified.rewards[action, 1] == 0.0
+
+    def test_fault_dynamics_untouched(self):
+        original = raw_pomdp()
+        modified = make_null_absorbing(original, NULL_MASK)
+        assert np.array_equal(
+            modified.transitions[:, 0, :], original.transitions[:, 0, :]
+        )
+        assert np.array_equal(modified.rewards[:, 0], original.rewards[:, 0])
+
+
+class TestWithTerminationAction:
+    def test_shapes_grow_by_one(self):
+        augmented, s_t, a_t = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        assert augmented.n_states == 3
+        assert augmented.n_actions == 3
+        assert s_t == 2
+        assert a_t == 2
+
+    def test_terminate_action_goes_to_s_t(self):
+        augmented, s_t, a_t = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        assert np.allclose(augmented.transitions[a_t, :, s_t], 1.0)
+
+    def test_s_t_absorbing_and_free_under_all_actions(self):
+        augmented, s_t, a_t = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        for action in range(augmented.n_actions):
+            assert augmented.transitions[action, s_t, s_t] == 1.0
+            assert augmented.rewards[action, s_t] == 0.0
+
+    def test_termination_rewards_wired(self):
+        augmented, s_t, a_t = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        assert np.isclose(augmented.rewards[a_t, 0], -50.0)
+        assert augmented.rewards[a_t, 1] == 0.0
+
+    def test_observation_rows_still_stochastic(self):
+        augmented, _, _ = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        assert np.allclose(augmented.observations.sum(axis=2), 1.0)
+
+
+class TestRecoveryModelType:
+    def make_model(self) -> RecoveryModel:
+        augmented, s_t, a_t = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        return RecoveryModel(
+            pomdp=augmented,
+            null_states=np.append(NULL_MASK, False),
+            rate_rewards=np.append(RATES, 0.0),
+            durations=np.array([1.0, 1.0, 0.0]),
+            passive_actions=np.array([False, True, False]),
+            recovery_notification=False,
+            terminate_state=s_t,
+            terminate_action=a_t,
+            operator_response_time=100.0,
+        )
+
+    def test_fault_states_excludes_null_and_terminate(self):
+        model = self.make_model()
+        assert model.fault_states.tolist() == [True, False, False]
+
+    def test_recovery_actions_mask(self):
+        model = self.make_model()
+        assert model.recovery_actions.tolist() == [True, False, False]
+
+    def test_initial_belief_uniform_over_faults(self):
+        model = self.make_model()
+        assert np.allclose(model.initial_belief(), [1.0, 0.0, 0.0])
+
+    def test_recovered_probability_includes_s_t(self):
+        model = self.make_model()
+        assert np.isclose(
+            model.recovered_probability(np.array([0.2, 0.5, 0.3])), 0.8
+        )
+
+    def test_is_recovered(self):
+        model = self.make_model()
+        assert model.is_recovered(1)
+        assert not model.is_recovered(0)
+        assert not model.is_recovered(2)
+
+    def test_positive_rate_rewards_rejected(self):
+        augmented, s_t, a_t = with_termination_action(
+            raw_pomdp(), NULL_MASK, RATES, 100.0
+        )
+        with pytest.raises(ModelError, match="rate_rewards"):
+            RecoveryModel(
+                pomdp=augmented,
+                null_states=np.append(NULL_MASK, False),
+                rate_rewards=np.array([0.5, 0.0, 0.0]),
+                durations=np.zeros(3),
+                passive_actions=np.zeros(3, dtype=bool),
+                recovery_notification=False,
+                terminate_state=s_t,
+                terminate_action=a_t,
+                operator_response_time=100.0,
+            )
+
+    def test_notified_model_must_not_have_terminate_pair(self):
+        pomdp = make_null_absorbing(raw_pomdp(), NULL_MASK)
+        with pytest.raises(ModelError):
+            RecoveryModel(
+                pomdp=pomdp,
+                null_states=NULL_MASK,
+                rate_rewards=RATES,
+                durations=np.ones(2),
+                passive_actions=np.array([False, True]),
+                recovery_notification=True,
+                terminate_state=1,
+                terminate_action=1,
+            )
+
+    def test_unnotified_model_requires_terminate_pair(self):
+        pomdp = make_null_absorbing(raw_pomdp(), NULL_MASK)
+        with pytest.raises(ModelError):
+            RecoveryModel(
+                pomdp=pomdp,
+                null_states=NULL_MASK,
+                rate_rewards=RATES,
+                durations=np.ones(2),
+                passive_actions=np.array([False, True]),
+                recovery_notification=False,
+            )

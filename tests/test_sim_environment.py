@@ -1,0 +1,116 @@
+"""Tests for the fault-injection environment's accounting."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ControllerError
+from repro.sim.environment import RecoveryEnvironment
+from repro.systems.emn import MONITOR_DURATION
+
+
+@pytest.fixture()
+def environment(simple_system):
+    return RecoveryEnvironment(simple_system.model, seed=0)
+
+
+class TestLifecycle:
+    def test_execute_before_inject_rejected(self, environment):
+        with pytest.raises(ControllerError):
+            environment.execute(0)
+
+    def test_initial_observation_before_inject_rejected(self, environment):
+        with pytest.raises(ControllerError):
+            environment.initial_observation()
+
+    def test_inject_requires_fault_state(self, environment, simple_system):
+        with pytest.raises(ControllerError):
+            environment.inject(simple_system.null_state)
+
+    def test_inject_resets_accounting(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        environment.execute(0)
+        environment.inject(simple_system.fault_b)
+        assert environment.time == 0.0
+        assert environment.cost == 0.0
+        assert environment.recovered_at is None
+
+
+class TestExecution:
+    def test_time_advances_by_duration(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        environment.execute(simple_system.observe_action)
+        assert environment.time == simple_system.model.durations[
+            simple_system.observe_action
+        ]
+
+    def test_cost_accrues_model_reward(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        environment.execute(simple_system.observe_action)
+        assert np.isclose(environment.cost, 0.5)  # observe in a fault
+
+    def test_repair_recovers_and_timestamps(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        restart_a = simple_system.model.pomdp.action_index("restart(a)")
+        environment.execute(restart_a)
+        assert environment.recovered
+        assert environment.recovered_at == environment.time
+
+    def test_monitor_tail_backed_out_of_repair_instant(self, simple_system):
+        environment = RecoveryEnvironment(
+            simple_system.model, seed=0, monitor_tail=0.25
+        )
+        environment.inject(simple_system.fault_a)
+        restart_a = simple_system.model.pomdp.action_index("restart(a)")
+        environment.execute(restart_a)
+        assert np.isclose(
+            environment.recovered_at, environment.time - 0.25
+        )
+
+    def test_negative_monitor_tail_rejected(self, simple_system):
+        with pytest.raises(ControllerError):
+            RecoveryEnvironment(simple_system.model, monitor_tail=-1.0)
+
+
+class TestTermination:
+    def test_terminate_keeps_physical_state(self, environment, simple_system):
+        """a_T is bookkeeping: the true system must not 'move to s_T'."""
+        environment.inject(simple_system.fault_a)
+        a_t = simple_system.model.terminate_action
+        result = environment.execute(a_t)
+        assert result.state == simple_system.fault_a
+        assert environment.state == simple_system.fault_a
+        assert not environment.recovered
+
+    def test_early_termination_charges_penalty(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        a_t = simple_system.model.terminate_action
+        environment.execute(a_t)
+        expected = 0.5 * simple_system.model.operator_response_time
+        assert np.isclose(environment.termination_penalty, expected)
+        assert np.isclose(environment.cost, expected)
+
+    def test_termination_after_recovery_is_free(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        restart_a = simple_system.model.pomdp.action_index("restart(a)")
+        environment.execute(restart_a)
+        environment.execute(simple_system.model.terminate_action)
+        assert environment.termination_penalty == 0.0
+
+
+class TestResidualTime:
+    def test_residual_is_repair_instant(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        environment.execute(simple_system.observe_action)
+        restart_a = simple_system.model.pomdp.action_index("restart(a)")
+        environment.execute(restart_a)
+        assert environment.residual_time() == environment.recovered_at
+
+    def test_unrecovered_residual_includes_operator_delay(
+        self, environment, simple_system
+    ):
+        environment.inject(simple_system.fault_a)
+        environment.execute(simple_system.observe_action)
+        expected = (
+            environment.time + simple_system.model.operator_response_time
+        )
+        assert np.isclose(environment.residual_time(), expected)

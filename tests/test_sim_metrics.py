@@ -1,0 +1,70 @@
+"""Tests for per-fault metrics and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import EpisodeMetrics, metrics_field_names, summarize
+
+
+def episode(**overrides) -> EpisodeMetrics:
+    defaults = dict(
+        fault_state=1,
+        cost=10.0,
+        recovery_time=20.0,
+        residual_time=15.0,
+        algorithm_time=0.002,
+        actions=2,
+        monitor_calls=5,
+        recovered=True,
+        terminated=True,
+        steps=7,
+    )
+    defaults.update(overrides)
+    return EpisodeMetrics(**defaults)
+
+
+class TestEpisodeMetrics:
+    def test_early_termination_flag(self):
+        assert episode(recovered=False).early_termination
+        assert not episode().early_termination
+        assert not episode(terminated=False, recovered=False).early_termination
+
+
+class TestSummarize:
+    def test_means(self):
+        summary = summarize([episode(cost=10.0), episode(cost=30.0)])
+        assert summary.episodes == 2
+        assert np.isclose(summary.cost, 20.0)
+        assert np.isclose(summary.recovery_time, 20.0)
+
+    def test_algorithm_time_reported_in_ms(self):
+        summary = summarize([episode(algorithm_time=0.002)])
+        assert np.isclose(summary.algorithm_time_ms, 2.0)
+
+    def test_early_and_unrecovered_counts(self):
+        episodes = [
+            episode(),
+            episode(recovered=False),
+            episode(recovered=False, terminated=False),
+        ]
+        summary = summarize(episodes)
+        assert summary.early_terminations == 1
+        assert summary.unrecovered == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_row_layout(self):
+        summary = summarize([episode()])
+        row = summary.as_row("some controller")
+        assert row[0] == "some controller"
+        assert len(row) == 7
+
+
+class TestFieldNames:
+    def test_contains_table1_columns(self):
+        names = metrics_field_names()
+        for column in ("cost", "recovery_time", "residual_time",
+                       "algorithm_time", "actions", "monitor_calls"):
+            assert column in names

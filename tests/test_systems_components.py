@@ -1,0 +1,150 @@
+"""Tests for deployments, faults, and the workload model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.systems.components import Component, Deployment, Host
+from repro.systems.faults import (
+    Fault,
+    FaultKind,
+    ping_dead_components,
+    unavailable_components,
+)
+from repro.systems.workload import RequestPath, check_fractions, drop_fraction
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(
+        hosts=(Host("h1", 300.0), Host("h2", 300.0)),
+        components=(
+            Component("web", host="h1", restart_duration=60.0),
+            Component("app", host="h1", restart_duration=60.0),
+            Component("db", host="h2", restart_duration=240.0),
+        ),
+    )
+
+
+class TestDeployment:
+    def test_lookups(self, deployment):
+        assert deployment.host("h1").reboot_duration == 300.0
+        assert deployment.component("db").host == "h2"
+        assert deployment.components_on("h1") == ("web", "app")
+        assert deployment.host_of("db") == "h2"
+
+    def test_unknown_names_raise(self, deployment):
+        with pytest.raises(KeyError):
+            deployment.host("nope")
+        with pytest.raises(KeyError):
+            deployment.component("nope")
+        with pytest.raises(KeyError):
+            deployment.components_on("nope")
+
+    def test_duplicate_hosts_rejected(self):
+        with pytest.raises(ModelError, match="duplicate host"):
+            Deployment(hosts=(Host("h", 1.0), Host("h", 1.0)), components=())
+
+    def test_duplicate_components_rejected(self):
+        with pytest.raises(ModelError, match="duplicate component"):
+            Deployment(
+                hosts=(Host("h", 1.0),),
+                components=(
+                    Component("c", host="h", restart_duration=1.0),
+                    Component("c", host="h", restart_duration=1.0),
+                ),
+            )
+
+    def test_component_on_unknown_host_rejected(self):
+        with pytest.raises(ModelError, match="unknown host"):
+            Deployment(
+                hosts=(Host("h", 1.0),),
+                components=(Component("c", host="ghost", restart_duration=1.0),),
+            )
+
+    def test_negative_durations_rejected(self):
+        with pytest.raises(ModelError):
+            Host("h", -1.0)
+        with pytest.raises(ModelError):
+            Component("c", host="h", restart_duration=-1.0)
+
+
+class TestFaults:
+    def test_labels(self):
+        assert Fault(FaultKind.ZOMBIE, "web").label == "zombie(web)"
+        assert Fault(FaultKind.HOST_CRASH, "h1").label == "host_crash(h1)"
+
+    def test_validate(self, deployment):
+        Fault(FaultKind.CRASH, "web").validate(deployment)
+        Fault(FaultKind.HOST_CRASH, "h1").validate(deployment)
+        with pytest.raises(ModelError):
+            Fault(FaultKind.CRASH, "ghost").validate(deployment)
+        with pytest.raises(ModelError):
+            Fault(FaultKind.HOST_CRASH, "ghost").validate(deployment)
+
+    def test_unavailable_for_crash(self, deployment):
+        assert unavailable_components(
+            Fault(FaultKind.CRASH, "web"), deployment
+        ) == {"web"}
+
+    def test_unavailable_for_zombie(self, deployment):
+        """A zombie is down for service even though it answers pings."""
+        assert unavailable_components(
+            Fault(FaultKind.ZOMBIE, "app"), deployment
+        ) == {"app"}
+
+    def test_unavailable_for_host_crash(self, deployment):
+        assert unavailable_components(
+            Fault(FaultKind.HOST_CRASH, "h1"), deployment
+        ) == {"web", "app"}
+
+    def test_no_fault_nothing_unavailable(self, deployment):
+        assert unavailable_components(None, deployment) == frozenset()
+
+    def test_ping_dead_excludes_zombies(self, deployment):
+        assert ping_dead_components(
+            Fault(FaultKind.ZOMBIE, "web"), deployment
+        ) == frozenset()
+        assert ping_dead_components(
+            Fault(FaultKind.CRASH, "web"), deployment
+        ) == {"web"}
+        assert ping_dead_components(
+            Fault(FaultKind.HOST_CRASH, "h1"), deployment
+        ) == {"web", "app"}
+
+
+class TestWorkload:
+    def test_fixed_component_down_drops_everything(self):
+        path = RequestPath("http", 1.0, fixed=("gw", "db"), balanced=("s1", "s2"))
+        assert path.drop_probability(frozenset({"db"})) == 1.0
+
+    def test_balanced_pool_partial_loss(self):
+        path = RequestPath("http", 1.0, fixed=("gw",), balanced=("s1", "s2"))
+        assert path.drop_probability(frozenset({"s1"})) == 0.5
+
+    def test_no_pool_means_no_balanced_loss(self):
+        path = RequestPath("p", 1.0, fixed=("gw",))
+        assert path.drop_probability(frozenset({"other"})) == 0.0
+
+    def test_drop_fraction_weights_by_traffic_share(self):
+        paths = (
+            RequestPath("http", 0.8, fixed=("hg",), balanced=("s1", "s2")),
+            RequestPath("voice", 0.2, fixed=("vg",), balanced=("s1", "s2")),
+        )
+        # One EMN server down: half of both classes.
+        assert np.isclose(drop_fraction(paths, frozenset({"s1"})), 0.5)
+        # The HTTP gateway down: exactly its traffic share.
+        assert np.isclose(drop_fraction(paths, frozenset({"hg"})), 0.8)
+        # Host with hg and s1 (Figure 4 host A): 0.8 + 0.5 * 0.2 = 0.9.
+        assert np.isclose(drop_fraction(paths, frozenset({"hg", "s1"})), 0.9)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ModelError, match="fraction"):
+            RequestPath("p", 1.5, fixed=())
+
+    def test_check_fractions(self):
+        good = (RequestPath("a", 0.6, ()), RequestPath("b", 0.4, ()))
+        check_fractions(good)
+        bad = (RequestPath("a", 0.6, ()), RequestPath("b", 0.6, ()))
+        with pytest.raises(ModelError, match="sum to 1"):
+            check_fractions(bad)

@@ -1,0 +1,188 @@
+"""Tests for the EMN system model (Figure 4 / Section 5 parameters)."""
+
+import numpy as np
+import pytest
+
+from repro.systems.emn import (
+    MONITOR_DURATION,
+    MONITOR_PROBE_COST,
+    OPERATOR_RESPONSE_TIME,
+    build_emn_system,
+)
+from repro.systems.faults import FaultKind
+
+
+class TestStructure:
+    def test_state_count(self, emn_system):
+        # null + 5 crashes + 3 host crashes + 5 zombies + s_T
+        assert emn_system.model.pomdp.n_states == 15
+
+    def test_action_count(self, emn_system):
+        # 5 restarts + 3 reboots + observe + a_T
+        assert emn_system.model.pomdp.n_actions == 10
+
+    def test_observation_count(self, emn_system):
+        assert emn_system.model.pomdp.n_observations == 2**7
+
+    def test_no_recovery_notification(self, emn_system):
+        assert not emn_system.model.recovery_notification
+        assert emn_system.model.operator_response_time == OPERATOR_RESPONSE_TIME
+
+    def test_fault_state_selector(self, emn_system):
+        zombies = emn_system.fault_states(FaultKind.ZOMBIE)
+        assert len(zombies) == 5
+        labels = [emn_system.model.pomdp.state_labels[i] for i in zombies]
+        assert all(label.startswith("zombie") for label in labels)
+        assert len(emn_system.fault_states()) == 13
+
+    def test_reduced_model_without_crashes(self, emn_zombie_system):
+        assert emn_zombie_system.model.pomdp.n_states == 7  # null + 5 + s_T
+
+
+class TestDropRates:
+    """Hand-computed drop rates from the Figure 4 topology (Section 5)."""
+
+    @pytest.mark.parametrize(
+        "label, rate",
+        [
+            ("zombie(HG)", 0.8),
+            ("zombie(VG)", 0.2),
+            ("zombie(S1)", 0.5),
+            ("zombie(S2)", 0.5),
+            ("zombie(DB)", 1.0),
+            ("crash(DB)", 1.0),
+            ("host_crash(hostA)", 0.9),  # 0.8 + 0.5*0.2
+            ("host_crash(hostB)", 0.6),  # 0.2 + 0.5*0.8
+            ("host_crash(hostC)", 1.0),
+            ("null", 0.0),
+        ],
+    )
+    def test_state_rates(self, emn_system, label, rate):
+        index = emn_system.model.pomdp.state_index(label)
+        assert np.isclose(-emn_system.model.rate_rewards[index], rate)
+
+
+class TestDurationsAndCosts:
+    def test_durations_include_monitor_tail(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        durations = emn_system.model.durations
+        assert durations[pomdp.action_index("restart(DB)")] == 240.0 + MONITOR_DURATION
+        assert durations[pomdp.action_index("reboot(hostA)")] == 300.0 + MONITOR_DURATION
+        assert durations[pomdp.action_index("observe")] == MONITOR_DURATION
+        assert durations[emn_system.model.terminate_action] == 0.0
+
+    def test_correct_restart_cost(self, emn_system):
+        """restart(S1) in zombie(S1): 0.5 drop for 60 s, then healthy tail."""
+        pomdp = emn_system.model.pomdp
+        action = pomdp.action_index("restart(S1)")
+        state = pomdp.state_index("zombie(S1)")
+        expected = -(0.5 * 60.0 + 0.0 * MONITOR_DURATION + MONITOR_PROBE_COST)
+        assert np.isclose(pomdp.rewards[action, state], expected)
+
+    def test_wrong_restart_cost_merges_unavailability(self, emn_system):
+        """restart(S2) in zombie(S1): both EMN servers out => all dropped."""
+        pomdp = emn_system.model.pomdp
+        action = pomdp.action_index("restart(S2)")
+        state = pomdp.state_index("zombie(S1)")
+        expected = -(1.0 * 60.0 + 0.5 * MONITOR_DURATION + MONITOR_PROBE_COST)
+        assert np.isclose(pomdp.rewards[action, state], expected)
+
+    def test_observe_cost_tracks_state_rate(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        observe = pomdp.action_index("observe")
+        db_zombie = pomdp.state_index("zombie(DB)")
+        expected = -(1.0 * MONITOR_DURATION + MONITOR_PROBE_COST)
+        assert np.isclose(pomdp.rewards[observe, db_zombie], expected)
+
+    def test_no_free_actions_outside_null(self, emn_system):
+        """Property 1(a): |r(s,a)| > 0 for fault states (probe cost floor)."""
+        model = emn_system.model
+        pomdp = model.pomdp
+        faults = np.flatnonzero(model.fault_states)
+        original_actions = [
+            a for a in range(pomdp.n_actions) if a != model.terminate_action
+        ]
+        assert np.all(np.abs(pomdp.rewards[np.ix_(original_actions, faults)]) > 0)
+
+    def test_termination_rewards(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        a_t = emn_system.model.terminate_action
+        db_zombie = pomdp.state_index("zombie(DB)")
+        assert np.isclose(
+            pomdp.rewards[a_t, db_zombie], -1.0 * OPERATOR_RESPONSE_TIME
+        )
+        assert pomdp.rewards[a_t, pomdp.state_index("null")] == 0.0
+
+
+class TestTransitions:
+    def test_correct_restart_repairs_crash_and_zombie(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        null = pomdp.state_index("null")
+        restart = pomdp.action_index("restart(VG)")
+        for label in ("crash(VG)", "zombie(VG)"):
+            state = pomdp.state_index(label)
+            assert pomdp.transitions[restart, state, null] == 1.0
+
+    def test_wrong_restart_changes_nothing(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        restart = pomdp.action_index("restart(VG)")
+        state = pomdp.state_index("zombie(DB)")
+        assert pomdp.transitions[restart, state, state] == 1.0
+
+    def test_reboot_fixes_everything_on_host(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        null = pomdp.state_index("null")
+        reboot = pomdp.action_index("reboot(hostA)")
+        for label in ("host_crash(hostA)", "crash(HG)", "zombie(HG)",
+                      "crash(S1)", "zombie(S1)"):
+            state = pomdp.state_index(label)
+            assert pomdp.transitions[reboot, state, null] == 1.0
+        # But not faults on other hosts.
+        other = pomdp.state_index("zombie(S2)")
+        assert pomdp.transitions[reboot, other, other] == 1.0
+
+
+class TestObservability:
+    def test_s1_s2_zombies_indistinguishable(self, emn_system):
+        """Both path probes route 50/50, so the two EMN-server zombies have
+        identical observation signatures — the irreducible ambiguity that
+        forces the 1.2-actions floor in Table 1."""
+        pomdp = emn_system.model.pomdp
+        s1 = pomdp.state_index("zombie(S1)")
+        s2 = pomdp.state_index("zombie(S2)")
+        observe = pomdp.action_index("observe")
+        assert np.allclose(
+            pomdp.observations[observe, s1], pomdp.observations[observe, s2]
+        )
+
+    def test_zombies_invisible_to_component_monitors(self, emn_system):
+        """In any zombie state, all five component monitors stay silent."""
+        pomdp = emn_system.model.pomdp
+        observe = pomdp.action_index("observe")
+        zombie_hg = pomdp.state_index("zombie(HG)")
+        distribution = pomdp.observations[observe, zombie_hg]
+        # Reachable observations must all have the component bits clear:
+        # component monitors are the first five label positions.
+        for obs in np.flatnonzero(distribution > 0):
+            label = pomdp.observation_labels[obs]
+            parts = label.split(",")
+            assert all("!" not in part for part in parts[:5]), label
+
+    def test_db_zombie_fails_both_paths(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        observe = pomdp.action_index("observe")
+        db = pomdp.state_index("zombie(DB)")
+        distribution = pomdp.observations[observe, db]
+        reachable = np.flatnonzero(distribution > 0)
+        assert len(reachable) == 1
+        label = pomdp.observation_labels[reachable[0]]
+        assert "HPathMon!" in label and "VPathMon!" in label
+
+    def test_null_state_all_clear(self, emn_system):
+        pomdp = emn_system.model.pomdp
+        observe = pomdp.action_index("observe")
+        null = pomdp.state_index("null")
+        distribution = pomdp.observations[observe, null]
+        reachable = np.flatnonzero(distribution > 0)
+        assert len(reachable) == 1
+        assert "!" not in pomdp.observation_labels[reachable[0]]

@@ -1,0 +1,136 @@
+"""Tests for component and path monitors and the joint observation model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.systems.components import Component, Deployment, Host
+from repro.systems.faults import Fault, FaultKind
+from repro.systems.monitors import (
+    ComponentMonitor,
+    PathMonitor,
+    observation_labels,
+    observation_matrix,
+)
+from repro.systems.workload import RequestPath
+
+
+@pytest.fixture()
+def deployment():
+    return Deployment(
+        hosts=(Host("h1", 300.0),),
+        components=(
+            Component("gw", host="h1", restart_duration=60.0),
+            Component("s1", host="h1", restart_duration=60.0),
+            Component("s2", host="h1", restart_duration=60.0),
+        ),
+    )
+
+
+PATH = RequestPath("http", 1.0, fixed=("gw",), balanced=("s1", "s2"))
+
+
+class TestComponentMonitor:
+    def test_detects_crash(self, deployment):
+        monitor = ComponentMonitor("gwMon", "gw")
+        assert monitor.alarm_probability(Fault(FaultKind.CRASH, "gw"), deployment) == 1.0
+
+    def test_blind_to_zombie(self, deployment):
+        """The paper's central diagnostic gap: zombies answer pings."""
+        monitor = ComponentMonitor("gwMon", "gw")
+        assert monitor.alarm_probability(
+            Fault(FaultKind.ZOMBIE, "gw"), deployment
+        ) == 0.0
+
+    def test_detects_host_crash_of_own_host(self, deployment):
+        monitor = ComponentMonitor("gwMon", "gw")
+        assert monitor.alarm_probability(
+            Fault(FaultKind.HOST_CRASH, "h1"), deployment
+        ) == 1.0
+
+    def test_silent_on_other_components(self, deployment):
+        monitor = ComponentMonitor("gwMon", "gw")
+        assert monitor.alarm_probability(
+            Fault(FaultKind.CRASH, "s1"), deployment
+        ) == 0.0
+
+    def test_coverage_and_false_positive(self, deployment):
+        monitor = ComponentMonitor(
+            "gwMon", "gw", coverage=0.9, false_positive_rate=0.05
+        )
+        assert monitor.alarm_probability(
+            Fault(FaultKind.CRASH, "gw"), deployment
+        ) == 0.9
+        assert monitor.alarm_probability(None, deployment) == 0.05
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ModelError):
+            ComponentMonitor("m", "c", coverage=1.5)
+        with pytest.raises(ModelError):
+            ComponentMonitor("m", "c", false_positive_rate=-0.1)
+
+
+class TestPathMonitor:
+    def test_fixed_component_fault_always_alarms(self, deployment):
+        monitor = PathMonitor("pm", PATH)
+        assert monitor.alarm_probability(
+            Fault(FaultKind.ZOMBIE, "gw"), deployment
+        ) == 1.0
+
+    def test_balanced_zombie_alarms_half_the_time(self, deployment):
+        """The 50/50 probe routing behind 'routed around the zombie'."""
+        monitor = PathMonitor("pm", PATH)
+        assert monitor.alarm_probability(
+            Fault(FaultKind.ZOMBIE, "s1"), deployment
+        ) == 0.5
+
+    def test_healthy_system_silent(self, deployment):
+        monitor = PathMonitor("pm", PATH)
+        assert monitor.alarm_probability(None, deployment) == 0.0
+
+    def test_coverage_scales_alarm(self, deployment):
+        monitor = PathMonitor("pm", PATH, coverage=0.8)
+        assert np.isclose(
+            monitor.alarm_probability(Fault(FaultKind.ZOMBIE, "s1"), deployment),
+            0.4,
+        )
+
+    def test_false_positive_on_clear_probe(self, deployment):
+        monitor = PathMonitor("pm", PATH, false_positive_rate=0.1)
+        assert np.isclose(monitor.alarm_probability(None, deployment), 0.1)
+
+
+class TestJointObservationModel:
+    def test_labels_cover_all_outcomes(self, deployment):
+        monitors = [ComponentMonitor("aMon", "gw"), PathMonitor("pm", PATH)]
+        labels = observation_labels(monitors)
+        assert len(labels) == 4
+        assert labels[0] == "aMon-,pm-"
+        assert labels[-1] == "aMon!,pm!"
+
+    def test_rows_are_distributions(self, deployment):
+        monitors = [
+            ComponentMonitor("gwMon", "gw"),
+            ComponentMonitor("s1Mon", "s1"),
+            PathMonitor("pm", PATH),
+        ]
+        faults = [None, Fault(FaultKind.ZOMBIE, "s1"), Fault(FaultKind.CRASH, "gw")]
+        matrix = observation_matrix(monitors, faults, deployment)
+        assert matrix.shape == (3, 8)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_independence_product(self, deployment):
+        monitors = [ComponentMonitor("gwMon", "gw"), PathMonitor("pm", PATH)]
+        fault = Fault(FaultKind.ZOMBIE, "s1")
+        matrix = observation_matrix(monitors, [fault], deployment)
+        # Outcomes order: (gw-,pm-), (gw-,pm!), (gw!,pm-), (gw!,pm!)
+        assert np.allclose(matrix[0], [0.5, 0.5, 0.0, 0.0])
+
+    def test_null_state_all_clear(self, deployment):
+        monitors = [ComponentMonitor("gwMon", "gw"), PathMonitor("pm", PATH)]
+        matrix = observation_matrix(monitors, [None], deployment)
+        assert matrix[0, 0] == 1.0
+
+    def test_empty_monitor_suite_rejected(self, deployment):
+        with pytest.raises(ModelError):
+            observation_matrix([], [None], deployment)

@@ -1,0 +1,103 @@
+"""Tests for the two-server Figure 1(a) example system."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.systems.simple import (
+    FAULT_RATE,
+    RESTART_COST,
+    WRONG_RESTART_COST,
+    build_simple_system,
+)
+
+
+class TestStructure:
+    def test_unnotified_shapes(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        assert pomdp.n_states == 4  # null, fault(a), fault(b), s_T
+        assert pomdp.n_actions == 4  # restart(a), restart(b), observe, a_T
+
+    def test_notified_shapes(self, simple_notified_system):
+        pomdp = simple_notified_system.model.pomdp
+        assert pomdp.n_states == 3
+        assert pomdp.n_actions == 3
+        assert simple_notified_system.model.recovery_notification
+
+
+class TestFigureAnnotations:
+    """The (probability, reward) annotations of Figures 1(a) and 2(b)."""
+
+    def test_correct_restart(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        a = pomdp.action_index("restart(a)")
+        fault_a = simple_system.fault_a
+        assert pomdp.transitions[a, fault_a, simple_system.null_state] == 1.0
+        assert np.isclose(pomdp.rewards[a, fault_a], -RESTART_COST)
+
+    def test_wrong_restart(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        b = pomdp.action_index("restart(b)")
+        fault_a = simple_system.fault_a
+        assert pomdp.transitions[b, fault_a, fault_a] == 1.0
+        assert np.isclose(pomdp.rewards[b, fault_a], -WRONG_RESTART_COST)
+
+    def test_restart_in_null(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        a = pomdp.action_index("restart(a)")
+        assert np.isclose(
+            pomdp.rewards[a, simple_system.null_state], -RESTART_COST
+        )
+
+    def test_observe_costs_fault_rate(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        observe = simple_system.observe_action
+        assert np.isclose(
+            pomdp.rewards[observe, simple_system.fault_a], -FAULT_RATE
+        )
+        assert pomdp.rewards[observe, simple_system.null_state] == 0.0
+
+    def test_termination_reward_is_rate_times_top(self):
+        system = build_simple_system(
+            recovery_notification=False, operator_response_time=4.0
+        )
+        pomdp = system.model.pomdp
+        a_t = system.model.terminate_action
+        # Figure 2(b): aT annotated (0.25, -0.5 * t_op).
+        assert np.isclose(pomdp.rewards[a_t, system.fault_a], -0.5 * 4.0)
+
+
+class TestObservationModel:
+    def test_localization_probabilities(self, simple_system):
+        pomdp = simple_system.model.pomdp
+        observe = simple_system.observe_action
+        row = pomdp.observations[observe, simple_system.fault_a]
+        looks_a = pomdp.observation_index("looks(a)")
+        looks_b = pomdp.observation_index("looks(b)")
+        clear = pomdp.observation_index("clear")
+        assert row[looks_a] > row[looks_b]
+        assert np.isclose(row.sum(), 1.0)
+        assert row[clear] > 0  # intermittent symptoms (no notification)
+
+    def test_notified_variant_never_clears_in_fault(self, simple_notified_system):
+        pomdp = simple_notified_system.model.pomdp
+        clear = pomdp.observation_index("clear")
+        fault_a = simple_notified_system.fault_a
+        assert pomdp.observations[0, fault_a, clear] == 0.0
+
+
+class TestParameterValidation:
+    def test_notified_with_miss_rate_rejected(self):
+        with pytest.raises(ModelError, match="miss_rate"):
+            build_simple_system(recovery_notification=True, miss_rate=0.2)
+
+    def test_unnotified_needs_positive_miss_rate(self):
+        with pytest.raises(ModelError, match="intermittent"):
+            build_simple_system(recovery_notification=False, miss_rate=0.0)
+
+    def test_invalid_localization_rejected(self):
+        with pytest.raises(ModelError, match="localization"):
+            build_simple_system(localization=1.5)
+
+    def test_discount_passes_through(self, simple_discounted_system):
+        assert simple_discounted_system.model.pomdp.discount == 0.9

@@ -1,0 +1,55 @@
+"""Tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).integers(0, 1_000_000, size=10)
+        b = as_generator(42).integers(0, 1_000_000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 1_000_000, size=10)
+        b = as_generator(2).integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_generator(generator) is generator
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_generators(7, 2)
+        a = children[0].integers(0, 1_000_000, size=20)
+        b = children[1].integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_same_seed(self):
+        first = [g.integers(0, 1_000_000) for g in spawn_generators(3, 4)]
+        second = [g.integers(0, 1_000_000) for g in spawn_generators(3, 4)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(0)
+        children = spawn_generators(parent, 3)
+        assert len(children) == 3
+        # The parent stream must remain usable afterwards.
+        parent.integers(0, 10)

@@ -1,0 +1,32 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows_aligned(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_title_prepended(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [["only one"]])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1234.5678], [0.001234], [float("nan")]])
+        assert "1235" in text  # 4 significant digits for large values
+        assert "0.001234" in text
+        assert "-" in text.splitlines()[-1]  # NaN renders as a dash
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,45 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+from repro.util.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_accumulates_time(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.01)
+        assert watch.total_seconds >= 0.009
+        assert watch.laps == 1
+
+    def test_multiple_laps(self):
+        watch = Stopwatch()
+        for _ in range(3):
+            with watch:
+                pass
+        assert watch.laps == 3
+
+    def test_mean_seconds(self):
+        watch = Stopwatch()
+        assert watch.mean_seconds == 0.0
+        with watch:
+            time.sleep(0.005)
+        assert watch.mean_seconds == watch.total_seconds
+
+    def test_reset(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        watch.reset()
+        assert watch.total_seconds == 0.0
+        assert watch.laps == 0
+
+    def test_exception_still_records(self):
+        watch = Stopwatch()
+        try:
+            with watch:
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert watch.laps == 1

@@ -1,0 +1,79 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.util.validation import (
+    check_distribution,
+    check_nonpositive,
+    check_stochastic_matrix,
+    normalize,
+)
+
+
+class TestCheckDistribution:
+    def test_valid(self):
+        out = check_distribution([0.25, 0.75])
+        assert out.dtype == float
+        assert np.isclose(out.sum(), 1.0)
+
+    def test_negative_entry_rejected(self):
+        with pytest.raises(ModelError, match="negative"):
+            check_distribution([-0.1, 1.1])
+
+    def test_wrong_sum_rejected(self):
+        with pytest.raises(ModelError, match="sum to 1"):
+            check_distribution([0.5, 0.4])
+
+    def test_wrong_dimension_rejected(self):
+        with pytest.raises(ModelError, match="one-dimensional"):
+            check_distribution([[0.5, 0.5]])
+
+    def test_tiny_negative_noise_clipped(self):
+        out = check_distribution([1.0 + 1e-10, -1e-10])
+        assert out.min() >= 0.0
+
+
+class TestCheckStochasticMatrix:
+    def test_valid(self):
+        matrix = np.array([[0.1, 0.9], [1.0, 0.0]])
+        assert check_stochastic_matrix(matrix).shape == (2, 2)
+
+    def test_bad_row_named_in_error(self):
+        matrix = np.array([[0.1, 0.9], [0.6, 0.6]])
+        with pytest.raises(ModelError, match=r"rows \[1\]"):
+            check_stochastic_matrix(matrix)
+
+    def test_negative_rejected(self):
+        matrix = np.array([[1.2, -0.2], [0.5, 0.5]])
+        with pytest.raises(ModelError, match="negative"):
+            check_stochastic_matrix(matrix)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ModelError, match="two-dimensional"):
+            check_stochastic_matrix(np.ones(3))
+
+
+class TestCheckNonpositive:
+    def test_valid(self):
+        out = check_nonpositive([-1.0, 0.0])
+        assert out.max() <= 0.0
+
+    def test_positive_rejected(self):
+        with pytest.raises(ModelError, match="non-positive"):
+            check_nonpositive([0.5])
+
+    def test_numerical_noise_clamped(self):
+        out = check_nonpositive([1e-12, -1.0])
+        assert out[0] == 0.0
+
+
+class TestNormalize:
+    def test_normalizes(self):
+        out = normalize([2.0, 2.0])
+        assert np.allclose(out, [0.5, 0.5])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ModelError, match="mass"):
+            normalize([0.0, 0.0])
