@@ -49,7 +49,15 @@ from repro.io import (
     save_pomdp,
     save_recovery_model,
 )
+from repro.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    ModelView,
+    Severity,
+    analyze,
+)
 from repro.exceptions import (
+    AnalysisError,
     BeliefError,
     ConditionViolation,
     ControllerError,
@@ -67,16 +75,20 @@ from repro.systems import build_emn_system, build_simple_system
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
+    "AnalysisReport",
     "BeliefError",
     "BoundVectorSet",
     "BoundedController",
     "BranchAndBoundController",
     "ConditionViolation",
     "ControllerError",
+    "Diagnostic",
     "DivergenceError",
     "HeuristicController",
     "MDP",
     "ModelError",
+    "ModelView",
     "MostLikelyController",
     "NotConvergedError",
     "OracleController",
@@ -87,6 +99,8 @@ __all__ = [
     "RecoveryModelBuilder",
     "ReproError",
     "SawtoothUpperBound",
+    "Severity",
+    "analyze",
     "bi_pomdp_bound",
     "blind_policy_bound",
     "bootstrap_bounds",

@@ -1,0 +1,51 @@
+"""Static model analysis.
+
+Inspects an :class:`~repro.mdp.MDP`, :class:`~repro.pomdp.POMDP`, or
+:class:`~repro.recovery.RecoveryModel` *without solving it* and reports
+every violation of the paper's structural preconditions (Conditions 1/2,
+the Figure 2 rewirings, Eq. 5 finiteness) plus warnings and statistics —
+in contrast to the model constructors, which fail fast on the first
+problem.  Run ``python -m repro.analysis --help`` for the CLI.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from repro.analysis.passes import (
+    SLOW_ABSORPTION_STEPS,
+    analyze,
+    condition_1_diagnostics,
+    condition_2_diagnostics,
+    dead_observation_diagnostics,
+    duplicate_action_diagnostics,
+    null_rewiring_diagnostics,
+    ra_finiteness_diagnostics,
+    slow_absorption_diagnostics,
+    stochasticity_diagnostics,
+    terminate_wiring_diagnostics,
+    unreachable_diagnostics,
+)
+from repro.analysis.view import ModelView
+
+__all__ = [
+    "CODES",
+    "SLOW_ABSORPTION_STEPS",
+    "AnalysisReport",
+    "Diagnostic",
+    "ModelView",
+    "Severity",
+    "analyze",
+    "condition_1_diagnostics",
+    "condition_2_diagnostics",
+    "dead_observation_diagnostics",
+    "duplicate_action_diagnostics",
+    "null_rewiring_diagnostics",
+    "ra_finiteness_diagnostics",
+    "slow_absorption_diagnostics",
+    "stochasticity_diagnostics",
+    "terminate_wiring_diagnostics",
+    "unreachable_diagnostics",
+]

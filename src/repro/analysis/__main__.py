@@ -1,0 +1,159 @@
+"""Command-line entry point for the static model analyzer.
+
+Usage::
+
+    python -m repro.analysis model.npz        # a repro.io archive
+    python -m repro.analysis --emn            # a shipped system
+    python -m repro.analysis --simple --tiered --emn
+    python -m repro.analysis --codes          # the diagnostic code table
+
+Archives are loaded *without* model validation, so a structurally broken
+model still produces a complete report.  Exit code: 0 when every analyzed
+model is clean, 1 when the worst finding is a warning, 2 on errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.diagnostics import CODES, AnalysisReport
+from repro.analysis.passes import analyze
+from repro.analysis.view import ModelView
+from repro.exceptions import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyze recovery models (no solving).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="model.npz",
+        help="repro.io archives (pomdp or recovery-model) to analyze",
+    )
+    parser.add_argument(
+        "--emn", action="store_true", help="analyze the shipped EMN system"
+    )
+    parser.add_argument(
+        "--simple",
+        action="store_true",
+        help="analyze the shipped Figure 1(a) example system",
+    )
+    parser.add_argument(
+        "--tiered",
+        action="store_true",
+        help="analyze the shipped parametric tiered system",
+    )
+    parser.add_argument(
+        "--no-info",
+        action="store_true",
+        help="hide info-level (R2xx) findings",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report(s) as JSON instead of text",
+    )
+    parser.add_argument(
+        "--codes",
+        action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    return parser
+
+
+def _builtin_models(args) -> list[tuple[str, object]]:
+    models = []
+    if args.emn:
+        from repro.systems.emn import build_emn_system
+
+        models.append(("EMN system", build_emn_system().model))
+    if args.simple:
+        from repro.systems.simple import build_simple_system
+
+        models.append(
+            ("simple system", build_simple_system(recovery_notification=False).model)
+        )
+    if args.tiered:
+        from repro.systems.tiered import build_tiered_system
+
+        models.append(("tiered system", build_tiered_system().model))
+    return models
+
+
+def _report_json(report: AnalysisReport) -> dict:
+    return {
+        "title": report.title,
+        "exit_code": report.exit_code,
+        "findings": [
+            {
+                "code": d.code,
+                "severity": d.severity.label,
+                "message": d.message,
+                "states": list(d.states),
+                "actions": list(d.actions),
+                "fix_hint": d.fix_hint,
+            }
+            for d in report.sorted().findings
+        ],
+    }
+
+
+def _print_codes() -> None:
+    print("code  severity  description")
+    for code, (severity, description) in sorted(CODES.items()):
+        print(f"{code}  {severity.label:<8}  {description}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.codes:
+        _print_codes()
+        return 0
+
+    targets: list[tuple[str, object]] = _builtin_models(args)
+    for path in args.paths:
+        try:
+            targets.append((str(path), ModelView.from_npz(path)))
+        except (OSError, ReproError, KeyError, ValueError) as error:
+            print(f"error: cannot load {path}: {error}", file=sys.stderr)
+            return 2
+    if not targets:
+        _build_parser().print_usage(sys.stderr)
+        print(
+            "error: give at least one model archive or --emn/--simple/--tiered",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports = []
+    for title, model in targets:
+        report = analyze(model)
+        reports.append(AnalysisReport(findings=report.findings, title=title))
+
+    if args.json:
+        print(json.dumps([_report_json(r) for r in reports], indent=2))
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            print(report.format(show_info=not args.no_info))
+    return max(report.exit_code for report in reports)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    try:
+        status = main()
+    except BrokenPipeError:
+        # Output was piped into something like `head` that closed early;
+        # suppress the traceback and flush-at-exit noise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        status = 0
+    raise SystemExit(status)

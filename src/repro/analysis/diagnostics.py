@@ -1,0 +1,186 @@
+"""Diagnostic records and reports for the static model analyzer.
+
+A :class:`Diagnostic` is one finding about a model — an error that makes
+the paper's theory unsound for it, a warning about something legal but
+suspicious, or an informational note.  Codes follow a lint-style scheme:
+
+* ``R0xx`` — errors: the model violates a precondition the soundness of
+  the bounds rests on (Conditions 1/2, the Figure 2 rewirings, Eq. 5
+  finiteness, stochasticity).
+* ``R1xx`` — warnings: legal but probably unintended structure
+  (unreachable states, duplicate/dominated actions, dead observations,
+  pathological absorption times).
+* ``R2xx`` — info: descriptive statistics and decompositions.
+
+An :class:`AnalysisReport` aggregates findings, renders them for humans,
+and adapts them back into the library's historical fail-fast exceptions via
+:meth:`AnalysisReport.raise_if_errors` (strict mode).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.exceptions import AnalysisError, ConditionViolation
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; ordering is used to sort reports (errors first)."""
+
+    ERROR = 2
+    WARNING = 1
+    INFO = 0
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: Code -> (severity, one-line description) registry.  Passes must only
+#: emit registered codes; the CLI prints this table under ``--codes``.
+CODES: dict[str, tuple[Severity, str]] = {
+    # -- errors -----------------------------------------------------------
+    "R001": (Severity.ERROR, "transition matrix row is not a distribution"),
+    "R002": (Severity.ERROR, "observation matrix row is not a distribution"),
+    "R003": (Severity.ERROR, "Condition 1: the null-fault set S_phi is empty"),
+    "R004": (Severity.ERROR, "Condition 1: state cannot reach S_phi"),
+    "R005": (Severity.ERROR, "Condition 2: positive single-step reward"),
+    "R006": (Severity.ERROR, "Figure 2(a): null state is not absorbing"),
+    "R007": (Severity.ERROR, "Figure 2(a): absorbing null state accrues reward"),
+    "R008": (Severity.ERROR, "Figure 2(b): terminate pair s_T/a_T mis-wired"),
+    "R009": (Severity.ERROR, "Eq. 5: RA-Bound diverges (rewarded recurrent state)"),
+    # -- warnings ---------------------------------------------------------
+    "R101": (Severity.WARNING, "state unreachable from the initial belief"),
+    "R102": (Severity.WARNING, "actions are exact duplicates"),
+    "R103": (Severity.WARNING, "action is dominated by another action"),
+    "R104": (Severity.WARNING, "observation symbol can never be emitted"),
+    "R105": (Severity.WARNING, "random-policy absorption is pathologically slow"),
+    # -- info -------------------------------------------------------------
+    "R201": (Severity.INFO, "model statistics"),
+    "R202": (Severity.INFO, "strongly-connected-component decomposition"),
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes:
+        code: registered ``Rxxx`` code (see :data:`CODES`).
+        severity: derived from the code at construction.
+        message: human-readable description naming labels, not indices.
+        states: labels of the states involved (possibly empty).
+        actions: labels of the actions involved (possibly empty).
+        fix_hint: one actionable sentence, or ``""`` when there is nothing
+            to fix (info diagnostics).
+    """
+
+    code: str
+    message: str
+    states: tuple[str, ...] = ()
+    actions: tuple[str, ...] = ()
+    fix_hint: str = ""
+    severity: Severity = field(init=False)
+
+    def __post_init__(self):
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+        object.__setattr__(self, "severity", CODES[self.code][0])
+
+    def format(self) -> str:
+        """One- or multi-line rendering, lint style."""
+        parts = [f"{self.code} {self.severity.label}: {self.message}"]
+        if self.fix_hint:
+            parts.append(f"    hint: {self.fix_hint}")
+        return "\n".join(parts)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """An immutable, ordered collection of diagnostics for one model."""
+
+    findings: tuple[Diagnostic, ...]
+    title: str = "model"
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.findings if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.findings if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.findings if d.severity is Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self.findings)
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """The distinct codes present, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for diagnostic in self.findings:
+            seen.setdefault(diagnostic.code, None)
+        return tuple(seen)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.findings if d.code == code)
+
+    @property
+    def exit_code(self) -> int:
+        """CLI convention: 0 clean, 1 warnings only, 2 errors."""
+        if self.has_errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def sorted(self) -> "AnalysisReport":
+        """Errors first, then warnings, then info; stable within a level."""
+        ordered = sorted(
+            self.findings, key=lambda d: (-int(d.severity), d.code)
+        )
+        return AnalysisReport(findings=tuple(ordered), title=self.title)
+
+    def format(self, show_info: bool = True) -> str:
+        """Render the full report for terminal display."""
+        lines = [f"Static analysis: {self.title}"]
+        shown = self.sorted().findings
+        if not show_info:
+            shown = tuple(d for d in shown if d.severity is not Severity.INFO)
+        for diagnostic in shown:
+            lines.append("  " + diagnostic.format().replace("\n", "\n  "))
+        if not shown:
+            hidden = len(self.findings) - len(shown)
+            suffix = f" (above info level; {hidden} hidden)" if hidden else ""
+            lines.append(f"  no findings{suffix}")
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info"
+        )
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> None:
+        """Strict-mode adapter: re-raise error findings as exceptions.
+
+        Condition 1/2 findings map onto the historical
+        :class:`~repro.exceptions.ConditionViolation` (preserving its
+        ``condition`` attribute); any other error-level finding raises
+        :class:`~repro.exceptions.AnalysisError` carrying this report.
+        """
+        errors = self.errors
+        if not errors:
+            return
+        first = errors[0]
+        if first.code in ("R003", "R004"):
+            raise ConditionViolation(1, first.message)
+        if first.code == "R005":
+            raise ConditionViolation(2, first.message)
+        raise AnalysisError(
+            f"{len(errors)} error-level finding(s), first: {first.format()}",
+            report=self,
+        )

@@ -1,0 +1,631 @@
+"""The static analyzer's checking passes.
+
+Each pass inspects a :class:`~repro.analysis.view.ModelView` and returns a
+list of :class:`~repro.analysis.diagnostics.Diagnostic` findings; none of
+them raises on model problems, so a single :func:`analyze` run reports
+*every* violation instead of failing fast on the first.  The error-level
+passes mirror the preconditions the paper's soundness results rest on:
+
+* ``R001``/``R002`` — stochasticity, shared tolerances with
+  :mod:`repro.util.validation` so the analyzer and the model constructors
+  can never disagree on what "stochastic" means;
+* ``R003``/``R004`` — Condition 1 (``S_phi`` reachable from every state);
+* ``R005`` — Condition 2 (non-positive single-step rewards);
+* ``R006``/``R007`` — the Figure 2(a) absorbing-null rewiring;
+* ``R008`` — the Figure 2(b) terminate pair, including the
+  ``r(s, a_T) = rbar(s) * t_op`` termination rewards;
+* ``R009`` — the Eq. 5 finiteness precondition of the RA-Bound (no
+  rewarded recurrent state in the uniformly-random chain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+from repro.analysis.view import ModelView
+from repro.mdp.classify import (
+    classify_chain,
+    expected_absorption_time,
+    reachable_set,
+    strongly_connected_components,
+)
+from repro.util.validation import NEGATIVITY_ATOL, SUM_ATOL
+
+#: Rewards smaller than this in magnitude count as zero (matches
+#: :data:`repro.bounds.ra_bound.REWARD_EPSILON`).
+REWARD_EPSILON = 1e-12
+
+#: Observation probabilities below this count as "cannot be emitted".
+SUPPORT_EPSILON = 1e-12
+
+#: Expected absorption time (in steps of the uniformly-random chain) past
+#: which the RA-Bound, while finite, is flagged as pathologically loose.
+SLOW_ABSORPTION_STEPS = 10_000.0
+
+
+def _bad_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row indices that are not probability distributions."""
+    negative = (matrix < -NEGATIVITY_ATOL).any(axis=1)
+    off_sum = ~np.isclose(matrix.sum(axis=1), 1.0, atol=SUM_ATOL)
+    return np.flatnonzero(negative | off_sum)
+
+
+def stochasticity_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R001/R002: every transition and observation row must be a distribution."""
+    findings = []
+    for a in range(view.n_actions):
+        bad = _bad_rows(view.transitions[a])
+        if bad.size:
+            sums = view.transitions[a][bad].sum(axis=1)
+            findings.append(
+                Diagnostic(
+                    code="R001",
+                    message=(
+                        f"transitions[{view.action_labels[a]!r}] rows for "
+                        f"states {[view.state_labels[s] for s in bad]} are "
+                        f"not distributions (sums {np.round(sums, 6).tolist()})"
+                    ),
+                    states=tuple(view.state_labels[s] for s in bad),
+                    actions=(view.action_labels[a],),
+                    fix_hint=(
+                        "make each row non-negative and sum to 1 (tolerance "
+                        f"{SUM_ATOL:g}); unlisted builder transitions default "
+                        "to self-loops"
+                    ),
+                )
+            )
+    if view.observations is not None:
+        for a in range(view.n_actions):
+            bad = _bad_rows(view.observations[a])
+            if bad.size:
+                findings.append(
+                    Diagnostic(
+                        code="R002",
+                        message=(
+                            f"observations[{view.action_labels[a]!r}] rows for "
+                            f"states {[view.state_labels[s] for s in bad]} are "
+                            "not distributions"
+                        ),
+                        states=tuple(view.state_labels[s] for s in bad),
+                        actions=(view.action_labels[a],),
+                        fix_hint=(
+                            "each state's observation row q(.|s, a) must be a "
+                            "distribution over the observation symbols"
+                        ),
+                    )
+                )
+    return findings
+
+
+def _exempt_mask(view: ModelView, exempt_states: np.ndarray | None) -> np.ndarray:
+    exempt = np.zeros(view.n_states, dtype=bool)
+    if exempt_states is not None:
+        exempt |= np.asarray(exempt_states, dtype=bool)
+    if view.terminate_state is not None:
+        exempt[view.terminate_state] = True
+    return exempt
+
+
+def condition_1_diagnostics(
+    view: ModelView, exempt_states: np.ndarray | None = None
+) -> list[Diagnostic]:
+    """R003/R004: Condition 1 — ``S_phi`` reachable from every state.
+
+    ``exempt_states`` are excluded from the requirement; the terminate
+    state ``s_T`` (absorbing by design) is always exempt.
+    """
+    if view.null_states is None:
+        return []
+    mask = view.null_states
+    if not mask.any():
+        return [
+            Diagnostic(
+                code="R003",
+                message="the null-fault set S_phi is empty",
+                fix_hint="declare at least one state with null=True",
+            )
+        ]
+    union = view.union_graph()
+    # Reachability *to* S_phi == reachability *from* S_phi in the reverse graph.
+    can_recover = reachable_set(union.T, mask) | _exempt_mask(view, exempt_states)
+    stuck = np.flatnonzero(~can_recover)
+    if not stuck.size:
+        return []
+    labels = [view.state_labels[s] for s in stuck]
+    return [
+        Diagnostic(
+            code="R004",
+            message=(
+                f"state {labels[0]!r} cannot reach any null-fault state "
+                f"under any action sequence ({stuck.size} such states: "
+                f"{labels})"
+            ),
+            states=tuple(labels),
+            fix_hint=(
+                "add a recovery action whose transitions lead these states "
+                "(possibly through intermediates) into S_phi"
+            ),
+        )
+    ]
+
+
+def condition_2_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R005: Condition 2 — all single-step rewards non-positive."""
+    findings = []
+    for a in range(view.n_actions):
+        positive = np.flatnonzero(view.rewards[a] > NEGATIVITY_ATOL)
+        if not positive.size:
+            continue
+        worst = int(positive[np.argmax(view.rewards[a][positive])])
+        findings.append(
+            Diagnostic(
+                code="R005",
+                message=(
+                    f"r({view.state_labels[worst]!r}, "
+                    f"{view.action_labels[a]!r}) = "
+                    f"{view.rewards[a, worst]:.3g} > 0"
+                    + (
+                        f" (and {positive.size - 1} more states under this "
+                        "action)"
+                        if positive.size > 1
+                        else ""
+                    )
+                ),
+                states=tuple(view.state_labels[s] for s in positive),
+                actions=(view.action_labels[a],),
+                fix_hint=(
+                    "rewards are negated costs; express gains as smaller "
+                    "costs so every r(s, a) <= 0"
+                ),
+            )
+        )
+    return findings
+
+
+def null_rewiring_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R006/R007: the Figure 2(a) rewiring for notified systems.
+
+    With recovery notification every null state must be absorbing under
+    every action (R006) and accrue zero reward there (R007); otherwise the
+    undiscounted value in ``S_phi`` is not 0 and Eq. 5 loses its finite
+    solution.
+    """
+    if not view.recovery_notification or view.null_states is None:
+        return []
+    findings = []
+    for s in np.flatnonzero(view.null_states):
+        leaky = [
+            view.action_labels[a]
+            for a in range(view.n_actions)
+            if abs(view.transitions[a, s, s] - 1.0) > SUM_ATOL
+        ]
+        if leaky:
+            findings.append(
+                Diagnostic(
+                    code="R006",
+                    message=(
+                        f"null state {view.state_labels[s]!r} is not "
+                        f"absorbing under actions {leaky}"
+                    ),
+                    states=(view.state_labels[s],),
+                    actions=tuple(leaky),
+                    fix_hint=(
+                        "apply make_null_absorbing (Figure 2(a)) so every "
+                        "action self-loops in S_phi"
+                    ),
+                )
+            )
+        rewarded = [
+            view.action_labels[a]
+            for a in range(view.n_actions)
+            if abs(view.rewards[a, s]) > REWARD_EPSILON
+        ]
+        if rewarded:
+            findings.append(
+                Diagnostic(
+                    code="R007",
+                    message=(
+                        f"absorbing null state {view.state_labels[s]!r} "
+                        f"accrues reward under actions {rewarded}"
+                    ),
+                    states=(view.state_labels[s],),
+                    actions=tuple(rewarded),
+                    fix_hint=(
+                        "zero the rewards of every action in S_phi; a "
+                        "recovered system must cost nothing to sit in"
+                    ),
+                )
+            )
+    return findings
+
+
+def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R008: the Figure 2(b) terminate pair ``(s_T, a_T)``.
+
+    Checks that ``a_T`` routes every state to ``s_T``, that ``s_T`` is
+    absorbing and free under every action, and — when ``rbar`` and
+    ``t_op`` are known — that the termination rewards equal
+    ``r(s, a_T) = rbar(s) * t_op`` (0 on ``S_phi``).
+    """
+    s_t, a_t = view.terminate_state, view.terminate_action
+    if s_t is None or a_t is None:
+        return []
+    findings = []
+    if not (0 <= s_t < view.n_states) or not (0 <= a_t < view.n_actions):
+        return [
+            Diagnostic(
+                code="R008",
+                message=(
+                    f"terminate indices s_T={s_t}, a_T={a_t} are out of "
+                    f"range for |S|={view.n_states}, |A|={view.n_actions}"
+                ),
+                fix_hint="augment with with_termination_action (Figure 2(b))",
+            )
+        ]
+    missed = np.flatnonzero(
+        np.abs(view.transitions[a_t, :, s_t] - 1.0) > SUM_ATOL
+    )
+    if missed.size:
+        findings.append(
+            Diagnostic(
+                code="R008",
+                message=(
+                    f"a_T does not move states "
+                    f"{[view.state_labels[s] for s in missed]} to s_T with "
+                    "probability 1"
+                ),
+                states=tuple(view.state_labels[s] for s in missed),
+                actions=(view.action_labels[a_t],),
+                fix_hint="a_T must deterministically end the episode in s_T",
+            )
+        )
+    leaky = [
+        view.action_labels[a]
+        for a in range(view.n_actions)
+        if abs(view.transitions[a, s_t, s_t] - 1.0) > SUM_ATOL
+    ]
+    if leaky:
+        findings.append(
+            Diagnostic(
+                code="R008",
+                message=f"s_T is not absorbing under actions {leaky}",
+                states=(view.state_labels[s_t],),
+                actions=tuple(leaky),
+                fix_hint="every action must self-loop in s_T",
+            )
+        )
+    rewarded = [
+        view.action_labels[a]
+        for a in range(view.n_actions)
+        if abs(view.rewards[a, s_t]) > REWARD_EPSILON
+    ]
+    if rewarded:
+        findings.append(
+            Diagnostic(
+                code="R008",
+                message=f"s_T accrues reward under actions {rewarded}",
+                states=(view.state_labels[s_t],),
+                actions=tuple(rewarded),
+                fix_hint="the terminated system must be free: r(s_T, .) = 0",
+            )
+        )
+    if view.rate_rewards is not None and view.operator_response_time is not None:
+        expected = view.rate_rewards * view.operator_response_time
+        if view.null_states is not None:
+            expected = np.where(view.null_states, 0.0, expected)
+        expected[s_t] = 0.0
+        actual = view.rewards[a_t]
+        wrong = np.flatnonzero(
+            ~np.isclose(actual, expected, rtol=1e-9, atol=1e-9)
+        )
+        wrong = wrong[wrong != s_t]
+        if wrong.size:
+            first = int(wrong[0])
+            findings.append(
+                Diagnostic(
+                    code="R008",
+                    message=(
+                        f"termination reward r({view.state_labels[first]!r}, "
+                        f"a_T) = {actual[first]:.6g} but rbar * t_op = "
+                        f"{expected[first]:.6g} ({wrong.size} state(s) "
+                        "mis-wired)"
+                    ),
+                    states=tuple(view.state_labels[s] for s in wrong),
+                    actions=(view.action_labels[a_t],),
+                    fix_hint=(
+                        "terminating leaves the fault cost running until the "
+                        "operator responds: set r(s, a_T) = rbar(s) * t_op"
+                    ),
+                )
+            )
+    return findings
+
+
+def ra_finiteness_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R009: Eq. 5 finiteness — no rewarded recurrent state in the uniform chain."""
+    if view.discount < 1.0:
+        return []
+    chain = view.transitions.mean(axis=0)
+    recurrent = np.flatnonzero(classify_chain(chain).recurrent)
+    findings = []
+    for s in recurrent:
+        rewarded = [
+            view.action_labels[a]
+            for a in range(view.n_actions)
+            if abs(view.rewards[a, s]) > REWARD_EPSILON
+        ]
+        if rewarded:
+            findings.append(
+                Diagnostic(
+                    code="R009",
+                    message=(
+                        f"recurrent state {view.state_labels[s]!r} of the "
+                        f"uniformly-random chain accrues reward under actions "
+                        f"{rewarded}; the RA-Bound (Eq. 5) diverges"
+                    ),
+                    states=(view.state_labels[s],),
+                    actions=tuple(rewarded),
+                    fix_hint=(
+                        "apply the Figure 2 recovery augmentation (absorbing "
+                        "S_phi or the terminate pair) before solving"
+                    ),
+                )
+            )
+    return findings
+
+
+def _default_initial_belief(view: ModelView) -> np.ndarray | None:
+    if view.initial_belief is not None:
+        return np.asarray(view.initial_belief, dtype=float)
+    if view.null_states is None:
+        return None
+    faults = ~view.null_states
+    if view.terminate_state is not None:
+        faults = faults.copy()
+        faults[view.terminate_state] = False
+    if not faults.any():
+        return None
+    belief = np.zeros(view.n_states)
+    belief[faults] = 1.0 / faults.sum()
+    return belief
+
+
+def unreachable_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R101: states unreachable from the initial belief support."""
+    belief = _default_initial_belief(view)
+    if belief is None:
+        return []
+    support = belief > 0.0
+    reached = reachable_set(view.union_graph(), support)
+    unreachable = np.flatnonzero(~reached)
+    if not unreachable.size:
+        return []
+    labels = [view.state_labels[s] for s in unreachable]
+    return [
+        Diagnostic(
+            code="R101",
+            message=(
+                f"states {labels} can never be entered from the initial "
+                "belief under any action sequence"
+            ),
+            states=tuple(labels),
+            fix_hint=(
+                "dead states cost belief-update and lookahead time; drop "
+                "them or include them in the initial fault distribution"
+            ),
+        )
+    ]
+
+
+def duplicate_action_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R102/R103: duplicate and row-wise dominated actions.
+
+    Two actions are duplicates when their transition rows, observation
+    rows, and rewards all coincide; an action is dominated when it matches
+    another action's dynamics and information exactly but costs at least as
+    much everywhere (and strictly more somewhere) — no policy ever needs it.
+    """
+    findings = []
+    for a in range(view.n_actions):
+        for b in range(a + 1, view.n_actions):
+            if not np.allclose(
+                view.transitions[a], view.transitions[b], atol=SUM_ATOL
+            ):
+                continue
+            if view.observations is not None and not np.allclose(
+                view.observations[a], view.observations[b], atol=SUM_ATOL
+            ):
+                continue
+            difference = view.rewards[a] - view.rewards[b]
+            if np.allclose(difference, 0.0, atol=REWARD_EPSILON):
+                findings.append(
+                    Diagnostic(
+                        code="R102",
+                        message=(
+                            f"actions {view.action_labels[a]!r} and "
+                            f"{view.action_labels[b]!r} have identical "
+                            "transitions, observations, and rewards"
+                        ),
+                        actions=(view.action_labels[a], view.action_labels[b]),
+                        fix_hint="remove one; duplicates only slow the solver",
+                    )
+                )
+            elif np.all(difference <= REWARD_EPSILON):
+                findings.append(
+                    _dominated(view, dominated=a, dominating=b)
+                )
+            elif np.all(difference >= -REWARD_EPSILON):
+                findings.append(
+                    _dominated(view, dominated=b, dominating=a)
+                )
+    return findings
+
+
+def _dominated(view: ModelView, dominated: int, dominating: int) -> Diagnostic:
+    return Diagnostic(
+        code="R103",
+        message=(
+            f"action {view.action_labels[dominated]!r} matches "
+            f"{view.action_labels[dominating]!r} in dynamics and "
+            "observations but costs more in some state"
+        ),
+        actions=(
+            view.action_labels[dominated],
+            view.action_labels[dominating],
+        ),
+        fix_hint="no policy needs the dominated action; remove it",
+    )
+
+
+def dead_observation_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R104: observation symbols with zero emission probability everywhere."""
+    if view.observations is None:
+        return []
+    emittable = view.observations.max(axis=(0, 1)) > SUPPORT_EPSILON
+    dead = np.flatnonzero(~emittable)
+    if not dead.size:
+        return []
+    labels = [view.observation_labels[o] for o in dead]
+    return [
+        Diagnostic(
+            code="R104",
+            message=(
+                f"{dead.size} observation symbol(s) can never be emitted "
+                f"by any state under any action: {labels[:8]}"
+                + (" ..." if dead.size > 8 else "")
+            ),
+            fix_hint=(
+                "dead symbols inflate every belief update by |O|; drop them "
+                "from the observation alphabet"
+            ),
+        )
+    ]
+
+
+def slow_absorption_diagnostics(
+    view: ModelView, slow_absorption_steps: float = SLOW_ABSORPTION_STEPS
+) -> list[Diagnostic]:
+    """R105: transient states whose random-policy absorption is very slow.
+
+    The RA-Bound charges each transient state roughly its expected
+    absorption time worth of average cost; a state that takes
+    ``slow_absorption_steps`` expected steps to absorb makes the bound
+    finite (Eq. 5 still converges) but extremely loose there.
+    """
+    if view.discount < 1.0:
+        return []
+    chain = view.transitions.mean(axis=0)
+    times = expected_absorption_time(chain)
+    slow = np.flatnonzero(np.isfinite(times) & (times > slow_absorption_steps))
+    if not slow.size:
+        return []
+    labels = [view.state_labels[s] for s in slow]
+    worst = int(slow[np.argmax(times[slow])])
+    return [
+        Diagnostic(
+            code="R105",
+            message=(
+                f"states {labels} take more than "
+                f"{slow_absorption_steps:g} expected random-policy steps to "
+                f"absorb (worst: {view.state_labels[worst]!r} at "
+                f"{times[worst]:.3g}); the RA-Bound will be very loose there"
+            ),
+            states=tuple(labels),
+            fix_hint=(
+                "raise repair probabilities or add a more direct recovery "
+                "action; consider seeding refinement at these states' beliefs"
+            ),
+        )
+    ]
+
+
+def stats_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R201: descriptive model statistics."""
+    density = float(
+        (view.transitions > SUPPORT_EPSILON).sum()
+        / max(view.transitions.size, 1)
+    )
+    parts = [
+        f"|S|={view.n_states}",
+        f"|A|={view.n_actions}",
+        f"|O|={view.n_observations}" if view.observations is not None else "|O|=0",
+        f"discount={view.discount:g}",
+        f"transition density={density:.3f}",
+    ]
+    if view.null_states is not None:
+        parts.append(f"|S_phi|={int(view.null_states.sum())}")
+    if view.recovery_notification is not None:
+        parts.append(
+            "recovery notification (Figure 2(a))"
+            if view.recovery_notification
+            else "terminate pair (Figure 2(b))"
+        )
+    return [Diagnostic(code="R201", message=", ".join(parts))]
+
+
+def scc_diagnostics(view: ModelView) -> list[Diagnostic]:
+    """R202: SCC decomposition of the union graph and the uniform chain."""
+    union_components = strongly_connected_components(view.union_graph())
+    chain = view.transitions.mean(axis=0)
+    classification = classify_chain(chain)
+    sizes = sorted((len(c) for c in union_components), reverse=True)
+    return [
+        Diagnostic(
+            code="R202",
+            message=(
+                f"union graph has {len(union_components)} SCC(s) "
+                f"(sizes {sizes[:8]}{' ...' if len(sizes) > 8 else ''}); "
+                f"uniform-random chain has "
+                f"{len(classification.recurrent_classes)} recurrent class(es) "
+                f"over {int(classification.recurrent.sum())} state(s), "
+                f"{int(classification.absorbing.sum())} absorbing"
+            ),
+        )
+    ]
+
+
+#: The full pipeline, in report order (errors, warnings, info).
+_PASSES = (
+    stochasticity_diagnostics,
+    condition_1_diagnostics,
+    condition_2_diagnostics,
+    null_rewiring_diagnostics,
+    terminate_wiring_diagnostics,
+    ra_finiteness_diagnostics,
+    unreachable_diagnostics,
+    duplicate_action_diagnostics,
+    dead_observation_diagnostics,
+    slow_absorption_diagnostics,
+    stats_diagnostics,
+    scc_diagnostics,
+)
+
+
+def analyze(model, title: str | None = None) -> AnalysisReport:
+    """Run every pass over ``model`` and return the aggregated report.
+
+    Args:
+        model: an :class:`~repro.mdp.MDP`, :class:`~repro.pomdp.POMDP`,
+            :class:`~repro.recovery.RecoveryModel`, or a prepared
+            :class:`~repro.analysis.view.ModelView`.
+        title: report heading; derived from the model shape when omitted.
+    """
+    view = model if isinstance(model, ModelView) else ModelView.from_model(model)
+    findings: list[Diagnostic] = []
+    for check in _PASSES:
+        findings.extend(check(view))
+    if title is None:
+        kind = "recovery model" if view.null_states is not None else (
+            "POMDP" if view.observations is not None else "MDP"
+        )
+        title = (
+            f"{kind} ({view.n_states} states, {view.n_actions} actions"
+            + (
+                f", {view.n_observations} observations"
+                if view.observations is not None
+                else ""
+            )
+            + ")"
+        )
+    return AnalysisReport(findings=tuple(findings), title=title)

@@ -1,0 +1,212 @@
+"""A validation-free view of a model for the static analyzer.
+
+The model classes (:class:`repro.mdp.MDP`, :class:`repro.pomdp.POMDP`,
+:class:`repro.recovery.RecoveryModel`) validate eagerly and raise on the
+*first* problem.  The analyzer's job is the opposite: accept anything
+array-shaped and report *every* problem.  :class:`ModelView` is the common
+denominator — raw arrays plus labels plus whatever recovery metadata is
+known — buildable from a validated model object, from raw arrays, or from
+an ``.npz`` archive written by :mod:`repro.io` (loaded without validation,
+so a report can be produced even for archives the loaders would reject).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+
+def _labels(prefix: str, count: int, given=None) -> tuple[str, ...]:
+    if given is not None and len(given) == count:
+        return tuple(str(label) for label in given)
+    return tuple(f"{prefix}{i}" for i in range(count))
+
+
+@dataclass(frozen=True)
+class ModelView:
+    """Raw model arrays plus optional recovery metadata.
+
+    Attributes:
+        transitions: ``(|A|, |S|, |S|)`` array.
+        rewards: ``(|A|, |S|)`` array.
+        observations: ``(|A|, |S|, |O|)`` array, or None for plain MDPs.
+        state_labels / action_labels / observation_labels: display names.
+        discount: ``beta``.
+        null_states: ``S_phi`` mask, or None when not a recovery model.
+        rate_rewards: per-state ``rbar(s)``, or None.
+        recovery_notification: Figure 2(a) vs 2(b), or None when unknown.
+        terminate_state / terminate_action: ``s_T`` / ``a_T`` indices.
+        operator_response_time: ``t_op`` for the termination rewards.
+        initial_belief: the belief recovery starts from, or None.
+    """
+
+    transitions: np.ndarray
+    rewards: np.ndarray
+    observations: np.ndarray | None = None
+    state_labels: tuple[str, ...] = ()
+    action_labels: tuple[str, ...] = ()
+    observation_labels: tuple[str, ...] = ()
+    discount: float = 1.0
+    null_states: np.ndarray | None = None
+    rate_rewards: np.ndarray | None = None
+    recovery_notification: bool | None = None
+    terminate_state: int | None = None
+    terminate_action: int | None = None
+    operator_response_time: float | None = None
+    initial_belief: np.ndarray | None = None
+
+    def __post_init__(self):
+        transitions = np.asarray(self.transitions, dtype=float)
+        if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
+            raise ModelError(
+                f"transitions must have shape (|A|, |S|, |S|), got "
+                f"{transitions.shape}"
+            )
+        rewards = np.asarray(self.rewards, dtype=float)
+        n_actions, n_states = transitions.shape[0], transitions.shape[1]
+        if rewards.shape != (n_actions, n_states):
+            raise ModelError(
+                f"rewards must have shape ({n_actions}, {n_states}), got "
+                f"{rewards.shape}"
+            )
+        observations = self.observations
+        if observations is not None:
+            observations = np.asarray(observations, dtype=float)
+            if observations.ndim != 3 or observations.shape[:2] != (
+                n_actions,
+                n_states,
+            ):
+                raise ModelError(
+                    "observations must have shape (|A|, |S|, |O|), got "
+                    f"{observations.shape}"
+                )
+        null_states = self.null_states
+        if null_states is not None:
+            null_states = np.asarray(null_states, dtype=bool)
+            if null_states.shape != (n_states,):
+                raise ModelError(
+                    f"null_states must be a mask of length {n_states}"
+                )
+        object.__setattr__(self, "transitions", transitions)
+        object.__setattr__(self, "rewards", rewards)
+        object.__setattr__(self, "observations", observations)
+        object.__setattr__(self, "null_states", null_states)
+        object.__setattr__(
+            self, "state_labels", _labels("s", n_states, self.state_labels)
+        )
+        object.__setattr__(
+            self, "action_labels", _labels("a", n_actions, self.action_labels)
+        )
+        n_observations = 0 if observations is None else observations.shape[2]
+        object.__setattr__(
+            self,
+            "observation_labels",
+            _labels("o", n_observations, self.observation_labels),
+        )
+
+    @property
+    def n_states(self) -> int:
+        return self.transitions.shape[1]
+
+    @property
+    def n_actions(self) -> int:
+        return self.transitions.shape[0]
+
+    @property
+    def n_observations(self) -> int:
+        return 0 if self.observations is None else self.observations.shape[2]
+
+    def union_graph(self) -> np.ndarray:
+        """Structural union of all actions' transition supports."""
+        return self.transitions.max(axis=0)
+
+    @classmethod
+    def from_model(cls, model) -> "ModelView":
+        """Build a view from an MDP, POMDP, or RecoveryModel (duck-typed).
+
+        Duck typing (rather than isinstance on the model classes) keeps this
+        module import-light so the recovery layer can depend on the analyzer
+        without an import cycle.
+        """
+        if hasattr(model, "pomdp"):  # RecoveryModel
+            pomdp = model.pomdp
+            try:
+                initial = model.initial_belief()
+            except Exception:
+                initial = None
+            return cls(
+                transitions=pomdp.transitions,
+                rewards=pomdp.rewards,
+                observations=pomdp.observations,
+                state_labels=pomdp.state_labels,
+                action_labels=pomdp.action_labels,
+                observation_labels=pomdp.observation_labels,
+                discount=pomdp.discount,
+                null_states=model.null_states,
+                rate_rewards=model.rate_rewards,
+                recovery_notification=model.recovery_notification,
+                terminate_state=model.terminate_state,
+                terminate_action=model.terminate_action,
+                operator_response_time=model.operator_response_time,
+                initial_belief=initial,
+            )
+        return cls(
+            transitions=model.transitions,
+            rewards=model.rewards,
+            observations=getattr(model, "observations", None),
+            state_labels=model.state_labels,
+            action_labels=model.action_labels,
+            observation_labels=getattr(model, "observation_labels", ()),
+            discount=model.discount,
+        )
+
+    @classmethod
+    def from_npz(cls, path) -> "ModelView":
+        """Load a :mod:`repro.io` archive *without* model validation.
+
+        Accepts both ``pomdp`` and ``recovery-model`` archives; unlike
+        :func:`repro.io.load_recovery_model`, a structurally broken model
+        still yields a view (and hence a full diagnostic report) instead of
+        an exception naming only the first problem.
+        """
+        with np.load(path, allow_pickle=False) as archive:
+            kind = str(archive.get("kind", ""))
+            if kind not in ("pomdp", "recovery-model"):
+                raise ModelError(
+                    f"{path} holds a {kind or 'unknown'} archive; expected a "
+                    "pomdp or recovery-model archive"
+                )
+            common = dict(
+                transitions=archive["transitions"],
+                rewards=archive["rewards"],
+                observations=archive["observations"],
+                state_labels=tuple(str(s) for s in archive["state_labels"]),
+                action_labels=tuple(str(a) for a in archive["action_labels"]),
+                observation_labels=tuple(
+                    str(o) for o in archive["observation_labels"]
+                ),
+                discount=float(archive["discount"]),
+            )
+            if kind == "pomdp":
+                return cls(**common)
+            has_terminate = "terminate_state" in archive
+            return cls(
+                null_states=archive["null_states"],
+                rate_rewards=np.asarray(archive["rate_rewards"], dtype=float),
+                recovery_notification=bool(archive["recovery_notification"]),
+                terminate_state=(
+                    int(archive["terminate_state"]) if has_terminate else None
+                ),
+                terminate_action=(
+                    int(archive["terminate_action"]) if has_terminate else None
+                ),
+                operator_response_time=(
+                    float(archive["operator_response_time"])
+                    if has_terminate
+                    else None
+                ),
+                **common,
+            )

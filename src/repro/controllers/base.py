@@ -49,11 +49,27 @@ class RecoveryController(abc.ABC):
     #: Display name used in experiment tables (subclasses override).
     name: str = "controller"
 
-    def __init__(self, model: RecoveryModel):
+    def __init__(self, model: RecoveryModel, preflight: bool = False):
+        """Args:
+            model: the (augmented) recovery model to control.
+            preflight: run the static analyzer over ``model`` before the
+                first action can be taken.  Error findings raise
+                :class:`~repro.exceptions.AnalysisError` (carrying the full
+                report); otherwise the report is kept on
+                :attr:`preflight_report` so operators can surface warnings
+                (loose bounds, dead observations) at deployment time.
+        """
         self.model = model
         self.stopwatch = Stopwatch()
         self._belief: np.ndarray | None = None
         self._done = True
+        self.preflight_report = None
+        if preflight:
+            from repro.analysis.passes import analyze
+
+            report = analyze(model)
+            report.raise_if_errors()
+            self.preflight_report = report
 
     # -- episode life cycle -------------------------------------------------
 

@@ -59,8 +59,9 @@ class BoundedController(RecoveryController):
         refine_online: bool = True,
         refine_min_improvement: float = 0.0,
         max_vectors: int | None = None,
+        preflight: bool = False,
     ):
-        super().__init__(model)
+        super().__init__(model, preflight=preflight)
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         self.depth = depth

@@ -63,8 +63,9 @@ class BranchAndBoundController(RecoveryController):
         refine_online: bool = True,
         refine_min_improvement: float = 0.0,
         certified_termination: bool = False,
+        preflight: bool = False,
     ):
-        super().__init__(model)
+        super().__init__(model, preflight=preflight)
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         self.depth = depth

@@ -83,8 +83,9 @@ class HeuristicController(RecoveryController):
         depth: int = 1,
         termination_probability: float = 0.9999,
         literal_max: bool = False,
+        preflight: bool = False,
     ):
-        super().__init__(model)
+        super().__init__(model, preflight=preflight)
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
         if not 0.0 < termination_probability <= 1.0:

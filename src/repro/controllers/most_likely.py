@@ -61,9 +61,12 @@ class MostLikelyController(RecoveryController):
     """Bayes diagnosis + cheapest fixing action for the belief's mode."""
 
     def __init__(
-        self, model: RecoveryModel, termination_probability: float = 0.9999
+        self,
+        model: RecoveryModel,
+        termination_probability: float = 0.9999,
+        preflight: bool = False,
     ):
-        super().__init__(model)
+        super().__init__(model, preflight=preflight)
         if not 0.0 < termination_probability <= 1.0:
             raise ValueError(
                 "termination_probability must be in (0, 1], got "

@@ -24,8 +24,8 @@ class OracleController(RecoveryController):
     #: The campaign skips monitor invocations for controllers that opt out.
     uses_monitors: bool = False
 
-    def __init__(self, model: RecoveryModel):
-        super().__init__(model)
+    def __init__(self, model: RecoveryModel, preflight: bool = False):
+        super().__init__(model, preflight=preflight)
         self._fixing_action = cheapest_fixing_actions(model)
         self._true_state: int | None = None
         self.name = "oracle"

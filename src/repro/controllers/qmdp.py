@@ -45,8 +45,9 @@ class QMDPController(RecoveryController):
         model: RecoveryModel,
         termination_probability: float = 0.9999,
         allow_terminate_action: bool = True,
+        preflight: bool = False,
     ):
-        super().__init__(model)
+        super().__init__(model, preflight=preflight)
         if not 0.0 < termination_probability <= 1.0:
             raise ValueError(
                 "termination_probability must be in (0, 1], got "

@@ -39,8 +39,9 @@ class RandomController(RecoveryController):
         include_all_actions: bool = True,
         termination_probability: float = 0.9999,
         seed=None,
+        preflight: bool = False,
     ):
-        super().__init__(model)
+        super().__init__(model, preflight=preflight)
         self._rng = as_generator(seed)
         if include_all_actions:
             self._choices = np.arange(model.pomdp.n_actions)

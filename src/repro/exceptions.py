@@ -21,17 +21,45 @@ class ModelError(ReproError):
     """
 
 
+#: The paper defines exactly two recovery-model conditions.
+VALID_CONDITIONS = (1, 2)
+
+
 class ConditionViolation(ModelError):
     """A recovery-model condition from the paper does not hold.
 
     ``condition`` is 1 for Condition 1 (every state can reach the null-fault
     set ``S_phi``) and 2 for Condition 2 (all single-step rewards are
-    non-positive).
+    non-positive).  Any other value is a programming error and is rejected
+    eagerly rather than propagated into reports.
     """
 
     def __init__(self, condition: int, message: str):
+        if condition not in VALID_CONDITIONS:
+            raise ValueError(
+                f"condition must be one of {VALID_CONDITIONS}, got {condition!r}"
+            )
         super().__init__(f"Condition {condition} violated: {message}")
         self.condition = condition
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(condition={self.condition}, "
+            f"message={str(self)!r})"
+        )
+
+
+class AnalysisError(ModelError):
+    """The static analyzer found error-level diagnostics in strict mode.
+
+    Raised by the ``strict=True`` adapters in :mod:`repro.analysis` and by
+    controller preflight; carries the full report so callers can inspect
+    every finding rather than just the first.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
 
 
 class DivergenceError(ReproError):

@@ -1,17 +1,31 @@
-"""State classification for Markov chains.
+"""State classification and graph analyses for Markov chains.
 
 The convergence arguments of Section 3.1 hinge on which states of the
 RA-Bound chain are recurrent: Eq. 5 has a finite solution iff every action
 originating in a recurrent state has zero reward.  This module computes the
-recurrent/transient split from the chain's strongly-connected components.
+recurrent/transient split from the chain's strongly-connected components,
+and exposes the underlying graph analyses (SCC decomposition, reachability,
+expected absorption time) for reuse by the static analyzer in
+:mod:`repro.analysis`.
+
+All analyses are networkx-backed when networkx is importable and fall back
+to pure numpy/Python implementations otherwise, so the analyzer keeps
+working in minimal deployments.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
 import numpy as np
+
+try:  # pragma: no cover - exercised indirectly via the fallback tests
+    import networkx as nx
+
+    HAVE_NETWORKX = True
+except ImportError:  # pragma: no cover
+    nx = None
+    HAVE_NETWORKX = False
 
 #: Probabilities below this are treated as structural zeros.
 EDGE_EPSILON = 1e-12
@@ -36,6 +50,95 @@ class ChainClassification:
     recurrent_classes: tuple[frozenset, ...]
 
 
+def _adjacency(chain: np.ndarray) -> np.ndarray:
+    return np.asarray(chain, dtype=float) > EDGE_EPSILON
+
+
+def _scc_networkx(adjacency: np.ndarray) -> list[frozenset]:
+    n = adjacency.shape[0]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    rows, cols = np.nonzero(adjacency)
+    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return [frozenset(component) for component in nx.strongly_connected_components(graph)]
+
+
+def _scc_tarjan(adjacency: np.ndarray) -> list[frozenset]:
+    """Iterative Tarjan SCC — the pure-Python fallback (no recursion limit)."""
+    n = adjacency.shape[0]
+    successors = [np.flatnonzero(adjacency[s]).tolist() for s in range(n)]
+    index = [-1] * n
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    components: list[frozenset] = []
+    counter = 0
+
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        # Each work item is (node, iterator position into its successors).
+        work = [(root, 0)]
+        while work:
+            node, position = work.pop()
+            if position == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            for i in range(position, len(successors[node])):
+                child = successors[node][i]
+                if index[child] == -1:
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                members = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    members.append(member)
+                    if member == node:
+                        break
+                components.append(frozenset(members))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def strongly_connected_components(chain: np.ndarray) -> list[frozenset]:
+    """SCCs of the directed graph induced by ``chain > EDGE_EPSILON``.
+
+    ``chain`` may be a stochastic matrix or any non-negative weight matrix;
+    only the sparsity pattern matters.  Uses networkx when available and an
+    iterative Tarjan otherwise.
+    """
+    adjacency = _adjacency(chain)
+    if HAVE_NETWORKX:
+        return _scc_networkx(adjacency)
+    return _scc_tarjan(adjacency)
+
+
+def closed_components(chain: np.ndarray) -> list[frozenset]:
+    """The closed (no outgoing edge) SCCs — the recurrent classes."""
+    adjacency = _adjacency(chain)
+    closed = []
+    for component in strongly_connected_components(adjacency):
+        members = np.fromiter(component, dtype=int)
+        outside = np.ones(adjacency.shape[0], dtype=bool)
+        outside[members] = False
+        if not adjacency[np.ix_(members, outside)].any():
+            closed.append(component)
+    return closed
+
+
 def classify_chain(chain: np.ndarray) -> ChainClassification:
     """Classify the states of a row-stochastic ``chain``.
 
@@ -44,20 +147,12 @@ def classify_chain(chain: np.ndarray) -> ChainClassification:
     """
     chain = np.asarray(chain, dtype=float)
     n = chain.shape[0]
-    graph = nx.DiGraph()
-    graph.add_nodes_from(range(n))
-    rows, cols = np.nonzero(chain > EDGE_EPSILON)
-    graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
-
     recurrent = np.zeros(n, dtype=bool)
     recurrent_classes = []
-    condensation = nx.condensation(graph)
-    for node in condensation.nodes:
-        if condensation.out_degree(node) == 0:
-            members = condensation.nodes[node]["members"]
-            recurrent_classes.append(frozenset(members))
-            for s in members:
-                recurrent[s] = True
+    for component in closed_components(chain):
+        recurrent_classes.append(component)
+        for s in component:
+            recurrent[s] = True
 
     absorbing = np.array(
         [chain[s, s] >= 1.0 - EDGE_EPSILON for s in range(n)], dtype=bool
@@ -72,8 +167,7 @@ def classify_chain(chain: np.ndarray) -> ChainClassification:
 
 def reachable_set(chain: np.ndarray, sources: np.ndarray) -> np.ndarray:
     """States reachable (in any number of steps) from the ``sources`` mask."""
-    chain = np.asarray(chain, dtype=float)
-    adjacency = chain > EDGE_EPSILON
+    adjacency = _adjacency(chain)
     reached = np.asarray(sources, dtype=bool).copy()
     frontier = reached.copy()
     while frontier.any():
@@ -81,3 +175,45 @@ def reachable_set(chain: np.ndarray, sources: np.ndarray) -> np.ndarray:
         frontier = successors & ~reached
         reached |= successors
     return reached
+
+
+def expected_absorption_time(
+    chain: np.ndarray, targets: np.ndarray | None = None
+) -> np.ndarray:
+    """Expected number of steps for each state to enter ``targets``.
+
+    ``targets`` defaults to the chain's recurrent set, making this the
+    expected absorption time of the chain — the quantity that controls how
+    loose the undiscounted RA-Bound is (a transient state that wanders for
+    ``t`` expected steps accrues roughly ``t`` steps of average cost in
+    Eq. 5).  Returns 0 on target states and ``inf`` on states that cannot
+    reach the target set at all.
+
+    Solves ``t = 1 + P_TT t`` over the non-target states with a dense
+    linear solve (falls back to ``inf`` if the system is singular, which
+    happens exactly when some non-target state never reaches a target).
+    """
+    chain = np.asarray(chain, dtype=float)
+    n = chain.shape[0]
+    if targets is None:
+        target_mask = classify_chain(chain).recurrent
+    else:
+        target_mask = np.asarray(targets, dtype=bool).copy()
+    times = np.zeros(n)
+    outside = np.flatnonzero(~target_mask)
+    if outside.size == 0:
+        return times
+    can_reach = reachable_set(chain.T, target_mask)
+    hopeless = ~can_reach & ~target_mask
+    times[hopeless] = np.inf
+    solvable = np.flatnonzero(~target_mask & can_reach)
+    if solvable.size == 0:
+        return times
+    sub = chain[np.ix_(solvable, solvable)]
+    system = np.eye(solvable.size) - sub
+    try:
+        solution = np.linalg.solve(system, np.ones(solvable.size))
+    except np.linalg.LinAlgError:
+        solution = np.full(solvable.size, np.inf)
+    times[solvable] = solution
+    return times

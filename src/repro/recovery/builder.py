@@ -11,10 +11,14 @@ is the intended public entry point for users modelling their own systems.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.exceptions import ModelError
+
+if TYPE_CHECKING:
+    from repro.analysis.diagnostics import AnalysisReport
 from repro.pomdp.model import POMDP
 from repro.recovery.model import (
     RecoveryModel,
@@ -154,7 +158,15 @@ class RecoveryModelBuilder:
     def _state_index(self) -> dict[str, int]:
         return {state.label: i for i, state in enumerate(self._states)}
 
-    def _assemble_pomdp(self) -> tuple[POMDP, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    def _assemble_arrays(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Raw ``(transitions, observations, rewards, null, rates, durations,
+        passive)`` arrays, without stochastic validation.
+
+        Shared by :meth:`build` (which validates via the POMDP constructor)
+        and :meth:`analyze` (which reports problems instead of raising).
+        """
         if not self._states:
             raise ModelError("no states declared")
         if not self._actions:
@@ -215,6 +227,32 @@ class RecoveryModelBuilder:
                 raise ModelError(f"observation override for unknown action {label!r}")
             observations[matching[0]] = matrix
 
+        null_states = np.array([state.null for state in self._states])
+        rate_rewards = -np.array([state.rate_cost for state in self._states])
+        durations = np.array([action.duration for action in self._actions])
+        passive = np.array([action.passive for action in self._actions])
+        return (
+            transitions,
+            observations,
+            rewards,
+            null_states,
+            rate_rewards,
+            durations,
+            passive,
+        )
+
+    def _assemble_pomdp(
+        self,
+    ) -> tuple[POMDP, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        (
+            transitions,
+            observations,
+            rewards,
+            null_states,
+            rate_rewards,
+            durations,
+            passive,
+        ) = self._assemble_arrays()
         pomdp = POMDP(
             transitions=transitions,
             observations=observations,
@@ -224,11 +262,105 @@ class RecoveryModelBuilder:
             observation_labels=self._observation_labels,
             discount=self.discount,
         )
-        null_states = np.array([state.null for state in self._states])
-        rate_rewards = -np.array([state.rate_cost for state in self._states])
-        durations = np.array([action.duration for action in self._actions])
-        passive = np.array([action.passive for action in self._actions])
         return pomdp, null_states, rate_rewards, durations, passive
+
+    def analyze(
+        self,
+        recovery_notification: bool | None = None,
+        operator_response_time: float | None = None,
+    ) -> "AnalysisReport":
+        """Static-analysis report for the model this builder would build.
+
+        Performs the same Figure 2 augmentation as :meth:`build` on *raw*
+        arrays, then runs every analyzer pass — so a declaration whose
+        transitions do not even sum to one yields a complete diagnostic
+        report (R001 alongside any condition violations) instead of the
+        first :class:`~repro.exceptions.ModelError`.  Raises only for API
+        misuse (no states/actions, missing observation matrix or
+        ``operator_response_time``), exactly as :meth:`build` would.
+        """
+        from repro.analysis.passes import analyze
+        from repro.analysis.view import ModelView
+        from repro.recovery.model import (
+            TERMINATE_LABEL,
+            null_absorbing_arrays,
+            termination_arrays,
+        )
+
+        (
+            transitions,
+            observations,
+            rewards,
+            null_states,
+            rate_rewards,
+            _durations,
+            _passive,
+        ) = self._assemble_arrays()
+        state_labels = tuple(state.label for state in self._states)
+        action_labels = tuple(action.label for action in self._actions)
+        observation_labels = self._observation_labels or ()
+        if recovery_notification is None:
+            probe = ModelView(
+                transitions=transitions,
+                rewards=rewards,
+                observations=observations,
+                discount=self.discount,
+            )
+            recovery_notification = detect_recovery_notification(
+                probe, null_states
+            )
+
+        if recovery_notification:
+            if operator_response_time is not None:
+                raise ModelError(
+                    "operator_response_time is only used without recovery "
+                    "notification"
+                )
+            transitions, rewards = null_absorbing_arrays(
+                transitions, rewards, null_states
+            )
+            view = ModelView(
+                transitions=transitions,
+                rewards=rewards,
+                observations=observations,
+                state_labels=state_labels,
+                action_labels=action_labels,
+                observation_labels=observation_labels,
+                discount=self.discount,
+                null_states=null_states,
+                rate_rewards=rate_rewards,
+                recovery_notification=True,
+            )
+        else:
+            if operator_response_time is None:
+                raise ModelError(
+                    "models without recovery notification need an "
+                    "operator_response_time to derive termination rewards"
+                )
+            transitions, observations, rewards = termination_arrays(
+                transitions,
+                observations,
+                rewards,
+                null_states,
+                rate_rewards,
+                operator_response_time,
+            )
+            view = ModelView(
+                transitions=transitions,
+                rewards=rewards,
+                observations=observations,
+                state_labels=state_labels + (TERMINATE_LABEL,),
+                action_labels=action_labels + (TERMINATE_LABEL,),
+                observation_labels=observation_labels,
+                discount=self.discount,
+                null_states=np.append(null_states, False),
+                rate_rewards=np.append(rate_rewards, 0.0),
+                recovery_notification=False,
+                terminate_state=len(state_labels),
+                terminate_action=len(action_labels),
+                operator_response_time=operator_response_time,
+            )
+        return analyze(view, title="builder model (pre-build report)")
 
     def build(
         self,

@@ -14,12 +14,30 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.exceptions import ConditionViolation, ModelError
-from repro.mdp.classify import reachable_set
+from repro.analysis.diagnostics import AnalysisReport
+from repro.analysis.passes import (
+    condition_1_diagnostics,
+    condition_2_diagnostics,
+)
+from repro.analysis.view import ModelView
+from repro.exceptions import ModelError
 from repro.pomdp.model import POMDP
 
 #: Label given to the appended terminate state / action.
 TERMINATE_LABEL = "terminate"
+
+
+def _condition_view(pomdp: POMDP, null_states: np.ndarray | None) -> ModelView:
+    return ModelView(
+        transitions=pomdp.transitions,
+        rewards=pomdp.rewards,
+        observations=pomdp.observations,
+        state_labels=pomdp.state_labels,
+        action_labels=pomdp.action_labels,
+        observation_labels=pomdp.observation_labels,
+        discount=pomdp.discount,
+        null_states=null_states,
+    )
 
 
 def check_condition_1(
@@ -33,6 +51,10 @@ def check_condition_1(
     recover the system" — i.e. ``S_phi`` is reachable from every state in
     the graph whose edges are the union of all actions' transitions.
 
+    This is the strict-mode adapter over the static analyzer's Condition 1
+    pass (:func:`repro.analysis.condition_1_diagnostics`); use the analyzer
+    directly for a full (non-fail-fast) report.
+
     Args:
         pomdp: the model to check.
         null_states: the ``S_phi`` mask.
@@ -41,42 +63,25 @@ def check_condition_1(
             legitimate exemption.
 
     Raises:
-        ConditionViolation: naming the first unrecoverable state.
+        ConditionViolation: naming the unrecoverable states.
     """
     mask = np.asarray(null_states, dtype=bool)
     if mask.shape != (pomdp.n_states,):
         raise ModelError(
             f"null_states must be a mask of length {pomdp.n_states}"
         )
-    if not mask.any():
-        raise ConditionViolation(1, "the null-fault set S_phi is empty")
-    union = pomdp.transitions.max(axis=0)  # structural union of all actions
-    # Reachability *to* S_phi == reachability *from* S_phi in the reverse graph.
-    can_recover = reachable_set(union.T, mask)
-    if exempt_states is not None:
-        can_recover = can_recover | np.asarray(exempt_states, dtype=bool)
-    stuck = np.flatnonzero(~can_recover)
-    if stuck.size:
-        raise ConditionViolation(
-            1,
-            f"state {pomdp.state_labels[stuck[0]]!r} cannot reach any "
-            f"null-fault state under any action sequence "
-            f"({stuck.size} such states)",
-        )
+    view = _condition_view(pomdp, mask)
+    findings = condition_1_diagnostics(view, exempt_states=exempt_states)
+    AnalysisReport(findings=tuple(findings)).raise_if_errors()
 
 
 def check_condition_2(pomdp: POMDP) -> None:
-    """Condition 2: all single-step rewards are non-positive."""
-    worst = float(pomdp.rewards.max())
-    if worst > 1e-9:
-        action, state = np.unravel_index(
-            int(pomdp.rewards.argmax()), pomdp.rewards.shape
-        )
-        raise ConditionViolation(
-            2,
-            f"r({pomdp.state_labels[state]!r}, "
-            f"{pomdp.action_labels[action]!r}) = {worst:.3g} > 0",
-        )
+    """Condition 2: all single-step rewards are non-positive.
+
+    Strict-mode adapter over :func:`repro.analysis.condition_2_diagnostics`.
+    """
+    findings = condition_2_diagnostics(_condition_view(pomdp, None))
+    AnalysisReport(findings=tuple(findings)).raise_if_errors()
 
 
 def termination_rewards(
@@ -101,6 +106,26 @@ def termination_rewards(
     return rewards
 
 
+def null_absorbing_arrays(
+    transitions: np.ndarray, rewards: np.ndarray, null_states: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Array-level core of :func:`make_null_absorbing`.
+
+    Operates on raw ``(|A|, |S|, |S|)`` / ``(|A|, |S|)`` arrays so the
+    static analyzer's report mode can preview the Figure 2(a) rewiring for
+    models that would not survive POMDP validation.
+    """
+    mask = np.asarray(null_states, dtype=bool)
+    transitions = np.asarray(transitions, dtype=float).copy()
+    rewards = np.asarray(rewards, dtype=float).copy()
+    null_index = np.flatnonzero(mask)
+    for action in range(transitions.shape[0]):
+        transitions[action][null_index, :] = 0.0
+        transitions[action][null_index, null_index] = 1.0
+        rewards[action][null_index] = 0.0
+    return transitions, rewards
+
+
 def make_null_absorbing(pomdp: POMDP, null_states: np.ndarray) -> POMDP:
     """Figure 2(a): rewire every action in ``S_phi`` to a zero-reward self-loop.
 
@@ -108,14 +133,9 @@ def make_null_absorbing(pomdp: POMDP, null_states: np.ndarray) -> POMDP:
     so nothing that happens "after" matters; making the null states
     absorbing and free encodes that and gives Eq. 5 a finite solution.
     """
-    mask = np.asarray(null_states, dtype=bool)
-    transitions = pomdp.transitions.copy()
-    rewards = pomdp.rewards.copy()
-    null_index = np.flatnonzero(mask)
-    for action in range(pomdp.n_actions):
-        transitions[action][null_index, :] = 0.0
-        transitions[action][null_index, null_index] = 1.0
-        rewards[action][null_index] = 0.0
+    transitions, rewards = null_absorbing_arrays(
+        pomdp.transitions, pomdp.rewards, null_states
+    )
     return POMDP(
         transitions=transitions,
         observations=pomdp.observations,
@@ -125,6 +145,52 @@ def make_null_absorbing(pomdp: POMDP, null_states: np.ndarray) -> POMDP:
         observation_labels=pomdp.observation_labels,
         discount=pomdp.discount,
     )
+
+
+def termination_arrays(
+    transitions: np.ndarray,
+    observations: np.ndarray,
+    rewards: np.ndarray,
+    null_states: np.ndarray,
+    rate_rewards: np.ndarray,
+    operator_response_time: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array-level core of :func:`with_termination_action`.
+
+    Returns the augmented ``(transitions, observations, rewards)`` with
+    ``s_T`` appended as the last state and ``a_T`` as the last action;
+    usable on raw arrays (the analyzer's report mode) as well as on
+    validated POMDP fields.
+    """
+    transitions = np.asarray(transitions, dtype=float)
+    observations = np.asarray(observations, dtype=float)
+    rewards = np.asarray(rewards, dtype=float)
+    n_actions, n_states = transitions.shape[0], transitions.shape[1]
+    n_observations = observations.shape[2]
+    terminate_state = n_states
+    terminate_action = n_actions
+
+    new_transitions = np.zeros((n_actions + 1, n_states + 1, n_states + 1))
+    new_transitions[:n_actions, :n_states, :n_states] = transitions
+    # Every original action self-loops in s_T.
+    new_transitions[:n_actions, terminate_state, terminate_state] = 1.0
+    # a_T sends every state (including s_T) to s_T.
+    new_transitions[terminate_action, :, terminate_state] = 1.0
+
+    new_observations = np.zeros((n_actions + 1, n_states + 1, n_observations))
+    new_observations[:n_actions, :n_states, :] = observations
+    new_observations[:n_actions, terminate_state, :] = 1.0 / n_observations
+    new_observations[terminate_action, :, :] = 1.0 / n_observations
+
+    term_rewards = termination_rewards(
+        rate_rewards, operator_response_time, null_states
+    )
+    new_rewards = np.zeros((n_actions + 1, n_states + 1))
+    new_rewards[:n_actions, :n_states] = rewards
+    new_rewards[:n_actions, terminate_state] = 0.0
+    new_rewards[terminate_action, :n_states] = term_rewards
+    new_rewards[terminate_action, terminate_state] = 0.0
+    return new_transitions, new_observations, new_rewards
 
 
 def with_termination_action(
@@ -143,32 +209,16 @@ def with_termination_action(
 
     Returns ``(augmented_pomdp, terminate_state_index, terminate_action_index)``.
     """
-    n_states = pomdp.n_states
-    n_actions = pomdp.n_actions
-    n_observations = pomdp.n_observations
-    terminate_state = n_states
-    terminate_action = n_actions
-
-    transitions = np.zeros((n_actions + 1, n_states + 1, n_states + 1))
-    transitions[:n_actions, :n_states, :n_states] = pomdp.transitions
-    # Every original action self-loops in s_T.
-    transitions[:n_actions, terminate_state, terminate_state] = 1.0
-    # a_T sends every state (including s_T) to s_T.
-    transitions[terminate_action, :, terminate_state] = 1.0
-
-    observations = np.zeros((n_actions + 1, n_states + 1, n_observations))
-    observations[:n_actions, :n_states, :] = pomdp.observations
-    observations[:n_actions, terminate_state, :] = 1.0 / n_observations
-    observations[terminate_action, :, :] = 1.0 / n_observations
-
-    term_rewards = termination_rewards(
-        rate_rewards, operator_response_time, null_states
+    terminate_state = pomdp.n_states
+    terminate_action = pomdp.n_actions
+    transitions, observations, rewards = termination_arrays(
+        pomdp.transitions,
+        pomdp.observations,
+        pomdp.rewards,
+        null_states,
+        rate_rewards,
+        operator_response_time,
     )
-    rewards = np.zeros((n_actions + 1, n_states + 1))
-    rewards[:n_actions, :n_states] = pomdp.rewards
-    rewards[:n_actions, terminate_state] = 0.0
-    rewards[terminate_action, :n_states] = term_rewards
-    rewards[terminate_action, terminate_state] = 0.0
 
     augmented = POMDP(
         transitions=transitions,
@@ -276,6 +326,18 @@ class RecoveryModel:
         faults = self.fault_states
         belief[faults] = 1.0 / faults.sum()
         return belief
+
+    def analyze(self) -> "AnalysisReport":
+        """Full static-analysis report for this model.
+
+        Unlike construction-time validation (which fails fast), this runs
+        every analyzer pass and returns all findings; a constructed model
+        has no ``R0xx`` errors by definition, so the interest is in the
+        ``R1xx`` warnings and ``R2xx`` statistics.
+        """
+        from repro.analysis.passes import analyze
+
+        return analyze(self)
 
     def is_recovered(self, state: int) -> bool:
         """True when ``state`` is a null-fault state."""

@@ -11,8 +11,17 @@ import numpy as np
 
 from repro.exceptions import ModelError
 
-#: Absolute tolerance used when checking that probabilities sum to one.
-PROBABILITY_ATOL = 1e-9
+#: Absolute tolerance below zero before an entry counts as negative.
+NEGATIVITY_ATOL = 1e-9
+
+#: Absolute tolerance on row/vector sums before they count as non-stochastic.
+SUM_ATOL = 1e-6
+
+#: Backwards-compatible alias for :data:`NEGATIVITY_ATOL` (the historical
+#: name conflated the two tolerances; the static analyzer and the model
+#: classes now share the named pair above so they can never disagree on
+#: what "stochastic" means).
+PROBABILITY_ATOL = NEGATIVITY_ATOL
 
 
 def check_distribution(vector: np.ndarray, name: str = "distribution") -> np.ndarray:
@@ -25,10 +34,10 @@ def check_distribution(vector: np.ndarray, name: str = "distribution") -> np.nda
     array = np.asarray(vector, dtype=float)
     if array.ndim != 1:
         raise ModelError(f"{name} must be one-dimensional, got shape {array.shape}")
-    if np.any(array < -PROBABILITY_ATOL):
+    if np.any(array < -NEGATIVITY_ATOL):
         raise ModelError(f"{name} has negative entries: min={array.min():.3g}")
     total = array.sum()
-    if not np.isclose(total, 1.0, atol=1e-6):
+    if not np.isclose(total, 1.0, atol=SUM_ATOL):
         raise ModelError(f"{name} must sum to 1, got {total:.9f}")
     return np.clip(array, 0.0, None)
 
@@ -38,10 +47,10 @@ def check_stochastic_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndar
     array = np.asarray(matrix, dtype=float)
     if array.ndim != 2:
         raise ModelError(f"{name} must be two-dimensional, got shape {array.shape}")
-    if np.any(array < -PROBABILITY_ATOL):
+    if np.any(array < -NEGATIVITY_ATOL):
         raise ModelError(f"{name} has negative entries: min={array.min():.3g}")
     row_sums = array.sum(axis=1)
-    bad = np.flatnonzero(~np.isclose(row_sums, 1.0, atol=1e-6))
+    bad = np.flatnonzero(~np.isclose(row_sums, 1.0, atol=SUM_ATOL))
     if bad.size:
         raise ModelError(
             f"{name} rows {bad.tolist()} do not sum to 1 "
@@ -53,7 +62,7 @@ def check_stochastic_matrix(matrix: np.ndarray, name: str = "matrix") -> np.ndar
 def check_nonpositive(array: np.ndarray, name: str = "rewards") -> np.ndarray:
     """Validate Condition 2: every entry of ``array`` is ``<= 0``."""
     values = np.asarray(array, dtype=float)
-    if np.any(values > PROBABILITY_ATOL):
+    if np.any(values > NEGATIVITY_ATOL):
         raise ModelError(
             f"{name} must be non-positive (Condition 2), max={values.max():.3g}"
         )

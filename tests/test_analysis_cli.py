@@ -1,0 +1,126 @@
+"""Tests for ``python -m repro.analysis`` (exit codes and rendering)."""
+
+import numpy as np
+
+from repro.analysis.__main__ import main
+from repro.io import save_pomdp, save_recovery_model
+
+
+class TestBuiltinModels:
+    def test_emn_clean_exit_zero(self, capsys):
+        assert main(["--emn"]) == 0
+        out = capsys.readouterr().out
+        assert "Static analysis" in out
+        assert "R201" in out
+        assert "0 error(s)" in out
+
+    def test_all_shipped_systems(self, capsys):
+        assert main(["--emn", "--simple", "--tiered"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Static analysis") == 3
+
+    def test_no_info_hides_r2xx(self, capsys):
+        main(["--simple", "--no-info"])
+        out = capsys.readouterr().out
+        assert "R201" not in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["--simple", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["exit_code"] == 0
+        assert any(f["code"] == "R201" for f in payload[0]["findings"])
+
+    def test_codes_table(self, capsys):
+        assert main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "R001" in out and "R105" in out and "R202" in out
+
+    def test_no_target_is_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "at least one model" in capsys.readouterr().err
+
+
+class TestArchives:
+    def test_saved_model_round_trip(self, tmp_path, simple_system, capsys):
+        path = tmp_path / "model.npz"
+        save_recovery_model(path, simple_system.model)
+        assert main([str(path)]) == 0
+        assert str(path) in capsys.readouterr().out
+
+    def test_saved_pomdp_archive(self, tmp_path, simple_system, capsys):
+        path = tmp_path / "pomdp.npz"
+        save_pomdp(path, simple_system.model.pomdp)
+        assert main([str(path)]) == 0
+        capsys.readouterr()
+
+    def test_broken_model_reports_everything_at_once(self, tmp_path, capsys):
+        """Acceptance: positive reward + unrecoverable state => both
+        diagnostics in one run, exit code 2 (not fail-fast)."""
+        transitions = np.zeros((2, 3, 3))
+        transitions[0] = [[1, 0, 0], [1, 0, 0], [0, 0, 1]]  # fault-b stuck
+        transitions[1] = np.eye(3)
+        observations = np.full((2, 3, 2), 0.5)
+        rewards = np.array([[0.0, -1.0, -1.0], [0.0, 0.3, -0.2]])  # positive!
+        path = tmp_path / "broken.npz"
+        np.savez_compressed(
+            path,
+            kind=np.array("recovery-model"),
+            version=np.array(1),
+            transitions=transitions,
+            observations=observations,
+            rewards=rewards,
+            state_labels=np.array(["null", "fault-a", "fault-b"]),
+            action_labels=np.array(["repair", "observe"]),
+            observation_labels=np.array(["clear", "alarm"]),
+            discount=np.array(1.0),
+            null_states=np.array([True, False, False]),
+            rate_rewards=np.array([0.0, -1.0, -1.0]),
+            durations=np.array([10.0, 5.0]),
+            passive_actions=np.array([False, True]),
+            recovery_notification=np.array(True),
+        )
+        assert main([str(path)]) == 2
+        out = capsys.readouterr().out
+        assert "R004" in out  # unrecoverable fault-b
+        assert "R005" in out  # positive reward
+        assert "fault-b" in out
+
+    def test_unreadable_archive_is_load_error(self, tmp_path, capsys):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not an archive")
+        assert main([str(path)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_wrong_kind_rejected(self, tmp_path, capsys):
+        path = tmp_path / "bounds.npz"
+        np.savez_compressed(path, kind=np.array("bound-set"))
+        assert main([str(path)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestWarningExitCode:
+    def test_warnings_only_exit_one(self, tmp_path, capsys):
+        # A clean-but-suspicious pomdp: dead observation symbol.
+        transitions = np.zeros((1, 2, 2))
+        transitions[0] = [[0.5, 0.5], [0.0, 1.0]]
+        observations = np.zeros((1, 2, 3))
+        observations[0, :, 0] = 1.0  # symbols 1 and 2 never emitted
+        rewards = np.array([[-1.0, 0.0]])
+        path = tmp_path / "warn.npz"
+        np.savez_compressed(
+            path,
+            kind=np.array("pomdp"),
+            version=np.array(1),
+            transitions=transitions,
+            observations=observations,
+            rewards=rewards,
+            state_labels=np.array(["a", "b"]),
+            action_labels=np.array(["act"]),
+            observation_labels=np.array(["o0", "o1", "o2"]),
+            discount=np.array(0.9),
+        )
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "R104" in out

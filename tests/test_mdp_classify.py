@@ -1,6 +1,7 @@
 """Tests for repro.mdp.classify."""
 
 import numpy as np
+import pytest
 
 from repro.mdp.classify import classify_chain, reachable_set
 
@@ -67,3 +68,118 @@ class TestReachableSet:
         chain = np.array([[0.0, 1.0], [0.0, 1.0]])
         can_reach_1 = reachable_set(chain.T, np.array([False, True]))
         assert can_reach_1.all()
+
+
+class TestStronglyConnectedComponents:
+    def test_cycle_plus_tail(self):
+        from repro.mdp.classify import strongly_connected_components
+
+        chain = np.array([
+            [0.0, 1.0, 0.0],
+            [1.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0],
+        ])
+        components = strongly_connected_components(chain)
+        assert frozenset({0, 1}) in components
+        assert frozenset({2}) in components
+
+    def test_tarjan_matches_networkx_on_random_graphs(self):
+        from repro.mdp.classify import (
+            HAVE_NETWORKX,
+            _scc_networkx,
+            _scc_tarjan,
+        )
+
+        if not HAVE_NETWORKX:
+            pytest.skip("networkx unavailable; nothing to compare against")
+        rng = np.random.default_rng(7)
+        for _ in range(25):
+            n = int(rng.integers(2, 12))
+            adjacency = rng.random((n, n)) < 0.25
+            ours = set(_scc_tarjan(adjacency))
+            theirs = set(_scc_networkx(adjacency))
+            assert ours == theirs
+
+    def test_tarjan_deep_chain_no_recursion_limit(self):
+        from repro.mdp.classify import _scc_tarjan
+
+        n = 3000  # far beyond the default recursion limit
+        adjacency = np.zeros((n, n), dtype=bool)
+        adjacency[np.arange(n - 1), np.arange(1, n)] = True
+        components = _scc_tarjan(adjacency)
+        assert len(components) == n
+
+
+class TestClosedComponents:
+    def test_absorbing_and_leaky(self):
+        from repro.mdp.classify import closed_components
+
+        chain = np.array([
+            [1.0, 0.0, 0.0],
+            [0.5, 0.5, 0.0],
+            [0.0, 0.5, 0.5],
+        ])
+        assert closed_components(chain) == [frozenset({0})]
+
+    def test_two_closed_classes(self):
+        from repro.mdp.classify import closed_components
+
+        chain = np.array([
+            [0.0, 1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 1.0, 0.0],
+            [0.25, 0.25, 0.25, 0.25],
+        ])
+        closed = closed_components(chain)
+        assert frozenset({0, 1}) in closed
+        assert frozenset({2}) in closed
+        assert len(closed) == 2
+
+
+class TestExpectedAbsorptionTime:
+    def test_geometric_absorption(self):
+        from repro.mdp.classify import expected_absorption_time
+
+        # Leave with probability p each step: expected time 1/p.
+        p = 0.2
+        chain = np.array([[1.0 - p, p], [0.0, 1.0]])
+        times = expected_absorption_time(chain)
+        assert np.isclose(times[0], 1.0 / p)
+        assert times[1] == 0.0
+
+    def test_deterministic_path(self):
+        from repro.mdp.classify import expected_absorption_time
+
+        chain = np.array([
+            [0.0, 1.0, 0.0],
+            [0.0, 0.0, 1.0],
+            [0.0, 0.0, 1.0],
+        ])
+        times = expected_absorption_time(chain)
+        assert np.allclose(times, [2.0, 1.0, 0.0])
+
+    def test_unreachable_target_is_inf(self):
+        from repro.mdp.classify import expected_absorption_time
+
+        chain = np.array([
+            [1.0, 0.0, 0.0],
+            [0.0, 1.0, 0.0],
+            [0.0, 0.5, 0.5],
+        ])
+        targets = np.array([True, False, False])
+        times = expected_absorption_time(chain, targets)
+        assert times[0] == 0.0
+        assert np.isinf(times[1]) and np.isinf(times[2])
+
+    def test_explicit_targets_override_recurrent_set(self):
+        from repro.mdp.classify import expected_absorption_time
+
+        chain = np.array([
+            [0.5, 0.5, 0.0],
+            [0.0, 0.5, 0.5],
+            [0.0, 0.0, 1.0],
+        ])
+        times = expected_absorption_time(chain, np.array([False, True, False]))
+        assert times[1] == 0.0
+        assert np.isclose(times[0], 2.0)  # geometric with p=0.5
+        assert np.isinf(times[2])  # state 2 can never re-enter state 1

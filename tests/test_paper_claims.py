@@ -15,7 +15,7 @@ from repro.bounds.ra_bound import ra_bound_vector
 from repro.bounds.vector_set import BoundVectorSet
 from repro.controllers.bounded import BoundedController
 from repro.pomdp.belief import belief_bellman_backup
-from repro.pomdp.belief_mdp import expand_belief_mdp, solve_belief_mdp
+from repro.pomdp.belief_mdp import expand_belief_mdp
 from repro.pomdp.exact import solve_exact
 from repro.sim.campaign import run_campaign
 from repro.systems.faults import FaultKind
@@ -172,3 +172,43 @@ class TestSection41Discardability:
         bound_set.prune("lp")
         values_after = [bound_set.value(belief) for belief in beliefs]
         assert np.allclose(values_before, values_after, atol=1e-8)
+
+
+class TestShippedModelsAreDiagnosticClean:
+    """The analyzer's preconditions (Conditions 1 and 2, the Figure 2
+    augmentations, Eq. 5 finiteness) hold for every system the repo ships;
+    a regression in any builder shows up here as a named diagnostic."""
+
+    @staticmethod
+    def _assert_clean(report, n_states, n_actions, n_observations):
+        assert not report.errors, report.format()
+        assert not report.warnings, report.format()
+        assert report.codes == ("R201", "R202")
+        (stats,) = report.by_code("R201")
+        assert f"|S|={n_states}," in stats.message
+        assert f"|A|={n_actions}," in stats.message
+        assert f"|O|={n_observations}," in stats.message
+
+    def test_emn(self, emn_system):
+        from repro.analysis import analyze
+
+        self._assert_clean(analyze(emn_system.model), 15, 10, 128)
+
+    def test_simple(self, simple_system):
+        from repro.analysis import analyze
+
+        self._assert_clean(analyze(simple_system.model), 4, 4, 3)
+
+    def test_simple_notified(self, simple_notified_system):
+        from repro.analysis import analyze
+
+        report = analyze(simple_notified_system.model)
+        assert not report.errors, report.format()
+        assert not report.warnings, report.format()
+
+    def test_tiered(self):
+        from repro.analysis import analyze
+        from repro.systems.tiered import build_tiered_system
+
+        system = build_tiered_system()
+        self._assert_clean(analyze(system.model), 14, 8, 16)

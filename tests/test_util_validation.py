@@ -77,3 +77,26 @@ class TestNormalize:
     def test_zero_mass_rejected(self):
         with pytest.raises(ModelError, match="mass"):
             normalize([0.0, 0.0])
+
+
+class TestSharedTolerances:
+    """The atoms the analyzer shares with the constructors (ISSUE: one
+    source of truth for what counts as negative / non-stochastic)."""
+
+    def test_constants_exported(self):
+        from repro.util.validation import (
+            NEGATIVITY_ATOL,
+            PROBABILITY_ATOL,
+            SUM_ATOL,
+        )
+
+        assert NEGATIVITY_ATOL == 1e-9
+        assert SUM_ATOL == 1e-6
+        assert PROBABILITY_ATOL == NEGATIVITY_ATOL  # backwards-compat alias
+
+    def test_negativity_tolerance_honoured(self):
+        from repro.util.validation import NEGATIVITY_ATOL, check_nonpositive
+
+        check_nonpositive(np.array([NEGATIVITY_ATOL / 2]), "r")
+        with pytest.raises(ModelError):
+            check_nonpositive(np.array([NEGATIVITY_ATOL * 10]), "r")
