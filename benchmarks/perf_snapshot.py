@@ -1,0 +1,241 @@
+"""Perf snapshot for the parallel/sparse compute backend (BENCH_PR2.json).
+
+Measures the three hot paths this PR optimises and writes the results to
+``BENCH_PR2.json`` at the repo root (schema documented in EXPERIMENTS.md):
+
+* **campaign** — episodes/second on the EMN Table 1 zombie campaign,
+  serial vs sharded across a worker pool, with the campaign fingerprints
+  compared (the determinism contract of :mod:`repro.sim.parallel`).
+* **ra_solve** — RA-Bound solve seconds by state count on the tiered
+  family, sparse backend vs the dense Gauss-Seidel reference (dense only
+  where it is feasible to densify).
+* **tree** — Max-Avg lookahead decisions/second with the joint-factor
+  cache and batched leaf evaluation.
+
+Usage::
+
+    python -m benchmarks.perf_snapshot            # write BENCH_PR2.json
+    python -m benchmarks.perf_snapshot --check    # run everything, write nothing
+
+``--check`` is the CI smoke mode: it exercises every measured path and
+fails on crashes or determinism violations, never on timing (CI machines
+are too noisy for wall-clock assertions).  ``REPRO_BENCH_INJECTIONS``
+scales the campaign size down for smoke runs, exactly as in the pytest
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.controllers.bootstrap import bootstrap_bounds
+from repro.experiments.table1 import make_controller
+from repro.mdp.linear_solvers import gauss_seidel
+from repro.pomdp.tree import expand_tree
+from repro.sim.campaign import run_campaign
+from repro.sim.metrics import campaign_fingerprint
+from repro.systems.emn import MONITOR_DURATION, build_emn_system
+from repro.systems.faults import FaultKind
+from repro.systems.tiered import solve_tiered_ra_bound, tiered_ra_chain
+
+SCHEMA = "bench-pr2/v1"
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+
+#: Full-scale defaults (the acceptance configuration): a 1,000-injection
+#: campaign compared serial vs 4 workers.
+DEFAULT_INJECTIONS = 1_000
+DEFAULT_WORKERS = 4
+SEED = 2006
+
+#: Controllers measured in the campaign section.  "most likely" is the
+#: throughput ceiling (cheapest decisions); "bounded (depth 1)" is the
+#: paper's flagship and exercises the refinement-merge path.
+CAMPAIGN_CONTROLLERS = ("most likely", "bounded (depth 1)")
+
+#: Tiered-family sizes for the RA-solve section (replicas per tier, 3
+#: tiers).  Dense reference timings stop where densifying the chain would
+#: dominate the measurement.
+RA_SIZES = (2, 100, 1_000, 10_000, 50_000)
+RA_DENSE_MAX_STATES = 1_000
+
+
+def snapshot_injections() -> int:
+    """Campaign size, scaled down by ``REPRO_BENCH_INJECTIONS`` for smoke."""
+    return int(os.environ.get("REPRO_BENCH_INJECTIONS", DEFAULT_INJECTIONS))
+
+
+def measure_campaigns(injections: int, workers: int) -> list[dict]:
+    """Serial-vs-parallel campaign throughput, fingerprints compared."""
+    system = build_emn_system()
+    zombies = system.fault_states(FaultKind.ZOMBIE)
+    rows = []
+    for name in CAMPAIGN_CONTROLLERS:
+        timings = {}
+        fingerprints = {}
+        for mode, parallel in (("serial", None), ("parallel", workers)):
+            controller = make_controller(name, system)
+            started = time.perf_counter()
+            result = run_campaign(
+                controller,
+                fault_states=zombies,
+                injections=injections,
+                seed=SEED,
+                monitor_tail=MONITOR_DURATION,
+                parallel=parallel,
+            )
+            timings[mode] = time.perf_counter() - started
+            fingerprints[mode] = campaign_fingerprint(result.episodes)
+        rows.append(
+            {
+                "controller": name,
+                "injections": injections,
+                "workers": workers,
+                "serial_seconds": round(timings["serial"], 3),
+                "parallel_seconds": round(timings["parallel"], 3),
+                "serial_episodes_per_second": round(
+                    injections / timings["serial"], 2
+                ),
+                "parallel_episodes_per_second": round(
+                    injections / timings["parallel"], 2
+                ),
+                "speedup": round(timings["serial"] / timings["parallel"], 2),
+                "fingerprint": fingerprints["serial"],
+                "fingerprints_match": fingerprints["serial"]
+                == fingerprints["parallel"],
+            }
+        )
+    return rows
+
+
+def measure_ra_solves(sizes: tuple[int, ...] = RA_SIZES) -> list[dict]:
+    """Sparse RA-Bound solve seconds by state count, dense where feasible."""
+    rows = []
+    for r in sizes:
+        replicas = (r, r, r)
+        chain, rewards = tiered_ra_chain(replicas)
+        n_states = rewards.shape[0]
+        started = time.perf_counter()
+        sparse_values = solve_tiered_ra_bound(replicas, method="sparse")
+        sparse_seconds = time.perf_counter() - started
+        dense_seconds = None
+        agreement = None
+        if n_states <= RA_DENSE_MAX_STATES:
+            dense_chain = chain.toarray()
+            started = time.perf_counter()
+            dense_values = gauss_seidel(dense_chain, rewards)
+            dense_seconds = round(time.perf_counter() - started, 4)
+            agreement = float(np.max(np.abs(dense_values - sparse_values)))
+        rows.append(
+            {
+                "replicas_per_tier": r,
+                "n_states": int(n_states),
+                "nnz": int(chain.nnz),
+                "sparse_seconds": round(sparse_seconds, 4),
+                "dense_seconds": dense_seconds,
+                "max_abs_dense_sparse_gap": agreement,
+            }
+        )
+    return rows
+
+
+def measure_tree(decisions: int = 50, depth: int = 2) -> dict:
+    """Lookahead decisions/second with the cached, batched expansion."""
+    system = build_emn_system()
+    pomdp = system.model.pomdp
+    bound_set, _ = bootstrap_bounds(
+        system.model, iterations=10, depth=2, variant="average", seed=0
+    )
+    rng = np.random.default_rng(SEED)
+    beliefs = rng.dirichlet(np.ones(pomdp.n_states), size=decisions)
+    started = time.perf_counter()
+    for belief in beliefs:
+        expand_tree(pomdp, belief, depth=depth, leaf=bound_set)
+    elapsed = time.perf_counter() - started
+    return {
+        "decisions": decisions,
+        "depth": depth,
+        "seconds": round(elapsed, 3),
+        "decisions_per_second": round(decisions / elapsed, 2),
+    }
+
+
+def measure_ra_emn() -> dict:
+    """RA-Bound on the EMN model itself (the auto-selected small path)."""
+    system = build_emn_system()
+    started = time.perf_counter()
+    ra_bound_vector(system.model.pomdp)
+    return {"solve_seconds": round(time.perf_counter() - started, 4)}
+
+
+def build_snapshot(injections: int, workers: int) -> dict:
+    """Run every measurement and assemble the snapshot document."""
+    return {
+        "schema": SCHEMA,
+        "generated_by": "python -m benchmarks.perf_snapshot",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "seed": SEED,
+        "campaign": measure_campaigns(injections, workers),
+        "ra_solve": measure_ra_solves(),
+        "ra_solve_emn": measure_ra_emn(),
+        # Random-dirichlet root beliefs are the worst case for the tree
+        # (every observation reachable); scale the count with the campaign
+        # knob so smoke runs stay quick.
+        "tree": measure_tree(decisions=max(5, min(50, injections // 10))),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perf-snapshot", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke mode: run every measured path, write nothing, fail "
+        "on crashes or determinism violations (never on timing)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=DEFAULT_WORKERS, metavar="N",
+        help="worker count for the parallel campaign measurement",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=SNAPSHOT_PATH,
+        help="snapshot destination (default: BENCH_PR2.json at repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = build_snapshot(snapshot_injections(), args.workers)
+    mismatches = [
+        row["controller"]
+        for row in snapshot["campaign"]
+        if not row["fingerprints_match"]
+    ]
+    if mismatches:
+        raise SystemExit(
+            "determinism violation: serial and parallel campaign "
+            f"fingerprints differ for {mismatches}"
+        )
+    if args.check:
+        print("perf snapshot check passed (nothing written):")
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

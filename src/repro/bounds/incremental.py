@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.bounds.vector_set import BoundVectorSet
 from repro.pomdp.belief import GAMMA_EPSILON, belief_bellman_backup
+from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
 
 
@@ -61,10 +62,16 @@ def incremental_update(
     best_vector: np.ndarray | None = None
     best_action = -1
     best_score = -np.inf
+    # mass[a, s', o] = sum_s pi(s) p(s'|s,a) q(o|s',a) — one matrix product
+    # via the shared joint-factor cache when the model is cacheable.
+    cache = get_joint_cache(pomdp)
+    mass_all = cache.joint_all(belief) if cache is not None else None
     for action in range(pomdp.n_actions):
-        predicted = belief @ pomdp.transitions[action]  # (|S'|,)
-        # mass[s', o] = sum_s pi(s) p(s'|s,a) q(o|s',a)
-        mass = predicted[:, None] * pomdp.observations[action]
+        if mass_all is not None:
+            mass = mass_all[action]
+        else:
+            predicted = belief @ pomdp.transitions[action]  # (|S'|,)
+            mass = predicted[:, None] * pomdp.observations[action]
         # For each observation pick the existing hyperplane best at `mass`.
         scores = vectors @ mass  # (|B|, |O|)
         chosen = np.argmax(scores, axis=0)  # (|O|,)

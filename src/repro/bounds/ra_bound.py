@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.exceptions import DivergenceError
 from repro.mdp.classify import classify_chain
-from repro.mdp.linear_solvers import solve_markov_reward
+from repro.mdp.linear_solvers import select_method, solve_markov_reward
 from repro.mdp.model import MDP
 from repro.pomdp.model import POMDP
 
@@ -68,7 +68,7 @@ def check_ra_finiteness(model: MDP | POMDP) -> None:
 
 def ra_bound_vector(
     model: MDP | POMDP,
-    method: str = "gauss-seidel",
+    method: str = "auto",
     omega: float = 1.05,
     tol: float = 1e-10,
 ) -> np.ndarray:
@@ -79,8 +79,11 @@ def ra_bound_vector(
             never looks at the observation function — that is why it is
             cheap, and also why it may be loose, motivating the refinement
             of Section 4.1).
-        method: linear solver — ``"gauss-seidel"`` (with SOR factor
-            ``omega``, the paper's choice), ``"jacobi"``, or ``"direct"``.
+        method: linear solver — ``"auto"`` (default: the sparse backend for
+            large, sparse chains, Gauss-Seidel otherwise; see
+            :func:`repro.mdp.linear_solvers.select_method`),
+            ``"gauss-seidel"`` (with SOR factor ``omega``, the paper's
+            choice), ``"jacobi"``, ``"direct"``, or ``"sparse"``.
         omega: SOR relaxation factor for Gauss-Seidel.
         tol: solver tolerance.
 
@@ -91,7 +94,12 @@ def ra_bound_vector(
     check_ra_finiteness(mdp)
     chain, reward = mdp.uniform_chain()
     transient = None
-    if method == "direct" and mdp.discount >= 1.0:
+    if method == "auto":
+        method = select_method(chain)
+    if method in ("direct", "sparse") and mdp.discount >= 1.0:
+        # Undiscounted: I - P is singular on the recurrent classes; pin
+        # them to zero (they accrue nothing — check_ra_finiteness above)
+        # and factorise only the transient block.
         transient = classify_chain(chain).transient
     return solve_markov_reward(
         chain,

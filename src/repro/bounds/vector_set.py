@@ -16,6 +16,9 @@ import numpy as np
 from repro.exceptions import ModelError
 from repro.pomdp import alpha
 
+#: Component-wise tolerance under which two hyperplanes count as duplicates.
+DUPLICATE_ATOL = 1e-12
+
 
 class BoundVectorSet:
     """A mutable set of bounding hyperplanes over the belief simplex.
@@ -46,6 +49,7 @@ class BoundVectorSet:
         self.max_vectors = max_vectors
         self.additions = 0
         self.rejections = 0
+        self.duplicates = 0
         self.evictions = 0
 
     @property
@@ -111,6 +115,15 @@ class BoundVectorSet:
         if belief is not None and self.improvement_at(vector, belief) <= threshold:
             self.rejections += 1
             return False
+        if self.contains(vector):
+            # Exact-duplicate fast path: a copy of an existing hyperplane is
+            # always pointwise-dominated, but checking equality first keeps
+            # the common case of merging near-identical refinement streams
+            # (parallel campaign workers all start from the same seed set)
+            # cheap and makes the rejection reason observable.
+            self.rejections += 1
+            self.duplicates += 1
+            return False
         if alpha.pointwise_dominated(vector, self._vectors):
             self.rejections += 1
             return False
@@ -120,6 +133,49 @@ class BoundVectorSet:
         self._usage = np.append(self._usage, 0)
         self.additions += 1
         return True
+
+    def contains(self, vector: np.ndarray, atol: float = DUPLICATE_ATOL) -> bool:
+        """True when an (almost) identical hyperplane is already stored."""
+        return bool(
+            np.any(
+                np.all(np.abs(self._vectors - vector) <= atol, axis=1)
+            )
+        )
+
+    def merge(
+        self,
+        vectors: np.ndarray,
+        min_improvement: float = 0.0,
+        prune_after: bool = False,
+    ) -> int:
+        """Fold a stack of candidate hyperplanes into the set.
+
+        This is the join step of the parallel campaign engine
+        (:mod:`repro.sim.parallel`): workers refine their private copies of
+        the bound set, and their new vectors are merged back here.  Each
+        candidate goes through :meth:`add`'s duplicate and
+        pointwise-dominance rejection, so merging the same refinement stream
+        twice is a no-op; with ``prune_after`` the merged set is additionally
+        swept for vectors that *became* dominated by later arrivals (the
+        dominance-prune-on-join policy).
+
+        Returns the number of vectors actually inserted.
+        """
+        stack = np.atleast_2d(np.asarray(vectors, dtype=float))
+        if stack.size == 0:
+            return 0
+        if stack.shape[1] != self.n_states:
+            raise ModelError(
+                f"merge vectors must have shape (k, {self.n_states}), "
+                f"got {stack.shape}"
+            )
+        added = 0
+        for vector in stack:
+            if self.add(vector, min_improvement=min_improvement):
+                added += 1
+        if prune_after and added:
+            self.prune(method="pointwise")
+        return added
 
     def _evict(self) -> None:
         """Drop the least-used evictable vector (Section 4.3's suggestion)."""

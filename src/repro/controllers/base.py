@@ -49,6 +49,22 @@ class RecoveryController(abc.ABC):
     #: Display name used in experiment tables (subclasses override).
     name: str = "controller"
 
+    #: Integer diagnostic counters that accumulate across a campaign's
+    #: episodes (subclasses list attribute names here).  The campaign
+    #: engine runs episodes on controller clones; it reads this to merge
+    #: each chunk's counter deltas back into the caller's controller.
+    CAMPAIGN_COUNTERS: tuple[str, ...] = ()
+
+    def refinement_state(self):
+        """The mutable bound-vector set this controller refines, if any.
+
+        The campaign engine merges the refinements its controller clones
+        produce back into this object (see :mod:`repro.sim.parallel`).
+        Subclasses with a differently-named set override this; returning
+        ``None`` opts out of refinement merging.
+        """
+        return getattr(self, "bound_set", None)
+
     def __init__(self, model: RecoveryModel, preflight: bool = False):
         """Args:
             model: the (augmented) recovery model to control.

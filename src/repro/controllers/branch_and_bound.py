@@ -54,6 +54,16 @@ class BranchAndBoundController(RecoveryController):
             choosing ``a_T`` (see above).
     """
 
+    CAMPAIGN_COUNTERS = (
+        "expanded_actions",
+        "pruned_actions",
+        "withheld_terminations",
+    )
+
+    def refinement_state(self):
+        """The branch-and-bound controller refines its *lower* set."""
+        return self.lower
+
     def __init__(
         self,
         model: RecoveryModel,

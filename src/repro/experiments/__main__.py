@@ -3,15 +3,22 @@
 Examples::
 
     python -m repro.experiments table1 --injections 1000
+    python -m repro.experiments table1 --injections 10000 --parallel 4
     python -m repro.experiments fig5a --iterations 20
     python -m repro.experiments fig5b
     python -m repro.experiments bounds
     python -m repro.experiments ablations --injections 200
+    python -m repro.experiments --profile table1 --injections 100
+
+``--profile`` wraps the selected experiment in :mod:`cProfile` and prints
+the hottest functions by cumulative time after the experiment's own output.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 
 from repro.experiments import ablations as ablations_module
 from repro.experiments.fig5 import format_fig5a, format_fig5b, run_fig5, shape_checks
@@ -46,7 +53,10 @@ def _cmd_table1(args) -> None:
             name for name in controllers if name != "heuristic (depth 3)"
         )
     result = run_table1(
-        injections=args.injections, seed=args.seed, controllers=controllers
+        injections=args.injections,
+        seed=args.seed,
+        controllers=controllers,
+        parallel=args.parallel,
     )
     print(format_table1(result))
     print(_render_checks(ordering_checks(result)))
@@ -60,7 +70,9 @@ def _cmd_bounds(args) -> None:
 def _cmd_robustness(args) -> None:
     from repro.experiments.robustness import format_mismatch, run_mismatch_sweep
 
-    points = run_mismatch_sweep(injections=args.injections, seed=args.seed)
+    points = run_mismatch_sweep(
+        injections=args.injections, seed=args.seed, parallel=args.parallel
+    )
     print(format_mismatch(points))
 
 
@@ -117,10 +129,26 @@ def main(argv: list[str] | None = None) -> None:
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the experiment under cProfile and print the hottest "
+        "functions by cumulative time",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_seed(sub):
         sub.add_argument("--seed", type=int, default=2006, help="RNG seed")
+
+    def add_parallel(sub):
+        sub.add_argument(
+            "--parallel",
+            type=int,
+            default=None,
+            metavar="N",
+            help="shard each campaign across N worker processes "
+            "(deterministic: same metrics as the serial run)",
+        )
 
     for name in ("fig5a", "fig5b"):
         sub = subparsers.add_parser(name, help=f"Figure 5({name[-1]})")
@@ -135,6 +163,7 @@ def main(argv: list[str] | None = None) -> None:
         help="omit the (very slow) heuristic depth-3 row",
     )
     add_seed(table1)
+    add_parallel(table1)
 
     bounds = subparsers.add_parser("bounds", help="Section 3.1 bound comparison")
     add_seed(bounds)
@@ -153,22 +182,31 @@ def main(argv: list[str] | None = None) -> None:
     )
     robustness.add_argument("--injections", type=int, default=200)
     add_seed(robustness)
+    add_parallel(robustness)
 
     args = parser.parse_args(argv)
-    if args.command == "fig5a":
-        _cmd_fig5(args, "a")
-    elif args.command == "fig5b":
-        _cmd_fig5(args, "b")
-    elif args.command == "table1":
-        _cmd_table1(args)
-    elif args.command == "bounds":
-        _cmd_bounds(args)
-    elif args.command == "ablations":
-        _cmd_ablations(args)
-    elif args.command == "scalability":
-        _cmd_scalability(args)
-    elif args.command == "robustness":
-        _cmd_robustness(args)
+    commands = {
+        "fig5a": lambda: _cmd_fig5(args, "a"),
+        "fig5b": lambda: _cmd_fig5(args, "b"),
+        "table1": lambda: _cmd_table1(args),
+        "bounds": lambda: _cmd_bounds(args),
+        "ablations": lambda: _cmd_ablations(args),
+        "scalability": lambda: _cmd_scalability(args),
+        "robustness": lambda: _cmd_robustness(args),
+    }
+    command = commands[args.command]
+    if args.profile:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            command()
+        finally:
+            profiler.disable()
+            print()
+            stats = pstats.Stats(profiler)
+            stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(40)
+    else:
+        command()
 
 
 if __name__ == "__main__":

@@ -46,6 +46,7 @@ def run_mismatch_sweep(
     environment_coverages: tuple[float, ...] = (1.0, 0.9, 0.75, 0.5),
     injections: int = 200,
     seed: int = 7,
+    parallel: int | None = None,
 ) -> list[MismatchPoint]:
     """Fix the controller's model, degrade the real monitors underneath it.
 
@@ -55,6 +56,8 @@ def run_mismatch_sweep(
     impossible trigger its re-diagnosis fallback
     (:meth:`RecoveryController.observe`), so the sweep also exercises that
     path when the model says coverage is perfect but probes miss.
+    ``parallel`` shards each campaign across worker processes without
+    changing any deterministic metric (see :mod:`repro.sim.parallel`).
     """
     controller_system = build_emn_system(path_monitor_coverage=model_coverage)
     bound_set, _ = bootstrap_bounds(
@@ -77,6 +80,7 @@ def run_mismatch_sweep(
             seed=seed,
             monitor_tail=MONITOR_DURATION,
             model=environment_system.model,
+            parallel=parallel,
         )
         points.append(
             MismatchPoint(

@@ -3,11 +3,20 @@
 The RA-Bound (Eq. 5) reduces to the linear system ``v = r + beta * P v`` for
 the uniform-random chain.  Section 3.1 of the paper solves it with
 "Gauss-Seidel iterations with successive over-relaxation"; this module
-provides that solver plus a Jacobi iteration and a direct sparse solve, all
-verified against each other in the test suite.
+provides that solver plus a Jacobi iteration, a direct sparse solve, and a
+sparse backend (``method="sparse"``) that factorises the transient block of
+``I - beta P`` in CSR/CSC form with an iterative (LGMRES) fallback — the
+path behind Section 4.3's hundreds-of-thousands-of-states claim.  All of
+them are verified against each other in the test suite.
+
+Every solver accepts ``P`` as a dense array or a ``scipy.sparse`` matrix;
+``method="auto"`` picks the sparse backend or Gauss-Seidel from the chain's
+size and density (see :func:`select_method`).
 """
 
 from __future__ import annotations
+
+import warnings
 
 import numpy as np
 import scipy.sparse as sp
@@ -18,6 +27,15 @@ from repro.exceptions import DivergenceError, NotConvergedError
 #: Value magnitude past which an undiscounted iteration is declared divergent.
 DIVERGENCE_THRESHOLD = 1e12
 
+#: ``method="auto"`` heuristics: a chain is routed to the sparse backend
+#: when it is already a scipy.sparse matrix, or when it has at least
+#: SPARSE_MIN_STATES states and at most SPARSE_DENSITY_CUTOFF of its
+#: entries are structurally non-zero.  Below the size floor the dense
+#: Gauss-Seidel sweep wins on constant factors; above the density cutoff
+#: the CSR factorisation fills in and loses its advantage.
+SPARSE_MIN_STATES = 256
+SPARSE_DENSITY_CUTOFF = 0.25
+
 #: Sweeps between residual-stagnation checks.  A linearly diverging
 #: iteration (constant per-sweep decrement, e.g. a recurrent state accruing
 #: cost forever) keeps a constant residual, while any convergent iteration
@@ -25,6 +43,41 @@ DIVERGENCE_THRESHOLD = 1e12
 #: before the magnitude threshold trips.
 STAGNATION_WINDOW = 1_000
 STAGNATION_RATIO = 0.99
+
+
+def chain_density(chain) -> float:
+    """Fraction of structurally non-zero entries in ``chain``.
+
+    Works on dense arrays and scipy.sparse matrices alike; the density of a
+    0x0 chain is defined as 1.0 (nothing to gain from sparsity).
+    """
+    if not sp.issparse(chain):
+        chain = np.asarray(chain)
+    n = chain.shape[0]
+    if n == 0:
+        return 1.0
+    if sp.issparse(chain):
+        return float(chain.nnz) / float(n * n)
+    return float(np.count_nonzero(chain)) / float(n * n)
+
+
+def select_method(chain) -> str:
+    """The ``method="auto"`` policy: ``"sparse"`` or ``"gauss-seidel"``.
+
+    A scipy.sparse chain always takes the sparse backend (densifying it
+    would defeat the caller's construction); a dense chain takes it only
+    when it is both large (>= :data:`SPARSE_MIN_STATES` states) and sparse
+    enough (density <= :data:`SPARSE_DENSITY_CUTOFF`).
+    """
+    if sp.issparse(chain):
+        return "sparse"
+    chain = np.asarray(chain)
+    if (
+        chain.shape[0] >= SPARSE_MIN_STATES
+        and chain_density(chain) <= SPARSE_DENSITY_CUTOFF
+    ):
+        return "sparse"
+    return "gauss-seidel"
 
 
 def _check_stagnation(
@@ -40,7 +93,7 @@ def _check_stagnation(
 
 
 def gauss_seidel(
-    chain: np.ndarray,
+    chain: np.ndarray | sp.spmatrix,
     reward: np.ndarray,
     discount: float = 1.0,
     omega: float = 1.0,
@@ -68,7 +121,11 @@ def gauss_seidel(
     """
     if not 0.0 < omega < 2.0:
         raise ValueError(f"omega must be in (0, 2), got {omega}")
-    chain = np.asarray(chain, dtype=float)
+    # The per-state sweep needs random row access; densify sparse input
+    # (callers with genuinely large sparse chains should use "sparse").
+    chain = (
+        chain.toarray() if sp.issparse(chain) else np.asarray(chain, dtype=float)
+    )
     reward = np.asarray(reward, dtype=float)
     n = reward.shape[0]
     value = np.zeros(n)
@@ -118,7 +175,7 @@ def gauss_seidel(
 
 
 def jacobi(
-    chain: np.ndarray,
+    chain: np.ndarray | sp.spmatrix,
     reward: np.ndarray,
     discount: float = 1.0,
     tol: float = 1e-10,
@@ -127,9 +184,11 @@ def jacobi(
     """Solve ``v = r + discount * P v`` by Jacobi (simultaneous) iteration.
 
     Kept as an independently-implemented cross-check for
-    :func:`gauss_seidel`; the test suite asserts the two agree.
+    :func:`gauss_seidel`; the test suite asserts the two agree.  Sparse
+    chains are used as-is (the update is a single mat-vec per sweep).
     """
-    chain = np.asarray(chain, dtype=float)
+    if not sp.issparse(chain):
+        chain = np.asarray(chain, dtype=float)
     reward = np.asarray(reward, dtype=float)
     value = np.zeros_like(reward)
     checkpoint_residual = np.inf
@@ -157,7 +216,7 @@ def jacobi(
 
 
 def solve_direct(
-    chain: np.ndarray,
+    chain: np.ndarray | sp.spmatrix,
     reward: np.ndarray,
     discount: float = 1.0,
     transient_states: np.ndarray | None = None,
@@ -172,25 +231,105 @@ def solve_direct(
     ``transient_states`` as a boolean mask to do that; with ``None`` the full
     system is solved (valid for ``discount < 1``).
     """
-    chain = np.asarray(chain, dtype=float)
+    matrix, rhs, mask = _transient_system(
+        chain, reward, discount, transient_states
+    )
+    value = np.zeros(np.asarray(reward).shape[0])
+    if matrix is not None:
+        value[mask] = spla.spsolve(matrix, rhs)
+    return value
+
+
+def _transient_system(
+    chain,
+    reward,
+    discount: float,
+    transient_states: np.ndarray | None,
+) -> tuple[sp.csc_matrix | None, np.ndarray, np.ndarray]:
+    """Build ``(I - discount * P)`` restricted to the transient block.
+
+    Returns ``(matrix, rhs, mask)`` in CSC form ready for a factorisation;
+    ``matrix`` is None when the mask selects no states (nothing to solve).
+    Accepts dense or scipy.sparse ``chain``.
+    """
     reward = np.asarray(reward, dtype=float)
     n = reward.shape[0]
-    if transient_states is None:
-        matrix = sp.eye(n, format="csc") - discount * sp.csc_matrix(chain)
-        return spla.spsolve(matrix, reward)
-    mask = np.asarray(transient_states, dtype=bool)
-    value = np.zeros(n)
+    sparse_chain = sp.csr_matrix(chain) if not sp.issparse(chain) else chain.tocsr()
+    mask = (
+        np.ones(n, dtype=bool)
+        if transient_states is None
+        else np.asarray(transient_states, dtype=bool)
+    )
     if not mask.any():
+        return None, reward[mask], mask
+    indices = np.flatnonzero(mask)
+    block = sparse_chain[indices][:, indices]
+    matrix = (
+        sp.eye(indices.size, format="csc") - discount * block.tocsc()
+    )
+    return matrix, reward[indices], mask
+
+
+def solve_sparse(
+    chain,
+    reward: np.ndarray,
+    discount: float = 1.0,
+    transient_states: np.ndarray | None = None,
+    tol: float = 1e-10,
+    maxiter: int = 10_000,
+) -> np.ndarray:
+    """The sparse backend: CSR/CSC factorisation with an iterative fallback.
+
+    Solves ``(I - discount * P) v = r`` on the transient block (recurrent
+    states pinned to zero, as in :func:`solve_direct`) via
+    :func:`scipy.sparse.linalg.spsolve`.  If the factorisation reports a
+    singular/ill-conditioned matrix or produces non-finite values, the
+    solve is retried with LGMRES; an iterative failure raises
+    :class:`~repro.exceptions.NotConvergedError` rather than returning a
+    silently wrong vector.
+
+    Accepts ``chain`` as a dense array or any scipy.sparse matrix; the
+    caller that builds its chain sparsely (e.g.
+    :func:`repro.systems.tiered.tiered_ra_chain`) never materialises a
+    dense ``n x n`` array anywhere on this path.
+    """
+    matrix, rhs, mask = _transient_system(
+        chain, reward, discount, transient_states
+    )
+    value = np.zeros(np.asarray(reward).shape[0])
+    if matrix is None:
         return value
-    sub_chain = chain[np.ix_(mask, mask)]
-    size = int(mask.sum())
-    matrix = sp.eye(size, format="csc") - discount * sp.csc_matrix(sub_chain)
-    value[mask] = spla.spsolve(matrix, reward[mask])
+    solution = None
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", spla.MatrixRankWarning)
+        try:
+            candidate = spla.spsolve(matrix, rhs)
+            if np.all(np.isfinite(candidate)):
+                solution = candidate
+        except (RuntimeError, spla.MatrixRankWarning):
+            solution = None
+    if solution is None:
+        solution, info = spla.lgmres(
+            matrix, rhs, rtol=tol, atol=tol, maxiter=maxiter
+        )
+        if info != 0 or not np.all(np.isfinite(solution)):
+            raise NotConvergedError(
+                "sparse RA-Bound solve failed: the direct factorisation was "
+                "singular and LGMRES did not converge "
+                f"(info={info}); is the transient mask correct?",
+                iterations=maxiter,
+                residual=float(
+                    np.max(np.abs(matrix @ solution - rhs))
+                    if np.all(np.isfinite(solution))
+                    else np.inf
+                ),
+            )
+    value[mask] = solution
     return value
 
 
 def solve_markov_reward(
-    chain: np.ndarray,
+    chain: np.ndarray | sp.spmatrix,
     reward: np.ndarray,
     discount: float = 1.0,
     method: str = "gauss-seidel",
@@ -201,8 +340,13 @@ def solve_markov_reward(
     """Front door for expected-accumulated-reward solves.
 
     ``method`` selects between ``"gauss-seidel"`` (the paper's choice, with
-    mild over-relaxation by default), ``"jacobi"``, and ``"direct"``.
+    mild over-relaxation by default), ``"jacobi"``, ``"direct"``,
+    ``"sparse"`` (factorise the transient block of ``I - beta P`` with an
+    LGMRES fallback), and ``"auto"`` (:func:`select_method`'s size/density
+    heuristic between the sparse backend and Gauss-Seidel).
     """
+    if method == "auto":
+        method = select_method(chain)
     if method == "gauss-seidel":
         return gauss_seidel(chain, reward, discount=discount, omega=omega, tol=tol)
     if method == "jacobi":
@@ -210,5 +354,13 @@ def solve_markov_reward(
     if method == "direct":
         return solve_direct(
             chain, reward, discount=discount, transient_states=transient_states
+        )
+    if method == "sparse":
+        return solve_sparse(
+            chain,
+            reward,
+            discount=discount,
+            transient_states=transient_states,
+            tol=tol,
         )
     raise ValueError(f"unknown method {method!r}")

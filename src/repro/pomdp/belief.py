@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import BeliefError
+from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
 
 #: Observation probabilities below this are treated as impossible branches.
@@ -90,9 +91,19 @@ def next_beliefs(
     observing ``observation_indices[i]``.  Only observations with
     ``gamma(o) > epsilon`` are included; this is the branch pruning that
     makes the finite-depth tree of Figure 1(b) tractable.
+
+    The joint factor comes from the shared per-model
+    :class:`~repro.pomdp.cache.JointFactorCache` when the model is small
+    enough to cache, so repeated enumeration from the same model does one
+    matrix product per call instead of rebuilding the transition/observation
+    product.
     """
-    predicted = predicted_belief(pomdp, belief, action)
-    joint = predicted[:, None] * pomdp.observations[action]  # (|S|, |O|)
+    cache = get_joint_cache(pomdp)
+    if cache is not None:
+        joint = cache.joint(belief, action)  # (|S|, |O|)
+    else:
+        predicted = predicted_belief(pomdp, belief, action)
+        joint = predicted[:, None] * pomdp.observations[action]
     gamma = joint.sum(axis=0)
     reachable = np.flatnonzero(gamma > epsilon)
     posteriors = (joint[:, reachable] / gamma[reachable]).T

@@ -1,0 +1,134 @@
+"""Per-model cache of the joint transition-observation factors.
+
+Every belief-side hot path — the lookahead tree of Figure 1(b), the
+incremental bound refinement of Section 4.1, and posterior enumeration —
+needs the same quantity for a belief ``pi`` and action ``a``::
+
+    joint[s', o] = sum_s pi(s) p(s'|s, a) q(o|s', a)
+
+The belief-independent part, ``F_a[s, s', o] = p(s'|s, a) q(o|s', a)``, only
+depends on the model, yet the naive evaluation rebuilds the ``(|S'|, |O|)``
+product from ``transitions`` and ``observations`` at every decision node.
+:class:`JointFactorCache` precomputes ``F`` once per :class:`POMDP`, flattened
+so the per-belief work collapses to a single GEMV:
+
+* ``joint(belief, a)`` — one ``(|S|,) @ (|S|, |S'|*|O|)`` product;
+* ``joint_all(belief)`` — one ``(|S|,) @ (|S|, |A|*|S'|*|O|)`` product that
+  yields every action's joint at once, removing the per-action Python loop
+  from the innermost tree recursion.
+
+POMDPs are frozen dataclasses whose arrays are never mutated after
+validation, so a cache entry is valid for the lifetime of its model object;
+derived models (``with_discount`` and friends) are new objects and get their
+own entries.  Caches are registered per model *instance* and dropped
+automatically when the model is garbage-collected.  Models whose factor
+tensor would exceed :data:`MAX_CACHE_BYTES` are not cached —
+:func:`get_joint_cache` returns ``None`` and callers fall back to the
+two-product path, so memory use stays bounded on very large models.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.pomdp.model import POMDP
+
+#: Upper limit on the bytes a single model's factor tensors may occupy
+#: (both layouts together).  Past this, caching is declined.
+MAX_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class JointFactorCache:
+    """Precomputed ``p(s', o | s, a)`` factors for one POMDP.
+
+    Two layouts of the same tensor are kept so that both access patterns
+    are a single contiguous matrix product:
+
+    * ``_per_action[a]`` has shape ``(|S|, |S'|*|O|)``;
+    * ``_stacked`` has shape ``(|S|, |A|*|S'|*|O|)``.
+    """
+
+    def __init__(self, pomdp: POMDP):
+        n_actions = pomdp.n_actions
+        n_states = pomdp.n_states
+        n_observations = pomdp.n_observations
+        factors = (
+            pomdp.transitions[:, :, :, None] * pomdp.observations[:, None, :, :]
+        )
+        self._per_action = np.ascontiguousarray(
+            factors.reshape(n_actions, n_states, n_states * n_observations)
+        )
+        self._stacked = np.ascontiguousarray(
+            self._per_action.transpose(1, 0, 2).reshape(
+                n_states, n_actions * n_states * n_observations
+            )
+        )
+        self.n_actions = n_actions
+        self.n_states = n_states
+        self.n_observations = n_observations
+        self._model_ref = weakref.ref(pomdp)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory the cached factor tensors occupy."""
+        return self._per_action.nbytes + self._stacked.nbytes
+
+    def joint(self, belief: np.ndarray, action: int) -> np.ndarray:
+        """``joint[s', o]`` for one action at ``belief``; shape ``(|S'|, |O|)``."""
+        return (belief @ self._per_action[action]).reshape(
+            self.n_states, self.n_observations
+        )
+
+    def joint_all(self, belief: np.ndarray) -> np.ndarray:
+        """Every action's joint at once; shape ``(|A|, |S'|, |O|)``."""
+        return (belief @ self._stacked).reshape(
+            self.n_actions, self.n_states, self.n_observations
+        )
+
+
+def cache_size_bytes(pomdp: POMDP) -> int:
+    """Bytes :class:`JointFactorCache` would need for ``pomdp`` (both layouts)."""
+    return (
+        2
+        * 8
+        * pomdp.n_actions
+        * pomdp.n_states
+        * pomdp.n_states
+        * pomdp.n_observations
+    )
+
+
+#: Live caches keyed by model identity (the model may be unhashable, so the
+#: registry keys on ``id``; a finalizer removes the entry when the model is
+#: collected, and identity is re-checked on every hit to survive id reuse).
+_CACHES: dict[int, JointFactorCache] = {}
+
+
+def get_joint_cache(
+    pomdp: POMDP, max_bytes: int | None = None
+) -> JointFactorCache | None:
+    """The shared factor cache for ``pomdp``, or ``None`` when too large.
+
+    The first call for a model builds the cache (an ``O(|A| |S|^2 |O|)``
+    one-off); subsequent calls return the same object.  ``max_bytes``
+    overrides :data:`MAX_CACHE_BYTES` for callers that want a different
+    memory budget.
+    """
+    limit = MAX_CACHE_BYTES if max_bytes is None else max_bytes
+    if cache_size_bytes(pomdp) > limit:
+        return None
+    key = id(pomdp)
+    cache = _CACHES.get(key)
+    if cache is not None and cache._model_ref() is pomdp:
+        return cache
+    cache = JointFactorCache(pomdp)
+    _CACHES[key] = cache
+    weakref.finalize(pomdp, _CACHES.pop, key, None)
+    return cache
+
+
+def clear_caches() -> None:
+    """Drop every registered cache (tests and long-lived processes)."""
+    _CACHES.clear()

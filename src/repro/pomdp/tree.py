@@ -6,6 +6,17 @@ a lower bound, in the bounded controller — at the leaf beliefs.  The tree is
 a Max-Avg tree: values of sibling observation branches are averaged with the
 observation probabilities ``gamma^{pi,a}(o)`` (Eq. 3), and the maximum over
 actions is taken at each decision node.
+
+Per-decision cost matters — Table 1's "algorithm time" column is this
+expansion — so the tree leans on two model-level optimisations:
+
+* the joint factors ``p(s', o | s, a)`` come from the shared
+  :class:`~repro.pomdp.cache.JointFactorCache`, which turns each node's
+  per-action child computation into a single matrix product instead of a
+  per-action rebuild of the transition/observation product;
+* all of a node's leaf beliefs (across *every* action) are evaluated in one
+  :meth:`LeafValue.value_batch` call rather than one call per action, so the
+  leaf estimator sees one big stack per node.
 """
 
 from __future__ import annotations
@@ -16,6 +27,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.pomdp.belief import GAMMA_EPSILON
+from repro.pomdp.cache import JointFactorCache, get_joint_cache
 from repro.pomdp.model import POMDP
 
 
@@ -51,14 +63,76 @@ class TreeDecision:
     nodes: int
 
 
-def _children(pomdp: POMDP, belief: np.ndarray, action: int):
+def _children(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    action: int,
+    cache: JointFactorCache | None = None,
+):
     """Reachable ``(gamma, posteriors)`` for one action, pruned by gamma."""
-    predicted = belief @ pomdp.transitions[action]
-    joint = predicted[:, None] * pomdp.observations[action]
+    if cache is not None:
+        joint = cache.joint(belief, action)
+    else:
+        predicted = belief @ pomdp.transitions[action]
+        joint = predicted[:, None] * pomdp.observations[action]
     gamma = joint.sum(axis=0)
     reachable = gamma > GAMMA_EPSILON
     posteriors = (joint[:, reachable] / gamma[reachable]).T
     return gamma[reachable], posteriors
+
+
+def _children_all(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    cache: JointFactorCache | None,
+    action_mask: np.ndarray | None = None,
+):
+    """Per-action ``(gamma, posteriors)`` for every (allowed) action.
+
+    Returns a list indexed by action; masked-out actions hold ``None``.
+    With a cache, all joints come from one matrix product.
+    """
+    joint_all = cache.joint_all(belief) if cache is not None else None
+    children: list[tuple[np.ndarray, np.ndarray] | None] = []
+    for action in range(pomdp.n_actions):
+        if action_mask is not None and not action_mask[action]:
+            children.append(None)
+            continue
+        if joint_all is not None:
+            joint = joint_all[action]
+            gamma = joint.sum(axis=0)
+            reachable = gamma > GAMMA_EPSILON
+            posteriors = (joint[:, reachable] / gamma[reachable]).T
+            children.append((gamma[reachable], posteriors))
+        else:
+            children.append(_children(pomdp, belief, action))
+    return children
+
+
+def _batched_leaf_values(
+    children: list[tuple[np.ndarray, np.ndarray] | None],
+    leaf: LeafValue,
+) -> list[np.ndarray | None]:
+    """One ``value_batch`` call covering every action's leaf beliefs.
+
+    The per-row arithmetic is identical to per-action calls; only the
+    batching changes, so results are bit-for-bit the same for any leaf
+    estimator that is row-independent (all shipped ones are).
+    """
+    stacks = [child[1] for child in children if child is not None]
+    if not stacks:
+        return [None for _ in children]
+    values = leaf.value_batch(np.vstack(stacks))
+    futures: list[np.ndarray | None] = []
+    offset = 0
+    for child in children:
+        if child is None:
+            futures.append(None)
+            continue
+        count = child[1].shape[0]
+        futures.append(values[offset : offset + count])
+        offset += count
+    return futures
 
 
 def expand_tree(
@@ -86,41 +160,58 @@ def expand_tree(
     """
     if depth < 1:
         raise ValueError(f"depth must be >= 1, got {depth}")
+    cache = get_joint_cache(pomdp)
     counters = {"leaves": 0, "nodes": 0}
 
     def node_value(node_belief: np.ndarray, remaining: int) -> float:
         counters["nodes"] += 1
-        best = -np.inf
         rewards = pomdp.rewards @ node_belief
-        for action in range(pomdp.n_actions):
-            gamma, posteriors = _children(pomdp, node_belief, action)
-            if remaining == 1:
-                counters["leaves"] += posteriors.shape[0]
-                future = leaf.value_batch(posteriors)
-            else:
-                future = np.array(
+        children = _children_all(pomdp, node_belief, cache)
+        if remaining == 1:
+            futures = _batched_leaf_values(children, leaf)
+            counters["leaves"] += sum(
+                child[1].shape[0] for child in children if child is not None
+            )
+        else:
+            futures = [
+                np.array(
                     [node_value(child, remaining - 1) for child in posteriors]
                 )
-            total = rewards[action] + pomdp.discount * float(gamma @ future)
+                for _, posteriors in children
+            ]
+        best = -np.inf
+        for action, child in enumerate(children):
+            gamma, _ = child
+            total = rewards[action] + pomdp.discount * float(
+                gamma @ futures[action]
+            )
             best = max(best, total)
         return best
 
     counters["nodes"] += 1
     rewards = pomdp.rewards @ belief
     action_values = np.full(pomdp.n_actions, -np.inf)
-    for action in range(pomdp.n_actions):
-        if allowed_actions is not None and not allowed_actions[action]:
-            continue
-        gamma, posteriors = _children(pomdp, belief, action)
-        if depth == 1:
-            counters["leaves"] += posteriors.shape[0]
-            future = leaf.value_batch(posteriors)
-        else:
-            future = np.array(
-                [node_value(child, depth - 1) for child in posteriors]
+    children = _children_all(pomdp, belief, cache, action_mask=allowed_actions)
+    if depth == 1:
+        futures = _batched_leaf_values(children, leaf)
+        counters["leaves"] += sum(
+            child[1].shape[0] for child in children if child is not None
+        )
+    else:
+        futures = [
+            None
+            if child is None
+            else np.array(
+                [node_value(posterior, depth - 1) for posterior in child[1]]
             )
+            for child in children
+        ]
+    for action, child in enumerate(children):
+        if child is None:
+            continue
+        gamma, _ = child
         action_values[action] = rewards[action] + pomdp.discount * float(
-            gamma @ future
+            gamma @ futures[action]
         )
 
     best_action = int(np.argmax(action_values))

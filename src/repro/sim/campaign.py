@@ -16,7 +16,6 @@ from repro.controllers.base import RecoveryController
 from repro.recovery.model import RecoveryModel
 from repro.sim.environment import RecoveryEnvironment
 from repro.sim.metrics import EpisodeMetrics, MetricSummary, summarize
-from repro.util.rng import as_generator
 
 #: Safety cap: no reasonable controller needs this many steps on the EMN
 #: model; hitting it means the controller is stuck in the loop that
@@ -100,13 +99,26 @@ def run_campaign(
     monitor_tail: float = 0.0,
     model: RecoveryModel | None = None,
     fault_probabilities: np.ndarray | None = None,
+    parallel: int | None = None,
+    chunk_size: int | None = None,
 ) -> CampaignResult:
     """Run ``injections`` episodes with randomly drawn faults.
 
+    Episodes are scheduled by the campaign engine of
+    :mod:`repro.sim.parallel`: faults and per-episode environment streams
+    are derived up front from ``seed`` via ``SeedSequence`` spawning, and
+    episodes run in fixed-size chunks against clones of ``controller``
+    whose bound refinements are merged back on completion.  The metrics are
+    therefore a function of ``(seed, injections, chunk_size)`` alone —
+    serial and parallel runs of the same campaign agree episode for episode
+    (``algorithm_time`` excepted: it is a wall-clock measurement).
+
     Args:
-        controller: the controller under test (reused across episodes —
-            bound sets and caches persist, matching a long-lived
-            controller process).
+        controller: the controller under test.  It is never driven
+            directly — chunks run clones — but it receives every refinement
+            the clones produce (deduplicated and dominance-pruned), so its
+            bound set ends the campaign as a long-lived controller
+            process's would.
         fault_states: candidate fault-state indices; Section 5 draws only
             zombie faults.
         injections: number of episodes (the paper uses 10,000).
@@ -119,7 +131,14 @@ def run_campaign(
         fault_probabilities: draw weights aligned with ``fault_states``;
             uniform (the paper's fault load) when None.  Use for
             criticality-weighted fault loads.
+        parallel: worker-process count; ``None``, 0, or 1 runs in-process.
+        chunk_size: episodes per controller-isolation chunk (default
+            :data:`repro.sim.parallel.DEFAULT_CHUNK_SIZE`).  Changing it
+            changes refinement visibility and hence, potentially, metrics;
+            worker count never does.
     """
+    from repro.sim.parallel import execute_plan, plan_campaign
+
     if injections <= 0:
         raise ValueError(f"injections must be positive, got {injections}")
     fault_states = np.asarray(fault_states, dtype=int)
@@ -135,16 +154,18 @@ def run_campaign(
             fault_probabilities.sum(), 1.0
         ):
             raise ValueError("fault_probabilities must be a distribution")
-    rng = as_generator(seed)
-    environment = RecoveryEnvironment(
-        model or controller.model, seed=rng, monitor_tail=monitor_tail
+    plan = plan_campaign(
+        controller,
+        fault_states=fault_states,
+        injections=injections,
+        seed=seed,
+        max_steps=max_steps,
+        monitor_tail=monitor_tail,
+        model=model,
+        fault_probabilities=fault_probabilities,
+        chunk_size=chunk_size,
     )
-    episodes = []
-    for _ in range(injections):
-        fault = int(rng.choice(fault_states, p=fault_probabilities))
-        episodes.append(
-            run_episode(controller, environment, fault, max_steps=max_steps)
-        )
+    episodes = execute_plan(plan, workers=parallel)
     return CampaignResult(
         controller_name=controller.name,
         episodes=episodes,

@@ -14,6 +14,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -100,3 +102,45 @@ def summarize(episodes: list[EpisodeMetrics]) -> MetricSummary:
 def metrics_field_names() -> tuple[str, ...]:
     """Column names of :class:`EpisodeMetrics` (for CSV-style exports)."""
     return tuple(field.name for field in fields(EpisodeMetrics))
+
+
+#: Fields excluded from fingerprints: wall-clock measurements that differ
+#: between otherwise identical runs.
+NONDETERMINISTIC_FIELDS = ("algorithm_time",)
+
+
+def episode_fingerprint_bytes(episode: EpisodeMetrics) -> bytes:
+    """The deterministic fields of one episode, packed canonically.
+
+    Floats are packed as IEEE-754 doubles (no rounding), so two episodes
+    fingerprint equal iff their deterministic fields are bit-identical.
+    """
+    packed = []
+    for field in fields(EpisodeMetrics):
+        if field.name in NONDETERMINISTIC_FIELDS:
+            continue
+        value = getattr(episode, field.name)
+        if isinstance(value, bool):
+            packed.append(struct.pack("<?", value))
+        elif isinstance(value, (int, np.integer)):
+            packed.append(struct.pack("<q", int(value)))
+        else:
+            packed.append(struct.pack("<d", float(value)))
+    return b"".join(packed)
+
+
+def campaign_fingerprint(episodes: list[EpisodeMetrics]) -> str:
+    """SHA-256 over a campaign's deterministic per-episode metrics.
+
+    The determinism contract of :mod:`repro.sim.parallel` is stated in
+    terms of this fingerprint: a seeded campaign produces the same
+    fingerprint no matter how many workers ran it.  ``algorithm_time`` is
+    excluded because it is a wall-clock measurement (it differs even
+    between two serial runs); everything else — fault sequence, costs,
+    recovery/residual times, action and monitor counts, outcomes — is
+    hashed exactly.
+    """
+    digest = hashlib.sha256()
+    for episode in episodes:
+        digest.update(episode_fingerprint_bytes(episode))
+    return digest.hexdigest()

@@ -1,0 +1,300 @@
+"""Parallel fault-injection campaign engine.
+
+Table 1's 10,000 injections are embarrassingly parallel: episodes share no
+simulated state, only (a) the random streams that drive fault draws and
+monitor sampling and (b) the controller's bound set, which refinement grows
+as a side effect.  This module shards a campaign's episode loop across a
+process pool while keeping the results *bit-identical* to the in-process
+run, whatever the worker count.  Three design rules make that possible:
+
+**Per-episode random streams.**  A campaign plan draws every fault up front
+from one child of the root :class:`~numpy.random.SeedSequence` and spawns
+one further child per episode for environment sampling.  Episode ``i``'s
+randomness therefore depends only on ``(seed, i)`` — never on which worker
+ran it, or what ran before it.
+
+**Chunked dispatch with per-chunk controller isolation.**  Episodes are
+grouped into fixed-size chunks whose layout depends only on the injection
+count (never on the worker count).  Each chunk runs against a fresh clone
+of the pristine controller, so cross-episode controller state (online bound
+refinement) is visible within a chunk but never across chunks.  Any worker
+may run any chunk and the metrics cannot change.
+
+**Deterministic bound-set merge on join.**  Clones refine their bound sets
+locally; after all chunks complete, the new hyperplanes are folded back
+into the caller's controller in chunk order through
+:meth:`~repro.bounds.vector_set.BoundVectorSet.merge`, which rejects
+duplicates and pointwise-dominated vectors and prunes vectors that later
+arrivals dominate.  The caller's controller ends the campaign with the
+union of every worker's refinements, exactly as a long-lived controller
+process would accumulate them.
+
+The one metric outside the determinism contract is ``algorithm_time`` — it
+is a wall-clock measurement and varies run to run even serially; use
+:func:`repro.sim.metrics.campaign_fingerprint` (which excludes it) to
+compare campaigns.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.controllers.base import RecoveryController
+from repro.recovery.model import RecoveryModel
+from repro.sim.environment import RecoveryEnvironment
+from repro.sim.metrics import EpisodeMetrics
+
+#: Episodes per chunk.  A pure function of the campaign (not of the worker
+#: count), so chunk boundaries — and therefore refinement visibility — are
+#: identical in serial and parallel runs.  32 keeps per-chunk clone cost
+#: negligible while giving a 1,000-injection campaign enough chunks to feed
+#: 16 workers.
+DEFAULT_CHUNK_SIZE = 32
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """Everything needed to run (or re-run) a campaign deterministically.
+
+    Attributes:
+        controller: the pristine controller template; never mutated by the
+            engine (chunks run on clones).
+        model: environment-side model (the controller's own unless the
+            caller studies model mismatch).
+        faults: per-episode injected fault states, drawn up front.
+        env_seeds: one spawned :class:`~numpy.random.SeedSequence` per
+            episode for environment sampling.
+        max_steps: per-episode step cap.
+        monitor_tail: see :class:`~repro.sim.environment.RecoveryEnvironment`.
+        chunk_size: episodes per isolation chunk.
+    """
+
+    controller: RecoveryController
+    model: RecoveryModel
+    faults: np.ndarray
+    env_seeds: tuple
+    max_steps: int
+    monitor_tail: float
+    chunk_size: int
+
+    @property
+    def injections(self) -> int:
+        """Number of episodes in the plan."""
+        return int(self.faults.shape[0])
+
+    def chunks(self) -> list[tuple[int, int]]:
+        """Half-open ``(start, stop)`` episode ranges, in order."""
+        return [
+            (start, min(start + self.chunk_size, self.injections))
+            for start in range(0, self.injections, self.chunk_size)
+        ]
+
+
+def seed_to_sequence(seed) -> np.random.SeedSequence:
+    """Coerce a campaign ``seed`` into a root :class:`SeedSequence`.
+
+    Accepts the library's usual seed forms; a :class:`~numpy.random.Generator`
+    contributes entropy from its stream (and stays usable afterwards).
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return np.random.SeedSequence(
+            seed.integers(0, 2**63 - 1, size=4).tolist()
+        )
+    return np.random.SeedSequence(seed)
+
+
+def plan_campaign(
+    controller: RecoveryController,
+    fault_states: np.ndarray,
+    injections: int,
+    seed=None,
+    max_steps: int = 500,
+    monitor_tail: float = 0.0,
+    model: RecoveryModel | None = None,
+    fault_probabilities: np.ndarray | None = None,
+    chunk_size: int | None = None,
+) -> CampaignPlan:
+    """Draw all faults and spawn all per-episode streams up front."""
+    root = seed_to_sequence(seed)
+    fault_sequence, environment_sequence = root.spawn(2)
+    faults = np.asarray(
+        np.random.default_rng(fault_sequence).choice(
+            fault_states, size=injections, p=fault_probabilities
+        ),
+        dtype=int,
+    )
+    env_seeds = tuple(environment_sequence.spawn(injections))
+    return CampaignPlan(
+        controller=controller,
+        model=model or controller.model,
+        faults=faults,
+        env_seeds=env_seeds,
+        max_steps=max_steps,
+        monitor_tail=monitor_tail,
+        chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+    )
+
+
+def _clone_controller(plan: CampaignPlan) -> RecoveryController:
+    """Deep-copy the template controller, sharing the immutable model."""
+    memo = {
+        id(plan.controller.model): plan.controller.model,
+        id(plan.controller.model.pomdp): plan.controller.model.pomdp,
+    }
+    return copy.deepcopy(plan.controller, memo)
+
+
+def _bound_vectors(controller: RecoveryController) -> np.ndarray | None:
+    """The controller's refinable bound-vector stack, when it has one."""
+    bound_set = controller.refinement_state()
+    if bound_set is None or not hasattr(bound_set, "vectors"):
+        return None
+    return np.array(bound_set.vectors, copy=True)
+
+
+def _counters(controller: RecoveryController) -> dict[str, int]:
+    """Current values of the controller's declared campaign counters."""
+    return {
+        name: int(getattr(controller, name, 0))
+        for name in controller.CAMPAIGN_COUNTERS
+    }
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """What one isolation chunk hands back to the join step.
+
+    Attributes:
+        episodes: per-episode metrics, in injection order.
+        new_vectors: hyperplanes the clone's bound set gained during the
+            chunk (``None`` for controllers without bound sets).
+        counter_deltas: per-chunk increments of the controller's declared
+            :attr:`~repro.controllers.base.RecoveryController.CAMPAIGN_COUNTERS`.
+    """
+
+    episodes: list[EpisodeMetrics]
+    new_vectors: np.ndarray | None
+    counter_deltas: dict[str, int]
+
+
+def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
+    """Run episodes ``[start, stop)`` on a fresh controller clone."""
+    from repro.sim.campaign import run_episode
+
+    controller = _clone_controller(plan)
+    baseline = _bound_vectors(controller)
+    baseline_counters = _counters(controller)
+    episodes = []
+    for index in range(start, stop):
+        environment = RecoveryEnvironment(
+            plan.model,
+            seed=np.random.default_rng(plan.env_seeds[index]),
+            monitor_tail=plan.monitor_tail,
+        )
+        episodes.append(
+            run_episode(
+                controller,
+                environment,
+                int(plan.faults[index]),
+                max_steps=plan.max_steps,
+            )
+        )
+    counter_deltas = {
+        name: value - baseline_counters[name]
+        for name, value in _counters(controller).items()
+    }
+    new_vectors = None
+    if baseline is not None:
+        # Diff by exact content rather than position: eviction may have
+        # shifted rows, and baseline rows surviving eviction are not "new".
+        known = {row.tobytes() for row in baseline}
+        refined = _bound_vectors(controller)
+        new_rows = [row for row in refined if row.tobytes() not in known]
+        if new_rows:
+            new_vectors = np.array(new_rows)
+    return ChunkResult(
+        episodes=episodes,
+        new_vectors=new_vectors,
+        counter_deltas=counter_deltas,
+    )
+
+
+# -- worker-side plumbing ----------------------------------------------------
+
+_WORKER_PLAN: CampaignPlan | None = None
+
+
+def _init_worker(plan: CampaignPlan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _worker_chunk(bounds: tuple[int, int]) -> ChunkResult:
+    if _WORKER_PLAN is None:
+        raise RuntimeError("worker used before _init_worker installed the plan")
+    start, stop = bounds
+    return run_chunk(_WORKER_PLAN, start, stop)
+
+
+def _pool_context():
+    """Prefer fork (cheap, shares the loaded model pages) where available."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def execute_plan(
+    plan: CampaignPlan, workers: int | None = None
+) -> list[EpisodeMetrics]:
+    """Run every chunk of ``plan`` and merge refinements back.
+
+    Args:
+        plan: the campaign plan.
+        workers: process count; ``None``, 0, or 1 runs in-process.  The
+            metrics are identical either way — only wall-clock (and the
+            wall-clock-derived ``algorithm_time`` field) changes.
+
+    Returns:
+        Episode metrics in injection order.  As a side effect the *caller's*
+        controller (the plan's template) receives the merged refinement
+        vectors, deduplicated and dominance-pruned.
+    """
+    chunks = plan.chunks()
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers and workers > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            mp_context=_pool_context(),
+            initializer=_init_worker,
+            initargs=(plan,),
+        ) as pool:
+            results = list(pool.map(_worker_chunk, chunks, chunksize=1))
+    else:
+        results = [run_chunk(plan, start, stop) for start, stop in chunks]
+
+    episodes: list[EpisodeMetrics] = []
+    bound_set = plan.controller.refinement_state()
+    for result in results:
+        episodes.extend(result.episodes)
+        if (
+            bound_set is not None
+            and result.new_vectors is not None
+            and result.new_vectors.size
+        ):
+            bound_set.merge(result.new_vectors, prune_after=True)
+        for name, delta in result.counter_deltas.items():
+            setattr(
+                plan.controller,
+                name,
+                getattr(plan.controller, name, 0) + delta,
+            )
+    return episodes

@@ -31,6 +31,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.exceptions import ModelError
+from repro.mdp.linear_solvers import solve_markov_reward
 from repro.recovery.builder import RecoveryModelBuilder
 from repro.recovery.model import RecoveryModel
 
@@ -294,16 +295,23 @@ def tiered_ra_chain(
 
 
 def solve_tiered_ra_bound(
-    replicas: tuple[int, ...], **chain_kwargs
+    replicas: tuple[int, ...], method: str = "sparse", **chain_kwargs
 ) -> np.ndarray:
-    """RA-Bound values for a tiered family instance via a sparse solve."""
+    """RA-Bound values for a tiered family instance via the sparse backend.
+
+    The chain never exists densely: :func:`tiered_ra_chain` builds it in
+    CSR form (~3 non-zeros per row) and
+    :func:`repro.mdp.linear_solvers.solve_markov_reward` factorises the
+    transient block directly.  The terminate state is the single recurrent
+    state; it is pinned to zero by the transient mask.
+    """
     chain, rewards = tiered_ra_chain(replicas, **chain_kwargs)
-    n = rewards.shape[0]
-    matrix = sp.eye(n, format="csr") - chain
-    # The terminate state is the single recurrent state; pin it to zero and
-    # solve the transient block (everything else).
-    transient = np.arange(n - 1)
-    block = matrix[transient][:, transient].tocsc()
-    values = np.zeros(n)
-    values[transient] = sp.linalg.spsolve(block, rewards[transient])
-    return values
+    transient = np.ones(rewards.shape[0], dtype=bool)
+    transient[-1] = False
+    return solve_markov_reward(
+        chain,
+        rewards,
+        discount=1.0,
+        method=method,
+        transient_states=transient,
+    )

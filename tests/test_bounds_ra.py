@@ -8,6 +8,7 @@ from repro.exceptions import DivergenceError
 from repro.mdp.model import MDP
 from repro.mdp.value_iteration import value_iteration
 from repro.pomdp.exact import solve_exact
+from repro.util.validation import SUM_ATOL
 
 
 class TestHandComputedExample:
@@ -48,11 +49,39 @@ class TestHandComputedExample:
 
 
 class TestSolverAgreement:
-    @pytest.mark.parametrize("method", ["gauss-seidel", "jacobi", "direct"])
+    @pytest.mark.parametrize(
+        "method", ["gauss-seidel", "jacobi", "direct", "sparse", "auto"]
+    )
     def test_methods_agree(self, emn_system, method):
         reference = ra_bound_vector(emn_system.model.pomdp, method="gauss-seidel")
         vector = ra_bound_vector(emn_system.model.pomdp, method=method)
         assert np.allclose(vector, reference, atol=1e-5)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_property_sparse_and_dense_agree(self, seed):
+        """Random discounted MDPs: the sparse backend lands within SUM_ATOL
+        of the paper's Gauss-Seidel path."""
+        rng = np.random.default_rng(seed)
+        n_states = int(rng.integers(3, 8))
+        n_actions = int(rng.integers(2, 5))
+        mdp = MDP(
+            transitions=rng.dirichlet(
+                np.ones(n_states), size=(n_actions, n_states)
+            ),
+            rewards=-rng.uniform(0.0, 2.0, size=(n_actions, n_states)),
+            discount=float(rng.uniform(0.5, 0.95)),
+        )
+        dense = ra_bound_vector(mdp, method="gauss-seidel", tol=1e-12)
+        sparse = ra_bound_vector(mdp, method="sparse")
+        assert float(np.max(np.abs(dense - sparse))) < SUM_ATOL
+
+    def test_sparse_and_dense_agree_undiscounted(self, simple_system, emn_system):
+        """The recovery-augmented undiscounted models: transient-block sparse
+        solve vs Gauss-Seidel, within SUM_ATOL."""
+        for system in (simple_system, emn_system):
+            dense = ra_bound_vector(system.model.pomdp, method="gauss-seidel")
+            sparse = ra_bound_vector(system.model.pomdp, method="sparse")
+            assert float(np.max(np.abs(dense - sparse))) < SUM_ATOL
 
 
 class TestLowerBoundProperty:

@@ -178,8 +178,11 @@ class TestHeuristicController:
             assert decision.action != a_t
 
     def test_recovers_and_terminates(self, simple_system):
+        # 0.999 rather than 0.99: with a looser threshold the heuristic can
+        # legitimately quit while the fault is live (~1% of episodes), which
+        # would make this assertion seed-dependent.
         controller = HeuristicController(
-            simple_system.model, depth=1, termination_probability=0.99
+            simple_system.model, depth=1, termination_probability=0.999
         )
         result = run_campaign(
             controller,

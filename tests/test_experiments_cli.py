@@ -37,6 +37,23 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main([])
 
+    def test_table1_parallel_flag(self, capsys):
+        main([
+            "table1", "--injections", "6", "--seed", "1", "--skip-depth3",
+            "--parallel", "2",
+        ])
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "bounded (depth 1)" in out
+
+    def test_profile_flag_appends_stats(self, capsys):
+        main(["--profile", "fig5b", "--iterations", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert "Figure 5(b)" in out
+        # cProfile's cumulative-time report follows the experiment output.
+        assert "cumulative" in out
+        assert "function calls" in out
+
 
 class TestReportMarkdown:
     @pytest.fixture(scope="class")

@@ -2,14 +2,21 @@
 
 import numpy as np
 import pytest
+import scipy.sparse as sp
 
-from repro.exceptions import DivergenceError
+from repro.exceptions import DivergenceError, NotConvergedError
 from repro.mdp.linear_solvers import (
+    SPARSE_DENSITY_CUTOFF,
+    SPARSE_MIN_STATES,
+    chain_density,
     gauss_seidel,
     jacobi,
+    select_method,
     solve_direct,
     solve_markov_reward,
+    solve_sparse,
 )
+from repro.util.validation import SUM_ATOL
 
 # Absorbing chain: state 0 -> {0 w.p. .5, 1 w.p. .5}, state 1 absorbing.
 CHAIN = np.array([[0.5, 0.5], [0.0, 1.0]])
@@ -109,3 +116,102 @@ class TestDirectSolver:
         out = solve_direct(CHAIN, REWARD, discount=0.9)
         manual = np.linalg.solve(np.eye(2) - 0.9 * CHAIN, REWARD)
         assert np.allclose(out, manual)
+
+
+class TestSparseBackend:
+    def test_sparse_matches_direct(self):
+        mask = np.array([True, False])
+        assert np.allclose(
+            solve_sparse(CHAIN, REWARD, transient_states=mask),
+            solve_direct(CHAIN, REWARD, transient_states=mask),
+            atol=1e-10,
+        )
+
+    def test_accepts_scipy_sparse_input(self):
+        mask = np.array([True, False])
+        out = solve_sparse(
+            sp.csr_matrix(CHAIN), REWARD, transient_states=mask
+        )
+        assert np.allclose(out, EXPECTED, atol=1e-10)
+
+    def test_no_transient_states_returns_zero(self):
+        out = solve_sparse(
+            np.array([[1.0]]), np.array([0.0]),
+            transient_states=np.array([False]),
+        )
+        assert np.allclose(out, [0.0])
+
+    def test_inconsistent_singular_system_raises(self):
+        # Absorbing state with non-zero reward and no transient mask: the
+        # factorisation is singular and no solution exists, so the LGMRES
+        # fallback must fail loudly instead of returning garbage.
+        with pytest.raises(NotConvergedError):
+            solve_sparse(CHAIN, np.array([-1.0, 5.0]), maxiter=200)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_property_sparse_agrees_with_dense_solvers(self, seed):
+        """Random discounted chains: every backend lands within SUM_ATOL."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 12))
+        chain = rng.dirichlet(np.ones(n), size=n)
+        reward = -rng.uniform(0.0, 3.0, size=n)
+        discount = float(rng.uniform(0.5, 0.99))
+        dense = gauss_seidel(chain, reward, discount=discount, tol=1e-12)
+        sparse = solve_sparse(chain, reward, discount=discount)
+        assert np.max(np.abs(dense - sparse)) < SUM_ATOL
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_property_sparse_agrees_undiscounted_absorbing(self, seed):
+        """Random undiscounted absorbing chains with the transient mask."""
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(3, 10))
+        chain = rng.dirichlet(np.ones(n + 1), size=n)
+        # Last column is absorption mass into a zero-reward sink state.
+        full = np.zeros((n + 1, n + 1))
+        full[:n] = chain
+        full[n, n] = 1.0
+        reward = np.append(-rng.uniform(0.1, 2.0, size=n), 0.0)
+        mask = np.append(np.ones(n, dtype=bool), False)
+        dense = gauss_seidel(full, reward, tol=1e-12)
+        sparse = solve_sparse(full, reward, transient_states=mask)
+        assert np.max(np.abs(dense - sparse)) < SUM_ATOL
+
+
+class TestAutoSelection:
+    def test_scipy_sparse_input_selects_sparse(self):
+        assert select_method(sp.csr_matrix(CHAIN)) == "sparse"
+
+    def test_small_dense_selects_gauss_seidel(self):
+        assert select_method(CHAIN) == "gauss-seidel"
+
+    def test_large_sparse_dense_array_selects_sparse(self):
+        n = SPARSE_MIN_STATES
+        chain = np.eye(n)
+        assert chain_density(chain) <= SPARSE_DENSITY_CUTOFF
+        assert select_method(chain) == "sparse"
+
+    def test_large_dense_chain_stays_gauss_seidel(self):
+        n = SPARSE_MIN_STATES
+        chain = np.full((n, n), 1.0 / n)
+        assert select_method(chain) == "gauss-seidel"
+
+    def test_chain_density(self):
+        assert chain_density(np.eye(4)) == 0.25
+        assert chain_density(sp.eye(4, format="csr")) == 0.25
+        assert chain_density(np.ones((2, 2))) == 1.0
+
+    def test_front_door_auto_dispatch(self):
+        out = solve_markov_reward(CHAIN, REWARD, method="auto")
+        assert np.allclose(out, EXPECTED, atol=1e-8)
+        mask = np.array([True, False])
+        out = solve_markov_reward(
+            sp.csr_matrix(CHAIN), REWARD, method="auto", transient_states=mask
+        )
+        assert np.allclose(out, EXPECTED, atol=1e-8)
+
+    def test_iterative_solvers_accept_sparse_chains(self):
+        sparse_chain = sp.csr_matrix(CHAIN)
+        assert np.allclose(
+            gauss_seidel(sparse_chain, REWARD), EXPECTED, atol=1e-8
+        )
+        assert np.allclose(jacobi(sparse_chain, REWARD), EXPECTED, atol=1e-8)

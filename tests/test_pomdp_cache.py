@@ -1,0 +1,98 @@
+"""The joint-factor compute cache (:mod:`repro.pomdp.cache`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pomdp.cache import (
+    JointFactorCache,
+    cache_size_bytes,
+    clear_caches,
+    get_joint_cache,
+)
+from tests.conftest import random_pomdp
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def _manual_joint(pomdp, belief, action):
+    """The uncached two-product reference: predict, then factor in q."""
+    predicted = belief @ pomdp.transitions[action]
+    return predicted[:, None] * pomdp.observations[action]
+
+
+class TestJointFactorCache:
+    def test_joint_matches_two_product_path(self):
+        rng = np.random.default_rng(0)
+        pomdp = random_pomdp(rng, n_states=5, n_actions=4, n_observations=3)
+        cache = JointFactorCache(pomdp)
+        for _ in range(5):
+            belief = rng.dirichlet(np.ones(pomdp.n_states))
+            for action in range(pomdp.n_actions):
+                assert np.allclose(
+                    cache.joint(belief, action),
+                    _manual_joint(pomdp, belief, action),
+                )
+
+    def test_joint_all_consistent_with_joint(self):
+        rng = np.random.default_rng(1)
+        pomdp = random_pomdp(rng, n_states=6, n_actions=3, n_observations=4)
+        cache = JointFactorCache(pomdp)
+        belief = rng.dirichlet(np.ones(pomdp.n_states))
+        stacked = cache.joint_all(belief)
+        assert stacked.shape == (
+            pomdp.n_actions,
+            pomdp.n_states,
+            pomdp.n_observations,
+        )
+        for action in range(pomdp.n_actions):
+            assert np.array_equal(stacked[action], cache.joint(belief, action))
+
+    def test_joint_columns_sum_to_observation_likelihoods(self):
+        """Summing the joint over s' gives gamma, the per-observation
+        normaliser of Eq. 4 — the quantity the tree's children need."""
+        rng = np.random.default_rng(2)
+        pomdp = random_pomdp(rng)
+        cache = JointFactorCache(pomdp)
+        belief = rng.dirichlet(np.ones(pomdp.n_states))
+        gamma = cache.joint(belief, 0).sum(axis=0)
+        assert np.isclose(gamma.sum(), 1.0)
+
+
+class TestRegistry:
+    def test_same_model_returns_same_cache(self):
+        pomdp = random_pomdp(np.random.default_rng(3))
+        assert get_joint_cache(pomdp) is get_joint_cache(pomdp)
+
+    def test_distinct_models_get_distinct_caches(self):
+        rng = np.random.default_rng(4)
+        first, second = random_pomdp(rng), random_pomdp(rng)
+        assert get_joint_cache(first) is not get_joint_cache(second)
+
+    def test_size_gate_declines_large_models(self):
+        pomdp = random_pomdp(np.random.default_rng(5))
+        assert get_joint_cache(pomdp, max_bytes=8) is None
+
+    def test_cache_size_accounting(self):
+        pomdp = random_pomdp(np.random.default_rng(6))
+        cache = get_joint_cache(pomdp)
+        assert cache.nbytes == cache_size_bytes(pomdp)
+
+    def test_entry_dropped_when_model_collected(self):
+        import gc
+
+        from repro.pomdp import cache as cache_module
+
+        pomdp = random_pomdp(np.random.default_rng(7))
+        get_joint_cache(pomdp)
+        key = id(pomdp)
+        assert key in cache_module._CACHES
+        del pomdp
+        gc.collect()
+        assert key not in cache_module._CACHES
