@@ -28,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bounds.vector_set import BoundVectorSet
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.belief import GAMMA_EPSILON, belief_bellman_backup
 from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
@@ -103,9 +104,25 @@ def refine_at(
     "can be discarded".
     """
     belief = np.asarray(belief, dtype=float)
-    vector, action = incremental_update(pomdp, bound_set.vectors, belief)
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        with telemetry.span("bounds.refine"):
+            vector, action = incremental_update(pomdp, bound_set.vectors, belief)
+    else:
+        vector, action = incremental_update(pomdp, bound_set.vectors, belief)
     improvement = bound_set.improvement_at(vector, belief)
     added = bound_set.add(vector, belief=belief, min_improvement=min_improvement)
+    if telemetry is not None:
+        telemetry.count("bounds.refinements")
+        if added:
+            telemetry.count("bounds.refinements_accepted")
+        telemetry.event(
+            "refine",
+            action=int(action),
+            added=added,
+            improvement=float(max(improvement, 0.0)),
+            set_size=len(bound_set),
+        )
     return RefinementResult(
         vector=vector, action=action, improvement=max(improvement, 0.0), added=added
     )

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp import alpha
 
 #: Component-wise tolerance under which two hyperplanes count as duplicates.
@@ -111,9 +112,12 @@ class BoundVectorSet:
             raise ModelError(
                 f"vector must have shape ({self.n_states},), got {vector.shape}"
             )
+        telemetry = telemetry_active()
         threshold = max(alpha.LP_EPSILON, min_improvement)
         if belief is not None and self.improvement_at(vector, belief) <= threshold:
             self.rejections += 1
+            if telemetry is not None:
+                telemetry.count("bounds.vectors_rejected")
             return False
         if self.contains(vector):
             # Exact-duplicate fast path: a copy of an existing hyperplane is
@@ -123,15 +127,24 @@ class BoundVectorSet:
             # cheap and makes the rejection reason observable.
             self.rejections += 1
             self.duplicates += 1
+            if telemetry is not None:
+                telemetry.count("bounds.vectors_rejected")
+                telemetry.count("bounds.duplicates")
             return False
         if alpha.pointwise_dominated(vector, self._vectors):
             self.rejections += 1
+            if telemetry is not None:
+                telemetry.count("bounds.vectors_rejected")
+                telemetry.count("bounds.dominated")
             return False
         if self.max_vectors is not None and len(self) >= self.max_vectors:
             self._evict()
         self._vectors = np.vstack([self._vectors, vector])
         self._usage = np.append(self._usage, 0)
         self.additions += 1
+        if telemetry is not None:
+            telemetry.count("bounds.vectors_added")
+            telemetry.gauge("bounds.set_size", len(self))
         return True
 
     def contains(self, vector: np.ndarray, atol: float = DUPLICATE_ATOL) -> bool:
@@ -186,6 +199,10 @@ class BoundVectorSet:
         self._vectors = np.delete(self._vectors, victim, axis=0)
         self._usage = np.delete(self._usage, victim)
         self.evictions += 1
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.count("bounds.evictions")
+            telemetry.event("bound_evict", set_size=len(self))
 
     def prune(self, method: str = "pointwise") -> int:
         """Remove redundant vectors; returns how many were dropped.

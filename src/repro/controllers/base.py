@@ -18,9 +18,21 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import BeliefError, ControllerError
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.belief import update_belief
 from repro.recovery.model import RecoveryModel
 from repro.util.timing import Stopwatch
+
+#: Sentinel action index for terminating decisions that execute nothing.
+#: Only controllers on models *without* a terminate action (recovery
+#: notification, Figure 2(a)) may emit it: their termination is a pure
+#: bookkeeping step.  Where the model has ``a_T``, terminating decisions
+#: carry it (see :meth:`RecoveryController._terminate_decision`) so the
+#: environment charges the termination reward.  The campaign, trace, and
+#: metrics layers treat ``NO_ACTION`` as "execute nothing": it is never run
+#: against the environment, counted as a recovery action, or rendered as an
+#: action label.
+NO_ACTION = -1
 
 
 @dataclass(frozen=True)
@@ -28,10 +40,10 @@ class Decision:
     """One controller decision.
 
     Attributes:
-        action: index of the chosen action in the model's action space;
-            meaningless when ``is_terminate`` is True and ``action`` is
-            negative (threshold-based terminations do not execute an
-            action).
+        action: index of the chosen action in the model's action space, or
+            :data:`NO_ACTION` when ``is_terminate`` is True and there is
+            nothing to execute (models with recovery notification have no
+            ``a_T``).
         is_terminate: the controller declares recovery finished.  For the
             bounded controller this coincides with choosing ``a_T``; for
             the baselines it is the probability-threshold test.
@@ -41,6 +53,11 @@ class Decision:
     action: int
     is_terminate: bool = False
     value: float | None = None
+
+    @property
+    def executes_action(self) -> bool:
+        """True when ``action`` is a real model action to run."""
+        return self.action >= 0
 
 
 class RecoveryController(abc.ABC):
@@ -130,15 +147,37 @@ class RecoveryController(abc.ABC):
         """
         if self._belief is None:
             raise ControllerError("observe() before reset()")
+        if observation < 0:
+            # The environment's terminate branch hands back the NO_OBSERVATION
+            # sentinel; feeding it to Eq. 4 would silently index the last
+            # observation column (numpy wraps negative indices) and corrupt
+            # the belief.  No shipped loop does this — fail loudly if a
+            # custom driver tries.
+            raise ControllerError(
+                f"observe() got negative observation {observation}; terminate "
+                "executions produce no monitor outputs and must not be fed "
+                "back into the belief update"
+            )
         pomdp = self.model.pomdp
         try:
             self._belief = update_belief(pomdp, self._belief, action, observation)
         except BeliefError:
             fallback = self.model.initial_belief()
+            telemetry = telemetry_active()
             try:
                 self._belief = update_belief(pomdp, fallback, action, observation)
+                fallback_recovered = True
             except BeliefError:
                 self._belief = fallback
+                fallback_recovered = False
+            if telemetry is not None:
+                telemetry.count("belief.update_failures")
+                telemetry.event(
+                    "belief_update_failure",
+                    action=int(action),
+                    observation=int(observation),
+                    fallback_recovered=fallback_recovered,
+                )
 
     def decide(self) -> Decision:
         """Choose the next action; timed for the "algorithm time" metric."""
@@ -151,6 +190,25 @@ class RecoveryController(abc.ABC):
         if decision.is_terminate:
             self._done = True
         return decision
+
+    def _terminate_decision(self, value: float | None = None) -> Decision:
+        """A terminating decision that executes ``a_T`` where the model has one.
+
+        Threshold and notification exits used to return a bare ``action=-1``
+        sentinel; on models with a terminate action that skipped the
+        termination-reward charge entirely (the operator-response cost of
+        walking away from a live fault, Section 3.1).  Now the decision
+        carries ``a_T`` whenever it exists — the campaign executes it, and
+        the environment charges ``r(s, a_T)`` (zero once recovered) — and
+        falls back to :data:`NO_ACTION` only for recovery-notification
+        models, whose termination is pure bookkeeping.
+        """
+        action = self.model.terminate_action
+        return Decision(
+            action=NO_ACTION if action is None else action,
+            is_terminate=True,
+            value=value,
+        )
 
     def sync_true_state(self, state: int) -> None:
         """Ground-truth hook; a no-op for every honest controller.

@@ -20,6 +20,7 @@ from repro.bounds.incremental import refine_at
 from repro.bounds.ra_bound import ra_bound_vector
 from repro.bounds.vector_set import BoundVectorSet
 from repro.controllers.base import Decision, RecoveryController
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.tree import expand_tree
 from repro.recovery.model import RecoveryModel
 
@@ -76,11 +77,20 @@ class BoundedController(RecoveryController):
 
     def _decide(self, belief: np.ndarray) -> Decision:
         pomdp = self.model.pomdp
+        telemetry = telemetry_active()
         if (
             self.model.recovery_notification
             and self.model.recovered_probability(belief) >= NOTIFICATION_CERTAINTY
         ):
-            return Decision(action=-1, is_terminate=True, value=0.0)
+            # Notified models have no a_T, so the decision carries the
+            # NO_ACTION sentinel — the campaign executes nothing for it.
+            if telemetry is not None:
+                telemetry.count("controller.decisions")
+                telemetry.count("controller.notification_exits")
+                telemetry.event(
+                    "decision", action=-1, terminate=True, notified=True
+                )
+            return self._terminate_decision(value=0.0)
         if self.refine_online:
             refine_at(
                 pomdp,
@@ -88,9 +98,14 @@ class BoundedController(RecoveryController):
                 belief,
                 min_improvement=self.refine_min_improvement,
             )
-        decision = expand_tree(pomdp, belief, self.depth, self.bound_set)
+        if telemetry is not None:
+            with telemetry.span("controller.expand_tree"):
+                decision = expand_tree(pomdp, belief, self.depth, self.bound_set)
+        else:
+            decision = expand_tree(pomdp, belief, self.depth, self.bound_set)
         action = decision.action
         terminate = self.model.terminate_action
+        tie_break = False
         if (
             terminate is not None
             and decision.action_values[terminate] >= decision.value - TIE_EPSILON
@@ -100,7 +115,23 @@ class BoundedController(RecoveryController):
             # premise), so without this preference the controller could
             # observe forever once the belief certifies recovery, with value
             # exactly equal to terminating.
+            tie_break = action != terminate
             action = terminate
+        if telemetry is not None:
+            telemetry.count("controller.decisions")
+            telemetry.count("tree.nodes", decision.nodes)
+            telemetry.count("tree.leaf_evaluations", decision.leaf_evaluations)
+            if tie_break:
+                telemetry.count("controller.tie_breaks")
+            telemetry.event(
+                "decision",
+                action=int(action),
+                terminate=bool(action == terminate),
+                value=float(decision.value),
+                tree_nodes=decision.nodes,
+                leaf_evaluations=decision.leaf_evaluations,
+                tie_break=tie_break,
+            )
         return Decision(
             action=action,
             is_terminate=action == terminate,

@@ -154,7 +154,7 @@ class BranchAndBoundController(RecoveryController):
             self.model.recovery_notification
             and self.model.recovered_probability(belief) >= 1.0 - 1e-9
         ):
-            return Decision(action=-1, is_terminate=True, value=0.0)
+            return self._terminate_decision(value=0.0)
         if self.refine_online:
             refine_at(
                 pomdp, self.lower, belief,

@@ -104,7 +104,7 @@ class HeuristicController(RecoveryController):
     def _decide(self, belief: np.ndarray) -> Decision:
         recovered = self.model.recovered_probability(belief)
         if recovered >= self.termination_probability:
-            return Decision(action=-1, is_terminate=True, value=0.0)
+            return self._terminate_decision(value=0.0)
         decision = expand_tree(
             self.model.pomdp,
             belief,

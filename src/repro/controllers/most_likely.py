@@ -80,7 +80,7 @@ class MostLikelyController(RecoveryController):
     def _decide(self, belief: np.ndarray) -> Decision:
         recovered = self.model.recovered_probability(belief)
         if recovered >= self.termination_probability:
-            return Decision(action=-1, is_terminate=True)
+            return self._terminate_decision()
         fault_mass = belief[self._fault_indices]
         most_likely = int(self._fault_indices[np.argmax(fault_mass)])
         return Decision(action=self._fixing_action[most_likely])

@@ -44,5 +44,5 @@ class OracleController(RecoveryController):
                 "campaign must call sync_true_state() after reset"
             )
         if self.model.is_recovered(self._true_state):
-            return Decision(action=-1, is_terminate=True)
+            return self._terminate_decision()
         return Decision(action=self._fixing_action[self._true_state])

@@ -63,7 +63,7 @@ class QMDPController(RecoveryController):
     def _decide(self, belief: np.ndarray) -> Decision:
         recovered = self.model.recovered_probability(belief)
         if recovered >= self.termination_probability:
-            return Decision(action=-1, is_terminate=True)
+            return self._terminate_decision()
         scores = self.q_values @ belief
         scores[~self._allowed] = -np.inf
         action = int(np.argmax(scores))

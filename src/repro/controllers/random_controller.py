@@ -55,7 +55,7 @@ class RandomController(RecoveryController):
         if not self.include_all_actions:
             recovered = self.model.recovered_probability(belief)
             if recovered >= self.termination_probability:
-                return Decision(action=-1, is_terminate=True)
+                return self._terminate_decision()
         action = int(self._rng.choice(self._choices))
         is_terminate = action == self.model.terminate_action
         if (

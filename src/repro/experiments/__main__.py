@@ -9,14 +9,19 @@ Examples::
     python -m repro.experiments bounds
     python -m repro.experiments ablations --injections 200
     python -m repro.experiments --profile table1 --injections 100
+    python -m repro.experiments --telemetry run.jsonl table1 --injections 100
 
 ``--profile`` wraps the selected experiment in :mod:`cProfile` and prints
 the hottest functions by cumulative time after the experiment's own output.
+``--telemetry PATH`` activates the :mod:`repro.obs` observability layer for
+the run and writes its JSONL event stream to ``PATH`` (inspect it with
+``python -m repro.obs report PATH``).  The two flags compose.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import cProfile
 import pstats
 
@@ -28,6 +33,7 @@ from repro.experiments.table1 import (
     ordering_checks,
     run_table1,
 )
+from repro.obs import session as telemetry_session
 
 
 def _render_checks(checks: dict[str, bool]) -> str:
@@ -135,6 +141,13 @@ def main(argv: list[str] | None = None) -> None:
         help="run the experiment under cProfile and print the hottest "
         "functions by cumulative time",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="record a repro.obs JSONL telemetry stream of the run to PATH "
+        "(read it back with 'python -m repro.obs report PATH')",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_seed(sub):
@@ -195,18 +208,24 @@ def main(argv: list[str] | None = None) -> None:
         "robustness": lambda: _cmd_robustness(args),
     }
     command = commands[args.command]
-    if args.profile:
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
+    with contextlib.ExitStack() as stack:
+        if args.telemetry:
+            stack.enter_context(telemetry_session(args.telemetry))
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                command()
+            finally:
+                profiler.disable()
+                print()
+                stats = pstats.Stats(profiler)
+                stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(40)
+        else:
             command()
-        finally:
-            profiler.disable()
-            print()
-            stats = pstats.Stats(profiler)
-            stats.sort_stats(pstats.SortKey.CUMULATIVE).print_stats(40)
-    else:
-        command()
+    if args.telemetry:
+        print(f"\nTelemetry written to {args.telemetry} "
+              f"(python -m repro.obs report {args.telemetry})")
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ size and density (see :func:`select_method`).
 
 from __future__ import annotations
 
+import time
 import warnings
 
 import numpy as np
@@ -23,6 +24,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import DivergenceError, NotConvergedError
+from repro.obs.telemetry import active as telemetry_active
 
 #: Value magnitude past which an undiscounted iteration is declared divergent.
 DIVERGENCE_THRESHOLD = 1e12
@@ -345,22 +347,39 @@ def solve_markov_reward(
     LGMRES fallback), and ``"auto"`` (:func:`select_method`'s size/density
     heuristic between the sparse backend and Gauss-Seidel).
     """
+    requested = method
     if method == "auto":
         method = select_method(chain)
-    if method == "gauss-seidel":
-        return gauss_seidel(chain, reward, discount=discount, omega=omega, tol=tol)
-    if method == "jacobi":
-        return jacobi(chain, reward, discount=discount, tol=tol)
-    if method == "direct":
-        return solve_direct(
+    solvers = {
+        "gauss-seidel": lambda: gauss_seidel(
+            chain, reward, discount=discount, omega=omega, tol=tol
+        ),
+        "jacobi": lambda: jacobi(chain, reward, discount=discount, tol=tol),
+        "direct": lambda: solve_direct(
             chain, reward, discount=discount, transient_states=transient_states
-        )
-    if method == "sparse":
-        return solve_sparse(
+        ),
+        "sparse": lambda: solve_sparse(
             chain,
             reward,
             discount=discount,
             transient_states=transient_states,
             tol=tol,
-        )
-    raise ValueError(f"unknown method {method!r}")
+        ),
+    }
+    if method not in solvers:
+        raise ValueError(f"unknown method {method!r}")
+    telemetry = telemetry_active()
+    if telemetry is None:
+        return solvers[method]()
+    telemetry.count(f"solver.dispatch.{method}")
+    with telemetry.span("solver.solve"):
+        started = time.perf_counter()
+        value = solvers[method]()
+    telemetry.event(
+        "solver_dispatch",
+        requested=requested,
+        method=method,
+        n_states=int(np.asarray(reward).shape[0]),
+        seconds=round(time.perf_counter() - started, 6),
+    )
+    return value

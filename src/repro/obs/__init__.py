@@ -1,0 +1,41 @@
+"""``repro.obs`` — campaign-wide observability (telemetry + event stream).
+
+The observability layer answers the questions the Table 1 aggregates and
+single-episode traces cannot: where a campaign spends its time, how the
+bound-vector set grows (Figure 5(b)'s storage story), why controllers
+terminated, and whether the solver/cache routing behaves as designed.
+
+Three pieces:
+
+* :mod:`repro.obs.telemetry` — the process-local registry (counters,
+  gauges, span timers) and JSONL event sink, activated with
+  :func:`session` and read from hot paths with :func:`active`;
+* :mod:`repro.obs.schema` — the event schema and stream validator;
+* :mod:`repro.obs.report` — offline aggregation of a recorded run
+  (``python -m repro.obs report run.jsonl``).
+
+Instrumentation is off by default; ``python -m repro.experiments
+--telemetry PATH ...`` turns it on for one experiment run.
+"""
+
+from repro.obs.schema import SCHEMA_VERSION, validate_event, validate_stream
+from repro.obs.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    activated,
+    active,
+    enabled,
+    session,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "activated",
+    "active",
+    "enabled",
+    "session",
+    "validate_event",
+    "validate_stream",
+]

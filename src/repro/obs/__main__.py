@@ -1,0 +1,52 @@
+"""Command-line interface for the observability layer.
+
+Examples::
+
+    python -m repro.obs report run.jsonl     # aggregate + render a run
+    python -m repro.obs validate run.jsonl   # schema-check a run (CI)
+
+``validate`` exits 0 on a schema-clean stream and 1 otherwise, printing
+one problem per line — the CI bench-smoke job runs it against the
+telemetry artifact of a small campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.obs.report import aggregate_stream, format_report
+from repro.obs.schema import validate_stream
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Inspect telemetry JSONL runs recorded with --telemetry.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report = subparsers.add_parser("report", help="aggregate and render a run")
+    report.add_argument("run", type=Path, help="telemetry JSONL file")
+
+    validate = subparsers.add_parser(
+        "validate", help="schema-check a run (exit 1 on problems)"
+    )
+    validate.add_argument("run", type=Path, help="telemetry JSONL file")
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        print(format_report(aggregate_stream(args.run)))
+        return 0
+    problems = validate_stream(args.run)
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(f"{args.run}: schema-valid telemetry stream")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

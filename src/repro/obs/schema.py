@@ -1,0 +1,131 @@
+"""The JSONL event schema of the observability layer.
+
+Every line of a telemetry run file is one JSON object with at least:
+
+* ``event`` — the event kind (a key of :data:`EVENT_FIELDS`);
+* ``seq`` — a per-file monotonically increasing integer.
+
+plus the kind's required fields listed in :data:`EVENT_FIELDS` and any
+number of optional extras (``chunk``, wall-clock ``seconds``, ...).  The
+schema is deliberately flat — no nesting except the ``summary`` payload —
+so streams can be processed with nothing fancier than ``json.loads`` per
+line.  :func:`validate_stream` is what the CI smoke job runs against the
+telemetry artifact.
+
+Determinism contract: for a seeded campaign, the ``summary`` event's
+``counters`` object and the episode-ordered simulation events
+(``episode_start``/``episode_end``/``decision``/``refine``/...) are
+identical whatever the worker count — the campaign engine buffers them per
+chunk and replays them in chunk order.  Outside the contract sit the
+wall-clock fields in :data:`WALL_CLOCK_FIELDS`, the ``timers`` and
+``process_counters`` summary objects, process-local events
+(``cache_build``/``cache_decline`` happen once per worker process), and
+the ``workers`` extra on ``campaign_start`` — all varying run to run or
+with the worker count, exactly as the ``algorithm_time`` metric does
+(see :mod:`repro.sim.metrics`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Version tag written by ``session_start`` events.
+SCHEMA_VERSION = "repro-obs/v1"
+
+#: Required fields per event kind (beyond ``event`` and ``seq``).
+EVENT_FIELDS: dict[str, frozenset[str]] = {
+    # Session lifecycle (written by repro.obs.telemetry.session).
+    "session_start": frozenset({"schema"}),
+    "summary": frozenset({"counters", "process_counters", "gauges", "timers"}),
+    "session_end": frozenset(),
+    # Campaign lifecycle (repro.sim.campaign / repro.sim.parallel).
+    "campaign_start": frozenset({"controller", "injections", "chunk_size"}),
+    "campaign_end": frozenset({"controller", "episodes"}),
+    "episode_start": frozenset({"episode", "fault_state"}),
+    "episode_end": frozenset(
+        {"episode", "recovered", "terminated", "steps", "cost"}
+    ),
+    # Controller decisions (repro.controllers.bounded).
+    "decision": frozenset({"action", "terminate"}),
+    # Bound maintenance (repro.bounds.incremental / vector_set).
+    "refine": frozenset({"action", "added", "improvement", "set_size"}),
+    "bound_evict": frozenset({"set_size"}),
+    # Belief tracking (repro.controllers.base).
+    "belief_update_failure": frozenset(
+        {"action", "observation", "fallback_recovered"}
+    ),
+    # Solver routing (repro.mdp.linear_solvers).
+    "solver_dispatch": frozenset({"requested", "method", "n_states"}),
+    # Joint-factor cache (repro.pomdp.cache).
+    "cache_build": frozenset({"n_states", "nbytes"}),
+    "cache_decline": frozenset({"n_states", "required_bytes"}),
+}
+
+#: Optional fields whose values are wall-clock measurements and therefore
+#: outside the determinism contract (like the ``algorithm_time`` metric).
+WALL_CLOCK_FIELDS = frozenset({"seconds"})
+
+
+def validate_event(record: Any) -> list[str]:
+    """Problems with one decoded event record (empty when valid)."""
+    problems: list[str] = []
+    if not isinstance(record, dict):
+        return [f"event record must be an object, got {type(record).__name__}"]
+    kind = record.get("event")
+    if not isinstance(kind, str):
+        problems.append("missing or non-string 'event' field")
+        return problems
+    if kind not in EVENT_FIELDS:
+        problems.append(f"unknown event kind {kind!r}")
+        return problems
+    if not isinstance(record.get("seq"), int):
+        problems.append(f"{kind}: missing or non-integer 'seq' field")
+    missing = EVENT_FIELDS[kind] - record.keys()
+    if missing:
+        problems.append(f"{kind}: missing required fields {sorted(missing)}")
+    return problems
+
+
+def validate_stream(path: str | Path) -> list[str]:
+    """Validate a JSONL run file; returns per-line problem strings.
+
+    Checks every line parses as JSON, every event is schema-valid, ``seq``
+    increases monotonically, and the stream opens with ``session_start``
+    and ends with ``session_end`` preceded by a ``summary``.
+    """
+    problems: list[str] = []
+    kinds: list[str] = []
+    last_seq = -1
+    with open(path, encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                problems.append(f"line {line_number}: not JSON ({error})")
+                continue
+            for problem in validate_event(record):
+                problems.append(f"line {line_number}: {problem}")
+            if isinstance(record, dict):
+                kinds.append(str(record.get("event")))
+                seq = record.get("seq")
+                if isinstance(seq, int):
+                    if seq <= last_seq:
+                        problems.append(
+                            f"line {line_number}: seq {seq} not increasing "
+                            f"(previous {last_seq})"
+                        )
+                    last_seq = seq
+    if not kinds:
+        problems.append("empty stream: no events")
+        return problems
+    if kinds[0] != "session_start":
+        problems.append(f"stream must open with session_start, got {kinds[0]!r}")
+    if kinds[-1] != "session_end":
+        problems.append(f"stream must end with session_end, got {kinds[-1]!r}")
+    elif len(kinds) < 2 or kinds[-2] != "summary":
+        problems.append("session_end must be preceded by a summary event")
+    return problems

@@ -1,0 +1,244 @@
+"""Process-local telemetry registry and JSONL event stream.
+
+The observability layer has three kinds of state, mirroring the usual
+metrics taxonomy:
+
+* **counters** — monotonically increasing integers ("decisions made",
+  "bound vectors added").  Split into two namespaces: :attr:`Telemetry.counters`
+  holds *deterministic* counters, guaranteed by the campaign engine to be
+  identical for serial and sharded runs of the same seeded campaign (the
+  same contract :func:`repro.sim.metrics.campaign_fingerprint` states for
+  metrics); :attr:`Telemetry.process_counters` holds process-local facts —
+  cache builds, which happen once per worker process — that legitimately
+  vary with the worker count, exactly as ``algorithm_time`` does.
+* **gauges** — last-written floats ("bound-set size"), merged across
+  campaign chunks by maximum (the storage story of Figure 5(b) cares about
+  the high-water mark).
+* **timers** — accumulated wall-clock spans with call counts, recorded via
+  :meth:`Telemetry.span`.  Wall-clock, hence never part of the determinism
+  contract.
+
+Events are dictionaries with an ``event`` kind (see
+:mod:`repro.obs.schema`) appended to a JSONL sink when one is attached, or
+buffered in memory otherwise (campaign chunks buffer; the coordinating
+process owns the file).
+
+Instrumentation is **off by default**.  Hot paths guard with::
+
+    telemetry = active()
+    if telemetry is not None:
+        telemetry.count("controller.decisions")
+
+which costs one function call and a ``None`` test when disabled — far below
+the noise floor of any measured path (see EXPERIMENTS.md for numbers).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import Counter
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any
+
+from repro.obs.schema import SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """A picklable capture of one :class:`Telemetry`'s accumulated state.
+
+    Campaign chunks run episodes against a private buffering telemetry and
+    hand a snapshot back to the join step (:mod:`repro.sim.parallel`), which
+    absorbs snapshots in chunk order — so the aggregated registry never
+    depends on which worker ran which chunk.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    process_counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    timers: dict[str, tuple[float, int]] = field(default_factory=dict)
+    events: tuple[dict[str, Any], ...] = ()
+
+
+class Telemetry:
+    """One process-local registry plus an optional JSONL event sink.
+
+    Args:
+        sink: an open text stream to write events to as JSONL, one object
+            per line.  ``None`` buffers events in memory instead (the mode
+            campaign chunks use; :meth:`snapshot` carries the buffer back to
+            the coordinating process).
+    """
+
+    def __init__(self, sink: IO[str] | None = None):
+        self.counters: Counter[str] = Counter()
+        self.process_counters: Counter[str] = Counter()
+        self.gauges: dict[str, float] = {}
+        self.timers: dict[str, list[float]] = {}  # name -> [seconds, calls]
+        self._sink = sink
+        self._buffer: list[dict[str, Any]] = []
+        self._seq = 0
+
+    # -- registry -------------------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Increment a deterministic campaign counter."""
+        self.counters[name] += delta
+
+    def count_process(self, name: str, delta: int = 1) -> None:
+        """Increment a process-local counter (exempt from determinism)."""
+        self.process_counters[name] += delta
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of ``name`` (merged by max across chunks)."""
+        self.gauges[name] = float(value)
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock duration of the enclosed block."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            stat = self.timers.setdefault(name, [0.0, 0])
+            stat[0] += elapsed
+            stat[1] += 1
+
+    # -- events ---------------------------------------------------------------
+
+    def event(self, kind: str, /, **fields: Any) -> None:
+        """Record one structured event (written to the sink or buffered)."""
+        record: dict[str, Any] = {"event": kind, "seq": self._seq}
+        record.update(fields)
+        self._seq += 1
+        if self._sink is not None:
+            self._sink.write(json.dumps(record) + "\n")
+        else:
+            self._buffer.append(record)
+
+    # -- chunk merge protocol -------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Capture the registry plus any buffered events (picklable)."""
+        return TelemetrySnapshot(
+            counters=dict(self.counters),
+            process_counters=dict(self.process_counters),
+            gauges=dict(self.gauges),
+            timers={name: (stat[0], stat[1]) for name, stat in self.timers.items()},
+            events=tuple(self._buffer),
+        )
+
+    def absorb(
+        self, snapshot: TelemetrySnapshot, chunk: int | None = None
+    ) -> None:
+        """Fold a chunk snapshot into this registry.
+
+        Counters add, gauges keep the maximum, timers accumulate, and the
+        snapshot's buffered events are re-emitted here (tagged with the
+        ``chunk`` index when given) so they reach this telemetry's sink in
+        the order the caller absorbs chunks — which the campaign engine
+        guarantees is chunk order, independent of the worker count.
+        """
+        self.counters.update(snapshot.counters)
+        self.process_counters.update(snapshot.process_counters)
+        for name, value in snapshot.gauges.items():
+            self.gauges[name] = max(self.gauges.get(name, value), value)
+        for name, (seconds, calls) in snapshot.timers.items():
+            stat = self.timers.setdefault(name, [0.0, 0])
+            stat[0] += seconds
+            stat[1] += calls
+        for record in snapshot.events:
+            fields = {
+                key: value
+                for key, value in record.items()
+                if key not in ("event", "seq")
+            }
+            if chunk is not None:
+                fields["chunk"] = chunk
+            self.event(record["event"], **fields)
+
+    def summary_fields(self) -> dict[str, Any]:
+        """The aggregate registry as the ``summary`` event's payload."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "process_counters": dict(sorted(self.process_counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {
+                name: {"seconds": round(stat[0], 6), "calls": stat[1]}
+                for name, stat in sorted(self.timers.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"events_buffered={len(self._buffer)}, "
+            f"sink={'attached' if self._sink is not None else 'buffer'})"
+        )
+
+
+# -- process-local activation -------------------------------------------------
+
+_ACTIVE: Telemetry | None = None
+
+
+def active() -> Telemetry | None:
+    """The currently activated telemetry, or ``None`` when disabled.
+
+    This is the hot-path accessor: instrumented code calls it at every
+    instrumentation point and skips all work when it returns ``None``.
+    """
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True when a telemetry registry is currently activated."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def activated(telemetry: Telemetry | None) -> Iterator[Telemetry | None]:
+    """Temporarily swap the process-active telemetry (``None`` disables).
+
+    Campaign chunks use this to capture episode instrumentation into a
+    private buffering registry — and, just as importantly, to *shield* the
+    caller's registry from being written twice when chunks run in-process
+    (the chunk's snapshot is absorbed at the join step instead).
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = telemetry
+    try:
+        yield telemetry
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def session(path: str | Path | None = None) -> Iterator[Telemetry]:
+    """Activate telemetry for a ``with`` block, optionally writing JSONL.
+
+    Opens ``path`` (when given) as the event sink, emits ``session_start``,
+    runs the block with the registry activated, and on exit emits the
+    aggregate ``summary`` event followed by ``session_end`` before closing
+    the file.  Without a path, events are buffered in memory and available
+    via :meth:`Telemetry.snapshot`.
+    """
+    sink: IO[str] | None = None
+    if path is not None:
+        sink = open(path, "w", encoding="utf-8")
+    telemetry = Telemetry(sink=sink)
+    telemetry.event("session_start", schema=SCHEMA_VERSION)
+    try:
+        with activated(telemetry):
+            yield telemetry
+    finally:
+        telemetry.event("summary", **telemetry.summary_fields())
+        telemetry.event("session_end")
+        if sink is not None:
+            sink.close()

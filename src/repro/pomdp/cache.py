@@ -33,6 +33,7 @@ import weakref
 
 import numpy as np
 
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.model import POMDP
 
 #: Upper limit on the bytes a single model's factor tensors may occupy
@@ -116,16 +117,35 @@ def get_joint_cache(
     overrides :data:`MAX_CACHE_BYTES` for callers that want a different
     memory budget.
     """
+    # Cache outcomes are *process-local* telemetry: a build happens once per
+    # process per model, so hit/build/decline splits legitimately vary with
+    # the campaign worker count (unlike the deterministic counters).
+    telemetry = telemetry_active()
     limit = MAX_CACHE_BYTES if max_bytes is None else max_bytes
-    if cache_size_bytes(pomdp) > limit:
+    required = cache_size_bytes(pomdp)
+    if required > limit:
+        if telemetry is not None:
+            telemetry.count_process("cache.declines")
+            telemetry.event(
+                "cache_decline",
+                n_states=pomdp.n_states,
+                required_bytes=required,
+            )
         return None
     key = id(pomdp)
     cache = _CACHES.get(key)
     if cache is not None and cache._model_ref() is pomdp:
+        if telemetry is not None:
+            telemetry.count_process("cache.hits")
         return cache
     cache = JointFactorCache(pomdp)
     _CACHES[key] = cache
     weakref.finalize(pomdp, _CACHES.pop, key, None)
+    if telemetry is not None:
+        telemetry.count_process("cache.builds")
+        telemetry.event(
+            "cache_build", n_states=pomdp.n_states, nbytes=cache.nbytes
+        )
     return cache
 
 

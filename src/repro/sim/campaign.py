@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.controllers.base import RecoveryController
+from repro.obs.telemetry import active as telemetry_active
 from repro.recovery.model import RecoveryModel
 from repro.sim.environment import RecoveryEnvironment
 from repro.sim.metrics import EpisodeMetrics, MetricSummary, summarize
@@ -64,7 +65,10 @@ def run_episode(
         decision = controller.decide()
         if decision.is_terminate:
             terminated = True
-            if decision.action == model.terminate_action and decision.action >= 0:
+            # Execute a_T where the decision carries it so the model's
+            # termination reward is charged; the NO_ACTION sentinel
+            # (notification models, which have no a_T) executes nothing.
+            if decision.executes_action and decision.action == model.terminate_action:
                 environment.execute(decision.action)
             break
         steps += 1
@@ -75,6 +79,17 @@ def run_episode(
             monitor_calls += 1
             controller.observe(decision.action, result.observation)
         controller.sync_true_state(environment.state)
+
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        telemetry.count("sim.episodes")
+        telemetry.count("sim.steps", steps)
+        if environment.recovered:
+            telemetry.count("sim.recovered")
+        if terminated and not environment.recovered:
+            telemetry.count("sim.early_terminations")
+        if not terminated:
+            telemetry.count("sim.step_cap_hits")
 
     return EpisodeMetrics(
         fault_state=fault_state,
@@ -165,7 +180,23 @@ def run_campaign(
         fault_probabilities=fault_probabilities,
         chunk_size=chunk_size,
     )
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        telemetry.count("sim.campaigns")
+        telemetry.event(
+            "campaign_start",
+            controller=controller.name,
+            injections=injections,
+            chunk_size=plan.chunk_size,
+            workers=parallel,
+        )
     episodes = execute_plan(plan, workers=parallel)
+    if telemetry is not None:
+        telemetry.event(
+            "campaign_end",
+            controller=controller.name,
+            episodes=len(episodes),
+        )
     return CampaignResult(
         controller_name=controller.name,
         episodes=episodes,

@@ -19,6 +19,13 @@ from repro.pomdp.simulator import POMDPSimulator
 from repro.recovery.model import RecoveryModel
 from repro.util.rng import as_generator
 
+#: Observation sentinel for executions that sample no monitors (the
+#: terminate action is a controller decision, not a physical action).  It
+#: must never be fed back into a belief update; see
+#: :meth:`repro.controllers.base.RecoveryController.observe`, which rejects
+#: it loudly.
+NO_OBSERVATION = -1
+
 
 @dataclass(frozen=True)
 class ExecutionResult:
@@ -26,7 +33,9 @@ class ExecutionResult:
 
     Attributes:
         observation: sampled monitor outputs (index into the observation
-            space); the campaign forwards it to monitor-using controllers.
+            space), or :data:`NO_OBSERVATION` when no monitors ran; the
+            campaign forwards real observations to monitor-using
+            controllers and never forwards the sentinel.
         reward: the model reward actually incurred (non-positive).
         state: the true post-action state (for the oracle hook and metrics).
     """
@@ -118,23 +127,20 @@ class RecoveryEnvironment:
         if action == self.model.terminate_action:
             # Terminating is a controller decision, not a physical action:
             # the true system stays where it is.  The model's termination
-            # reward (the cost of leaving a live fault to the operator) is
-            # charged, but no transition or monitor sampling happens.
+            # reward — the cost of leaving a live fault to the operator
+            # (zero once recovered, by construction of r(s, a_T)) — is
+            # charged exactly once here; no transition or monitor sampling
+            # happens, and the loop below never sees a_T.
             reward = float(self.model.pomdp.rewards[action, self.state])
             self.cost += -reward
             if not was_recovered:
                 self.termination_penalty += -reward
             return ExecutionResult(
-                observation=-1, reward=reward, state=self.state
+                observation=NO_OBSERVATION, reward=reward, state=self.state
             )
         step = self._simulator.step(action)
         self.time += float(self.model.durations[action])
         self.cost += -step.reward
-        if action == self.model.terminate_action and not was_recovered:
-            # Terminating with a live fault leaves the system paying the
-            # fault's rate until the operator responds; the model charges
-            # exactly that as the termination reward.
-            self.termination_penalty += -step.reward
         if not was_recovered and self.model.is_recovered(step.state):
             # The repair lands when the action's work completes, before the
             # trailing monitor execution folded into its duration.

@@ -45,6 +45,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.controllers.base import RecoveryController
+from repro.obs.telemetry import (
+    Telemetry,
+    TelemetrySnapshot,
+    activated,
+)
+from repro.obs.telemetry import (
+    active as telemetry_active,
+)
 from repro.recovery.model import RecoveryModel
 from repro.sim.environment import RecoveryEnvironment
 from repro.sim.metrics import EpisodeMetrics
@@ -72,6 +80,11 @@ class CampaignPlan:
         max_steps: per-episode step cap.
         monitor_tail: see :class:`~repro.sim.environment.RecoveryEnvironment`.
         chunk_size: episodes per isolation chunk.
+        collect_telemetry: run each chunk against a private buffering
+            :class:`~repro.obs.telemetry.Telemetry` and hand its snapshot
+            back for the deterministic chunk-order merge.  Resolved at plan
+            time from :func:`repro.obs.telemetry.active` so worker processes
+            need no telemetry state of their own.
     """
 
     controller: RecoveryController
@@ -81,6 +94,7 @@ class CampaignPlan:
     max_steps: int
     monitor_tail: float
     chunk_size: int
+    collect_telemetry: bool = False
 
     @property
     def injections(self) -> int:
@@ -120,8 +134,14 @@ def plan_campaign(
     model: RecoveryModel | None = None,
     fault_probabilities: np.ndarray | None = None,
     chunk_size: int | None = None,
+    collect_telemetry: bool | None = None,
 ) -> CampaignPlan:
-    """Draw all faults and spawn all per-episode streams up front."""
+    """Draw all faults and spawn all per-episode streams up front.
+
+    ``collect_telemetry`` defaults to whether telemetry is active in the
+    planning process, so ``repro.obs.session`` around ``run_campaign`` is
+    all it takes to capture per-chunk instrumentation.
+    """
     root = seed_to_sequence(seed)
     fault_sequence, environment_sequence = root.spawn(2)
     faults = np.asarray(
@@ -131,6 +151,8 @@ def plan_campaign(
         dtype=int,
     )
     env_seeds = tuple(environment_sequence.spawn(injections))
+    if collect_telemetry is None:
+        collect_telemetry = telemetry_active() is not None
     return CampaignPlan(
         controller=controller,
         model=model or controller.model,
@@ -139,6 +161,7 @@ def plan_campaign(
         max_steps=max_steps,
         monitor_tail=monitor_tail,
         chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+        collect_telemetry=collect_telemetry,
     )
 
 
@@ -177,35 +200,63 @@ class ChunkResult:
             chunk (``None`` for controllers without bound sets).
         counter_deltas: per-chunk increments of the controller's declared
             :attr:`~repro.controllers.base.RecoveryController.CAMPAIGN_COUNTERS`.
+        telemetry: snapshot of the chunk's private telemetry registry, when
+            the plan collects telemetry (``None`` otherwise).  Snapshots are
+            picklable so they survive the process-pool hop.
     """
 
     episodes: list[EpisodeMetrics]
     new_vectors: np.ndarray | None
     counter_deltas: dict[str, int]
+    telemetry: TelemetrySnapshot | None = None
 
 
 def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
-    """Run episodes ``[start, stop)`` on a fresh controller clone."""
+    """Run episodes ``[start, stop)`` on a fresh controller clone.
+
+    When the plan collects telemetry the chunk runs against a *private*
+    buffering :class:`Telemetry` — always swapped in, even in-process, so
+    the caller's registry never sees chunk-side counts twice.  The snapshot
+    travels back in the :class:`ChunkResult` and is absorbed in chunk order
+    by :func:`execute_plan`, which is what makes the aggregated counters
+    independent of the worker count.
+    """
     from repro.sim.campaign import run_episode
 
     controller = _clone_controller(plan)
     baseline = _bound_vectors(controller)
     baseline_counters = _counters(controller)
+    chunk_telemetry = Telemetry() if plan.collect_telemetry else None
     episodes = []
-    for index in range(start, stop):
-        environment = RecoveryEnvironment(
-            plan.model,
-            seed=np.random.default_rng(plan.env_seeds[index]),
-            monitor_tail=plan.monitor_tail,
-        )
-        episodes.append(
-            run_episode(
+    with activated(chunk_telemetry):
+        for index in range(start, stop):
+            environment = RecoveryEnvironment(
+                plan.model,
+                seed=np.random.default_rng(plan.env_seeds[index]),
+                monitor_tail=plan.monitor_tail,
+            )
+            if chunk_telemetry is not None:
+                chunk_telemetry.event(
+                    "episode_start",
+                    episode=index,
+                    fault_state=int(plan.faults[index]),
+                )
+            metrics = run_episode(
                 controller,
                 environment,
                 int(plan.faults[index]),
                 max_steps=plan.max_steps,
             )
-        )
+            if chunk_telemetry is not None:
+                chunk_telemetry.event(
+                    "episode_end",
+                    episode=index,
+                    recovered=metrics.recovered,
+                    terminated=metrics.terminated,
+                    steps=metrics.steps,
+                    cost=metrics.cost,
+                )
+            episodes.append(metrics)
     counter_deltas = {
         name: value - baseline_counters[name]
         for name, value in _counters(controller).items()
@@ -223,6 +274,9 @@ def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
         episodes=episodes,
         new_vectors=new_vectors,
         counter_deltas=counter_deltas,
+        telemetry=(
+            chunk_telemetry.snapshot() if chunk_telemetry is not None else None
+        ),
     )
 
 
@@ -283,8 +337,13 @@ def execute_plan(
 
     episodes: list[EpisodeMetrics] = []
     bound_set = plan.controller.refinement_state()
-    for result in results:
+    telemetry = telemetry_active()
+    for chunk_index, result in enumerate(results):
         episodes.extend(result.episodes)
+        if telemetry is not None and result.telemetry is not None:
+            # Absorbed in chunk order, so counters/gauges/events aggregate
+            # identically whatever the worker count.
+            telemetry.absorb(result.telemetry, chunk=chunk_index)
         if (
             bound_set is not None
             and result.new_vectors is not None

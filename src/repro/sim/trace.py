@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.controllers.base import RecoveryController
-from repro.sim.environment import RecoveryEnvironment
+from repro.sim.environment import NO_OBSERVATION, RecoveryEnvironment
 from repro.sim.metrics import EpisodeMetrics
 from repro.util.tables import render_table
 
@@ -27,7 +27,9 @@ class TraceStep:
         index: step number, from 0.
         action: action index the controller chose.
         action_label: its display name.
-        observation: sampled observation index (-1 when no monitors ran).
+        observation: sampled observation index
+            (:data:`~repro.sim.environment.NO_OBSERVATION` when no
+            monitors ran).
         observation_label: its display name ("" when no monitors ran).
         true_state_after: ground-truth state after the action.
         reward: single-step reward incurred.
@@ -116,14 +118,14 @@ def trace_episode(
         decision = controller.decide()
         if decision.is_terminate:
             terminated = True
-            if decision.action == model.terminate_action and decision.action >= 0:
+            if decision.executes_action and decision.action == model.terminate_action:
                 result = environment.execute(decision.action)
                 steps.append(
                     TraceStep(
                         index=index,
                         action=decision.action,
                         action_label=pomdp.action_labels[decision.action],
-                        observation=-1,
+                        observation=NO_OBSERVATION,
                         observation_label="",
                         true_state_after=environment.state,
                         reward=result.reward,
@@ -149,7 +151,7 @@ def trace_episode(
                 index=index,
                 action=decision.action,
                 action_label=pomdp.action_labels[decision.action],
-                observation=result.observation if uses_monitors else -1,
+                observation=result.observation if uses_monitors else NO_OBSERVATION,
                 observation_label=observation_label,
                 true_state_after=environment.state,
                 reward=result.reward,

@@ -3,8 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import NO_ACTION, Decision, RecoveryController
 from repro.exceptions import ControllerError
+from repro.sim.environment import NO_OBSERVATION
 
 
 class FixedActionController(RecoveryController):
@@ -107,6 +108,38 @@ class TestObserve:
         before = controller.belief
         controller.sync_true_state(simple_system.fault_b)
         assert np.allclose(controller.belief, before)
+
+    def test_negative_observation_rejected(self, simple_system):
+        """Regression: the NO_OBSERVATION sentinel must never reach Eq. 4 —
+        numpy would wrap the -1 to the last observation column and silently
+        corrupt the belief instead of failing."""
+        controller = FixedActionController(simple_system.model)
+        controller.reset()
+        with pytest.raises(ControllerError, match="negative observation"):
+            controller.observe(simple_system.observe_action, NO_OBSERVATION)
+
+
+class TestTerminateDecision:
+    def test_carries_terminate_action_when_model_has_one(self, simple_system):
+        controller = FixedActionController(simple_system.model)
+        decision = controller._terminate_decision(value=1.5)
+        assert decision.is_terminate
+        assert decision.action == simple_system.model.terminate_action
+        assert decision.executes_action
+        assert decision.value == 1.5
+
+    def test_falls_back_to_sentinel_on_notification_models(
+        self, simple_notified_system
+    ):
+        controller = FixedActionController(simple_notified_system.model)
+        decision = controller._terminate_decision()
+        assert decision.is_terminate
+        assert decision.action == NO_ACTION
+        assert not decision.executes_action
+
+    def test_executes_action_property(self):
+        assert Decision(action=0).executes_action
+        assert not Decision(action=NO_ACTION, is_terminate=True).executes_action
 
 
 class TestTiming:

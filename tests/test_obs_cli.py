@@ -1,0 +1,85 @@
+"""The ``python -m repro.obs`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import SCHEMA_VERSION, session
+from repro.obs.__main__ import main
+from repro.obs.report import aggregate_stream, format_report
+
+
+@pytest.fixture()
+def run_file(tmp_path):
+    """A small schema-valid run with one campaign's worth of events."""
+    path = tmp_path / "run.jsonl"
+    with session(path) as telemetry:
+        telemetry.count("sim.episodes", 2)
+        telemetry.count_process("cache.hits", 3)
+        telemetry.count_process("cache.builds", 1)
+        telemetry.event(
+            "campaign_start", controller="bounded", injections=2, chunk_size=32
+        )
+        telemetry.event("episode_start", episode=0, fault_state=1)
+        telemetry.event(
+            "episode_end",
+            episode=0,
+            recovered=True,
+            terminated=True,
+            steps=3,
+            cost=12.5,
+        )
+        telemetry.event(
+            "refine", action=2, added=True, improvement=1.5, set_size=4
+        )
+        telemetry.event(
+            "solver_dispatch", requested="auto", method="direct", n_states=8
+        )
+        telemetry.event("campaign_end", controller="bounded", episodes=2)
+    return path
+
+
+class TestReport:
+    def test_report_command_renders(self, run_file, capsys):
+        assert main(["report", str(run_file)]) == 0
+        out = capsys.readouterr().out
+        assert "bounded" in out
+        assert "Bound refinement" in out
+        assert "direct" in out
+
+    def test_aggregate_counts_outcomes(self, run_file):
+        aggregate = aggregate_stream(run_file)
+        report = format_report(aggregate)
+        assert "Telemetry report" in report
+
+    def test_report_shows_cache_hit_ratio(self, run_file, capsys):
+        main(["report", str(run_file)])
+        out = capsys.readouterr().out
+        assert "cache" in out.lower()
+        assert "75.0%" in out  # 3 hits / 4 lookups
+
+
+class TestValidate:
+    def test_valid_stream_exits_zero(self, run_file, capsys):
+        assert main(["validate", str(run_file)]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+    def test_invalid_stream_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        lines = [
+            {"event": "session_start", "seq": 0, "schema": SCHEMA_VERSION},
+            {"event": "decision", "seq": 1},  # missing action/terminate
+            {"event": "session_end", "seq": 2},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        assert main(["validate", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "missing required fields" in out
+
+    def test_garbage_line_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["validate", str(path)]) == 1
+        assert "not JSON" in capsys.readouterr().out

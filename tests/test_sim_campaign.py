@@ -3,10 +3,21 @@
 import numpy as np
 import pytest
 
+from repro.controllers.base import RecoveryController
 from repro.controllers.most_likely import MostLikelyController
 from repro.controllers.oracle import OracleController
 from repro.sim.campaign import run_campaign, run_episode
 from repro.sim.environment import RecoveryEnvironment
+
+
+class ImmediateTerminator(RecoveryController):
+    """Gives up on the first decision — exercises the termination paths."""
+
+    name = "terminator"
+    uses_monitors = False
+
+    def _decide(self, belief):
+        return self._terminate_decision(value=0.0)
 
 
 class TestRunEpisode:
@@ -49,6 +60,41 @@ class TestRunEpisode:
         environment = RecoveryEnvironment(simple_system.model, seed=3)
         metrics = run_episode(controller, environment, simple_system.fault_a)
         assert metrics.algorithm_time >= 0.0
+
+
+class TestTerminationAccounting:
+    def test_early_termination_charges_operator_penalty(self, simple_system):
+        """Regression: threshold/notification exits used to return a bare
+        action=-1 sentinel, so walking away from a live fault never charged
+        r(s, a_T).  A terminating decision now carries a_T and the episode
+        driver executes it."""
+        controller = ImmediateTerminator(simple_system.model)
+        environment = RecoveryEnvironment(simple_system.model, seed=0)
+        metrics = run_episode(controller, environment, simple_system.fault_a)
+        expected = 0.5 * simple_system.model.operator_response_time
+        assert metrics.terminated and not metrics.recovered
+        assert np.isclose(environment.termination_penalty, expected)
+        assert np.isclose(metrics.cost, expected)
+
+    def test_terminate_action_not_counted_as_recovery_action(self, simple_system):
+        controller = ImmediateTerminator(simple_system.model)
+        environment = RecoveryEnvironment(simple_system.model, seed=0)
+        metrics = run_episode(controller, environment, simple_system.fault_a)
+        assert metrics.actions == 0
+        assert metrics.steps == 0
+        assert metrics.monitor_calls == 0
+
+    def test_notification_sentinel_executes_nothing(self, simple_notified_system):
+        """Without a_T in the model there is nothing to execute or charge;
+        the NO_ACTION sentinel must never reach the environment."""
+        controller = ImmediateTerminator(simple_notified_system.model)
+        environment = RecoveryEnvironment(simple_notified_system.model, seed=0)
+        metrics = run_episode(
+            controller, environment, simple_notified_system.fault_a
+        )
+        assert metrics.terminated
+        assert environment.cost == 0.0
+        assert environment.time == 0.0
 
 
 class TestRunCampaign:

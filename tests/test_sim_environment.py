@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ControllerError
-from repro.sim.environment import RecoveryEnvironment
+from repro.sim.environment import NO_OBSERVATION, RecoveryEnvironment
 from repro.systems.emn import MONITOR_DURATION
 
 
@@ -95,6 +95,37 @@ class TestTermination:
         environment.execute(restart_a)
         environment.execute(simple_system.model.terminate_action)
         assert environment.termination_penalty == 0.0
+
+    def test_penalty_charged_exactly_once_per_termination(
+        self, environment, simple_system
+    ):
+        """Regression: a dead duplicate accounting block below the
+        early-return branch used to shadow this invariant — one execute of
+        a_T charges r(s, a_T) exactly once, to cost and penalty alike."""
+        environment.inject(simple_system.fault_a)
+        a_t = simple_system.model.terminate_action
+        result = environment.execute(a_t)
+        per_charge = 0.5 * simple_system.model.operator_response_time
+        assert np.isclose(environment.cost, per_charge)
+        assert np.isclose(environment.termination_penalty, per_charge)
+        assert np.isclose(result.reward, -per_charge)
+        # A second execute is a second termination decision: one more charge,
+        # not a retroactive double-charge of the first.
+        environment.execute(a_t)
+        assert np.isclose(environment.cost, 2 * per_charge)
+        assert np.isclose(environment.termination_penalty, 2 * per_charge)
+
+    def test_terminate_returns_no_observation_sentinel(
+        self, environment, simple_system
+    ):
+        environment.inject(simple_system.fault_a)
+        result = environment.execute(simple_system.model.terminate_action)
+        assert result.observation == NO_OBSERVATION
+
+    def test_terminate_advances_no_time(self, environment, simple_system):
+        environment.inject(simple_system.fault_a)
+        environment.execute(simple_system.model.terminate_action)
+        assert environment.time == 0.0
 
 
 class TestResidualTime:

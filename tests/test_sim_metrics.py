@@ -1,9 +1,16 @@
 """Tests for per-fault metrics and aggregation."""
 
+import struct
+
 import numpy as np
 import pytest
 
-from repro.sim.metrics import EpisodeMetrics, metrics_field_names, summarize
+from repro.sim.metrics import (
+    EpisodeMetrics,
+    episode_fingerprint_bytes,
+    metrics_field_names,
+    summarize,
+)
 
 
 def episode(**overrides) -> EpisodeMetrics:
@@ -68,3 +75,53 @@ class TestFieldNames:
         for column in ("cost", "recovery_time", "residual_time",
                        "algorithm_time", "actions", "monitor_calls"):
             assert column in names
+
+
+class TestEpisodeFingerprint:
+    def test_packing_order_and_layout(self):
+        """Pin the canonical 58-byte layout: dataclass field order minus
+        algorithm_time, ints as <q, floats as <d, bools as one-byte <?.
+        The bool check must run before the int check (bool is a subclass
+        of int) or recovered/terminated would silently widen to 8 bytes."""
+        metrics = episode(
+            fault_state=3,
+            cost=1.25,
+            recovery_time=2.5,
+            residual_time=0.75,
+            actions=4,
+            monitor_calls=6,
+            recovered=True,
+            terminated=False,
+            steps=9,
+        )
+        expected = b"".join(
+            [
+                struct.pack("<q", 3),       # fault_state
+                struct.pack("<d", 1.25),    # cost
+                struct.pack("<d", 2.5),     # recovery_time
+                struct.pack("<d", 0.75),    # residual_time
+                struct.pack("<q", 4),       # actions
+                struct.pack("<q", 6),       # monitor_calls
+                struct.pack("<?", True),    # recovered  (1 byte, not <q)
+                struct.pack("<?", False),   # terminated (1 byte, not <q)
+                struct.pack("<q", 9),       # steps
+            ]
+        )
+        packed = episode_fingerprint_bytes(metrics)
+        assert len(packed) == 58
+        assert packed == expected
+
+    def test_algorithm_time_excluded(self):
+        fast = episode(algorithm_time=0.001)
+        slow = episode(algorithm_time=9.999)
+        assert episode_fingerprint_bytes(fast) == episode_fingerprint_bytes(slow)
+
+    def test_deterministic_fields_distinguish(self):
+        assert episode_fingerprint_bytes(episode(steps=7)) != (
+            episode_fingerprint_bytes(episode(steps=8))
+        )
+
+    def test_numpy_integers_pack_like_python_ints(self):
+        plain = episode(fault_state=5)
+        boxed = episode(fault_state=np.int64(5))
+        assert episode_fingerprint_bytes(plain) == episode_fingerprint_bytes(boxed)

@@ -143,6 +143,33 @@ class TestPlan:
         sequence = seed_to_sequence(np.random.default_rng(0))
         assert isinstance(sequence, np.random.SeedSequence)
 
+    def test_generator_seed_consumes_stream_deterministically(self):
+        """Two generators at the same state yield the same root sequence —
+        the entropy comes from the generator's stream, not from ambient
+        randomness — and distinct states yield distinct sequences."""
+        first = seed_to_sequence(np.random.default_rng(0))
+        second = seed_to_sequence(np.random.default_rng(0))
+        assert first.entropy == second.entropy
+        other = seed_to_sequence(np.random.default_rng(1))
+        assert other.entropy != first.entropy
+
+    def test_generator_stays_usable_after_seeding(self):
+        """seed_to_sequence draws from the generator but must not close or
+        corrupt it."""
+        generator = np.random.default_rng(0)
+        seed_to_sequence(generator)
+        value = generator.integers(0, 10)
+        assert 0 <= value < 10
+
+    def test_generator_entropy_has_four_words(self):
+        sequence = seed_to_sequence(np.random.default_rng(0))
+        assert len(sequence.entropy) == 4
+        assert all(0 <= word < 2**63 for word in sequence.entropy)
+
+    def test_seed_sequence_passthrough_is_identity(self):
+        sequence = np.random.SeedSequence(42)
+        assert seed_to_sequence(sequence) is sequence
+
     def test_negative_workers_rejected(self, simple_system):
         controller = MostLikelyController(simple_system.model)
         plan = plan_campaign(
