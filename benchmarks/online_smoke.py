@@ -1,0 +1,126 @@
+"""Sparse online-decision smoke with a peak-RSS ceiling.
+
+Builds a tiered model large enough that densifying even a single action's
+transition matrix would blow the memory ceiling (12,002 states -> one dense
+``(|S|, |S|)`` matrix is ~1.15 GB), runs the bounded controller through a
+uniform-belief decision and a short episode on the sparse backend, and
+asserts that peak RSS stayed under the ceiling.  Timing is deliberately not
+asserted — CI runners are too noisy — but an accidental densification
+anywhere on the decision path is a deterministic, order-of-magnitude RSS
+regression that this smoke catches.
+
+Usage::
+
+    python -m benchmarks.online_smoke
+    python -m benchmarks.online_smoke --replicas 2000 --max-rss-mb 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import time
+
+import numpy as np
+
+from repro.controllers.bounded import BoundedController
+from repro.pomdp.belief import uniform_belief
+from repro.sim.environment import RecoveryEnvironment
+from repro.systems.tiered import build_tiered_system
+
+#: Replicas per tier: 3 tiers -> 2 + 2 * 3 * 2000 = 12,002 states.
+DEFAULT_REPLICAS = 2_000
+
+#: Peak-RSS ceiling.  The whole sparse run needs well under 300 MB; one
+#: densified 12,002^2 matrix alone is ~1.15 GB, so the ceiling separates
+#: the two regimes with a wide margin on both sides.
+DEFAULT_MAX_RSS_MB = 1_024
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MB (Linux ru_maxrss is KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def run_smoke(replicas_per_tier: int) -> dict:
+    """Build sparse, decide from uniform and narrowed beliefs, run an episode."""
+    started = time.perf_counter()
+    system = build_tiered_system(
+        replicas=(replicas_per_tier,) * 3, backend="sparse"
+    )
+    model = system.model
+    build_seconds = time.perf_counter() - started
+    assert model.pomdp.backend.is_sparse, "tiered build did not select sparse"
+
+    controller = BoundedController(model, depth=1, refine_online=False)
+    belief = uniform_belief(model.pomdp, support=model.fault_states)
+    controller.reset(initial_belief=belief)
+    started = time.perf_counter()
+    decision = controller.decide()
+    uniform_seconds = time.perf_counter() - started
+    assert decision.is_terminate, (
+        "uniform-belief decision should escalate to the operator "
+        f"(one faulty replica in {replicas_per_tier} costs less than a "
+        f"restart), got action {decision.action}"
+    )
+
+    environment = RecoveryEnvironment(model, seed=2006)
+    fault_indices = np.flatnonzero(model.fault_states)
+    environment.inject(int(fault_indices[0]))
+    suspects = np.zeros(model.pomdp.n_states, dtype=bool)
+    suspects[fault_indices[:6]] = True
+    controller.reset(initial_belief=uniform_belief(model.pomdp, support=suspects))
+    passive = int(np.flatnonzero(model.passive_actions)[0])
+    controller.observe(passive, environment.initial_observation())
+    steps = 0
+    for _ in range(8):
+        step = controller.decide()
+        result = environment.execute(step.action)
+        steps += 1
+        if step.is_terminate:
+            break
+        controller.observe(step.action, result.observation)
+    return {
+        "n_states": model.pomdp.n_states,
+        "n_actions": model.pomdp.n_actions,
+        "build_seconds": build_seconds,
+        "uniform_decision_seconds": uniform_seconds,
+        "episode_steps": steps,
+        "episode_cost": environment.cost,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="online-smoke", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=DEFAULT_REPLICAS, metavar="R",
+        help="replicas per tier (3 tiers; default 2000 -> 12,002 states)",
+    )
+    parser.add_argument(
+        "--max-rss-mb", type=float, default=DEFAULT_MAX_RSS_MB, metavar="MB",
+        help="peak-RSS ceiling; exceeding it means something densified",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_smoke(args.replicas)
+    rss = peak_rss_mb()
+    print(
+        f"sparse online smoke: |S|={report['n_states']:,} "
+        f"|A|={report['n_actions']:,}, build {report['build_seconds']:.1f}s, "
+        f"uniform decision {report['uniform_decision_seconds']:.1f}s, "
+        f"episode {report['episode_steps']} decisions "
+        f"(cost {report['episode_cost']:.3f}), peak RSS {rss:.0f} MB"
+    )
+    if rss > args.max_rss_mb:
+        raise SystemExit(
+            f"peak RSS {rss:.0f} MB exceeded the {args.max_rss_mb:.0f} MB "
+            "ceiling — a decision-path operation is densifying the model"
+        )
+    print(f"peak RSS within the {args.max_rss_mb:.0f} MB ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

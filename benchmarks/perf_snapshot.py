@@ -49,6 +49,11 @@ from repro.systems.tiered import solve_tiered_ra_bound, tiered_ra_chain
 SCHEMA = "bench-pr2/v1"
 SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 
+#: Dense-vs-sparse backend comparison (the PR 4 tentpole) — written
+#: alongside the PR 2 snapshot, schema documented in EXPERIMENTS.md.
+BACKEND_SCHEMA = "bench-pr4/v1"
+BACKEND_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+
 #: Full-scale defaults (the acceptance configuration): a 1,000-injection
 #: campaign compared serial vs 4 workers.
 DEFAULT_INJECTIONS = 1_000
@@ -167,6 +172,156 @@ def measure_tree(decisions: int = 50, depth: int = 2) -> dict:
     }
 
 
+def _csr_bytes(matrix) -> int:
+    return int(matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes)
+
+
+def _model_bytes(pomdp) -> int:
+    """Actual tensor storage of a model, dense or sparse."""
+    from repro.linalg.containers import StructuredRewards
+
+    if not pomdp.backend.is_sparse:
+        return int(
+            pomdp.transitions.nbytes
+            + pomdp.observations.nbytes
+            + pomdp.rewards.nbytes
+        )
+    transitions, observations, rewards = (
+        pomdp.transitions, pomdp.observations, pomdp.rewards,
+    )
+    total = (
+        _csr_bytes(transitions.base)
+        + _csr_bytes(transitions.rows)
+        + transitions.row_action.nbytes
+        + transitions.row_state.nbytes
+    )
+    total += _csr_bytes(observations.base) + sum(
+        _csr_bytes(matrix) for matrix in observations.overrides.values()
+    )
+    if isinstance(rewards, StructuredRewards):
+        total += (
+            rewards.time_scale.nbytes
+            + rewards.rate.nbytes
+            + rewards.fixed.nbytes
+            + _csr_bytes(rewards.override)
+        )
+    else:
+        total += rewards.nbytes
+    return int(total)
+
+
+def _dense_bytes_estimate(n_actions: int, n_states: int, n_observations: int) -> int:
+    """What the same model would need as dense ndarrays."""
+    return 8 * n_actions * n_states * (n_states + n_observations + 1)
+
+
+def _decision_seconds(model, repetitions: int) -> tuple[float, int]:
+    """Mean bounded depth-1 decision latency from the uniform fault belief."""
+    from repro.controllers.bounded import BoundedController
+    from repro.pomdp.belief import uniform_belief
+
+    controller = BoundedController(model, depth=1, refine_online=False)
+    belief = uniform_belief(model.pomdp, support=model.fault_states)
+    elapsed = 0.0
+    action = None
+    for _ in range(repetitions):
+        controller.reset(initial_belief=belief)
+        started = time.perf_counter()
+        decision = controller.decide()
+        elapsed += time.perf_counter() - started
+        action = decision.action
+    return elapsed / repetitions, action
+
+
+def measure_backends(repetitions: int = 10) -> list[dict]:
+    """Dense-vs-sparse decision latency and storage on the tiered family.
+
+    Small points run both backends and require the chosen action to match
+    (the backend-parity contract); the large point is sparse-only — its
+    dense tensors would need terabytes — and reports the dense estimate.
+    """
+    from repro.systems.tiered import build_tiered_system
+
+    rows = []
+    for replicas_per_tier, run_dense in ((20, True), (50, True), (2_000, False)):
+        replicas = (replicas_per_tier,) * 3
+        row: dict = {"replicas_per_tier": replicas_per_tier}
+        actions = {}
+        for backend in ("dense", "sparse") if run_dense else ("sparse",):
+            system = build_tiered_system(replicas=replicas, backend=backend)
+            pomdp = system.model.pomdp
+            seconds, actions[backend] = _decision_seconds(
+                system.model, repetitions
+            )
+            row[f"{backend}_decision_ms"] = round(seconds * 1000.0, 3)
+            row[f"{backend}_model_bytes"] = _model_bytes(pomdp)
+            row["n_states"] = pomdp.n_states
+            row["n_actions"] = pomdp.n_actions
+        row["dense_bytes_estimate"] = _dense_bytes_estimate(
+            row["n_actions"], row["n_states"], 16
+        )
+        row["decisions_match"] = (
+            actions["dense"] == actions["sparse"] if run_dense else None
+        )
+        rows.append(row)
+    return rows
+
+
+def measure_backend_campaign(injections: int, workers: int) -> dict:
+    """EMN campaign fingerprints: dense vs sparse, serial vs parallel."""
+    from repro.systems.faults import FaultKind
+
+    fingerprints = {}
+    timings = {}
+    for backend in ("dense", "sparse"):
+        system = build_emn_system(backend=backend)
+        zombies = system.fault_states(FaultKind.ZOMBIE)
+        for mode, parallel in (("serial", None), ("parallel", workers)):
+            controller = make_controller("bounded (depth 1)", system)
+            started = time.perf_counter()
+            result = run_campaign(
+                controller,
+                fault_states=zombies,
+                injections=injections,
+                seed=SEED,
+                monitor_tail=MONITOR_DURATION,
+                parallel=parallel,
+            )
+            timings[f"{backend}_{mode}"] = round(
+                time.perf_counter() - started, 3
+            )
+            fingerprints[f"{backend}_{mode}"] = campaign_fingerprint(
+                result.episodes
+            )
+    reference = fingerprints["dense_serial"]
+    return {
+        "controller": "bounded (depth 1)",
+        "injections": injections,
+        "workers": workers,
+        "seconds": timings,
+        "fingerprint": reference,
+        "fingerprints_match": all(
+            value == reference for value in fingerprints.values()
+        ),
+    }
+
+
+def build_backend_snapshot(injections: int, workers: int) -> dict:
+    """Assemble the PR 4 dense-vs-sparse snapshot document."""
+    return {
+        "schema": BACKEND_SCHEMA,
+        "generated_by": "python -m benchmarks.perf_snapshot",
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "seed": SEED,
+        "backends": measure_backends(),
+        "campaign": measure_backend_campaign(injections, workers),
+    }
+
+
 def measure_ra_emn() -> dict:
     """RA-Bound on the EMN model itself (the auto-selected small path)."""
     system = build_emn_system()
@@ -227,13 +382,35 @@ def main(argv: list[str] | None = None) -> int:
             "determinism violation: serial and parallel campaign "
             f"fingerprints differ for {mismatches}"
         )
+    backend_snapshot = build_backend_snapshot(snapshot_injections(), args.workers)
+    if not backend_snapshot["campaign"]["fingerprints_match"]:
+        raise SystemExit(
+            "backend-parity violation: dense and sparse EMN campaign "
+            "fingerprints differ"
+        )
+    disagreements = [
+        row["replicas_per_tier"]
+        for row in backend_snapshot["backends"]
+        if row["decisions_match"] is False
+    ]
+    if disagreements:
+        raise SystemExit(
+            "backend-parity violation: dense and sparse decisions differ "
+            f"on tiered replicas {disagreements}"
+        )
     if args.check:
         print("perf snapshot check passed (nothing written):")
         print(json.dumps(snapshot, indent=2))
+        print(json.dumps(backend_snapshot, indent=2))
         return 0
     args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
     print(f"wrote {args.output}")
     print(json.dumps(snapshot, indent=2))
+    BACKEND_SNAPSHOT_PATH.write_text(
+        json.dumps(backend_snapshot, indent=2) + "\n"
+    )
+    print(f"wrote {BACKEND_SNAPSHOT_PATH}")
+    print(json.dumps(backend_snapshot, indent=2))
     return 0
 
 

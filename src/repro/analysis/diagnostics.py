@@ -59,6 +59,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     # -- info -------------------------------------------------------------
     "R201": (Severity.INFO, "model statistics"),
     "R202": (Severity.INFO, "strongly-connected-component decomposition"),
+    "R203": (Severity.INFO, "analysis pass skipped on a large sparse model"),
 }
 
 

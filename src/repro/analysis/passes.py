@@ -24,6 +24,14 @@ import numpy as np
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
 from repro.analysis.view import ModelView
+from repro.linalg.containers import StructuredRewards
+from repro.linalg.ops import (
+    mean_transition_matrix,
+    observation_matrix_dense,
+    reward_column,
+    reward_row,
+    transition_matrix_dense,
+)
 from repro.mdp.classify import (
     classify_chain,
     expected_absorption_time,
@@ -43,6 +51,35 @@ SUPPORT_EPSILON = 1e-12
 #: which the RA-Bound, while finite, is flagged as pathologically loose.
 SLOW_ABSORPTION_STEPS = 10_000.0
 
+#: Sparse models past these sizes skip the passes whose cost is quadratic
+#: in |A| or needs a full linear solve; an R203 info finding records the
+#: skip so a "clean" report never silently means "unchecked".
+SPARSE_SKIP_STATES = 20_000
+SPARSE_SKIP_ACTIONS = 512
+
+
+def _sparse_skip(view: ModelView, pass_name: str, why: str) -> list[Diagnostic]:
+    return [
+        Diagnostic(
+            code="R203",
+            message=(
+                f"{pass_name} skipped on sparse model with "
+                f"|S|={view.n_states}, |A|={view.n_actions} ({why})"
+            ),
+            fix_hint=(
+                "densify a reduced instance of the model to run the full "
+                "pass suite"
+            ),
+        )
+    ]
+
+
+def _sparse_oversized(view: ModelView) -> bool:
+    return (
+        view.n_states > SPARSE_SKIP_STATES
+        or view.n_actions > SPARSE_SKIP_ACTIONS
+    )
+
 
 def _bad_rows(matrix: np.ndarray) -> np.ndarray:
     """Row indices that are not probability distributions."""
@@ -51,8 +88,101 @@ def _bad_rows(matrix: np.ndarray) -> np.ndarray:
     return np.flatnonzero(negative | off_sum)
 
 
+def _bad_csr_rows(matrix) -> np.ndarray:
+    """Row indices of a CSR matrix that are not probability distributions."""
+    negative = np.zeros(matrix.shape[0], dtype=bool)
+    if matrix.nnz:
+        bad_entries = matrix.data < -NEGATIVITY_ATOL
+        if bad_entries.any():
+            row_nnz = np.diff(matrix.indptr)
+            entry_row = np.repeat(np.arange(matrix.shape[0]), row_nnz)
+            negative[entry_row[bad_entries]] = True
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    off_sum = ~np.isclose(sums, 1.0, atol=SUM_ATOL)
+    return np.flatnonzero(negative | off_sum)
+
+
+def _sparse_stochasticity(view: ModelView) -> list[Diagnostic]:
+    """R001/R002 over the sparse containers, one check per stored row."""
+    findings = []
+    transitions = view.transitions
+    bad_base = _bad_csr_rows(transitions.base)
+    if bad_base.size:
+        sums = np.asarray(transitions.base[bad_base].sum(axis=1)).ravel()
+        labels = [view.state_labels[s] for s in bad_base[:8]]
+        findings.append(
+            Diagnostic(
+                code="R001",
+                message=(
+                    f"shared transition base rows for states {labels} are "
+                    f"not distributions (sums "
+                    f"{np.round(sums[:8], 6).tolist()})"
+                ),
+                states=tuple(labels),
+                fix_hint=(
+                    "make each row non-negative and sum to 1 (tolerance "
+                    f"{SUM_ATOL:g})"
+                ),
+            )
+        )
+    bad_rows = _bad_csr_rows(transitions.rows)
+    for r in bad_rows[:8]:
+        a, s = int(transitions.row_action[r]), int(transitions.row_state[r])
+        findings.append(
+            Diagnostic(
+                code="R001",
+                message=(
+                    f"transitions[{view.action_labels[a]!r}] override row "
+                    f"for state {view.state_labels[s]!r} is not a "
+                    "distribution"
+                ),
+                states=(view.state_labels[s],),
+                actions=(view.action_labels[a],),
+                fix_hint=(
+                    "make each row non-negative and sum to 1 (tolerance "
+                    f"{SUM_ATOL:g})"
+                ),
+            )
+        )
+    if view.observations is not None:
+        observations = view.observations
+        matrices = [(None, observations.base)] + [
+            (a, m) for a, m in sorted(observations.overrides.items())
+        ]
+        for action, matrix in matrices:
+            bad = _bad_csr_rows(matrix)
+            if not bad.size:
+                continue
+            where = (
+                "shared observation base"
+                if action is None
+                else f"observations[{view.action_labels[action]!r}]"
+            )
+            findings.append(
+                Diagnostic(
+                    code="R002",
+                    message=(
+                        f"{where} rows for states "
+                        f"{[view.state_labels[s] for s in bad[:8]]} are not "
+                        "distributions"
+                    ),
+                    states=tuple(view.state_labels[s] for s in bad[:8]),
+                    actions=(
+                        () if action is None else (view.action_labels[action],)
+                    ),
+                    fix_hint=(
+                        "each state's observation row q(.|s, a) must be a "
+                        "distribution over the observation symbols"
+                    ),
+                )
+            )
+    return findings
+
+
 def stochasticity_diagnostics(view: ModelView) -> list[Diagnostic]:
     """R001/R002: every transition and observation row must be a distribution."""
+    if view.is_sparse:
+        return _sparse_stochasticity(view)
     findings = []
     for a in range(view.n_actions):
         bad = _bad_rows(view.transitions[a])
@@ -150,21 +280,48 @@ def condition_1_diagnostics(
     ]
 
 
+def _structured_positive_candidates(rewards: StructuredRewards) -> np.ndarray:
+    """Actions that *might* have a positive reward entry (superset).
+
+    The rank-one part's per-action maximum is closed-form; override entries
+    flag their own actions.  Actions outside this set cannot violate
+    Condition 2, so the exact per-row check below runs on candidates only —
+    O(candidates * |S|) instead of O(|A| * |S|).
+    """
+    rate_extreme = np.where(
+        rewards.time_scale >= 0.0, rewards.rate.max(), rewards.rate.min()
+    )
+    base_max = rewards.time_scale * rate_extreme - rewards.fixed
+    candidates = base_max > NEGATIVITY_ATOL
+    if rewards.override.nnz:
+        positive_entries = rewards.override.data > NEGATIVITY_ATOL
+        if positive_entries.any():
+            row_nnz = np.diff(rewards.override.indptr)
+            entry_row = np.repeat(np.arange(rewards.n_actions), row_nnz)
+            candidates[entry_row[positive_entries]] = True
+    return np.flatnonzero(candidates)
+
+
 def condition_2_diagnostics(view: ModelView) -> list[Diagnostic]:
     """R005: Condition 2 — all single-step rewards non-positive."""
+    if isinstance(view.rewards, StructuredRewards):
+        actions = _structured_positive_candidates(view.rewards)
+    else:
+        actions = range(view.n_actions)
     findings = []
-    for a in range(view.n_actions):
-        positive = np.flatnonzero(view.rewards[a] > NEGATIVITY_ATOL)
+    for a in actions:
+        row = reward_row(view.rewards, a)
+        positive = np.flatnonzero(row > NEGATIVITY_ATOL)
         if not positive.size:
             continue
-        worst = int(positive[np.argmax(view.rewards[a][positive])])
+        worst = int(positive[np.argmax(row[positive])])
         findings.append(
             Diagnostic(
                 code="R005",
                 message=(
                     f"r({view.state_labels[worst]!r}, "
                     f"{view.action_labels[a]!r}) = "
-                    f"{view.rewards[a, worst]:.3g} > 0"
+                    f"{row[worst]:.3g} > 0"
                     + (
                         f" (and {positive.size - 1} more states under this "
                         "action)"
@@ -195,10 +352,13 @@ def null_rewiring_diagnostics(view: ModelView) -> list[Diagnostic]:
         return []
     findings = []
     for s in np.flatnonzero(view.null_states):
+        if view.is_sparse:
+            self_loops = view.transitions.self_loop_values(s)
+        else:
+            self_loops = view.transitions[:, s, s]
         leaky = [
             view.action_labels[a]
-            for a in range(view.n_actions)
-            if abs(view.transitions[a, s, s] - 1.0) > SUM_ATOL
+            for a in np.flatnonzero(np.abs(self_loops - 1.0) > SUM_ATOL)
         ]
         if leaky:
             findings.append(
@@ -218,8 +378,9 @@ def null_rewiring_diagnostics(view: ModelView) -> list[Diagnostic]:
             )
         rewarded = [
             view.action_labels[a]
-            for a in range(view.n_actions)
-            if abs(view.rewards[a, s]) > REWARD_EPSILON
+            for a in np.flatnonzero(
+                np.abs(reward_column(view.rewards, int(s))) > REWARD_EPSILON
+            )
         ]
         if rewarded:
             findings.append(
@@ -263,9 +424,11 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
                 fix_hint="augment with with_termination_action (Figure 2(b))",
             )
         ]
-    missed = np.flatnonzero(
-        np.abs(view.transitions[a_t, :, s_t] - 1.0) > SUM_ATOL
-    )
+    if view.is_sparse:
+        terminate_column = view.transitions.action_column(a_t, s_t)
+    else:
+        terminate_column = view.transitions[a_t, :, s_t]
+    missed = np.flatnonzero(np.abs(terminate_column - 1.0) > SUM_ATOL)
     if missed.size:
         findings.append(
             Diagnostic(
@@ -280,10 +443,13 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
                 fix_hint="a_T must deterministically end the episode in s_T",
             )
         )
+    if view.is_sparse:
+        terminate_loops = view.transitions.self_loop_values(s_t)
+    else:
+        terminate_loops = view.transitions[:, s_t, s_t]
     leaky = [
         view.action_labels[a]
-        for a in range(view.n_actions)
-        if abs(view.transitions[a, s_t, s_t] - 1.0) > SUM_ATOL
+        for a in np.flatnonzero(np.abs(terminate_loops - 1.0) > SUM_ATOL)
     ]
     if leaky:
         findings.append(
@@ -297,8 +463,9 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
         )
     rewarded = [
         view.action_labels[a]
-        for a in range(view.n_actions)
-        if abs(view.rewards[a, s_t]) > REWARD_EPSILON
+        for a in np.flatnonzero(
+            np.abs(reward_column(view.rewards, s_t)) > REWARD_EPSILON
+        )
     ]
     if rewarded:
         findings.append(
@@ -315,7 +482,7 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
         if view.null_states is not None:
             expected = np.where(view.null_states, 0.0, expected)
         expected[s_t] = 0.0
-        actual = view.rewards[a_t]
+        actual = reward_row(view.rewards, a_t)
         wrong = np.flatnonzero(
             ~np.isclose(actual, expected, rtol=1e-9, atol=1e-9)
         )
@@ -346,14 +513,15 @@ def ra_finiteness_diagnostics(view: ModelView) -> list[Diagnostic]:
     """R009: Eq. 5 finiteness — no rewarded recurrent state in the uniform chain."""
     if view.discount < 1.0:
         return []
-    chain = view.transitions.mean(axis=0)
+    chain = mean_transition_matrix(view.transitions)
     recurrent = np.flatnonzero(classify_chain(chain).recurrent)
     findings = []
     for s in recurrent:
         rewarded = [
             view.action_labels[a]
-            for a in range(view.n_actions)
-            if abs(view.rewards[a, s]) > REWARD_EPSILON
+            for a in np.flatnonzero(
+                np.abs(reward_column(view.rewards, int(s))) > REWARD_EPSILON
+            )
         ]
         if rewarded:
             findings.append(
@@ -425,19 +593,33 @@ def duplicate_action_diagnostics(view: ModelView) -> list[Diagnostic]:
     rows, and rewards all coincide; an action is dominated when it matches
     another action's dynamics and information exactly but costs at least as
     much everywhere (and strictly more somewhere) — no policy ever needs it.
+
+    Quadratic in |A| (with a dense |S|^2 comparison per pair), so large
+    sparse models skip it with an R203 note.
     """
+    if view.is_sparse and _sparse_oversized(view):
+        return _sparse_skip(
+            view, "duplicate-action pass", "pairwise comparison is O(|A|^2 |S|^2)"
+        )
     findings = []
+
+    def transition_of(a: int) -> np.ndarray:
+        return transition_matrix_dense(view.transitions, a)
+
+    def observation_of(a: int) -> np.ndarray:
+        return observation_matrix_dense(view.observations, a)
+
     for a in range(view.n_actions):
         for b in range(a + 1, view.n_actions):
             if not np.allclose(
-                view.transitions[a], view.transitions[b], atol=SUM_ATOL
+                transition_of(a), transition_of(b), atol=SUM_ATOL
             ):
                 continue
             if view.observations is not None and not np.allclose(
-                view.observations[a], view.observations[b], atol=SUM_ATOL
+                observation_of(a), observation_of(b), atol=SUM_ATOL
             ):
                 continue
-            difference = view.rewards[a] - view.rewards[b]
+            difference = reward_row(view.rewards, a) - reward_row(view.rewards, b)
             if np.allclose(difference, 0.0, atol=REWARD_EPSILON):
                 findings.append(
                     Diagnostic(
@@ -482,7 +664,10 @@ def dead_observation_diagnostics(view: ModelView) -> list[Diagnostic]:
     """R104: observation symbols with zero emission probability everywhere."""
     if view.observations is None:
         return []
-    emittable = view.observations.max(axis=(0, 1)) > SUPPORT_EPSILON
+    if view.is_sparse:
+        emittable = view.observations.max_per_observation() > SUPPORT_EPSILON
+    else:
+        emittable = view.observations.max(axis=(0, 1)) > SUPPORT_EPSILON
     dead = np.flatnonzero(~emittable)
     if not dead.size:
         return []
@@ -515,7 +700,13 @@ def slow_absorption_diagnostics(
     """
     if view.discount < 1.0:
         return []
-    chain = view.transitions.mean(axis=0)
+    if view.is_sparse and view.n_states > SPARSE_SKIP_STATES:
+        return _sparse_skip(
+            view,
+            "slow-absorption pass",
+            "needs a full linear solve over the transient states",
+        )
+    chain = mean_transition_matrix(view.transitions)
     times = expected_absorption_time(chain)
     slow = np.flatnonzero(np.isfinite(times) & (times > slow_absorption_steps))
     if not slow.size:
@@ -542,10 +733,16 @@ def slow_absorption_diagnostics(
 
 def stats_diagnostics(view: ModelView) -> list[Diagnostic]:
     """R201: descriptive model statistics."""
-    density = float(
-        (view.transitions > SUPPORT_EPSILON).sum()
-        / max(view.transitions.size, 1)
-    )
+    if view.is_sparse:
+        density = float(
+            view.transitions.effective_nnz()
+            / max(view.n_actions * view.n_states**2, 1)
+        )
+    else:
+        density = float(
+            (view.transitions > SUPPORT_EPSILON).sum()
+            / max(view.transitions.size, 1)
+        )
     parts = [
         f"|S|={view.n_states}",
         f"|A|={view.n_actions}",
@@ -566,8 +763,14 @@ def stats_diagnostics(view: ModelView) -> list[Diagnostic]:
 
 def scc_diagnostics(view: ModelView) -> list[Diagnostic]:
     """R202: SCC decomposition of the union graph and the uniform chain."""
+    if view.is_sparse and _sparse_oversized(view):
+        return _sparse_skip(
+            view,
+            "SCC decomposition pass",
+            "materialising every component is O(|S|) python objects",
+        )
     union_components = strongly_connected_components(view.union_graph())
-    chain = view.transitions.mean(axis=0)
+    chain = mean_transition_matrix(view.transitions)
     classification = classify_chain(chain)
     sizes = sorted((len(c) for c in union_components), reverse=True)
     return [

@@ -17,6 +17,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.linalg.containers import (
+    SparseObservations,
+    SparseTransitions,
+    StructuredRewards,
+)
+from repro.linalg.ops import union_transition_matrix
 
 
 def _labels(prefix: str, count: int, given=None) -> tuple[str, ...]:
@@ -43,9 +49,9 @@ class ModelView:
         initial_belief: the belief recovery starts from, or None.
     """
 
-    transitions: np.ndarray
-    rewards: np.ndarray
-    observations: np.ndarray | None = None
+    transitions: np.ndarray | SparseTransitions
+    rewards: np.ndarray | StructuredRewards
+    observations: np.ndarray | SparseObservations | None = None
     state_labels: tuple[str, ...] = ()
     action_labels: tuple[str, ...] = ()
     observation_labels: tuple[str, ...] = ()
@@ -59,6 +65,9 @@ class ModelView:
     initial_belief: np.ndarray | None = None
 
     def __post_init__(self):
+        if isinstance(self.transitions, SparseTransitions):
+            self._init_sparse()
+            return
         transitions = np.asarray(self.transitions, dtype=float)
         if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
             raise ModelError(
@@ -107,6 +116,58 @@ class ModelView:
             _labels("o", n_observations, self.observation_labels),
         )
 
+    def _init_sparse(self) -> None:
+        """Validation-light path for sparse-container models.
+
+        Shapes are cross-checked but the containers are kept as-is — no
+        densification, so a 300k-state model can be analyzed.
+        """
+        transitions = self.transitions
+        n_actions, n_states, _ = transitions.shape
+        rewards = self.rewards
+        if not isinstance(rewards, StructuredRewards):
+            rewards = np.asarray(rewards, dtype=float)
+        if rewards.shape != (n_actions, n_states):
+            raise ModelError(
+                f"rewards must have shape ({n_actions}, {n_states}), got "
+                f"{rewards.shape}"
+            )
+        observations = self.observations
+        if observations is not None and observations.shape[:2] != (
+            n_actions,
+            n_states,
+        ):
+            raise ModelError(
+                "observations must have shape (|A|, |S|, |O|), got "
+                f"{observations.shape}"
+            )
+        null_states = self.null_states
+        if null_states is not None:
+            null_states = np.asarray(null_states, dtype=bool)
+            if null_states.shape != (n_states,):
+                raise ModelError(
+                    f"null_states must be a mask of length {n_states}"
+                )
+        object.__setattr__(self, "rewards", rewards)
+        object.__setattr__(self, "null_states", null_states)
+        object.__setattr__(
+            self, "state_labels", _labels("s", n_states, self.state_labels)
+        )
+        object.__setattr__(
+            self, "action_labels", _labels("a", n_actions, self.action_labels)
+        )
+        n_observations = 0 if observations is None else observations.shape[2]
+        object.__setattr__(
+            self,
+            "observation_labels",
+            _labels("o", n_observations, self.observation_labels),
+        )
+
+    @property
+    def is_sparse(self) -> bool:
+        """True when the view wraps the sparse containers."""
+        return isinstance(self.transitions, SparseTransitions)
+
     @property
     def n_states(self) -> int:
         return self.transitions.shape[1]
@@ -119,9 +180,13 @@ class ModelView:
     def n_observations(self) -> int:
         return 0 if self.observations is None else self.observations.shape[2]
 
-    def union_graph(self) -> np.ndarray:
-        """Structural union of all actions' transition supports."""
-        return self.transitions.max(axis=0)
+    def union_graph(self):
+        """Structural union of all actions' transition supports.
+
+        Dense array on the dense backend, CSR on the sparse one; both feed
+        the same (sparse-capable) reachability and SCC routines.
+        """
+        return union_transition_matrix(self.transitions)
 
     @classmethod
     def from_model(cls, model) -> "ModelView":

@@ -28,10 +28,31 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.bounds.vector_set import BoundVectorSet
+from repro.linalg.ops import (
+    observation_matrix_dense,
+    predict,
+    reward_row,
+    transition_matvec,
+)
 from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.belief import GAMMA_EPSILON, belief_bellman_backup
 from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
+
+#: Scores within this of the maximum count as tied; ties break toward the
+#: lowest index.  Symmetric models produce exactly-tied backup candidates,
+#: and the two storage backends agree only to linear-solver precision
+#: (~1e-13), so an exact argmax would let representation noise pick
+#: different hyperplanes on each backend and the refined sets would diverge
+#: structurally.
+BACKUP_TIE_EPSILON = 1e-9
+
+
+def _first_within(scores: np.ndarray) -> int:
+    """Lowest index whose score is within the tie tolerance of the max."""
+    return int(
+        np.flatnonzero(scores >= np.max(scores) - BACKUP_TIE_EPSILON)[0]
+    )
 
 
 @dataclass(frozen=True)
@@ -60,9 +81,7 @@ def incremental_update(
     ``action`` the maximising action.  Pure function: nothing is inserted.
     """
     belief = np.asarray(belief, dtype=float)
-    best_vector: np.ndarray | None = None
-    best_action = -1
-    best_score = -np.inf
+    candidates = np.empty((pomdp.n_actions, pomdp.n_states))
     # mass[a, s', o] = sum_s pi(s) p(s'|s,a) q(o|s',a) — one matrix product
     # via the shared joint-factor cache when the model is cacheable.
     cache = get_joint_cache(pomdp)
@@ -71,23 +90,25 @@ def incremental_update(
         if mass_all is not None:
             mass = mass_all[action]
         else:
-            predicted = belief @ pomdp.transitions[action]  # (|S'|,)
-            mass = predicted[:, None] * pomdp.observations[action]
-        # For each observation pick the existing hyperplane best at `mass`.
+            predicted = predict(pomdp.transitions, belief, action)  # (|S'|,)
+            mass = predicted[:, None] * observation_matrix_dense(
+                pomdp.observations, action
+            )
+        # For each observation pick the existing hyperplane best at `mass`
+        # (ties toward the lowest vector index, tolerance above).
         scores = vectors @ mass  # (|B|, |O|)
-        chosen = np.argmax(scores, axis=0)  # (|O|,)
+        tied = scores >= scores.max(axis=0) - BACKUP_TIE_EPSILON
+        chosen = np.argmax(tied, axis=0)  # (|O|,) first tied index
         selected = vectors[chosen]  # (|O|, |S'|)
         # x(s') = sum_o q(o|s',a) * selected[o, s']
-        backup = (pomdp.observations[action] * selected.T).sum(axis=1)
-        candidate = pomdp.rewards[action] + pomdp.discount * (
-            pomdp.transitions[action] @ backup
+        backup = (
+            observation_matrix_dense(pomdp.observations, action) * selected.T
+        ).sum(axis=1)
+        candidates[action] = reward_row(pomdp.rewards, action) + pomdp.discount * (
+            transition_matvec(pomdp.transitions, action, backup)
         )
-        score = float(candidate @ belief)
-        if score > best_score:
-            best_score = score
-            best_vector = candidate
-            best_action = action
-    return best_vector, best_action
+    best_action = _first_within(candidates @ belief)
+    return candidates[best_action], best_action
 
 
 def refine_at(
@@ -173,8 +194,10 @@ def sample_reachable_beliefs(
         next_frontier = []
         for belief in frontier:
             for action in range(pomdp.n_actions):
-                predicted = belief @ pomdp.transitions[action]
-                joint = predicted[:, None] * pomdp.observations[action]
+                predicted = predict(pomdp.transitions, belief, action)
+                joint = predicted[:, None] * observation_matrix_dense(
+                    pomdp.observations, action
+                )
                 gamma = joint.sum(axis=0)
                 for observation in np.flatnonzero(gamma > GAMMA_EPSILON):
                     posterior = joint[:, observation] / gamma[observation]

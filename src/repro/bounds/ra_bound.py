@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import DivergenceError
+from repro.linalg.ops import reward_column
 from repro.mdp.classify import classify_chain
 from repro.mdp.linear_solvers import select_method, solve_markov_reward
 from repro.mdp.model import MDP
@@ -48,18 +49,21 @@ def check_ra_finiteness(model: MDP | POMDP) -> None:
     chain, _ = mdp.uniform_chain()
     classification = classify_chain(chain)
     recurrent = np.flatnonzero(classification.recurrent)
-    offending = [
-        (int(s), a)
-        for s in recurrent
-        for a in range(mdp.n_actions)
-        if abs(mdp.rewards[a, s]) > REWARD_EPSILON
-    ]
+    # One dense reward column per recurrent state (there are only a handful
+    # in a recovery model), vectorised over actions — the previous
+    # per-(state, action) scalar loop was quadratic in disguise and
+    # infeasible at 150k actions.
+    offending: list[tuple[int, int, float]] = []
+    for s in recurrent:
+        column = reward_column(mdp.rewards, int(s))
+        bad = np.flatnonzero(np.abs(column) > REWARD_EPSILON)
+        offending.extend((int(s), int(a), float(column[a])) for a in bad)
     if offending:
-        state, action = offending[0]
+        state, action, value = offending[0]
         raise DivergenceError(
             "RA-Bound is infinite: recurrent state "
             f"{mdp.state_labels[state]!r} accrues reward "
-            f"{mdp.rewards[action, state]:.3g} under action "
+            f"{value:.3g} under action "
             f"{mdp.action_labels[action]!r} (and {len(offending) - 1} more "
             "violations); apply the recovery-model modifications of "
             "Section 3.1 first"

@@ -82,6 +82,18 @@ class BoundVectorSet:
         np.add.at(self._usage, winners, 1)
         return scores[winners, np.arange(beliefs.shape[0])]
 
+    def record_wins(self, winners: np.ndarray) -> None:
+        """Credit usage to the vectors that won a batch of evaluations.
+
+        The fused sparse lookahead (:mod:`repro.pomdp.tree`) computes the
+        winning hyperplane of each branch without calling :meth:`value`, so
+        it reports the winners here to keep the least-used eviction order
+        identical to the dense path.
+        """
+        winners = np.asarray(winners, dtype=np.int64)
+        if winners.size:
+            np.add.at(self._usage, winners, 1)
+
     def improvement_at(self, vector: np.ndarray, belief: np.ndarray) -> float:
         """How much ``vector`` would raise the bound at ``belief``."""
         return float(vector @ belief - np.max(self._vectors @ belief))

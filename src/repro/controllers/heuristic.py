@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.controllers.base import Decision, RecoveryController
+from repro.linalg.ops import reward_row, rewards_max_value
 from repro.pomdp.tree import expand_tree
 from repro.recovery.model import RecoveryModel
 
@@ -43,7 +44,12 @@ class HeuristicLeaf:
         self.model = model
         pomdp = model.pomdp
         if literal_max:
-            self.cost = float(pomdp.rewards.max())
+            self.cost = rewards_max_value(pomdp.rewards)
+        elif pomdp.backend.is_sparse:
+            self.cost = min(
+                float(reward_row(pomdp.rewards, int(a)).min())
+                for a in np.flatnonzero(model.recovery_actions)
+            )
         else:
             recovery = model.recovery_actions
             self.cost = float(pomdp.rewards[recovery].min())

@@ -32,6 +32,12 @@ def cheapest_fixing_actions(model: RecoveryModel) -> dict[int, int]:
     lookahead controller, not this baseline.
     """
     pomdp = model.pomdp
+    if pomdp.backend.is_sparse:
+        raise ModelError(
+            "the most-likely baseline requires the dense backend (it scans "
+            "the full transition tensor for surely-fixing actions); convert "
+            "the model with repro.recovery.convert_backend(model, 'dense')"
+        )
     null_mass = pomdp.transitions[:, :, model.null_states].sum(axis=2)  # (A, S)
     mapping: dict[int, int] = {}
     for state in np.flatnonzero(model.fault_states):

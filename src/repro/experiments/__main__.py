@@ -84,11 +84,20 @@ def _cmd_robustness(args) -> None:
 
 def _cmd_scalability(args) -> None:
     from repro.experiments.scalability import (
+        ONLINE_REPLICAS,
+        format_online,
         format_scalability,
+        run_online,
         run_scalability,
         verify_against_dense,
     )
 
+    if args.online:
+        replicas = (
+            tuple([args.replicas] * 3) if args.replicas else ONLINE_REPLICAS
+        )
+        print(format_online(run_online(replicas=replicas, seed=args.seed)))
+        return
     discrepancy = verify_against_dense((2, 2, 2))
     print(f"Sparse-vs-dense RA-Bound check (62 states): "
           f"max discrepancy {discrepancy:.2e}")
@@ -187,6 +196,20 @@ def main(argv: list[str] | None = None) -> None:
 
     scalability = subparsers.add_parser(
         "scalability", help="RA-Bound solve time vs state count (Section 4.3)"
+    )
+    scalability.add_argument(
+        "--online",
+        action="store_true",
+        help="run the bounded controller end-to-end on the 300,002-state "
+        "sparse tiered model instead of the off-line solve sweep",
+    )
+    scalability.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="replicas per tier for --online (default 50000; smaller values "
+        "give a quick smoke run)",
     )
     add_seed(scalability)
 

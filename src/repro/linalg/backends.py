@@ -1,0 +1,210 @@
+"""Backend selection and dense/sparse model conversion.
+
+A model's *backend* is determined by what its transition container is:
+raw ndarrays mean :data:`DENSE`, the containers of
+:mod:`repro.linalg.containers` mean :data:`SPARSE`.  Model constructors
+accept ``backend="auto" | "dense" | "sparse"`` and use
+:func:`resolve_backend` — the same size/density heuristic that routes the
+RA-Bound linear solve (:func:`repro.mdp.linear_solvers.select_method`) —
+to decide whether a dense input should be converted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ModelError
+from repro.linalg.containers import (
+    SparseObservations,
+    SparseTransitions,
+    StructuredRewards,
+)
+from repro.mdp.linear_solvers import SPARSE_DENSITY_CUTOFF, SPARSE_MIN_STATES
+
+#: Entries smaller than this count as structural zeros when estimating
+#: density and when converting dense tensors to sparse containers.
+STRUCTURAL_EPSILON = 0.0
+
+
+@dataclass(frozen=True)
+class Backend:
+    """A named storage strategy for model tensors."""
+
+    name: str
+
+    @property
+    def is_sparse(self) -> bool:
+        return self.name == "sparse"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+DenseBackend = Backend("dense")
+SparseBackend = Backend("sparse")
+
+_BACKENDS = {"dense": DenseBackend, "sparse": SparseBackend}
+
+
+def backend_of(transitions) -> Backend:
+    """The backend a transition container implies."""
+    if isinstance(transitions, SparseTransitions):
+        return SparseBackend
+    return DenseBackend
+
+
+def resolve_backend(
+    spec: str, n_states: int, density: float | None = None
+) -> Backend:
+    """Resolve a ``backend=`` argument to a concrete :class:`Backend`.
+
+    ``"auto"`` reuses the PR 2 solver heuristic: go sparse at or above
+    :data:`~repro.mdp.linear_solvers.SPARSE_MIN_STATES` states when the
+    transition density is at or below
+    :data:`~repro.mdp.linear_solvers.SPARSE_DENSITY_CUTOFF` (unknown
+    density counts as sparse-friendly — callers that already hold dense
+    tensors pass the measured density).
+    """
+    if spec in _BACKENDS:
+        return _BACKENDS[spec]
+    if spec != "auto":
+        raise ModelError(
+            f"unknown backend {spec!r}: expected 'auto', 'dense' or 'sparse'"
+        )
+    if n_states < SPARSE_MIN_STATES:
+        return DenseBackend
+    if density is not None and density > SPARSE_DENSITY_CUTOFF:
+        return DenseBackend
+    return SparseBackend
+
+
+def transition_density(transitions) -> float:
+    """Fraction of structurally non-zero transition entries."""
+    if isinstance(transitions, SparseTransitions):
+        filled = transitions.base.nnz * transitions.n_actions + transitions.rows.nnz
+        return filled / float(transitions.n_actions * transitions.n_states**2)
+    array = np.asarray(transitions)
+    return float(np.count_nonzero(array)) / max(array.size, 1)
+
+
+# -- dense -> sparse ----------------------------------------------------
+
+
+def sparsify_transitions(transitions: np.ndarray) -> SparseTransitions:
+    """Convert a dense ``(|A|, |S|, |S|)`` tensor to row-override form.
+
+    The base is the element-wise most common row pattern — here simply the
+    first action's matrix — and every row of every other action that
+    differs from it becomes an override.  Exact comparison keeps the
+    conversion lossless: densifying any action matrix reproduces the
+    input bit-for-bit.
+    """
+    tensor = np.asarray(transitions, dtype=float)
+    n_actions = tensor.shape[0]
+    base = tensor[0]
+    row_action, row_state, blocks = [], [], []
+    for action in range(n_actions):
+        differs = np.flatnonzero(np.any(tensor[action] != base, axis=1))
+        if differs.size:
+            row_action.append(np.full(differs.size, action))
+            row_state.append(differs)
+            blocks.append(sp.csr_matrix(tensor[action][differs]))
+    if blocks:
+        rows = sp.vstack(blocks, format="csr")
+        actions = np.concatenate(row_action)
+        states = np.concatenate(row_state)
+    else:
+        rows = sp.csr_matrix((0, base.shape[0]))
+        actions = np.zeros(0, dtype=np.int64)
+        states = np.zeros(0, dtype=np.int64)
+    return SparseTransitions(
+        base=sp.csr_matrix(base),
+        row_action=actions,
+        row_state=states,
+        rows=rows,
+        n_actions=n_actions,
+    )
+
+
+def sparsify_observations(observations: np.ndarray) -> SparseObservations:
+    """Convert a dense ``(|A|, |S|, |O|)`` tensor to base + overrides."""
+    tensor = np.asarray(observations, dtype=float)
+    base = tensor[0]
+    overrides = {
+        action: sp.csr_matrix(tensor[action])
+        for action in range(1, tensor.shape[0])
+        if np.any(tensor[action] != base)
+    }
+    return SparseObservations(
+        base=sp.csr_matrix(base), overrides=overrides, n_actions=tensor.shape[0]
+    )
+
+
+def sparsify_rewards(rewards: np.ndarray) -> StructuredRewards:
+    """Convert a dense ``(|A|, |S|)`` reward array to structured form.
+
+    The generic conversion uses a zero rank-one part and stores every
+    non-zero entry as a replacement override, which keeps scalar lookups
+    bit-exact against the dense source.  Builders that know their reward
+    decomposition construct :class:`StructuredRewards` directly instead.
+    """
+    array = np.asarray(rewards, dtype=float)
+    n_actions, n_states = array.shape
+    return StructuredRewards(
+        time_scale=np.zeros(n_actions),
+        rate=np.zeros(n_states),
+        fixed=np.zeros(n_actions),
+        override=sp.csr_matrix(array),
+    )
+
+
+# -- sparse -> dense ----------------------------------------------------
+
+
+def densify_transitions(transitions) -> np.ndarray:
+    """Materialise per-action transition matrices as a dense tensor."""
+    if not isinstance(transitions, SparseTransitions):
+        return np.asarray(transitions, dtype=float)
+    tensor = np.broadcast_to(
+        transitions.base.toarray(),
+        (transitions.n_actions, transitions.n_states, transitions.n_states),
+    ).copy()
+    block = transitions.rows.toarray()
+    tensor[transitions.row_action, transitions.row_state] = block
+    return tensor
+
+
+def densify_observations(observations) -> np.ndarray:
+    if not isinstance(observations, SparseObservations):
+        return np.asarray(observations, dtype=float)
+    tensor = np.broadcast_to(
+        observations.base.toarray(), observations.shape
+    ).copy()
+    for action, matrix in observations.overrides.items():
+        tensor[action] = matrix.toarray()
+    return tensor
+
+
+def densify_rewards(rewards) -> np.ndarray:
+    if isinstance(rewards, StructuredRewards):
+        return rewards.full()
+    return np.asarray(rewards, dtype=float)
+
+
+__all__ = [
+    "Backend",
+    "DenseBackend",
+    "SparseBackend",
+    "backend_of",
+    "densify_observations",
+    "densify_rewards",
+    "densify_transitions",
+    "resolve_backend",
+    "sparsify_observations",
+    "sparsify_rewards",
+    "sparsify_transitions",
+    "transition_density",
+]

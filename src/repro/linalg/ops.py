@@ -1,0 +1,189 @@
+"""Backend-dispatching operations over model tensors.
+
+Every belief-side hot path (:mod:`repro.pomdp.belief`, the lookahead tree,
+the incremental bound refinement, the simulator) goes through these
+functions instead of indexing raw ndarrays, so each path works unchanged
+whether the model stores dense tensors or the sparse containers of
+:mod:`repro.linalg.containers`.
+
+Dense inputs take the exact code path the dense-only implementation used
+(`belief @ transitions[action]` and friends), so the dense backend stays
+bit-for-bit identical to the pre-refactor behaviour — the determinism
+contract of the campaign fingerprints depends on that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.linalg.containers import (
+    SparseObservations,
+    SparseTransitions,
+    StructuredRewards,
+)
+
+
+def is_sparse_transitions(transitions) -> bool:
+    return isinstance(transitions, SparseTransitions)
+
+
+# -- transitions --------------------------------------------------------
+
+
+def predict(transitions, belief: np.ndarray, action: int) -> np.ndarray:
+    """``belief @ T_a`` (the Eq. 3 prediction step), dense output."""
+    if isinstance(transitions, SparseTransitions):
+        return transitions.predict(belief, action)
+    return belief @ transitions[action]
+
+
+def transition_row(transitions, action: int, state: int) -> np.ndarray:
+    """Dense outgoing distribution of ``(action, state)``."""
+    if isinstance(transitions, SparseTransitions):
+        return transitions.row(action, state)
+    return np.asarray(transitions[action, state])
+
+
+def transition_matvec(transitions, action: int, values: np.ndarray) -> np.ndarray:
+    """``T_a @ values`` (the Bellman-backup direction), dense output."""
+    if isinstance(transitions, SparseTransitions):
+        return transitions.matvec(action, values)
+    return transitions[action] @ values
+
+
+def transition_matrix_dense(transitions, action: int) -> np.ndarray:
+    """``T_a`` as a dense matrix — small models only."""
+    if isinstance(transitions, SparseTransitions):
+        return transitions.action_matrix(action).toarray()
+    return np.asarray(transitions[action])
+
+
+def mean_transition_matrix(transitions):
+    """``mean_a T_a`` — dense array or CSR, matching the backend."""
+    if isinstance(transitions, SparseTransitions):
+        return transitions.mean_matrix()
+    return np.asarray(transitions).mean(axis=0)
+
+
+def union_transition_matrix(transitions):
+    """``max_a T_a`` — the analyzer's union graph, backend-matched."""
+    if isinstance(transitions, SparseTransitions):
+        return transitions.union_support()
+    return np.asarray(transitions).max(axis=0)
+
+
+# -- observations -------------------------------------------------------
+
+
+def observation_matrix(observations, action: int):
+    """``(|S|, |O|)`` matrix of ``action`` — dense view or CSR."""
+    if isinstance(observations, SparseObservations):
+        return observations.matrix(action)
+    return observations[action]
+
+
+def observation_matrix_dense(observations, action: int) -> np.ndarray:
+    if isinstance(observations, SparseObservations):
+        return observations.matrix(action).toarray()
+    return np.asarray(observations[action])
+
+
+def observation_row(observations, action: int, state: int) -> np.ndarray:
+    """Dense observation distribution of ``(action, state)``."""
+    if isinstance(observations, SparseObservations):
+        return observations.row(action, state)
+    return np.asarray(observations[action, state])
+
+
+def observation_column(observations, action: int, observation: int) -> np.ndarray:
+    """Dense likelihood column ``p(o | s', a)`` over successor states."""
+    if isinstance(observations, SparseObservations):
+        return observations.column(action, observation)
+    return np.asarray(observations[action, :, observation])
+
+
+def observation_probabilities_from_predicted(
+    observations, predicted: np.ndarray, action: int
+) -> np.ndarray:
+    """``predicted @ Z_a`` — the Eq. 4 denominator for every observation."""
+    if isinstance(observations, SparseObservations):
+        matrix = observations.matrix(action)
+        return np.asarray(matrix.T @ predicted).ravel()
+    return predicted @ observations[action]
+
+
+# -- rewards ------------------------------------------------------------
+
+
+def reward_scalar(rewards, action: int, state: int) -> float:
+    """``r[a, s]`` — bit-exact on both backends (feeds fingerprints)."""
+    if isinstance(rewards, StructuredRewards):
+        return rewards.scalar(action, state)
+    return float(rewards[action, state])
+
+
+def reward_row(rewards, action: int) -> np.ndarray:
+    """Dense reward row ``r[a, :]``."""
+    if isinstance(rewards, StructuredRewards):
+        return rewards.row(action)
+    return np.asarray(rewards[action])
+
+
+def reward_column(rewards, state: int) -> np.ndarray:
+    """Dense reward column ``r[:, s]``."""
+    if isinstance(rewards, StructuredRewards):
+        return rewards.column(state)
+    return np.asarray(rewards[:, state])
+
+
+def rewards_matvec(rewards, weights: np.ndarray) -> np.ndarray:
+    """``r @ weights`` over all actions (expected reward per action)."""
+    if isinstance(rewards, StructuredRewards):
+        return rewards.matvec(weights)
+    return rewards @ weights
+
+
+def rewards_mean_over_actions(rewards) -> np.ndarray:
+    if isinstance(rewards, StructuredRewards):
+        return rewards.mean_over_actions()
+    return np.asarray(rewards).mean(axis=0)
+
+
+def rewards_max_value(rewards) -> float:
+    if isinstance(rewards, StructuredRewards):
+        return rewards.max_value()
+    return float(np.max(rewards))
+
+
+# -- generic ------------------------------------------------------------
+
+
+def as_dense_chain(chain):
+    """Densify a Markov chain if it is sparse (small models only)."""
+    if sp.issparse(chain):
+        return chain.toarray()
+    return np.asarray(chain)
+
+
+__all__ = [
+    "as_dense_chain",
+    "is_sparse_transitions",
+    "mean_transition_matrix",
+    "observation_column",
+    "observation_matrix",
+    "observation_matrix_dense",
+    "observation_probabilities_from_predicted",
+    "observation_row",
+    "predict",
+    "reward_column",
+    "reward_row",
+    "reward_scalar",
+    "rewards_matvec",
+    "rewards_max_value",
+    "rewards_mean_over_actions",
+    "transition_matrix_dense",
+    "transition_matvec",
+    "transition_row",
+    "union_transition_matrix",
+]

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import warnings
+
 import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.csgraph as csgraph
+import scipy.sparse.linalg as spla
 
 try:  # pragma: no cover - exercised indirectly via the fallback tests
     import networkx as nx
@@ -50,8 +55,43 @@ class ChainClassification:
     recurrent_classes: tuple[frozenset, ...]
 
 
-def _adjacency(chain: np.ndarray) -> np.ndarray:
+def _adjacency(chain):
+    """Boolean adjacency of ``chain > EDGE_EPSILON`` — dense or CSR."""
+    if sp.issparse(chain):
+        coo = chain.tocoo()
+        keep = coo.data > EDGE_EPSILON
+        return sp.csr_matrix(
+            (np.ones(int(keep.sum())), (coo.row[keep], coo.col[keep])),
+            shape=chain.shape,
+        )
     return np.asarray(chain, dtype=float) > EDGE_EPSILON
+
+
+def _sparse_scc_labels(adjacency: sp.csr_matrix) -> tuple[int, np.ndarray]:
+    """Strong-component labels via ``scipy.sparse.csgraph`` (vectorised)."""
+    count, labels = csgraph.connected_components(
+        adjacency, directed=True, connection="strong"
+    )
+    return int(count), labels
+
+
+def _sparse_closed_masks(adjacency: sp.csr_matrix) -> tuple[np.ndarray, list[frozenset]]:
+    """Recurrent mask + closed classes of a sparse chain, without per-SCC loops.
+
+    A component is closed iff no edge crosses out of it; one pass over the
+    edge list marks every component with an outgoing cross edge as open.
+    """
+    count, labels = _sparse_scc_labels(adjacency)
+    coo = adjacency.tocoo()
+    cross = labels[coo.row] != labels[coo.col]
+    open_components = np.zeros(count, dtype=bool)
+    open_components[labels[coo.row[cross]]] = True
+    recurrent = ~open_components[labels]
+    classes = [
+        frozenset(np.flatnonzero(labels == component).tolist())
+        for component in np.flatnonzero(~open_components)
+    ]
+    return recurrent, classes
 
 
 def _scc_networkx(adjacency: np.ndarray) -> list[frozenset]:
@@ -121,14 +161,22 @@ def strongly_connected_components(chain: np.ndarray) -> list[frozenset]:
     iterative Tarjan otherwise.
     """
     adjacency = _adjacency(chain)
+    if sp.issparse(adjacency):
+        count, labels = _sparse_scc_labels(adjacency)
+        return [
+            frozenset(np.flatnonzero(labels == component).tolist())
+            for component in range(count)
+        ]
     if HAVE_NETWORKX:
         return _scc_networkx(adjacency)
     return _scc_tarjan(adjacency)
 
 
-def closed_components(chain: np.ndarray) -> list[frozenset]:
+def closed_components(chain) -> list[frozenset]:
     """The closed (no outgoing edge) SCCs — the recurrent classes."""
     adjacency = _adjacency(chain)
+    if sp.issparse(adjacency):
+        return _sparse_closed_masks(adjacency)[1]
     closed = []
     for component in strongly_connected_components(adjacency):
         members = np.fromiter(component, dtype=int)
@@ -139,12 +187,24 @@ def closed_components(chain: np.ndarray) -> list[frozenset]:
     return closed
 
 
-def classify_chain(chain: np.ndarray) -> ChainClassification:
+def classify_chain(chain) -> ChainClassification:
     """Classify the states of a row-stochastic ``chain``.
 
     A strongly-connected component is *closed* (and hence recurrent in a
-    finite chain) iff no edge leaves it.
+    finite chain) iff no edge leaves it.  Accepts dense arrays and
+    ``scipy.sparse`` matrices; the sparse path classifies the 300k-state
+    tiered chain in one vectorised edge sweep.
     """
+    if sp.issparse(chain):
+        n = chain.shape[0]
+        recurrent, recurrent_classes = _sparse_closed_masks(_adjacency(chain))
+        absorbing = np.asarray(chain.diagonal()).ravel() >= 1.0 - EDGE_EPSILON
+        return ChainClassification(
+            recurrent=recurrent,
+            transient=~recurrent,
+            absorbing=absorbing,
+            recurrent_classes=tuple(recurrent_classes),
+        )
     chain = np.asarray(chain, dtype=float)
     n = chain.shape[0]
     recurrent = np.zeros(n, dtype=bool)
@@ -165,11 +225,19 @@ def classify_chain(chain: np.ndarray) -> ChainClassification:
     )
 
 
-def reachable_set(chain: np.ndarray, sources: np.ndarray) -> np.ndarray:
+def reachable_set(chain, sources: np.ndarray) -> np.ndarray:
     """States reachable (in any number of steps) from the ``sources`` mask."""
     adjacency = _adjacency(chain)
     reached = np.asarray(sources, dtype=bool).copy()
     frontier = reached.copy()
+    if sp.issparse(adjacency):
+        transposed = adjacency.T.tocsr()
+        while frontier.any():
+            hits = np.asarray(transposed @ frontier.astype(float)).ravel()
+            successors = hits > 0.0
+            frontier = successors & ~reached
+            reached |= successors
+        return reached
     while frontier.any():
         successors = adjacency[frontier].any(axis=0)
         frontier = successors & ~reached
@@ -189,10 +257,13 @@ def expected_absorption_time(
     Eq. 5).  Returns 0 on target states and ``inf`` on states that cannot
     reach the target set at all.
 
-    Solves ``t = 1 + P_TT t`` over the non-target states with a dense
-    linear solve (falls back to ``inf`` if the system is singular, which
-    happens exactly when some non-target state never reaches a target).
+    Solves ``t = 1 + P_TT t`` over the non-target states with a linear
+    solve — dense or sparse to match the chain (falls back to ``inf`` if
+    the system is singular, which happens exactly when some non-target
+    state never reaches a target).
     """
+    if sp.issparse(chain):
+        return _expected_absorption_time_sparse(chain, targets)
     chain = np.asarray(chain, dtype=float)
     n = chain.shape[0]
     if targets is None:
@@ -215,5 +286,36 @@ def expected_absorption_time(
         solution = np.linalg.solve(system, np.ones(solvable.size))
     except np.linalg.LinAlgError:
         solution = np.full(solvable.size, np.inf)
+    times[solvable] = solution
+    return times
+
+
+def _expected_absorption_time_sparse(
+    chain, targets: np.ndarray | None
+) -> np.ndarray:
+    n = chain.shape[0]
+    chain = chain.tocsr()
+    if targets is None:
+        target_mask = classify_chain(chain).recurrent
+    else:
+        target_mask = np.asarray(targets, dtype=bool).copy()
+    times = np.zeros(n)
+    outside = np.flatnonzero(~target_mask)
+    if outside.size == 0:
+        return times
+    can_reach = reachable_set(chain.T, target_mask)
+    hopeless = ~can_reach & ~target_mask
+    times[hopeless] = np.inf
+    solvable = np.flatnonzero(~target_mask & can_reach)
+    if solvable.size == 0:
+        return times
+    sub = chain[solvable][:, solvable]
+    system = (sp.identity(solvable.size, format="csc") - sub).tocsc()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", spla.MatrixRankWarning)
+        try:
+            solution = spla.spsolve(system, np.ones(solvable.size))
+        except (spla.MatrixRankWarning, RuntimeError):
+            solution = np.full(solvable.size, np.inf)
     times[solvable] = solution
     return times

@@ -4,6 +4,11 @@ An MDP is the tuple ``(S, A, p(.|s,a), r(s,a))`` of Section 2.  States and
 actions carry human-readable labels because recovery models are built from
 named components and named recovery actions, and every report in the
 experiment harness prints those names.
+
+Transitions and rewards may be dense ndarrays (the default) or the sparse
+shared-structure containers of :mod:`repro.linalg` — a single validated
+construction path accepts both, and :attr:`MDP.backend` reports which one
+a model uses.
 """
 
 from __future__ import annotations
@@ -13,6 +18,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.linalg.backends import Backend, backend_of
+from repro.linalg.containers import SparseTransitions, StructuredRewards
+from repro.linalg.ops import mean_transition_matrix, rewards_mean_over_actions
 from repro.util.validation import check_stochastic_matrix
 
 
@@ -22,51 +30,108 @@ def _default_labels(prefix: str, count: int) -> tuple[str, ...]:
 
 def _check_unique(labels: tuple[str, ...], kind: str) -> None:
     if len(set(labels)) != len(labels):
-        raise ModelError(f"{kind} labels must be unique, got {labels}")
+        shown = labels if len(labels) <= 32 else labels[:32] + ("...",)
+        raise ModelError(f"{kind} labels must be unique, got {shown}")
+
+
+def _validate_model_arrays(transitions, rewards, *, observations=None):
+    """Single validated construction path for both backends.
+
+    Returns ``(transitions, observations, rewards, shape)`` where ``shape``
+    is ``(n_actions, n_states, n_observations | None)``.  Dense ndarray
+    inputs are coerced to float and checked row-by-row exactly as before;
+    sparse containers validate their base + override structure instead
+    (each effective row checked once, never densified).
+    """
+    if isinstance(transitions, SparseTransitions):
+        transitions.validate("transitions")
+        n_actions, n_states, _ = transitions.shape
+        n_observations = None
+        if observations is not None:
+            if observations.shape[:2] != (n_actions, n_states):
+                raise ModelError(
+                    "observations must cover "
+                    f"({n_actions}, {n_states}, ...), got {observations.shape}"
+                )
+            observations.validate("observations")
+            n_observations = observations.shape[2]
+        if isinstance(rewards, StructuredRewards):
+            rewards.validate("rewards")
+        else:
+            rewards = np.asarray(rewards, dtype=float)
+        if rewards.shape != (n_actions, n_states):
+            raise ModelError(
+                f"rewards must have shape ({n_actions}, {n_states}), "
+                f"got {rewards.shape}"
+            )
+        return transitions, observations, rewards, (n_actions, n_states, n_observations)
+
+    transitions = np.asarray(transitions, dtype=float)
+    if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
+        raise ModelError(
+            f"transitions must have shape (|A|, |S|, |S|), got {transitions.shape}"
+        )
+    n_actions, n_states, _ = transitions.shape
+    n_observations = None
+    if observations is not None:
+        observations = np.asarray(observations, dtype=float)
+        if observations.ndim != 3 or observations.shape[:2] != (n_actions, n_states):
+            raise ModelError(
+                "observations must have shape (|A|, |S|, |O|) = "
+                f"({n_actions}, {n_states}, ...), got {observations.shape}"
+            )
+        n_observations = observations.shape[2]
+    if isinstance(rewards, StructuredRewards):
+        rewards = rewards.full()
+    rewards = np.asarray(rewards, dtype=float)
+    if rewards.shape != (n_actions, n_states):
+        raise ModelError(
+            f"rewards must have shape ({n_actions}, {n_states}), "
+            f"got {rewards.shape}"
+        )
+    for a in range(n_actions):
+        check_stochastic_matrix(transitions[a], name=f"transitions[{a}]")
+        if observations is not None:
+            check_stochastic_matrix(observations[a], name=f"observations[{a}]")
+    return transitions, observations, rewards, (n_actions, n_states, n_observations)
 
 
 @dataclass(frozen=True)
 class MDP:
-    """A finite MDP with dense transition and reward arrays.
+    """A finite MDP with dense or sparse transition and reward storage.
 
     Attributes:
-        transitions: array of shape ``(|A|, |S|, |S|)``;
-            ``transitions[a, s, s']`` is ``p(s'|s, a)``.  Every
-            ``transitions[a]`` must be row-stochastic.
-        rewards: array of shape ``(|A|, |S|)``; ``rewards[a, s]`` is
-            ``r(s, a)``.  Recovery models use non-positive rewards (costs)
-            but the MDP type itself does not require that.
+        transitions: ``(|A|, |S|, |S|)`` ndarray (``transitions[a, s, s']``
+            is ``p(s'|s, a)``, every ``transitions[a]`` row-stochastic) or a
+            :class:`repro.linalg.SparseTransitions` container.
+        rewards: ``(|A|, |S|)`` ndarray (``rewards[a, s]`` is ``r(s, a)``)
+            or a :class:`repro.linalg.StructuredRewards` container.
+            Recovery models use non-positive rewards (costs) but the MDP
+            type itself does not require that.
         state_labels: one label per state.
         action_labels: one label per action.
         discount: the discounting factor ``beta`` in ``[0, 1]``.  Recovery
             models use the undiscounted criterion ``beta = 1`` (Section 2).
     """
 
-    transitions: np.ndarray
-    rewards: np.ndarray
+    transitions: np.ndarray | SparseTransitions
+    rewards: np.ndarray | StructuredRewards
     state_labels: tuple[str, ...] = ()
     action_labels: tuple[str, ...] = ()
     discount: float = 1.0
-    _state_index: dict = field(init=False, repr=False, compare=False, default=None)
-    _action_index: dict = field(init=False, repr=False, compare=False, default=None)
+    _state_index: dict[str, int] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _action_index: dict[str, int] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self):
-        transitions = np.asarray(self.transitions, dtype=float)
-        rewards = np.asarray(self.rewards, dtype=float)
-        if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
-            raise ModelError(
-                f"transitions must have shape (|A|, |S|, |S|), got {transitions.shape}"
-            )
-        n_actions, n_states, _ = transitions.shape
+        transitions, _, rewards, (n_actions, n_states, _) = _validate_model_arrays(
+            self.transitions, self.rewards
+        )
         if n_actions == 0 or n_states == 0:
             raise ModelError("an MDP needs at least one state and one action")
-        if rewards.shape != (n_actions, n_states):
-            raise ModelError(
-                f"rewards must have shape (|A|, |S|) = ({n_actions}, {n_states}), "
-                f"got {rewards.shape}"
-            )
-        for a in range(n_actions):
-            check_stochastic_matrix(transitions[a], name=f"transitions[{a}]")
         if not 0.0 <= self.discount <= 1.0:
             raise ModelError(f"discount must be in [0, 1], got {self.discount}")
 
@@ -104,32 +169,46 @@ class MDP:
         """Number of actions ``|A|``."""
         return self.transitions.shape[0]
 
+    @property
+    def backend(self) -> Backend:
+        """The storage backend this model uses (dense or sparse)."""
+        return backend_of(self.transitions)
+
     def state_index(self, label: str) -> int:
         """Index of the state with ``label`` (KeyError if unknown)."""
+        assert self._state_index is not None
         return self._state_index[label]
 
     def action_index(self, label: str) -> int:
         """Index of the action with ``label`` (KeyError if unknown)."""
+        assert self._action_index is not None
         return self._action_index[label]
 
-    def uniform_chain(self) -> tuple[np.ndarray, np.ndarray]:
+    def uniform_chain(self):
         """The Markov reward chain of the uniformly-random policy.
 
         This is the chain that defines the RA-Bound (Section 3.1): every
         action is chosen with probability ``1/|A|`` regardless of state.
         Returns ``(P, r)`` where ``P[s, s']`` is the chain's transition
-        probability and ``r[s]`` its expected single-step reward.
+        probability and ``r[s]`` its expected single-step reward; on the
+        sparse backend ``P`` is a CSR matrix built without densifying.
         """
-        chain = self.transitions.mean(axis=0)
-        reward = self.rewards.mean(axis=0)
+        chain = mean_transition_matrix(self.transitions)
+        reward = rewards_mean_over_actions(self.rewards)
         return chain, reward
 
     def policy_chain(self, policy: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """The Markov reward chain induced by a deterministic ``policy``.
 
         ``policy[s]`` is the action index chosen in state ``s``.  Returns
-        ``(P, r)`` as in :meth:`uniform_chain`.
+        ``(P, r)`` as in :meth:`uniform_chain`.  Dense backend only — the
+        fancy-indexed gather has no sparse counterpart yet.
         """
+        if self.backend.is_sparse:
+            raise ModelError(
+                "policy_chain requires the dense backend; densify the model "
+                "first (repro.linalg.densify_transitions)"
+            )
         policy = np.asarray(policy, dtype=int)
         if policy.shape != (self.n_states,):
             raise ModelError(

@@ -11,6 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import BeliefError
+from repro.linalg.ops import (
+    observation_column,
+    observation_matrix_dense,
+    observation_probabilities_from_predicted,
+    predict,
+    reward_row,
+)
 from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
 
@@ -46,7 +53,7 @@ def point_belief(pomdp: POMDP, state: int) -> np.ndarray:
 
 def predicted_belief(pomdp: POMDP, belief: np.ndarray, action: int) -> np.ndarray:
     """The pre-observation next-state distribution ``sum_s p(.|s,a) pi(s)``."""
-    return belief @ pomdp.transitions[action]
+    return predict(pomdp.transitions, belief, action)
 
 
 def observation_probabilities(
@@ -57,7 +64,9 @@ def observation_probabilities(
     ``gamma[o]`` is the probability of observing ``o`` after choosing
     ``action`` in ``belief``.
     """
-    return predicted_belief(pomdp, belief, action) @ pomdp.observations[action]
+    return observation_probabilities_from_predicted(
+        pomdp.observations, predicted_belief(pomdp, belief, action), action
+    )
 
 
 def update_belief(
@@ -71,7 +80,7 @@ def update_belief(
     mismatch the caller must handle.
     """
     predicted = predicted_belief(pomdp, belief, action)
-    joint = predicted * pomdp.observations[action][:, observation]
+    joint = predicted * observation_column(pomdp.observations, action, observation)
     total = joint.sum()
     if total <= GAMMA_EPSILON:
         raise BeliefError(
@@ -103,7 +112,9 @@ def next_beliefs(
         joint = cache.joint(belief, action)  # (|S|, |O|)
     else:
         predicted = predicted_belief(pomdp, belief, action)
-        joint = predicted[:, None] * pomdp.observations[action]
+        joint = predicted[:, None] * observation_matrix_dense(
+            pomdp.observations, action
+        )
     gamma = joint.sum(axis=0)
     reachable = np.flatnonzero(gamma > epsilon)
     posteriors = (joint[:, reachable] / gamma[reachable]).T
@@ -112,6 +123,8 @@ def next_beliefs(
 
 def belief_reward(pomdp: POMDP, belief: np.ndarray, action: int) -> float:
     """Expected single-step reward ``pi . r(a)`` of ``action`` in ``belief``."""
+    if pomdp.backend.is_sparse:
+        return float(reward_row(pomdp.rewards, action) @ belief)
     return float(belief @ pomdp.rewards[action])
 
 

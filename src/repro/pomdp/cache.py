@@ -29,16 +29,39 @@ two-product path, so memory use stays bounded on very large models.
 
 from __future__ import annotations
 
+import os
 import weakref
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.model import POMDP
 
-#: Upper limit on the bytes a single model's factor tensors may occupy
-#: (both layouts together).  Past this, caching is declined.
+#: Default upper limit on the bytes a single model's factor tensors may
+#: occupy (both layouts together).  Past this, caching is declined.  The
+#: effective limit is resolved per call by :func:`max_cache_bytes`: an
+#: explicit ``max_bytes`` argument wins, then the ``REPRO_MAX_CACHE_BYTES``
+#: environment variable, then this default.
 MAX_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Environment variable overriding :data:`MAX_CACHE_BYTES`.
+MAX_CACHE_BYTES_ENV = "REPRO_MAX_CACHE_BYTES"
+
+
+def max_cache_bytes(max_bytes: int | None = None) -> int:
+    """Resolve the effective cache budget.
+
+    Precedence: the ``max_bytes`` argument (callers and constructors),
+    then ``REPRO_MAX_CACHE_BYTES`` in the environment, then the
+    :data:`MAX_CACHE_BYTES` default.
+    """
+    if max_bytes is not None:
+        return int(max_bytes)
+    from_env = os.environ.get(MAX_CACHE_BYTES_ENV)
+    if from_env is not None:
+        return int(from_env)
+    return MAX_CACHE_BYTES
 
 
 class JointFactorCache:
@@ -51,7 +74,8 @@ class JointFactorCache:
     * ``_stacked`` has shape ``(|S|, |A|*|S'|*|O|)``.
     """
 
-    def __init__(self, pomdp: POMDP):
+    def __init__(self, pomdp: POMDP, max_bytes: int | None = None):
+        self.max_bytes = max_cache_bytes(max_bytes)
         n_actions = pomdp.n_actions
         n_states = pomdp.n_states
         n_observations = pomdp.n_observations
@@ -89,8 +113,91 @@ class JointFactorCache:
         )
 
 
+class SparseJointFactorCache:
+    """Per-action CSR joint factors ``p(s', o | s, a)`` for a sparse POMDP.
+
+    The dense cache flattens ``F_a`` into contiguous GEMV operands; on the
+    sparse backend the same tensor is the per-action CSR product of ``T_a``
+    with the observation matrix, built row-expansion style without ever
+    densifying: entry ``(s, s')`` of ``T_a`` fans out into the non-zeros of
+    observation row ``s'``, landing at flattened column ``s' * |O| + o``.
+    ``joint``/``joint_all`` return dense arrays shaped exactly like the
+    dense cache's, so every downstream consumer is backend-agnostic.
+    """
+
+    def __init__(self, pomdp: POMDP, max_bytes: int | None = None):
+        self.max_bytes = max_cache_bytes(max_bytes)
+        self.n_actions = pomdp.n_actions
+        self.n_states = pomdp.n_states
+        self.n_observations = pomdp.n_observations
+        self._factors = [
+            _sparse_joint_factor(
+                pomdp.transitions.action_matrix(action),
+                pomdp.observations.matrix(action),
+            )
+            for action in range(pomdp.n_actions)
+        ]
+        self._model_ref = weakref.ref(pomdp)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory the cached CSR factors occupy."""
+        return sum(
+            factor.data.nbytes + factor.indices.nbytes + factor.indptr.nbytes
+            for factor in self._factors
+        )
+
+    def joint(self, belief: np.ndarray, action: int) -> np.ndarray:
+        """``joint[s', o]`` for one action at ``belief``; shape ``(|S'|, |O|)``."""
+        flat = np.asarray(self._factors[action].T @ belief).ravel()
+        return flat.reshape(self.n_states, self.n_observations)
+
+    def joint_all(self, belief: np.ndarray) -> np.ndarray:
+        """Every action's joint at once; shape ``(|A|, |S'|, |O|)``."""
+        out = np.empty((self.n_actions, self.n_states, self.n_observations))
+        for action in range(self.n_actions):
+            out[action] = self.joint(belief, action)
+        return out
+
+
+def _sparse_joint_factor(
+    transition: sp.csr_matrix, observation: sp.csr_matrix
+) -> sp.csr_matrix:
+    """CSR ``(|S|, |S'|*|O|)`` with ``F[s, s'*|O| + o] = p(s'|s) q(o|s')``."""
+    t = transition.tocoo()
+    obs = observation.tocsr()
+    n_observations = obs.shape[1]
+    counts = np.diff(obs.indptr)[t.col]
+    rows = np.repeat(t.row, counts)
+    # Flattened observation indices of each destination state's non-zeros.
+    starts = obs.indptr[t.col]
+    offsets = np.arange(counts.sum()) - np.repeat(
+        np.cumsum(counts) - counts, counts
+    )
+    obs_pos = np.repeat(starts, counts) + offsets
+    cols = np.repeat(t.col, counts) * n_observations + obs.indices[obs_pos]
+    data = np.repeat(t.data, counts) * obs.data[obs_pos]
+    return sp.csr_matrix(
+        (data, (rows, cols)),
+        shape=(transition.shape[0], transition.shape[1] * n_observations),
+    )
+
+
 def cache_size_bytes(pomdp: POMDP) -> int:
-    """Bytes :class:`JointFactorCache` would need for ``pomdp`` (both layouts)."""
+    """Bytes the factor cache would need for ``pomdp``.
+
+    Dense backend: both flattened layouts,
+    ``2 * 8 * |A| * |S|^2 * |O|``.  Sparse backend: a CSR estimate from the
+    stored non-zero counts (each transition entry fans out into at most the
+    densest observation row, 12 bytes per CSR non-zero).
+    """
+    if pomdp.backend.is_sparse:
+        transitions = pomdp.transitions
+        obs_nnz_per_row = max(
+            1, int(np.diff(pomdp.observations.base.indptr).max(initial=1))
+        )
+        t_nnz = transitions.base.nnz * transitions.n_actions + transitions.rows.nnz
+        return 12 * t_nnz * obs_nnz_per_row
     return (
         2
         * 8
@@ -104,24 +211,25 @@ def cache_size_bytes(pomdp: POMDP) -> int:
 #: Live caches keyed by model identity (the model may be unhashable, so the
 #: registry keys on ``id``; a finalizer removes the entry when the model is
 #: collected, and identity is re-checked on every hit to survive id reuse).
-_CACHES: dict[int, JointFactorCache] = {}
+_CACHES: dict[int, JointFactorCache | SparseJointFactorCache] = {}
 
 
 def get_joint_cache(
     pomdp: POMDP, max_bytes: int | None = None
-) -> JointFactorCache | None:
+) -> JointFactorCache | SparseJointFactorCache | None:
     """The shared factor cache for ``pomdp``, or ``None`` when too large.
 
     The first call for a model builds the cache (an ``O(|A| |S|^2 |O|)``
-    one-off); subsequent calls return the same object.  ``max_bytes``
-    overrides :data:`MAX_CACHE_BYTES` for callers that want a different
-    memory budget.
+    one-off on the dense backend, a CSR product per action on the sparse
+    one); subsequent calls return the same object.  ``max_bytes`` overrides
+    the resolved budget (see :func:`max_cache_bytes`) for callers that want
+    a different one.
     """
     # Cache outcomes are *process-local* telemetry: a build happens once per
     # process per model, so hit/build/decline splits legitimately vary with
     # the campaign worker count (unlike the deterministic counters).
     telemetry = telemetry_active()
-    limit = MAX_CACHE_BYTES if max_bytes is None else max_bytes
+    limit = max_cache_bytes(max_bytes)
     required = cache_size_bytes(pomdp)
     if required > limit:
         if telemetry is not None:
@@ -130,6 +238,8 @@ def get_joint_cache(
                 "cache_decline",
                 n_states=pomdp.n_states,
                 required_bytes=required,
+                limit_bytes=limit,
+                backend=pomdp.backend.name,
             )
         return None
     key = id(pomdp)
@@ -138,7 +248,10 @@ def get_joint_cache(
         if telemetry is not None:
             telemetry.count_process("cache.hits")
         return cache
-    cache = JointFactorCache(pomdp)
+    if pomdp.backend.is_sparse:
+        cache = SparseJointFactorCache(pomdp, max_bytes=limit)
+    else:
+        cache = JointFactorCache(pomdp, max_bytes=limit)
     _CACHES[key] = cache
     weakref.finalize(pomdp, _CACHES.pop, key, None)
     if telemetry is not None:

@@ -5,6 +5,12 @@ observation function ``q(o|s, a)``: the probability of observing ``o`` when
 the system *arrives* in state ``s`` as a result of action ``a`` (Section 2).
 In the recovery setting, observations are the joint outputs of the system's
 monitors.
+
+Like :class:`repro.mdp.MDP`, the tensors may be dense ndarrays or the
+sparse containers of :mod:`repro.linalg`; both go through the same
+validated construction path, and every consumer dispatches through
+:mod:`repro.linalg.ops` so the belief-side hot paths run natively on
+either backend.
 """
 
 from __future__ import annotations
@@ -14,62 +20,70 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ModelError
-from repro.mdp.model import MDP, _check_unique, _default_labels
-from repro.util.validation import check_stochastic_matrix
+from repro.linalg.backends import Backend, backend_of
+from repro.linalg.containers import (
+    SparseObservations,
+    SparseTransitions,
+    StructuredRewards,
+)
+from repro.mdp.model import (
+    MDP,
+    _check_unique,
+    _default_labels,
+    _validate_model_arrays,
+)
 
 
 @dataclass(frozen=True)
 class POMDP:
-    """A finite POMDP with dense arrays.
+    """A finite POMDP with dense or sparse tensor storage.
 
     Attributes:
-        transitions: ``(|A|, |S|, |S|)`` array; ``transitions[a, s, s']`` is
-            ``p(s'|s, a)``.
-        observations: ``(|A|, |S|, |O|)`` array; ``observations[a, s', o]``
-            is ``q(o|s', a)`` — note the state index is the *arrival* state.
-        rewards: ``(|A|, |S|)`` array; ``rewards[a, s]`` is ``r(s, a)``.
+        transitions: ``(|A|, |S|, |S|)`` array (``transitions[a, s, s']`` is
+            ``p(s'|s, a)``) or :class:`repro.linalg.SparseTransitions`.
+        observations: ``(|A|, |S|, |O|)`` array (``observations[a, s', o]``
+            is ``q(o|s', a)`` — note the state index is the *arrival* state)
+            or :class:`repro.linalg.SparseObservations`.
+        rewards: ``(|A|, |S|)`` array (``rewards[a, s]`` is ``r(s, a)``) or
+            :class:`repro.linalg.StructuredRewards`.
         state_labels / action_labels / observation_labels: display names.
         discount: ``beta``; recovery models use 1.0 (undiscounted).
+
+    The three tensors must share one backend: all dense ndarrays, or all
+    sparse containers.
     """
 
-    transitions: np.ndarray
-    observations: np.ndarray
-    rewards: np.ndarray
+    transitions: np.ndarray | SparseTransitions
+    observations: np.ndarray | SparseObservations
+    rewards: np.ndarray | StructuredRewards
     state_labels: tuple[str, ...] = ()
     action_labels: tuple[str, ...] = ()
     observation_labels: tuple[str, ...] = ()
     discount: float = 1.0
-    _state_index: dict = field(init=False, repr=False, compare=False, default=None)
-    _action_index: dict = field(init=False, repr=False, compare=False, default=None)
-    _observation_index: dict = field(
+    _state_index: dict[str, int] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _action_index: dict[str, int] | None = field(
+        init=False, repr=False, compare=False, default=None
+    )
+    _observation_index: dict[str, int] | None = field(
         init=False, repr=False, compare=False, default=None
     )
 
     def __post_init__(self):
-        transitions = np.asarray(self.transitions, dtype=float)
-        observations = np.asarray(self.observations, dtype=float)
-        rewards = np.asarray(self.rewards, dtype=float)
-        if transitions.ndim != 3 or transitions.shape[1] != transitions.shape[2]:
+        sparse_transitions = isinstance(self.transitions, SparseTransitions)
+        if sparse_transitions != isinstance(self.observations, SparseObservations):
             raise ModelError(
-                f"transitions must have shape (|A|, |S|, |S|), got {transitions.shape}"
+                "transitions and observations must use the same backend "
+                "(mixing dense arrays with sparse containers is not supported)"
             )
-        n_actions, n_states, _ = transitions.shape
-        if observations.ndim != 3 or observations.shape[:2] != (n_actions, n_states):
-            raise ModelError(
-                "observations must have shape (|A|, |S|, |O|) = "
-                f"({n_actions}, {n_states}, ...), got {observations.shape}"
-            )
-        n_observations = observations.shape[2]
+        transitions, observations, rewards, shape = _validate_model_arrays(
+            self.transitions, self.rewards, observations=self.observations
+        )
+        n_actions, n_states, n_observations = shape
+        assert n_observations is not None
         if n_observations == 0:
             raise ModelError("a POMDP needs at least one observation")
-        if rewards.shape != (n_actions, n_states):
-            raise ModelError(
-                f"rewards must have shape ({n_actions}, {n_states}), "
-                f"got {rewards.shape}"
-            )
-        for a in range(n_actions):
-            check_stochastic_matrix(transitions[a], name=f"transitions[{a}]")
-            check_stochastic_matrix(observations[a], name=f"observations[{a}]")
         if not 0.0 <= self.discount <= 1.0:
             raise ModelError(f"discount must be in [0, 1], got {self.discount}")
 
@@ -120,16 +134,24 @@ class POMDP:
         """Number of observations ``|O|``."""
         return self.observations.shape[2]
 
+    @property
+    def backend(self) -> Backend:
+        """The storage backend this model uses (dense or sparse)."""
+        return backend_of(self.transitions)
+
     def state_index(self, label: str) -> int:
         """Index of the state labelled ``label``."""
+        assert self._state_index is not None
         return self._state_index[label]
 
     def action_index(self, label: str) -> int:
         """Index of the action labelled ``label``."""
+        assert self._action_index is not None
         return self._action_index[label]
 
     def observation_index(self, label: str) -> int:
         """Index of the observation labelled ``label``."""
+        assert self._observation_index is not None
         return self._observation_index[label]
 
     def to_mdp(self) -> MDP:
@@ -137,6 +159,7 @@ class POMDP:
 
         This is the exponentially smaller model on which the RA-Bound is
         computed (Section 3.1) and on which the oracle controller operates.
+        The backend carries over: a sparse POMDP yields a sparse MDP.
         """
         return MDP(
             transitions=self.transitions,
@@ -161,5 +184,6 @@ class POMDP:
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"POMDP(|S|={self.n_states}, |A|={self.n_actions}, "
-            f"|O|={self.n_observations}, discount={self.discount})"
+            f"|O|={self.n_observations}, discount={self.discount}, "
+            f"backend={self.backend.name})"
         )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.exceptions import ControllerError
+from repro.linalg.ops import observation_row, reward_scalar, transition_row
 from repro.pomdp.model import POMDP
 from repro.util.rng import as_generator
 
@@ -65,7 +66,7 @@ class POMDPSimulator:
         Used for the *initial* observation of an episode, where monitors run
         before any recovery action has been taken.
         """
-        distribution = self.pomdp.observations[action, self.state]
+        distribution = observation_row(self.pomdp.observations, action, self.state)
         return int(self._rng.choice(self.pomdp.n_observations, p=distribution))
 
     def step(self, action: int) -> StepResult:
@@ -75,10 +76,12 @@ class POMDPSimulator:
                 f"action {action} out of range for {self.pomdp.n_actions} actions"
             )
         origin = self.state
-        reward = float(self.pomdp.rewards[action, origin])
-        transition = self.pomdp.transitions[action, origin]
+        reward = reward_scalar(self.pomdp.rewards, action, origin)
+        transition = transition_row(self.pomdp.transitions, action, origin)
         arrival = int(self._rng.choice(self.pomdp.n_states, p=transition))
-        observation_distribution = self.pomdp.observations[action, arrival]
+        observation_distribution = observation_row(
+            self.pomdp.observations, action, arrival
+        )
         observation = int(
             self._rng.choice(self.pomdp.n_observations, p=observation_distribution)
         )

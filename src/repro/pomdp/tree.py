@@ -26,9 +26,26 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.linalg.ops import (
+    observation_matrix_dense,
+    predict,
+    rewards_matvec,
+)
 from repro.pomdp.belief import GAMMA_EPSILON
-from repro.pomdp.cache import JointFactorCache, get_joint_cache
+from repro.pomdp.cache import JointFactorCache, SparseJointFactorCache, get_joint_cache
 from repro.pomdp.model import POMDP
+
+#: Root values within this of the maximum count as tied.  Ties break toward
+#: the lowest action index; the tolerance (rather than exact argmax) keeps
+#: the winning action identical across storage backends, whose bound vectors
+#: agree only to solver precision (~1e-13), not bit-for-bit.
+DECISION_TIE_EPSILON = 1e-9
+
+
+def _best_action(action_values: np.ndarray) -> int:
+    """Lowest-index action within :data:`DECISION_TIE_EPSILON` of the max."""
+    best = np.max(action_values)
+    return int(np.flatnonzero(action_values >= best - DECISION_TIE_EPSILON)[0])
 
 
 class LeafValue(Protocol):
@@ -67,14 +84,16 @@ def _children(
     pomdp: POMDP,
     belief: np.ndarray,
     action: int,
-    cache: JointFactorCache | None = None,
+    cache: JointFactorCache | SparseJointFactorCache | None = None,
 ):
     """Reachable ``(gamma, posteriors)`` for one action, pruned by gamma."""
     if cache is not None:
         joint = cache.joint(belief, action)
     else:
-        predicted = belief @ pomdp.transitions[action]
-        joint = predicted[:, None] * pomdp.observations[action]
+        predicted = predict(pomdp.transitions, belief, action)
+        joint = predicted[:, None] * observation_matrix_dense(
+            pomdp.observations, action
+        )
     gamma = joint.sum(axis=0)
     reachable = gamma > GAMMA_EPSILON
     posteriors = (joint[:, reachable] / gamma[reachable]).T
@@ -84,7 +103,7 @@ def _children(
 def _children_all(
     pomdp: POMDP,
     belief: np.ndarray,
-    cache: JointFactorCache | None,
+    cache: JointFactorCache | SparseJointFactorCache | None,
     action_mask: np.ndarray | None = None,
 ):
     """Per-action ``(gamma, posteriors)`` for every (allowed) action.
@@ -161,11 +180,18 @@ def expand_tree(
     if depth < 1:
         raise ValueError(f"depth must be >= 1, got {depth}")
     cache = get_joint_cache(pomdp)
+    if (
+        depth == 1
+        and cache is None
+        and pomdp.backend.is_sparse
+        and getattr(leaf, "vectors", None) is not None
+    ):
+        return _expand_depth1_sparse(pomdp, belief, leaf, allowed_actions)
     counters = {"leaves": 0, "nodes": 0}
 
     def node_value(node_belief: np.ndarray, remaining: int) -> float:
         counters["nodes"] += 1
-        rewards = pomdp.rewards @ node_belief
+        rewards = rewards_matvec(pomdp.rewards, node_belief)
         children = _children_all(pomdp, node_belief, cache)
         if remaining == 1:
             futures = _batched_leaf_values(children, leaf)
@@ -189,7 +215,7 @@ def expand_tree(
         return best
 
     counters["nodes"] += 1
-    rewards = pomdp.rewards @ belief
+    rewards = rewards_matvec(pomdp.rewards, belief)
     action_values = np.full(pomdp.n_actions, -np.inf)
     children = _children_all(pomdp, belief, cache, action_mask=allowed_actions)
     if depth == 1:
@@ -214,11 +240,111 @@ def expand_tree(
             gamma @ futures[action]
         )
 
-    best_action = int(np.argmax(action_values))
+    best_action = _best_action(action_values)
     return TreeDecision(
         action=best_action,
         value=float(action_values[best_action]),
         action_values=action_values,
         leaf_evaluations=counters["leaves"],
         nodes=counters["nodes"],
+    )
+
+
+def _expand_depth1_sparse(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    leaf: LeafValue,
+    allowed_actions: np.ndarray | None,
+) -> TreeDecision:
+    """Fused depth-1 expansion on the sparse backend (no factor cache).
+
+    At depth 1 with a linear-function leaf set ``B``, an action's value is
+
+        ``V(a) = r_a . pi + beta * sum_o max_b (pred_a * Z_a[:, o]) . b``
+
+    — the posterior normalisation ``1/gamma_a(o)`` cancels against the
+    Max-Avg weighting, so no posterior is ever materialised.  The base
+    quantities (prediction through the shared transition base, scores
+    through the shared observation matrix) are computed once per decision;
+    each action then contributes only a correction of the size of its
+    overrides.  Actions whose override rows carry no belief mass and that
+    observe through the base matrix reuse the base score unchanged, which
+    is what makes a 150,002-action decision tractable.
+
+    Leaf-usage accounting matches the generic path: the winning bound
+    vector of every reachable ``(a, o)`` branch is recorded via
+    ``leaf.record_wins`` when the leaf supports it.
+    """
+    vectors = np.atleast_2d(np.asarray(leaf.vectors, dtype=float))
+    transitions = pomdp.transitions
+    observations = pomdp.observations
+    base_obs = observations.base
+
+    pred_base = transitions.predict_base(belief)
+    corrections = transitions.correction_matrix(belief).tocsr()
+    gamma_base = np.asarray(base_obs.T @ pred_base).ravel()
+    scores_base = np.asarray(base_obs.T @ (vectors * pred_base).T).T  # (k, |O|)
+    reachable_base = gamma_base > GAMMA_EPSILON
+    if reachable_base.any():
+        branch_scores = scores_base[:, reachable_base]
+        winners_base = np.argmax(branch_scores, axis=0)
+        future_base = float(
+            branch_scores[winners_base, np.arange(winners_base.size)].sum()
+        )
+    else:
+        winners_base = np.zeros(0, dtype=int)
+        future_base = 0.0
+
+    rewards = rewards_matvec(pomdp.rewards, belief)
+    action_values = np.full(pomdp.n_actions, -np.inf)
+    all_winners: list[np.ndarray] = []
+    leaves = 0
+    indptr = corrections.indptr
+    for action in range(pomdp.n_actions):
+        if allowed_actions is not None and not allowed_actions[action]:
+            continue
+        start, stop = indptr[action], indptr[action + 1]
+        overridden_obs = action in observations.overrides
+        if start == stop and not overridden_obs:
+            action_values[action] = rewards[action] + pomdp.discount * future_base
+            all_winners.append(winners_base)
+            leaves += winners_base.size
+            continue
+        cols = corrections.indices[start:stop]
+        vals = corrections.data[start:stop]
+        if overridden_obs:
+            matrix = observations.matrix(action)
+            pred = pred_base.copy()
+            pred[cols] += vals
+            gamma = np.asarray(matrix.T @ pred).ravel()
+            scores = np.asarray(matrix.T @ (vectors * pred).T).T
+        else:
+            gamma = gamma_base + np.asarray(base_obs[cols].T @ vals).ravel()
+            scores = scores_base + np.asarray(
+                base_obs[cols].T @ (vectors[:, cols] * vals).T
+            ).T
+        reachable = gamma > GAMMA_EPSILON
+        if reachable.any():
+            branch_scores = scores[:, reachable]
+            winners = np.argmax(branch_scores, axis=0)
+            future = float(
+                branch_scores[winners, np.arange(winners.size)].sum()
+            )
+        else:
+            winners = np.zeros(0, dtype=int)
+            future = 0.0
+        action_values[action] = rewards[action] + pomdp.discount * future
+        all_winners.append(winners)
+        leaves += winners.size
+
+    record = getattr(leaf, "record_wins", None)
+    if record is not None and all_winners:
+        record(np.concatenate(all_winners))
+    best_action = _best_action(action_values)
+    return TreeDecision(
+        action=best_action,
+        value=float(action_values[best_action]),
+        action_values=action_values,
+        leaf_evaluations=leaves,
+        nodes=1,
     )

@@ -22,6 +22,7 @@ if TYPE_CHECKING:
 from repro.pomdp.model import POMDP
 from repro.recovery.model import (
     RecoveryModel,
+    convert_backend,
     make_null_absorbing,
     with_termination_action,
 )
@@ -366,6 +367,7 @@ class RecoveryModelBuilder:
         self,
         recovery_notification: bool | None = None,
         operator_response_time: float | None = None,
+        backend: str = "dense",
     ) -> RecoveryModel:
         """Assemble, check conditions, augment, and return a RecoveryModel.
 
@@ -375,6 +377,9 @@ class RecoveryModelBuilder:
                 function (:func:`detect_recovery_notification`).
             operator_response_time: ``t_op`` in seconds; required (and only
                 meaningful) for models without recovery notification.
+            backend: ``"dense"`` (default), ``"sparse"``, or ``"auto"``;
+                non-dense resolutions convert the finished model losslessly
+                via :func:`repro.recovery.convert_backend`.
         """
         pomdp, null_states, rate_rewards, durations, passive = self._assemble_pomdp()
         if recovery_notification is None:
@@ -387,7 +392,7 @@ class RecoveryModelBuilder:
                     "notification"
                 )
             augmented = make_null_absorbing(pomdp, null_states)
-            return RecoveryModel(
+            model = RecoveryModel(
                 pomdp=augmented,
                 null_states=null_states,
                 rate_rewards=rate_rewards,
@@ -395,6 +400,7 @@ class RecoveryModelBuilder:
                 passive_actions=passive,
                 recovery_notification=True,
             )
+            return convert_backend(model, backend)
 
         if operator_response_time is None:
             raise ModelError(
@@ -404,7 +410,7 @@ class RecoveryModelBuilder:
         augmented, terminate_state, terminate_action = with_termination_action(
             pomdp, null_states, rate_rewards, operator_response_time
         )
-        return RecoveryModel(
+        model = RecoveryModel(
             pomdp=augmented,
             null_states=np.append(null_states, False),
             rate_rewards=np.append(rate_rewards, 0.0),
@@ -415,3 +421,4 @@ class RecoveryModelBuilder:
             terminate_action=terminate_action,
             operator_response_time=operator_response_time,
         )
+        return convert_backend(model, backend)

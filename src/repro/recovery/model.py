@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.analysis.diagnostics import AnalysisReport
 from repro.analysis.passes import (
@@ -21,6 +22,21 @@ from repro.analysis.passes import (
 )
 from repro.analysis.view import ModelView
 from repro.exceptions import ModelError
+from repro.linalg.backends import (
+    densify_observations,
+    densify_rewards,
+    densify_transitions,
+    resolve_backend,
+    sparsify_observations,
+    sparsify_rewards,
+    sparsify_transitions,
+    transition_density,
+)
+from repro.linalg.containers import (
+    SparseObservations,
+    SparseTransitions,
+    StructuredRewards,
+)
 from repro.pomdp.model import POMDP
 
 #: Label given to the appended terminate state / action.
@@ -126,16 +142,88 @@ def null_absorbing_arrays(
     return transitions, rewards
 
 
+def _replace_rows_with_self_loops(matrix, row_states, null_mask):
+    """Rows of CSR ``matrix`` whose ``row_states`` entry is null become
+    ``e_{row_states[r]}`` self-loop rows; everything else is untouched."""
+    coo = matrix.tocoo()
+    null_rows = np.flatnonzero(null_mask[row_states])
+    keep = ~null_mask[row_states][coo.row] if coo.nnz else np.zeros(0, bool)
+    rows = np.concatenate([coo.row[keep], null_rows])
+    cols = np.concatenate([coo.col[keep], row_states[null_rows]])
+    data = np.concatenate([coo.data[keep], np.ones(null_rows.size)])
+    return sp.csr_matrix((data, (rows, cols)), shape=matrix.shape)
+
+
+def _null_absorbing_sparse(
+    transitions: SparseTransitions,
+    rewards,
+    null_states: np.ndarray,
+):
+    """Figure 2(a) on the sparse containers, without densifying."""
+    mask = np.asarray(null_states, dtype=bool)
+    n_states = transitions.n_states
+    n_actions = transitions.n_actions
+    new_base = _replace_rows_with_self_loops(
+        transitions.base, np.arange(n_states), mask
+    )
+    new_rows = _replace_rows_with_self_loops(
+        transitions.rows, transitions.row_state, mask
+    )
+    new_transitions = SparseTransitions(
+        base=new_base,
+        row_action=transitions.row_action,
+        row_state=transitions.row_state,
+        rows=new_rows,
+        n_actions=n_actions,
+    )
+    null_index = np.flatnonzero(mask)
+    if isinstance(rewards, StructuredRewards):
+        # Replacement overrides pin r(a, s) to exactly 0.0 on S_phi for
+        # every action; existing overrides at those positions are dropped
+        # first so the explicit zeros are authoritative.
+        coo = rewards.override.tocoo()
+        keep = ~mask[coo.col] if coo.nnz else np.zeros(0, bool)
+        zero_rows = np.repeat(np.arange(n_actions), null_index.size)
+        zero_cols = np.tile(null_index, n_actions)
+        new_override = sp.csr_matrix(
+            (
+                np.concatenate([coo.data[keep], np.zeros(zero_rows.size)]),
+                (
+                    np.concatenate([coo.row[keep], zero_rows]),
+                    np.concatenate([coo.col[keep], zero_cols]),
+                ),
+            ),
+            shape=rewards.override.shape,
+        )
+        new_rewards = StructuredRewards(
+            time_scale=rewards.time_scale,
+            rate=rewards.rate,
+            fixed=rewards.fixed,
+            override=new_override,
+        )
+    else:
+        new_rewards = np.asarray(rewards, dtype=float).copy()
+        new_rewards[:, null_index] = 0.0
+    return new_transitions, new_rewards
+
+
 def make_null_absorbing(pomdp: POMDP, null_states: np.ndarray) -> POMDP:
     """Figure 2(a): rewire every action in ``S_phi`` to a zero-reward self-loop.
 
     With recovery notification the controller stops on entering ``S_phi``,
     so nothing that happens "after" matters; making the null states
     absorbing and free encodes that and gives Eq. 5 a finite solution.
+    Works on both backends; the sparse path rewrites only the affected
+    base/override rows.
     """
-    transitions, rewards = null_absorbing_arrays(
-        pomdp.transitions, pomdp.rewards, null_states
-    )
+    if pomdp.backend.is_sparse:
+        transitions, rewards = _null_absorbing_sparse(
+            pomdp.transitions, pomdp.rewards, null_states
+        )
+    else:
+        transitions, rewards = null_absorbing_arrays(
+            pomdp.transitions, pomdp.rewards, null_states
+        )
     return POMDP(
         transitions=transitions,
         observations=pomdp.observations,
@@ -193,6 +281,160 @@ def termination_arrays(
     return new_transitions, new_observations, new_rewards
 
 
+def _pad_csr(matrix, shape) -> sp.csr_matrix:
+    """``matrix`` embedded top-left into a zero CSR of ``shape``."""
+    coo = matrix.tocoo()
+    return sp.csr_matrix((coo.data, (coo.row, coo.col)), shape=shape)
+
+
+def _uniform_observation_matrix(n_states: int, n_observations: int) -> sp.csr_matrix:
+    data = np.full(n_states * n_observations, 1.0 / n_observations)
+    indices = np.tile(np.arange(n_observations), n_states)
+    indptr = np.arange(n_states + 1) * n_observations
+    return sp.csr_matrix(
+        (data, indices, indptr), shape=(n_states, n_observations)
+    )
+
+
+def _append_uniform_row(matrix, n_observations: int) -> sp.csr_matrix:
+    """``matrix`` with one extra state row observing uniformly."""
+    padded = _pad_csr(matrix, (matrix.shape[0] + 1, n_observations))
+    uniform = sp.csr_matrix(
+        (
+            np.full(n_observations, 1.0 / n_observations),
+            (
+                np.full(n_observations, matrix.shape[0]),
+                np.arange(n_observations),
+            ),
+        ),
+        shape=padded.shape,
+    )
+    return (padded + uniform).tocsr()
+
+
+def _termination_containers(
+    transitions: SparseTransitions,
+    observations: SparseObservations,
+    rewards,
+    null_states: np.ndarray,
+    rate_rewards: np.ndarray,
+    operator_response_time: float,
+):
+    """Figure 2(b) on the sparse containers, without densifying.
+
+    ``s_T`` lands in the shared base (one absorbing row), and ``a_T``
+    becomes a block of ``|S| + 1`` override rows all pointing at ``s_T`` —
+    the same "one shared matrix plus exceptions" shape the rest of the
+    model uses, so a 300k-state augmentation stays a few megabytes.
+    """
+    n_actions, n_states, _ = transitions.shape
+    n_observations = observations.n_observations
+    s_t, a_t = n_states, n_actions
+
+    base = _pad_csr(transitions.base, (n_states + 1, n_states + 1))
+    base = (
+        base
+        + sp.csr_matrix(([1.0], ([s_t], [s_t])), shape=base.shape)
+    ).tocsr()
+    terminate_rows = sp.csr_matrix(
+        (
+            np.ones(n_states + 1),
+            (np.arange(n_states + 1), np.full(n_states + 1, s_t)),
+        ),
+        shape=(n_states + 1, n_states + 1),
+    )
+    new_transitions = SparseTransitions(
+        base=base,
+        row_action=np.concatenate(
+            [transitions.row_action, np.full(n_states + 1, a_t)]
+        ),
+        row_state=np.concatenate(
+            [transitions.row_state, np.arange(n_states + 1)]
+        ),
+        rows=sp.vstack(
+            [
+                _pad_csr(
+                    transitions.rows,
+                    (transitions.rows.shape[0], n_states + 1),
+                ),
+                terminate_rows,
+            ]
+        ).tocsr(),
+        n_actions=n_actions + 1,
+    )
+
+    new_observations = SparseObservations(
+        base=_append_uniform_row(observations.base, n_observations),
+        overrides={
+            **{
+                action: _append_uniform_row(matrix, n_observations)
+                for action, matrix in observations.overrides.items()
+            },
+            a_t: _uniform_observation_matrix(n_states + 1, n_observations),
+        },
+        n_actions=n_actions + 1,
+    )
+
+    term_rewards = termination_rewards(
+        rate_rewards, operator_response_time, null_states
+    )
+    if isinstance(rewards, StructuredRewards):
+        new_time_scale = np.append(rewards.time_scale, operator_response_time)
+        new_fixed = np.append(rewards.fixed, 0.0)
+        new_rate = np.append(rewards.rate, 0.0)
+        override = _pad_csr(rewards.override, (n_actions + 1, n_states + 1))
+        extra_rows, extra_cols, extra_data = [], [], []
+        # Original actions must be exactly free in s_T; the rank-one part
+        # gives -fixed[a] there (a negative zero when the fee is zero), so
+        # every original action gets an explicit 0.0 pin.
+        fee_actions = np.arange(n_actions)
+        extra_rows.append(fee_actions)
+        extra_cols.append(np.full(fee_actions.size, s_t))
+        extra_data.append(np.zeros(fee_actions.size))
+        # a_T must reproduce termination_rewards() bit-for-bit; pin every
+        # state where t_op * rate differs from it (null states, and any
+        # state whose structured rate is not the recovery rate).
+        base_row = np.ascontiguousarray(operator_response_time * rewards.rate)
+        mismatch = np.flatnonzero(
+            base_row.view(np.int64)
+            != np.ascontiguousarray(term_rewards).view(np.int64)
+        )
+        extra_rows.append(np.full(mismatch.size, a_t))
+        extra_cols.append(mismatch)
+        extra_data.append(term_rewards[mismatch])
+        extra = sp.csr_matrix(
+            (
+                np.concatenate(extra_data),
+                (np.concatenate(extra_rows), np.concatenate(extra_cols)),
+            ),
+            shape=override.shape,
+        )
+        ocoo = override.tocoo()
+        ecoo = extra.tocoo()
+        new_override = sp.csr_matrix(
+            (
+                np.concatenate([ocoo.data, ecoo.data]),
+                (
+                    np.concatenate([ocoo.row, ecoo.row]),
+                    np.concatenate([ocoo.col, ecoo.col]),
+                ),
+            ),
+            shape=override.shape,
+        )
+        new_rewards = StructuredRewards(
+            time_scale=new_time_scale,
+            rate=new_rate,
+            fixed=new_fixed,
+            override=new_override,
+        )
+    else:
+        dense = np.asarray(rewards, dtype=float)
+        new_rewards = np.zeros((n_actions + 1, n_states + 1))
+        new_rewards[:n_actions, :n_states] = dense
+        new_rewards[a_t, :n_states] = term_rewards
+    return new_transitions, new_observations, new_rewards
+
+
 def with_termination_action(
     pomdp: POMDP,
     null_states: np.ndarray,
@@ -211,14 +453,24 @@ def with_termination_action(
     """
     terminate_state = pomdp.n_states
     terminate_action = pomdp.n_actions
-    transitions, observations, rewards = termination_arrays(
-        pomdp.transitions,
-        pomdp.observations,
-        pomdp.rewards,
-        null_states,
-        rate_rewards,
-        operator_response_time,
-    )
+    if pomdp.backend.is_sparse:
+        transitions, observations, rewards = _termination_containers(
+            pomdp.transitions,
+            pomdp.observations,
+            pomdp.rewards,
+            null_states,
+            rate_rewards,
+            operator_response_time,
+        )
+    else:
+        transitions, observations, rewards = termination_arrays(
+            pomdp.transitions,
+            pomdp.observations,
+            pomdp.rewards,
+            null_states,
+            rate_rewards,
+            operator_response_time,
+        )
 
     augmented = POMDP(
         transitions=transitions,
@@ -353,3 +605,52 @@ class RecoveryModel:
         if self.terminate_state is not None:
             probability += float(belief[self.terminate_state])
         return probability
+
+
+def convert_backend(model: RecoveryModel, backend: str = "sparse") -> RecoveryModel:
+    """The same recovery model on a different storage backend.
+
+    Conversion is lossless in both directions (``sparsify_rewards`` stores
+    every entry as a bit-exact replacement override), so a converted model
+    produces identical campaign fingerprints.  ``backend`` accepts
+    ``"dense"``, ``"sparse"``, or ``"auto"`` (the PR 2 density heuristic).
+    """
+    pomdp = model.pomdp
+    resolved = resolve_backend(
+        backend,
+        pomdp.n_states,
+        density=transition_density(pomdp.transitions),
+    )
+    if resolved == pomdp.backend:
+        return model
+    if resolved.is_sparse:
+        converted = POMDP(
+            transitions=sparsify_transitions(pomdp.transitions),
+            observations=sparsify_observations(pomdp.observations),
+            rewards=sparsify_rewards(pomdp.rewards),
+            state_labels=pomdp.state_labels,
+            action_labels=pomdp.action_labels,
+            observation_labels=pomdp.observation_labels,
+            discount=pomdp.discount,
+        )
+    else:
+        converted = POMDP(
+            transitions=densify_transitions(pomdp.transitions),
+            observations=densify_observations(pomdp.observations),
+            rewards=densify_rewards(pomdp.rewards),
+            state_labels=pomdp.state_labels,
+            action_labels=pomdp.action_labels,
+            observation_labels=pomdp.observation_labels,
+            discount=pomdp.discount,
+        )
+    return RecoveryModel(
+        pomdp=converted,
+        null_states=model.null_states,
+        rate_rewards=model.rate_rewards,
+        durations=model.durations,
+        passive_actions=model.passive_actions,
+        recovery_notification=model.recovery_notification,
+        terminate_state=model.terminate_state,
+        terminate_action=model.terminate_action,
+        operator_response_time=model.operator_response_time,
+    )

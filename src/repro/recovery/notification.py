@@ -16,10 +16,23 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.linalg.containers import SparseObservations
 from repro.pomdp.model import POMDP
 
 #: Observation probabilities below this count as "cannot be generated".
 SUPPORT_EPSILON = 1e-12
+
+
+def _require_dense(pomdp) -> None:
+    # Duck-typed: callers also pass analyzer ModelViews, which carry the
+    # same tensor attributes but no backend property.
+    if isinstance(pomdp.observations, SparseObservations):
+        raise ModelError(
+            "recovery-notification detection scans the full observation "
+            "tensor and requires the dense backend; pass "
+            "recovery_notification explicitly when building sparse models, "
+            "or detect on the dense model before converting"
+        )
 
 
 def detect_recovery_notification(
@@ -40,6 +53,7 @@ def detect_recovery_notification(
         raise ModelError(
             f"null_states must be a mask of length {pomdp.n_states}"
         )
+    _require_dense(pomdp)
     for action in range(pomdp.n_actions):
         support = pomdp.observations[action] > SUPPORT_EPSILON  # (|S|, |O|)
         in_null = support[mask].any(axis=0)  # per observation
@@ -59,6 +73,7 @@ def ambiguous_observations(
     state can generate under that action.
     """
     mask = np.asarray(null_states, dtype=bool)
+    _require_dense(pomdp)
     pairs: list[tuple[int, int]] = []
     for action in range(pomdp.n_actions):
         support = pomdp.observations[action] > SUPPORT_EPSILON

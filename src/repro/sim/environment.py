@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.exceptions import ControllerError
+from repro.linalg.ops import reward_scalar
 from repro.pomdp.simulator import POMDPSimulator
 from repro.recovery.model import RecoveryModel
 from repro.util.rng import as_generator
@@ -131,7 +132,7 @@ class RecoveryEnvironment:
             # (zero once recovered, by construction of r(s, a_T)) — is
             # charged exactly once here; no transition or monitor sampling
             # happens, and the loop below never sees a_T.
-            reward = float(self.model.pomdp.rewards[action, self.state])
+            reward = reward_scalar(self.model.pomdp.rewards, action, self.state)
             self.cost += -reward
             if not was_recovered:
                 self.termination_penalty += -reward

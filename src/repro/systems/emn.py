@@ -169,6 +169,7 @@ def build_emn_system(
     path_monitor_coverage: float = PATH_MONITOR_COVERAGE,
     path_monitor_false_positive: float = PATH_MONITOR_FALSE_POSITIVE,
     include_crash_faults: bool = True,
+    backend: str = "dense",
 ) -> EMNSystem:
     """Generate the EMN recovery model with the paper's parameters.
 
@@ -188,6 +189,9 @@ def build_emn_system(
         path_monitor_coverage / _false_positive: path-monitor quality.
         include_crash_faults: drop the crash/host-crash states to get the
             zombie-only 6-state reduced model used in some tests.
+        backend: ``"dense"`` (default), ``"sparse"``, or ``"auto"``; the
+            finished model is converted losslessly, so both backends drive
+            identical campaigns (same fingerprints).
     """
     deployment = _build_deployment()
     paths = _build_paths(http_fraction)
@@ -282,6 +286,7 @@ def build_emn_system(
     model = builder.build(
         recovery_notification=False,
         operator_response_time=operator_response_time,
+        backend=backend,
     )
     return EMNSystem(
         model=model,

@@ -6,10 +6,13 @@ import numpy as np
 import pytest
 
 from repro.pomdp.cache import (
+    MAX_CACHE_BYTES,
+    MAX_CACHE_BYTES_ENV,
     JointFactorCache,
     cache_size_bytes,
     clear_caches,
     get_joint_cache,
+    max_cache_bytes,
 )
 from tests.conftest import random_pomdp
 
@@ -78,6 +81,22 @@ class TestRegistry:
     def test_size_gate_declines_large_models(self):
         pomdp = random_pomdp(np.random.default_rng(5))
         assert get_joint_cache(pomdp, max_bytes=8) is None
+
+    def test_budget_precedence(self, monkeypatch):
+        """Explicit max_bytes wins over REPRO_MAX_CACHE_BYTES, which wins
+        over the compile-time default."""
+        monkeypatch.delenv(MAX_CACHE_BYTES_ENV, raising=False)
+        assert max_cache_bytes() == MAX_CACHE_BYTES
+        monkeypatch.setenv(MAX_CACHE_BYTES_ENV, "12345")
+        assert max_cache_bytes() == 12345
+        assert max_cache_bytes(99) == 99
+
+    def test_env_var_declines_caching(self, monkeypatch):
+        monkeypatch.setenv(MAX_CACHE_BYTES_ENV, "8")
+        pomdp = random_pomdp(np.random.default_rng(8))
+        assert get_joint_cache(pomdp) is None
+        monkeypatch.delenv(MAX_CACHE_BYTES_ENV)
+        assert get_joint_cache(pomdp) is not None
 
     def test_cache_size_accounting(self):
         pomdp = random_pomdp(np.random.default_rng(6))
