@@ -1,27 +1,34 @@
-"""Perf snapshot for the parallel/sparse compute backend (BENCH_PR2.json).
+"""Perf snapshot for the measured hot paths (BENCH_PR2/PR4/PR5.json).
 
-Measures the three hot paths this PR optimises and writes the results to
-``BENCH_PR2.json`` at the repo root (schema documented in EXPERIMENTS.md):
+Measures the hot paths the perf PRs optimised and writes three snapshot
+documents (schemas documented in EXPERIMENTS.md):
 
-* **campaign** — episodes/second on the EMN Table 1 zombie campaign,
-  serial vs sharded across a worker pool, with the campaign fingerprints
-  compared (the determinism contract of :mod:`repro.sim.parallel`).
-* **ra_solve** — RA-Bound solve seconds by state count on the tiered
-  family, sparse backend vs the dense Gauss-Seidel reference (dense only
-  where it is feasible to densify).
-* **tree** — Max-Avg lookahead decisions/second with the joint-factor
-  cache and batched leaf evaluation.
+* ``BENCH_PR2.json`` (``bench-pr2/v1``) — **campaign** episodes/second on
+  the EMN Table 1 zombie campaign, serial vs sharded, with fingerprints
+  compared (the determinism contract of :mod:`repro.sim.parallel`);
+  **ra_solve** RA-Bound solve seconds by state count; **tree** Max-Avg
+  lookahead decisions/second.
+* ``BENCH_PR4.json`` (``bench-pr4/v1``) — dense-vs-sparse backend decision
+  latency/storage and cross-backend campaign parity.
+* ``BENCH_PR5.json`` (``repro-bench/v1``) — the *canonical* snapshot: the
+  same measurements normalised into the self-describing metric schema of
+  :mod:`repro.obs.bench`, which ``python -m repro.obs bench compare``
+  consumes.  This is the regression gate every future perf PR is judged
+  against.
 
 Usage::
 
-    python -m benchmarks.perf_snapshot            # write BENCH_PR2.json
+    python -m benchmarks.perf_snapshot            # write all three snapshots
     python -m benchmarks.perf_snapshot --check    # run everything, write nothing
+    python -m benchmarks.perf_snapshot --bench-dir DIR   # write into DIR
 
 ``--check`` is the CI smoke mode: it exercises every measured path and
 fails on crashes or determinism violations, never on timing (CI machines
 are too noisy for wall-clock assertions).  ``REPRO_BENCH_INJECTIONS``
 scales the campaign size down for smoke runs, exactly as in the pytest
-benchmarks.
+benchmarks.  ``--bench-dir`` redirects every snapshot into a scratch
+directory — use it to regenerate at full scale without clobbering the
+committed PR-era baselines (only the canonical file should move forward).
 """
 
 from __future__ import annotations
@@ -53,6 +60,10 @@ SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
 #: alongside the PR 2 snapshot, schema documented in EXPERIMENTS.md.
 BACKEND_SCHEMA = "bench-pr4/v1"
 BACKEND_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+
+#: Canonical snapshot (the PR 5 regression gate): every measurement above,
+#: normalised into ``repro-bench/v1`` metrics via :mod:`repro.obs.bench`.
+CANONICAL_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 #: Full-scale defaults (the acceptance configuration): a 1,000-injection
 #: campaign compared serial vs 4 workers.
@@ -216,12 +227,20 @@ def _dense_bytes_estimate(n_actions: int, n_states: int, n_observations: int) ->
 
 
 def _decision_seconds(model, repetitions: int) -> tuple[float, int]:
-    """Mean bounded depth-1 decision latency from the uniform fault belief."""
+    """Mean steady-state bounded depth-1 decision latency.
+
+    One untimed warm-up decision first: it absorbs the one-off costs
+    (joint-factor cache build, lazy allocations) that would otherwise
+    dominate the mean and make the latency metric too noisy to gate
+    regressions on.
+    """
     from repro.controllers.bounded import BoundedController
     from repro.pomdp.belief import uniform_belief
 
     controller = BoundedController(model, depth=1, refine_online=False)
     belief = uniform_belief(model.pomdp, support=model.fault_states)
+    controller.reset(initial_belief=belief)
+    controller.decide()
     elapsed = 0.0
     action = None
     for _ in range(repetitions):
@@ -351,6 +370,21 @@ def build_snapshot(injections: int, workers: int) -> dict:
     }
 
 
+def build_canonical_snapshot(snapshot: dict, backend_snapshot: dict) -> dict:
+    """Normalise both PR-era documents into one ``repro-bench/v1`` snapshot."""
+    from repro.obs.bench import canonical_document, normalize
+
+    metrics = {}
+    metrics.update(normalize(snapshot).metrics)
+    metrics.update(normalize(backend_snapshot).metrics)
+    return canonical_document(
+        metrics,
+        machine=snapshot["machine"],
+        seed=snapshot["seed"],
+        source_schemas=[snapshot["schema"], backend_snapshot["schema"]],
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="perf-snapshot", description=__doc__.splitlines()[0]
@@ -369,7 +403,21 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=Path, default=SNAPSHOT_PATH,
         help="snapshot destination (default: BENCH_PR2.json at repo root)",
     )
+    parser.add_argument(
+        "--bench-dir", type=Path, default=None, metavar="DIR",
+        help="write every snapshot (PR2/PR4/PR5) into DIR instead of the "
+        "repo root, leaving committed baselines untouched",
+    )
     args = parser.parse_args(argv)
+
+    output_path = args.output
+    backend_path = BACKEND_SNAPSHOT_PATH
+    canonical_path = CANONICAL_SNAPSHOT_PATH
+    if args.bench_dir is not None:
+        args.bench_dir.mkdir(parents=True, exist_ok=True)
+        output_path = args.bench_dir / SNAPSHOT_PATH.name
+        backend_path = args.bench_dir / BACKEND_SNAPSHOT_PATH.name
+        canonical_path = args.bench_dir / CANONICAL_SNAPSHOT_PATH.name
 
     snapshot = build_snapshot(snapshot_injections(), args.workers)
     mismatches = [
@@ -398,19 +446,21 @@ def main(argv: list[str] | None = None) -> int:
             "backend-parity violation: dense and sparse decisions differ "
             f"on tiered replicas {disagreements}"
         )
+    canonical_snapshot = build_canonical_snapshot(snapshot, backend_snapshot)
     if args.check:
         print("perf snapshot check passed (nothing written):")
         print(json.dumps(snapshot, indent=2))
         print(json.dumps(backend_snapshot, indent=2))
+        print(json.dumps(canonical_snapshot, indent=2))
         return 0
-    args.output.write_text(json.dumps(snapshot, indent=2) + "\n")
-    print(f"wrote {args.output}")
+    output_path.write_text(json.dumps(snapshot, indent=2) + "\n")
+    print(f"wrote {output_path}")
     print(json.dumps(snapshot, indent=2))
-    BACKEND_SNAPSHOT_PATH.write_text(
-        json.dumps(backend_snapshot, indent=2) + "\n"
-    )
-    print(f"wrote {BACKEND_SNAPSHOT_PATH}")
+    backend_path.write_text(json.dumps(backend_snapshot, indent=2) + "\n")
+    print(f"wrote {backend_path}")
     print(json.dumps(backend_snapshot, indent=2))
+    canonical_path.write_text(json.dumps(canonical_snapshot, indent=2) + "\n")
+    print(f"wrote {canonical_path}")
     return 0
 
 

@@ -127,7 +127,10 @@ def refine_at(
     belief = np.asarray(belief, dtype=float)
     telemetry = telemetry_active()
     if telemetry is not None:
-        with telemetry.span("bounds.refine"):
+        with (
+            telemetry.trace_span("bounds.refine", category="bounds"),
+            telemetry.span("bounds.refine"),
+        ):
             vector, action = incremental_update(pomdp, bound_set.vectors, belief)
     else:
         vector, action = incremental_update(pomdp, bound_set.vectors, belief)
@@ -137,12 +140,20 @@ def refine_at(
         telemetry.count("bounds.refinements")
         if added:
             telemetry.count("bounds.refinements_accepted")
+        # Convergence extras (repro.obs.convergence): the bound value at the
+        # visited belief after insertion, the registry-relative wall-clock
+        # stamp (outside the determinism contract), and the set's cumulative
+        # dominated/evicted totals.
         telemetry.event(
             "refine",
             action=int(action),
             added=added,
             improvement=float(max(improvement, 0.0)),
             set_size=len(bound_set),
+            value=float(np.max(bound_set.vectors @ belief)),
+            t=round(telemetry.elapsed(), 9),
+            dominated=int(getattr(bound_set, "dominated", 0)),
+            evicted=int(bound_set.evictions),
         )
     return RefinementResult(
         vector=vector, action=action, improvement=max(improvement, 0.0), added=added

@@ -51,6 +51,7 @@ class BoundVectorSet:
         self.additions = 0
         self.rejections = 0
         self.duplicates = 0
+        self.dominated = 0
         self.evictions = 0
 
     @property
@@ -145,6 +146,7 @@ class BoundVectorSet:
             return False
         if alpha.pointwise_dominated(vector, self._vectors):
             self.rejections += 1
+            self.dominated += 1
             if telemetry is not None:
                 telemetry.count("bounds.vectors_rejected")
                 telemetry.count("bounds.dominated")

@@ -14,6 +14,8 @@ for systems with recovery notification, when the belief certifies arrival in
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.bounds.incremental import refine_at
@@ -91,18 +93,26 @@ class BoundedController(RecoveryController):
                     "decision", action=-1, terminate=True, notified=True
                 )
             return self._terminate_decision(value=0.0)
-        if self.refine_online:
-            refine_at(
-                pomdp,
-                self.bound_set,
-                belief,
-                min_improvement=self.refine_min_improvement,
-            )
-        if telemetry is not None:
-            with telemetry.span("controller.expand_tree"):
+        decision_span = (
+            telemetry.trace_span("controller.decision", category="controller")
+            if telemetry is not None
+            else nullcontext()
+        )
+        with decision_span:
+            if self.refine_online:
+                refine_at(
+                    pomdp,
+                    self.bound_set,
+                    belief,
+                    min_improvement=self.refine_min_improvement,
+                )
+            if telemetry is not None:
+                with telemetry.span("controller.expand_tree"):
+                    decision = expand_tree(
+                        pomdp, belief, self.depth, self.bound_set
+                    )
+            else:
                 decision = expand_tree(pomdp, belief, self.depth, self.bound_set)
-        else:
-            decision = expand_tree(pomdp, belief, self.depth, self.bound_set)
         action = decision.action
         terminate = self.model.terminate_action
         tie_break = False

@@ -10,12 +10,18 @@ Examples::
     python -m repro.experiments ablations --injections 200
     python -m repro.experiments --profile table1 --injections 100
     python -m repro.experiments --telemetry run.jsonl table1 --injections 100
+    python -m repro.experiments --trace trace.json table1 --injections 100
 
 ``--profile`` wraps the selected experiment in :mod:`cProfile` and prints
 the hottest functions by cumulative time after the experiment's own output.
 ``--telemetry PATH`` activates the :mod:`repro.obs` observability layer for
 the run and writes its JSONL event stream to ``PATH`` (inspect it with
-``python -m repro.obs report PATH``).  The two flags compose.
+``python -m repro.obs report PATH``).  ``--trace PATH`` additionally
+records hierarchical spans (campaign → episode → decision → tree → leaf
+batch / solver / cache) and writes a Chrome ``trace_event`` JSON to
+``PATH`` — load it in ``chrome://tracing`` or https://ui.perfetto.dev.
+All three flags compose; ``--trace`` works with or without
+``--telemetry`` (without it, spans are exported but no JSONL is kept).
 """
 
 from __future__ import annotations
@@ -157,6 +163,14 @@ def main(argv: list[str] | None = None) -> None:
         help="record a repro.obs JSONL telemetry stream of the run to PATH "
         "(read it back with 'python -m repro.obs report PATH')",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record hierarchical spans and write a Chrome trace_event "
+        "JSON to PATH (open in chrome://tracing or Perfetto); implies "
+        "telemetry collection even without --telemetry",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     def add_seed(sub):
@@ -231,9 +245,12 @@ def main(argv: list[str] | None = None) -> None:
         "robustness": lambda: _cmd_robustness(args),
     }
     command = commands[args.command]
+    telemetry = None
     with contextlib.ExitStack() as stack:
-        if args.telemetry:
-            stack.enter_context(telemetry_session(args.telemetry))
+        if args.telemetry or args.trace:
+            telemetry = stack.enter_context(
+                telemetry_session(args.telemetry, trace=bool(args.trace))
+            )
         if args.profile:
             profiler = cProfile.Profile()
             profiler.enable()
@@ -249,6 +266,12 @@ def main(argv: list[str] | None = None) -> None:
     if args.telemetry:
         print(f"\nTelemetry written to {args.telemetry} "
               f"(python -m repro.obs report {args.telemetry})")
+    if args.trace and telemetry is not None:
+        from repro.obs.trace import write_chrome_trace
+
+        write_chrome_trace(args.trace, tuple(telemetry.spans))
+        print(f"Chrome trace written to {args.trace} "
+              "(open in chrome://tracing or https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

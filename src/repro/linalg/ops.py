@@ -10,6 +10,13 @@ Dense inputs take the exact code path the dense-only implementation used
 (`belief @ transitions[action]` and friends), so the dense backend stays
 bit-for-bit identical to the pre-refactor behaviour — the determinism
 contract of the campaign fingerprints depends on that.
+
+The four belief-side hot operations (``predict``, ``transition_matvec``,
+``observation_probabilities_from_predicted``, ``rewards_matvec``) count
+their dispatches under ``linalg.<op>.<dense|sparse>`` when telemetry is on,
+so dense and sparse traces of the same campaign can be compared operation
+for operation.  The counts are a pure function of the decision sequence,
+hence worker-count invariant like the other deterministic counters.
 """
 
 from __future__ import annotations
@@ -22,6 +29,13 @@ from repro.linalg.containers import (
     SparseTransitions,
     StructuredRewards,
 )
+from repro.obs.telemetry import active as telemetry_active
+
+
+def _count_dispatch(op: str, sparse: bool) -> None:
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        telemetry.count(f"linalg.{op}.{'sparse' if sparse else 'dense'}")
 
 
 def is_sparse_transitions(transitions) -> bool:
@@ -34,7 +48,9 @@ def is_sparse_transitions(transitions) -> bool:
 def predict(transitions, belief: np.ndarray, action: int) -> np.ndarray:
     """``belief @ T_a`` (the Eq. 3 prediction step), dense output."""
     if isinstance(transitions, SparseTransitions):
+        _count_dispatch("predict", sparse=True)
         return transitions.predict(belief, action)
+    _count_dispatch("predict", sparse=False)
     return belief @ transitions[action]
 
 
@@ -48,7 +64,9 @@ def transition_row(transitions, action: int, state: int) -> np.ndarray:
 def transition_matvec(transitions, action: int, values: np.ndarray) -> np.ndarray:
     """``T_a @ values`` (the Bellman-backup direction), dense output."""
     if isinstance(transitions, SparseTransitions):
+        _count_dispatch("transition_matvec", sparse=True)
         return transitions.matvec(action, values)
+    _count_dispatch("transition_matvec", sparse=False)
     return transitions[action] @ values
 
 
@@ -108,8 +126,10 @@ def observation_probabilities_from_predicted(
 ) -> np.ndarray:
     """``predicted @ Z_a`` — the Eq. 4 denominator for every observation."""
     if isinstance(observations, SparseObservations):
+        _count_dispatch("observation_probabilities", sparse=True)
         matrix = observations.matrix(action)
         return np.asarray(matrix.T @ predicted).ravel()
+    _count_dispatch("observation_probabilities", sparse=False)
     return predicted @ observations[action]
 
 
@@ -140,7 +160,9 @@ def reward_column(rewards, state: int) -> np.ndarray:
 def rewards_matvec(rewards, weights: np.ndarray) -> np.ndarray:
     """``r @ weights`` over all actions (expected reward per action)."""
     if isinstance(rewards, StructuredRewards):
+        _count_dispatch("rewards_matvec", sparse=True)
         return rewards.matvec(weights)
+    _count_dispatch("rewards_matvec", sparse=False)
     return rewards @ weights
 
 

@@ -372,7 +372,15 @@ def solve_markov_reward(
     if telemetry is None:
         return solvers[method]()
     telemetry.count(f"solver.dispatch.{method}")
-    with telemetry.span("solver.solve"):
+    with (
+        telemetry.trace_span(
+            "solver.solve",
+            category="solver",
+            method=method,
+            n_states=int(np.asarray(reward).shape[0]),
+        ),
+        telemetry.span("solver.solve"),
+    ):
         started = time.perf_counter()
         value = solvers[method]()
     telemetry.event(

@@ -1,25 +1,42 @@
-"""``repro.obs`` — campaign-wide observability (telemetry + event stream).
+"""``repro.obs`` — campaign-wide observability (telemetry + analytics).
 
 The observability layer answers the questions the Table 1 aggregates and
 single-episode traces cannot: where a campaign spends its time, how the
 bound-vector set grows (Figure 5(b)'s storage story), why controllers
-terminated, and whether the solver/cache routing behaves as designed.
+terminated, whether the solver/cache routing behaves as designed — and,
+since v2, how fast the lower bound converges per refinement and whether a
+change regressed the measured hot paths.
 
-Three pieces:
+Six pieces:
 
 * :mod:`repro.obs.telemetry` — the process-local registry (counters,
-  gauges, span timers) and JSONL event sink, activated with
-  :func:`session` and read from hot paths with :func:`active`;
-* :mod:`repro.obs.schema` — the event schema and stream validator;
+  gauges, span timers, hierarchical trace spans) and JSONL event sink,
+  activated with :func:`session` and read from hot paths with
+  :func:`active`;
+* :mod:`repro.obs.schema` — the ``repro-obs/v2`` event schema and stream
+  validator (v1 streams remain valid);
+* :mod:`repro.obs.trace` — exporters for trace spans: Chrome
+  ``trace_event`` JSON (``chrome://tracing`` / Perfetto) and
+  collapsed-stack flamegraph lines;
+* :mod:`repro.obs.convergence` — bound-convergence analytics over
+  ``refine`` events (gap vs refinement index and vs wall-clock);
+* :mod:`repro.obs.bench` — the canonical benchmark-snapshot schema and
+  regression comparison (``bench compare OLD NEW --threshold PCT``);
 * :mod:`repro.obs.report` — offline aggregation of a recorded run
   (``python -m repro.obs report run.jsonl``).
 
 Instrumentation is off by default; ``python -m repro.experiments
---telemetry PATH ...`` turns it on for one experiment run.
+--telemetry PATH [--trace PATH] ...`` turns it on for one experiment run.
 """
 
-from repro.obs.schema import SCHEMA_VERSION, validate_event, validate_stream
+from repro.obs.schema import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    validate_event,
+    validate_stream,
+)
 from repro.obs.telemetry import (
+    SpanRecord,
     Telemetry,
     TelemetrySnapshot,
     activated,
@@ -30,6 +47,8 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
+    "SpanRecord",
     "Telemetry",
     "TelemetrySnapshot",
     "activated",

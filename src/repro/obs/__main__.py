@@ -2,12 +2,19 @@
 
 Examples::
 
-    python -m repro.obs report run.jsonl     # aggregate + render a run
-    python -m repro.obs validate run.jsonl   # schema-check a run (CI)
+    python -m repro.obs report run.jsonl        # aggregate + render a run
+    python -m repro.obs validate run.jsonl      # schema-check a run (CI)
+    python -m repro.obs trace run.jsonl --chrome trace.json \
+        --collapsed stacks.txt                  # export trace spans
+    python -m repro.obs convergence run.jsonl [--png gap.png]
+    python -m repro.obs bench compare OLD NEW --threshold 25
 
-``validate`` exits 0 on a schema-clean stream and 1 otherwise, printing
-one problem per line — the CI bench-smoke job runs it against the
-telemetry artifact of a small campaign.
+Exit codes follow the ``repro.analysis`` convention throughout: 0 — clean;
+1 — diagnostics found (schema problems, benchmark regressions); 2 — usage
+or I/O errors (missing file, unknown snapshot schema).  Empty and
+header-only telemetry streams are *clean*: a run killed before its summary
+leaves a truncated-but-valid file behind, and both ``report`` and
+``validate`` treat it as an empty run rather than a corrupt one.
 """
 
 from __future__ import annotations
@@ -15,15 +22,110 @@ from __future__ import annotations
 import argparse
 from pathlib import Path
 
-from repro.obs.report import aggregate_stream, format_report
-from repro.obs.schema import validate_stream
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import aggregate_stream, format_report
+
+    try:
+        aggregate = aggregate_stream(args.run)
+    except OSError as error:
+        print(f"cannot read {args.run}: {error}")
+        return 2
+    print(format_report(aggregate))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.obs.schema import validate_stream
+
+    try:
+        problems = validate_stream(args.run)
+    except OSError as error:
+        print(f"cannot read {args.run}: {error}")
+        return 2
+    if problems:
+        for problem in problems:
+            print(problem)
+        return 1
+    print(f"{args.run}: schema-valid telemetry stream")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import (
+        read_spans,
+        to_collapsed_stacks,
+        write_chrome_trace,
+    )
+
+    try:
+        spans = read_spans(args.run)
+    except OSError as error:
+        print(f"cannot read {args.run}: {error}")
+        return 2
+    if not spans:
+        print(f"{args.run}: no span events (was the run traced with --trace?)")
+        return 1
+    print(f"{args.run}: {len(spans)} spans")
+    if args.chrome is not None:
+        write_chrome_trace(args.chrome, spans)
+        print(f"wrote Chrome trace_event JSON to {args.chrome}")
+    if args.collapsed is not None:
+        lines = to_collapsed_stacks(spans)
+        args.collapsed.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        print(f"wrote {len(lines)} collapsed stacks to {args.collapsed}")
+    return 0
+
+
+def _cmd_convergence(args: argparse.Namespace) -> int:
+    from repro.obs.convergence import format_report, read_refinements, save_png
+
+    try:
+        records = read_refinements(args.run)
+    except OSError as error:
+        print(f"cannot read {args.run}: {error}")
+        return 2
+    print(format_report(records), end="")
+    if args.png is not None:
+        if not records:
+            print(f"skipping {args.png}: no refine events to plot")
+        elif save_png(records, args.png):
+            print(f"wrote convergence plot to {args.png}")
+        else:
+            print(
+                f"skipping {args.png}: matplotlib is not installed "
+                "(text report above is complete)"
+            )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        BenchFormatError,
+        compare,
+        format_comparison,
+        load_snapshot,
+    )
+
+    try:
+        old = load_snapshot(args.old)
+        new = load_snapshot(args.new)
+    except BenchFormatError as error:
+        print(str(error))
+        return 2
+    result = compare(old, new, threshold_pct=args.threshold)
+    print(format_comparison(result), end="")
+    return 0 if result.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to a subcommand."""
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="Inspect telemetry JSONL runs recorded with --telemetry.",
+        description=(
+            "Inspect telemetry JSONL runs and benchmark snapshots "
+            "(report / validate / trace / convergence / bench)."
+        ),
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -35,17 +137,63 @@ def main(argv: list[str] | None = None) -> int:
     )
     validate.add_argument("run", type=Path, help="telemetry JSONL file")
 
+    trace = subparsers.add_parser(
+        "trace", help="export recorded spans (Chrome trace / flamegraph)"
+    )
+    trace.add_argument("run", type=Path, help="telemetry JSONL file")
+    trace.add_argument(
+        "--chrome",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write Chrome trace_event JSON (chrome://tracing, Perfetto)",
+    )
+    trace.add_argument(
+        "--collapsed",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write collapsed-stack flamegraph lines (flamegraph.pl input)",
+    )
+
+    convergence = subparsers.add_parser(
+        "convergence", help="bound-convergence report from refine events"
+    )
+    convergence.add_argument("run", type=Path, help="telemetry JSONL file")
+    convergence.add_argument(
+        "--png",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additionally write a gap plot (requires matplotlib)",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="benchmark snapshot operations"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_compare = bench_sub.add_parser(
+        "compare", help="compare two snapshots for regressions"
+    )
+    bench_compare.add_argument("old", type=Path, help="baseline snapshot")
+    bench_compare.add_argument("new", type=Path, help="candidate snapshot")
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="allowed directional drift in percent (default: 25)",
+    )
+
     args = parser.parse_args(argv)
-    if args.command == "report":
-        print(format_report(aggregate_stream(args.run)))
-        return 0
-    problems = validate_stream(args.run)
-    if problems:
-        for problem in problems:
-            print(problem)
-        return 1
-    print(f"{args.run}: schema-valid telemetry stream")
-    return 0
+    handlers = {
+        "report": _cmd_report,
+        "validate": _cmd_validate,
+        "trace": _cmd_trace,
+        "convergence": _cmd_convergence,
+        "bench": _cmd_bench,
+    }
+    return handlers[args.command](args)
 
 
 if __name__ == "__main__":

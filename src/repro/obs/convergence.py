@@ -1,0 +1,260 @@
+"""Bound-convergence analytics over recorded ``refine`` events.
+
+The paper's Figure 5(a) argues that incremental refinement tightens the
+lower bound quickly at the visited beliefs and then stabilises; HSVI-style
+solvers are routinely evaluated with exactly this signal — bound gap versus
+refinement count and versus wall-clock.  This module recovers both series
+from a ``repro-obs/v2`` JSONL run: every :func:`repro.bounds.incremental.refine_at`
+call records the post-insertion bound value at the visited belief, the
+per-refinement improvement, the set size, and the cumulative
+dominated/evicted totals.
+
+Refinements are split into two phases:
+
+* **bootstrap** — refinements performed outside episodes (the
+  :func:`repro.controllers.bootstrap.bootstrap_bounds` sweep runs in the
+  coordinating process before any fault is injected);
+* **online** — refinements at the beliefs "naturally generated during the
+  course of system recovery" (Section 4.1), recognised by the ``chunk``
+  tag the campaign join step stamps on chunk-buffered events or by
+  enclosing ``episode_start``/``episode_end`` markers.
+
+The *gap* of refinement ``i`` is the improvement still to come in its
+phase: ``sum(improvement) - cumsum(improvement)[i]``.  It is a relative
+measure (the true fixed point is unknown online), decreasing to zero by
+construction — the shape, not the endpoint, is the signal: a fast-falling
+gap curve is the rapid-then-stable profile of Figure 5(a).
+
+Wall-clock stamps (``t``) are per-registry offsets; events absorbed from
+campaign chunks are rebased end-to-end here, the same virtual-timeline
+treatment the span merge applies, so the wall-clock series is monotone.
+
+``python -m repro.obs convergence run.jsonl`` renders both series as text
+tables; ``--png PATH`` additionally writes a two-panel plot when
+matplotlib is importable (it is an optional dependency — without it the
+flag degrades to a warning, not an error).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.tables import render_table
+
+#: Maximum rows per rendered text table; longer series are sampled evenly
+#: (first and last refinement always shown).
+MAX_TABLE_ROWS = 20
+
+
+@dataclass(frozen=True)
+class RefinementRecord:
+    """One ``refine`` event, positioned on the campaign timeline.
+
+    Attributes:
+        index: 0-based position within the record's phase.
+        phase: ``"bootstrap"`` or ``"online"``.
+        t: rebased wall-clock offset in seconds (monotone across chunks).
+        value: lower-bound value at the visited belief after insertion.
+        improvement: how much this refinement raised the bound there.
+        added: whether the hyperplane was inserted.
+        set_size: bound-vector count after the update.
+        dominated: cumulative dominance rejections of the recording set.
+        evicted: cumulative evictions of the recording set.
+        action: backup action that produced the hyperplane.
+        chunk: campaign chunk the refinement ran in (``None`` outside
+            campaigns, e.g. the bootstrap sweep).
+    """
+
+    index: int
+    phase: str
+    t: float
+    value: float
+    improvement: float
+    added: bool
+    set_size: int
+    dominated: int
+    evicted: int
+    action: int
+    chunk: int | None
+
+
+def read_refinements(path: str | Path) -> list[RefinementRecord]:
+    """Extract phase-tagged, time-rebased refinement records from a run.
+
+    v1 streams (whose ``refine`` events lack the convergence extras) are
+    accepted: missing ``value``/``t`` default to 0.0, so the
+    refinement-indexed series still renders.
+    """
+    raw: list[tuple[dict, str]] = []
+    in_episode = False
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            if not isinstance(record, dict):
+                continue
+            kind = record.get("event")
+            if kind == "episode_start":
+                in_episode = True
+            elif kind == "episode_end":
+                in_episode = False
+            elif kind == "refine":
+                online = in_episode or "chunk" in record
+                raw.append((record, "online" if online else "bootstrap"))
+
+    # Rebase per-registry wall-clock stamps end-to-end: events arrive
+    # grouped by source registry (the coordinating process, then each chunk
+    # in order), so each group's clock starts where the previous ended.
+    records: list[RefinementRecord] = []
+    counts = {"bootstrap": 0, "online": 0}
+    base = 0.0
+    group_key: object = object()  # sentinel != any chunk value
+    group_start = 0.0
+    group_extent = 0.0
+    for record, phase in raw:
+        chunk = record.get("chunk")
+        t = float(record.get("t", 0.0))
+        if chunk != group_key:
+            base += group_extent
+            group_key = chunk
+            group_start = t
+            group_extent = 0.0
+        relative = max(0.0, t - group_start)
+        group_extent = max(group_extent, relative)
+        records.append(
+            RefinementRecord(
+                index=counts[phase],
+                phase=phase,
+                t=base + relative,
+                value=float(record.get("value", 0.0)),
+                improvement=float(record.get("improvement", 0.0)),
+                added=bool(record.get("added", False)),
+                set_size=int(record.get("set_size", 0)),
+                dominated=int(record.get("dominated", 0)),
+                evicted=int(record.get("evicted", 0)),
+                action=int(record.get("action", -1)),
+                chunk=chunk if isinstance(chunk, int) else None,
+            )
+        )
+        counts[phase] += 1
+    return records
+
+
+def gap_series(
+    records: list[RefinementRecord], phase: str
+) -> list[tuple[RefinementRecord, float, float]]:
+    """``(record, cumulative_improvement, gap)`` triples for one phase.
+
+    The gap is the phase's remaining total improvement after each
+    refinement — the distance still to travel to the phase's final bound
+    quality, falling monotonically to zero.
+    """
+    phase_records = [r for r in records if r.phase == phase]
+    total = sum(r.improvement for r in phase_records)
+    series = []
+    cumulative = 0.0
+    for record in phase_records:
+        cumulative += record.improvement
+        series.append((record, cumulative, max(0.0, total - cumulative)))
+    return series
+
+
+def _sample(rows: list, limit: int = MAX_TABLE_ROWS) -> list:
+    """Evenly sample ``rows`` down to ``limit``, keeping first and last."""
+    if len(rows) <= limit:
+        return rows
+    step = (len(rows) - 1) / (limit - 1)
+    indices = sorted({round(i * step) for i in range(limit)})
+    return [rows[i] for i in indices]
+
+
+def format_report(records: list[RefinementRecord]) -> str:
+    """Gap-vs-refinement and gap-vs-wallclock tables for both phases."""
+    if not records:
+        return "no refine events in stream\n"
+    sections: list[str] = []
+    for phase in ("bootstrap", "online"):
+        series = gap_series(records, phase)
+        if not series:
+            continue
+        rows = [
+            [
+                record.index,
+                f"{record.t:.4f}",
+                f"{record.value:.4f}",
+                f"{record.improvement:.4f}",
+                f"{cumulative:.4f}",
+                f"{gap:.4f}",
+                record.set_size,
+                record.dominated,
+                record.evicted,
+            ]
+            for record, cumulative, gap in _sample(series)
+        ]
+        accepted = sum(1 for record, _, _ in series if record.added)
+        title = (
+            f"{phase} refinements (n={len(series)}, accepted={accepted}, "
+            f"sampled to {len(rows)} rows)"
+        )
+        sections.append(
+            render_table(
+                [
+                    "refine",
+                    "t (s)",
+                    "value",
+                    "improvement",
+                    "cum. improvement",
+                    "gap",
+                    "|B|",
+                    "dominated",
+                    "evicted",
+                ],
+                rows,
+                title=title,
+            )
+        )
+    if not sections:
+        return "no refine events in stream\n"
+    return "\n\n".join(sections) + "\n"
+
+
+def save_png(records: list[RefinementRecord], path: str | Path) -> bool:
+    """Write a two-panel gap plot; returns False when matplotlib is absent.
+
+    matplotlib is an optional dependency — the container the repo targets
+    may not ship it, so the import is gated and the caller degrades to the
+    text report.
+    """
+    try:
+        import matplotlib
+    except ImportError:
+        return False
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    figure, (by_index, by_time) = plt.subplots(1, 2, figsize=(11, 4))
+    for phase, style in (("bootstrap", "C0"), ("online", "C1")):
+        series = gap_series(records, phase)
+        if not series:
+            continue
+        gaps = [gap for _, _, gap in series]
+        by_index.plot(
+            [record.index for record, _, _ in series], gaps, style, label=phase
+        )
+        by_time.plot(
+            [record.t for record, _, _ in series], gaps, style, label=phase
+        )
+    by_index.set_xlabel("refinement")
+    by_time.set_xlabel("wall-clock (s)")
+    for axis in (by_index, by_time):
+        axis.set_ylabel("bound gap (remaining improvement)")
+        axis.legend()
+        axis.grid(True, alpha=0.3)
+    figure.suptitle("Lower-bound convergence (cf. Figure 5(a))")
+    figure.tight_layout()
+    figure.savefig(path, dpi=120)
+    plt.close(figure)
+    return True

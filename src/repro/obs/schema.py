@@ -7,18 +7,30 @@ Every line of a telemetry run file is one JSON object with at least:
 
 plus the kind's required fields listed in :data:`EVENT_FIELDS` and any
 number of optional extras (``chunk``, wall-clock ``seconds``, ...).  The
-schema is deliberately flat — no nesting except the ``summary`` payload —
-so streams can be processed with nothing fancier than ``json.loads`` per
-line.  :func:`validate_stream` is what the CI smoke job runs against the
-telemetry artifact.
+schema is deliberately flat — no nesting except the ``summary`` payload
+and the ``span`` event's ``args`` object — so streams can be processed
+with nothing fancier than ``json.loads`` per line.  :func:`validate_stream`
+is what the CI smoke job runs against the telemetry artifacts.
+
+Schema history:
+
+* ``repro-obs/v1`` — counters/gauges/timers summary, campaign and
+  refinement events.
+* ``repro-obs/v2`` (current) — adds the ``span`` event kind: hierarchical
+  trace spans (``span_id``/``parent_id`` form the call tree) emitted just
+  before the ``summary`` when tracing is on, and enriches ``refine``
+  events with convergence extras (``value``, ``t``, cumulative
+  ``dominated``/``evicted``).  v2 readers accept v1 streams unchanged —
+  every v1 stream is a valid v2 stream; see :data:`SUPPORTED_SCHEMAS`.
 
 Determinism contract: for a seeded campaign, the ``summary`` event's
 ``counters`` object and the episode-ordered simulation events
 (``episode_start``/``episode_end``/``decision``/``refine``/...) are
 identical whatever the worker count — the campaign engine buffers them per
-chunk and replays them in chunk order.  Outside the contract sit the
-wall-clock fields in :data:`WALL_CLOCK_FIELDS`, the ``timers`` and
-``process_counters`` summary objects, process-local events
+chunk and replays them in chunk order.  Span *structure* (names, nesting,
+emission order) shares the guarantee; span timestamps do not.  Outside the
+contract sit the wall-clock fields in :data:`WALL_CLOCK_FIELDS`, the
+``timers`` and ``process_counters`` summary objects, process-local events
 (``cache_build``/``cache_decline`` happen once per worker process), and
 the ``workers`` extra on ``campaign_start`` — all varying run to run or
 with the worker count, exactly as the ``algorithm_time`` metric does
@@ -32,7 +44,11 @@ from pathlib import Path
 from typing import Any
 
 #: Version tag written by ``session_start`` events.
-SCHEMA_VERSION = "repro-obs/v1"
+SCHEMA_VERSION = "repro-obs/v2"
+
+#: Schema versions :func:`validate_stream` accepts.  v1 streams contain a
+#: strict subset of v2's event kinds, so one validator covers both.
+SUPPORTED_SCHEMAS = frozenset({"repro-obs/v1", "repro-obs/v2"})
 
 #: Required fields per event kind (beyond ``event`` and ``seq``).
 EVENT_FIELDS: dict[str, frozenset[str]] = {
@@ -61,11 +77,15 @@ EVENT_FIELDS: dict[str, frozenset[str]] = {
     # Joint-factor cache (repro.pomdp.cache).
     "cache_build": frozenset({"n_states", "nbytes"}),
     "cache_decline": frozenset({"n_states", "required_bytes"}),
+    # Hierarchical trace spans (repro.obs.telemetry, v2).
+    "span": frozenset({"name", "span_id", "t_start", "seconds"}),
 }
 
 #: Optional fields whose values are wall-clock measurements and therefore
 #: outside the determinism contract (like the ``algorithm_time`` metric).
-WALL_CLOCK_FIELDS = frozenset({"seconds"})
+#: ``t`` is the elapsed-time stamp on enriched ``refine`` events;
+#: ``t_start`` is the span start offset.
+WALL_CLOCK_FIELDS = frozenset({"seconds", "t", "t_start"})
 
 
 def validate_event(record: Any) -> list[str]:
@@ -85,6 +105,13 @@ def validate_event(record: Any) -> list[str]:
     missing = EVENT_FIELDS[kind] - record.keys()
     if missing:
         problems.append(f"{kind}: missing required fields {sorted(missing)}")
+    if kind == "session_start":
+        schema = record.get("schema")
+        if schema is not None and schema not in SUPPORTED_SCHEMAS:
+            problems.append(
+                f"session_start: unsupported schema {schema!r} "
+                f"(supported: {sorted(SUPPORTED_SCHEMAS)})"
+            )
     return problems
 
 
@@ -94,6 +121,12 @@ def validate_stream(path: str | Path) -> list[str]:
     Checks every line parses as JSON, every event is schema-valid, ``seq``
     increases monotonically, and the stream opens with ``session_start``
     and ends with ``session_end`` preceded by a ``summary``.
+
+    An empty stream and a header-only stream (``session_start`` with no
+    further events — what a run killed before its summary leaves behind)
+    are both *valid*: truncation is not corruption, and the report CLI
+    renders them as empty runs.  Framing is only enforced once events
+    beyond the header appear.
     """
     problems: list[str] = []
     kinds: list[str] = []
@@ -119,8 +152,7 @@ def validate_stream(path: str | Path) -> list[str]:
                             f"(previous {last_seq})"
                         )
                     last_seq = seq
-    if not kinds:
-        problems.append("empty stream: no events")
+    if not kinds or kinds == ["session_start"]:
         return problems
     if kinds[0] != "session_start":
         problems.append(f"stream must open with session_start, got {kinds[0]!r}")

@@ -1,6 +1,6 @@
-"""Process-local telemetry registry and JSONL event stream.
+"""Process-local telemetry registry, JSONL event stream, and span tracing.
 
-The observability layer has three kinds of state, mirroring the usual
+The observability layer has four kinds of state, mirroring the usual
 metrics taxonomy:
 
 * **counters** — monotonically increasing integers ("decisions made",
@@ -17,6 +17,17 @@ metrics taxonomy:
 * **timers** — accumulated wall-clock spans with call counts, recorded via
   :meth:`Telemetry.span`.  Wall-clock, hence never part of the determinism
   contract.
+* **trace spans** — *hierarchical* wall-clock spans with parent ids,
+  recorded via :meth:`Telemetry.trace_span` when the registry was created
+  with ``trace=True``.  Where timers aggregate ("total seconds in
+  ``solver.solve``"), trace spans keep every occurrence with its position
+  in the call tree (campaign → episode → decision → tree expansion → leaf
+  batch → solver call → cache lookup), ready for export to Chrome
+  ``trace_event`` JSON or a collapsed-stack flamegraph
+  (:mod:`repro.obs.trace`).  Span storage is a bounded ring buffer
+  (:data:`DEFAULT_MAX_SPANS`, override with ``REPRO_MAX_TRACE_SPANS``):
+  when full, the oldest span is dropped and the ``trace.events_dropped``
+  counter incremented, so tracing can never OOM a long campaign.
 
 Events are dictionaries with an ``event`` kind (see
 :mod:`repro.obs.schema`) appended to a JSONL sink when one is attached, or
@@ -31,20 +42,139 @@ Instrumentation is **off by default**.  Hot paths guard with::
 
 which costs one function call and a ``None`` test when disabled — far below
 the noise floor of any measured path (see EXPERIMENTS.md for numbers).
+:meth:`Telemetry.trace_span` returns a shared no-op context manager when
+tracing is off, so span sites cost one extra attribute test beyond the
+guard above.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
-from collections import Counter
+from collections import Counter, deque
 from collections.abc import Iterator
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Any
 
 from repro.obs.schema import SCHEMA_VERSION
+
+#: Default capacity of the per-registry span ring buffer.  At ~150 bytes a
+#: span this bounds trace storage to tens of megabytes; override with the
+#: ``REPRO_MAX_TRACE_SPANS`` environment variable or the ``max_spans``
+#: constructor argument.
+DEFAULT_MAX_SPANS = 200_000
+
+#: Environment variable overriding :data:`DEFAULT_MAX_SPANS`.
+MAX_SPANS_ENV = "REPRO_MAX_TRACE_SPANS"
+
+#: Counter incremented when the span ring buffer drops its oldest span.
+SPANS_DROPPED_COUNTER = "trace.events_dropped"
+
+
+def max_trace_spans(max_spans: int | None = None) -> int:
+    """Resolve the span ring-buffer capacity.
+
+    Precedence: the ``max_spans`` argument, then ``REPRO_MAX_TRACE_SPANS``
+    in the environment, then :data:`DEFAULT_MAX_SPANS`.
+    """
+    if max_spans is not None:
+        return int(max_spans)
+    from_env = os.environ.get(MAX_SPANS_ENV)
+    if from_env is not None:
+        return int(from_env)
+    return DEFAULT_MAX_SPANS
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed trace span.
+
+    Attributes:
+        span_id: registry-unique id, allocated at span *start* so children
+            (which finish first) can reference their parent.
+        parent_id: the enclosing span's id, or ``None`` for a root span.
+        name: span label (``"episode"``, ``"tree.expand"``, ...).
+        category: coarse grouping shown as the Chrome-trace ``cat`` lane.
+        t_start: start offset in seconds from the recording registry's
+            epoch (rebased onto the absorbing registry's virtual timeline
+            when a chunk snapshot is merged).
+        seconds: span duration (wall-clock; outside the determinism
+            contract, like every other wall-clock field).
+        args: sorted ``(key, value)`` pairs of structured span arguments.
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    category: str
+    t_start: float
+    seconds: float
+    args: tuple[tuple[str, Any], ...] = ()
+
+    def event_fields(self) -> dict[str, Any]:
+        """The span as the payload of a ``span`` JSONL event."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "category": self.category,
+            "t_start": round(self.t_start, 9),
+            "seconds": round(self.seconds, 9),
+            "args": dict(self.args),
+        }
+
+
+class _TraceSpan:
+    """Context manager recording one :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_telemetry", "_name", "_category", "_args", "_span_id",
+                 "_parent_id", "_started")
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        name: str,
+        category: str,
+        args: dict[str, Any],
+    ):
+        self._telemetry = telemetry
+        self._name = name
+        self._category = category
+        self._args = args
+
+    def __enter__(self) -> _TraceSpan:
+        telemetry = self._telemetry
+        self._span_id = telemetry._next_span_id
+        telemetry._next_span_id += 1
+        stack = telemetry._span_stack
+        self._parent_id = stack[-1] if stack else None
+        stack.append(self._span_id)
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        ended = time.perf_counter()
+        telemetry = self._telemetry
+        telemetry._span_stack.pop()
+        telemetry._append_span(
+            SpanRecord(
+                span_id=self._span_id,
+                parent_id=self._parent_id,
+                name=self._name,
+                category=self._category,
+                t_start=self._started - telemetry._epoch,
+                seconds=ended - self._started,
+                args=tuple(sorted(self._args.items())),
+            )
+        )
+
+
+#: Shared no-op context manager returned by :meth:`Telemetry.trace_span`
+#: when tracing is disabled (``nullcontext`` is reentrant and reusable).
+_NULL_SPAN = nullcontext()
 
 
 @dataclass(frozen=True)
@@ -62,6 +192,7 @@ class TelemetrySnapshot:
     gauges: dict[str, float] = field(default_factory=dict)
     timers: dict[str, tuple[float, int]] = field(default_factory=dict)
     events: tuple[dict[str, Any], ...] = ()
+    spans: tuple[SpanRecord, ...] = ()
 
 
 class Telemetry:
@@ -72,16 +203,33 @@ class Telemetry:
             per line.  ``None`` buffers events in memory instead (the mode
             campaign chunks use; :meth:`snapshot` carries the buffer back to
             the coordinating process).
+        trace: record hierarchical spans via :meth:`trace_span`.  Off by
+            default — when off, :meth:`trace_span` returns a shared no-op
+            context manager and records nothing.
+        max_spans: span ring-buffer capacity (see :func:`max_trace_spans`).
     """
 
-    def __init__(self, sink: IO[str] | None = None):
+    def __init__(
+        self,
+        sink: IO[str] | None = None,
+        trace: bool = False,
+        max_spans: int | None = None,
+    ):
         self.counters: Counter[str] = Counter()
         self.process_counters: Counter[str] = Counter()
         self.gauges: dict[str, float] = {}
         self.timers: dict[str, list[float]] = {}  # name -> [seconds, calls]
+        self.trace_enabled = bool(trace)
+        self.max_spans = max_trace_spans(max_spans)
+        self.spans: deque[SpanRecord] = deque()
         self._sink = sink
         self._buffer: list[dict[str, Any]] = []
         self._seq = 0
+        self._epoch = time.perf_counter()
+        self._span_stack: list[int] = []
+        self._next_span_id = 0
+        #: Virtual-timeline cursor for rebased chunk spans (seconds).
+        self._trace_cursor = 0.0
 
     # -- registry -------------------------------------------------------------
 
@@ -109,6 +257,35 @@ class Telemetry:
             stat[0] += elapsed
             stat[1] += 1
 
+    def elapsed(self) -> float:
+        """Seconds since this registry was created (its trace epoch)."""
+        return time.perf_counter() - self._epoch
+
+    # -- trace spans ----------------------------------------------------------
+
+    def trace_span(self, name: str, category: str = "repro", **args: Any):
+        """A context manager recording one hierarchical span.
+
+        The span's parent is whatever span is currently open on this
+        registry, so nesting ``with`` blocks produces the call tree.  With
+        tracing disabled this returns a shared no-op context manager — one
+        attribute test per call site.
+        """
+        if not self.trace_enabled:
+            return _NULL_SPAN
+        return _TraceSpan(self, name, category, args)
+
+    def _append_span(self, record: SpanRecord) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.spans.popleft()
+            self.counters[SPANS_DROPPED_COUNTER] += 1
+        self.spans.append(record)
+
+    @property
+    def events_dropped(self) -> int:
+        """Spans dropped by the ring buffer since creation."""
+        return self.counters[SPANS_DROPPED_COUNTER]
+
     # -- events ---------------------------------------------------------------
 
     def event(self, kind: str, /, **fields: Any) -> None:
@@ -131,6 +308,7 @@ class Telemetry:
             gauges=dict(self.gauges),
             timers={name: (stat[0], stat[1]) for name, stat in self.timers.items()},
             events=tuple(self._buffer),
+            spans=tuple(self.spans),
         )
 
     def absorb(
@@ -143,6 +321,16 @@ class Telemetry:
         ``chunk`` index when given) so they reach this telemetry's sink in
         the order the caller absorbs chunks — which the campaign engine
         guarantees is chunk order, independent of the worker count.
+
+        Trace spans are merged the same way: each chunk's spans keep their
+        internal hierarchy, get fresh (offset) span ids, are re-parented
+        under whatever span is open here (the campaign span, during a
+        campaign), and have their timestamps rebased onto this registry's
+        virtual timeline — chunk ``c`` starts where chunk ``c-1`` ended.
+        Absorbing in chunk order therefore yields a span stream whose
+        *structure* (names, nesting, order, counts) is identical whatever
+        the worker count; only the wall-clock durations vary, exactly as
+        ``algorithm_time`` does.
         """
         self.counters.update(snapshot.counters)
         self.process_counters.update(snapshot.process_counters)
@@ -161,6 +349,39 @@ class Telemetry:
             if chunk is not None:
                 fields["chunk"] = chunk
             self.event(record["event"], **fields)
+        if snapshot.spans:
+            self._absorb_spans(snapshot.spans, chunk)
+
+    def _absorb_spans(
+        self, spans: tuple[SpanRecord, ...], chunk: int | None
+    ) -> None:
+        id_offset = self._next_span_id
+        stack = self._span_stack
+        reparent = stack[-1] if stack else None
+        t0 = min(record.t_start for record in spans)
+        extent = max(record.t_start + record.seconds for record in spans) - t0
+        base = self._trace_cursor
+        max_id = 0
+        chunk_tag = () if chunk is None else (("chunk", chunk),)
+        for record in spans:
+            max_id = max(max_id, record.span_id)
+            self._append_span(
+                SpanRecord(
+                    span_id=record.span_id + id_offset,
+                    parent_id=(
+                        reparent
+                        if record.parent_id is None
+                        else record.parent_id + id_offset
+                    ),
+                    name=record.name,
+                    category=record.category,
+                    t_start=record.t_start - t0 + base,
+                    seconds=record.seconds,
+                    args=record.args + chunk_tag,
+                )
+            )
+        self._next_span_id = id_offset + max_id + 1
+        self._trace_cursor = base + extent
 
     def summary_fields(self) -> dict[str, Any]:
         """The aggregate registry as the ``summary`` event's payload."""
@@ -178,6 +399,7 @@ class Telemetry:
         return (
             f"Telemetry(counters={len(self.counters)}, "
             f"events_buffered={len(self._buffer)}, "
+            f"spans={len(self.spans)}, "
             f"sink={'attached' if self._sink is not None else 'buffer'})"
         )
 
@@ -220,7 +442,11 @@ def activated(telemetry: Telemetry | None) -> Iterator[Telemetry | None]:
 
 
 @contextmanager
-def session(path: str | Path | None = None) -> Iterator[Telemetry]:
+def session(
+    path: str | Path | None = None,
+    trace: bool = False,
+    max_spans: int | None = None,
+) -> Iterator[Telemetry]:
     """Activate telemetry for a ``with`` block, optionally writing JSONL.
 
     Opens ``path`` (when given) as the event sink, emits ``session_start``,
@@ -228,16 +454,24 @@ def session(path: str | Path | None = None) -> Iterator[Telemetry]:
     aggregate ``summary`` event followed by ``session_end`` before closing
     the file.  Without a path, events are buffered in memory and available
     via :meth:`Telemetry.snapshot`.
+
+    With ``trace=True``, hierarchical spans are recorded (ring-buffered at
+    ``max_spans``) and serialised as ``span`` events just before the
+    summary, so the JSONL stream is self-contained for the exporters of
+    :mod:`repro.obs.trace`; the spans also stay available on the yielded
+    registry's :attr:`Telemetry.spans` for in-process export.
     """
     sink: IO[str] | None = None
     if path is not None:
         sink = open(path, "w", encoding="utf-8")
-    telemetry = Telemetry(sink=sink)
+    telemetry = Telemetry(sink=sink, trace=trace, max_spans=max_spans)
     telemetry.event("session_start", schema=SCHEMA_VERSION)
     try:
         with activated(telemetry):
             yield telemetry
     finally:
+        for record in telemetry.spans:
+            telemetry.event("span", **record.event_fields())
         telemetry.event("summary", **telemetry.summary_fields())
         telemetry.event("session_end")
         if sink is not None:

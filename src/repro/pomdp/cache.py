@@ -229,6 +229,15 @@ def get_joint_cache(
     # process per model, so hit/build/decline splits legitimately vary with
     # the campaign worker count (unlike the deterministic counters).
     telemetry = telemetry_active()
+    if telemetry is None:
+        return _lookup_joint_cache(pomdp, max_bytes, None)
+    with telemetry.trace_span("cache.lookup", category="cache"):
+        return _lookup_joint_cache(pomdp, max_bytes, telemetry)
+
+
+def _lookup_joint_cache(
+    pomdp: POMDP, max_bytes: int | None, telemetry
+) -> JointFactorCache | SparseJointFactorCache | None:
     limit = max_cache_bytes(max_bytes)
     required = cache_size_bytes(pomdp)
     if required > limit:

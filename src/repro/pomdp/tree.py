@@ -31,6 +31,7 @@ from repro.linalg.ops import (
     predict,
     rewards_matvec,
 )
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.belief import GAMMA_EPSILON
 from repro.pomdp.cache import JointFactorCache, SparseJointFactorCache, get_joint_cache
 from repro.pomdp.model import POMDP
@@ -141,7 +142,16 @@ def _batched_leaf_values(
     stacks = [child[1] for child in children if child is not None]
     if not stacks:
         return [None for _ in children]
-    values = leaf.value_batch(np.vstack(stacks))
+    beliefs = np.vstack(stacks)
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        telemetry.count("tree.leaf_batches")
+        with telemetry.trace_span(
+            "tree.leaf_batch", category="tree", beliefs=int(beliefs.shape[0])
+        ):
+            values = leaf.value_batch(beliefs)
+    else:
+        values = leaf.value_batch(beliefs)
     futures: list[np.ndarray | None] = []
     offset = 0
     for child in children:
@@ -180,12 +190,36 @@ def expand_tree(
     if depth < 1:
         raise ValueError(f"depth must be >= 1, got {depth}")
     cache = get_joint_cache(pomdp)
-    if (
+    fused = (
         depth == 1
         and cache is None
         and pomdp.backend.is_sparse
         and getattr(leaf, "vectors", None) is not None
-    ):
+    )
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        # Mode-tagged so dense and sparse traces of the same campaign are
+        # directly comparable (the fused path replaces the generic one).
+        mode = "fused_sparse" if fused else "generic"
+        telemetry.count(f"tree.expansions.{mode}")
+        with telemetry.trace_span(
+            "tree.expand", category="tree", depth=depth, mode=mode
+        ):
+            return _expand(pomdp, belief, depth, leaf, allowed_actions, cache, fused)
+    return _expand(pomdp, belief, depth, leaf, allowed_actions, cache, fused)
+
+
+def _expand(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    depth: int,
+    leaf: LeafValue,
+    allowed_actions: np.ndarray | None,
+    cache: JointFactorCache | SparseJointFactorCache | None,
+    fused: bool,
+) -> TreeDecision:
+    """Dispatch to the fused sparse depth-1 path or the generic recursion."""
+    if fused:
         return _expand_depth1_sparse(pomdp, belief, leaf, allowed_actions)
     counters = {"leaves": 0, "nodes": 0}
 

@@ -190,7 +190,14 @@ def run_campaign(
             chunk_size=plan.chunk_size,
             workers=parallel,
         )
-    episodes = execute_plan(plan, workers=parallel)
+        # The campaign span stays open while execute_plan absorbs chunk
+        # snapshots, so chunk-side episode spans are re-parented under it.
+        with telemetry.trace_span(
+            "campaign", category="sim", controller=controller.name
+        ):
+            episodes = execute_plan(plan, workers=parallel)
+    else:
+        episodes = execute_plan(plan, workers=parallel)
     if telemetry is not None:
         telemetry.event(
             "campaign_end",

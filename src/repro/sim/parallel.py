@@ -40,6 +40,7 @@ from __future__ import annotations
 import copy
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -85,6 +86,13 @@ class CampaignPlan:
             back for the deterministic chunk-order merge.  Resolved at plan
             time from :func:`repro.obs.telemetry.active` so worker processes
             need no telemetry state of their own.
+        collect_trace: additionally record hierarchical trace spans in each
+            chunk's private registry (episode → decision → tree expansion
+            → ...).  The join step rebases chunk span timestamps end-to-end
+            and re-parents chunk roots under the open campaign span, so the
+            merged span *tree* is worker-count invariant just like the
+            counters.  Resolved at plan time from the active registry's
+            ``trace_enabled``.
     """
 
     controller: RecoveryController
@@ -95,6 +103,7 @@ class CampaignPlan:
     monitor_tail: float
     chunk_size: int
     collect_telemetry: bool = False
+    collect_trace: bool = False
 
     @property
     def injections(self) -> int:
@@ -151,8 +160,14 @@ def plan_campaign(
         dtype=int,
     )
     env_seeds = tuple(environment_sequence.spawn(injections))
+    active_telemetry = telemetry_active()
     if collect_telemetry is None:
-        collect_telemetry = telemetry_active() is not None
+        collect_telemetry = active_telemetry is not None
+    collect_trace = (
+        collect_telemetry
+        and active_telemetry is not None
+        and active_telemetry.trace_enabled
+    )
     return CampaignPlan(
         controller=controller,
         model=model or controller.model,
@@ -162,6 +177,7 @@ def plan_campaign(
         monitor_tail=monitor_tail,
         chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
         collect_telemetry=collect_telemetry,
+        collect_trace=collect_trace,
     )
 
 
@@ -226,7 +242,9 @@ def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
     controller = _clone_controller(plan)
     baseline = _bound_vectors(controller)
     baseline_counters = _counters(controller)
-    chunk_telemetry = Telemetry() if plan.collect_telemetry else None
+    chunk_telemetry = (
+        Telemetry(trace=plan.collect_trace) if plan.collect_telemetry else None
+    )
     episodes = []
     with activated(chunk_telemetry):
         for index in range(start, stop):
@@ -241,12 +259,20 @@ def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
                     episode=index,
                     fault_state=int(plan.faults[index]),
                 )
-            metrics = run_episode(
-                controller,
-                environment,
-                int(plan.faults[index]),
-                max_steps=plan.max_steps,
+            episode_span = (
+                chunk_telemetry.trace_span(
+                    "episode", category="sim", episode=index
+                )
+                if chunk_telemetry is not None
+                else nullcontext()
             )
+            with episode_span:
+                metrics = run_episode(
+                    controller,
+                    environment,
+                    int(plan.faults[index]),
+                    max_steps=plan.max_steps,
+                )
             if chunk_telemetry is not None:
                 chunk_telemetry.event(
                     "episode_end",

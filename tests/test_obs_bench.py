@@ -1,0 +1,216 @@
+"""Benchmark snapshot normalisation and perf-regression comparison."""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchFormatError,
+    Metric,
+    Snapshot,
+    canonical_document,
+    compare,
+    format_comparison,
+    load_snapshot,
+    normalize,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_PR2 = REPO_ROOT / "BENCH_PR2.json"
+BENCH_PR4 = REPO_ROOT / "BENCH_PR4.json"
+
+
+def _write(path: Path, document: dict) -> Path:
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return path
+
+
+def _canonical(metrics: dict[str, Metric]) -> dict:
+    return canonical_document(metrics)
+
+
+class TestNormalize:
+    def test_pr2_snapshot_normalises(self):
+        snapshot = load_snapshot(BENCH_PR2)
+        assert snapshot.schema == "bench-pr2/v1"
+        assert any(
+            name.startswith("campaign.") and name.endswith(".serial_seconds")
+            for name in snapshot.metrics
+        )
+        assert any(
+            name.startswith("ra_solve.") for name in snapshot.metrics
+        )
+        assert "tree.decisions_per_second" in snapshot.metrics
+
+    def test_pr4_snapshot_normalises(self):
+        snapshot = load_snapshot(BENCH_PR4)
+        assert snapshot.schema == "bench-pr4/v1"
+        assert any(
+            name.startswith("backend.tiered") for name in snapshot.metrics
+        )
+        fingerprints = [
+            name for name in snapshot.metrics if name.endswith(".fingerprint")
+        ]
+        assert fingerprints
+        for name in fingerprints:
+            assert snapshot.metrics[name].direction == "exact"
+
+    def test_canonical_round_trip(self):
+        metrics = {
+            "campaign.bounded.serial_seconds": Metric(1.5, "s", "lower"),
+            "campaign.bounded.fingerprint": Metric("abc", "sha256", "exact"),
+        }
+        snapshot = normalize(_canonical(metrics))
+        assert snapshot.schema == BENCH_SCHEMA
+        assert snapshot.metrics == metrics
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(BenchFormatError, match="unknown benchmark schema"):
+            normalize({"schema": "bench-pr99/v1"})
+
+    def test_bad_direction_rejected(self):
+        document = _canonical({})
+        document["metrics"]["x"] = {"value": 1, "direction": "sideways"}
+        with pytest.raises(BenchFormatError, match="unknown direction"):
+            normalize(document)
+
+    def test_missing_file_raises_format_error(self, tmp_path):
+        with pytest.raises(BenchFormatError, match="cannot read"):
+            load_snapshot(tmp_path / "missing.json")
+
+    def test_non_json_raises_format_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("not json")
+        with pytest.raises(BenchFormatError, match="not JSON"):
+            load_snapshot(path)
+
+
+class TestCompare:
+    def _snapshot(self, **values) -> Snapshot:
+        metrics = {
+            "latency": Metric(values.get("latency", 1.0), "s", "lower"),
+            "throughput": Metric(values.get("throughput", 100.0), "eps/s", "higher"),
+            "fingerprint": Metric(values.get("fingerprint", "abc"), "sha256", "exact"),
+            "footprint": Metric(values.get("footprint", 1000), "bytes", "info"),
+        }
+        return Snapshot(schema=BENCH_SCHEMA, metrics=metrics)
+
+    def test_identical_snapshots_are_clean(self):
+        result = compare(self._snapshot(), self._snapshot())
+        assert result.ok
+        assert len(result.rows) == 4
+
+    def test_latency_regression_beyond_threshold_fails(self):
+        result = compare(
+            self._snapshot(), self._snapshot(latency=1.30), threshold_pct=25
+        )
+        assert not result.ok
+        (regression,) = result.regressions
+        assert regression.name == "latency"
+        assert regression.change_pct == pytest.approx(30.0)
+
+    def test_latency_drift_within_threshold_passes(self):
+        result = compare(
+            self._snapshot(), self._snapshot(latency=1.20), threshold_pct=25
+        )
+        assert result.ok
+
+    def test_throughput_drop_beyond_threshold_fails(self):
+        result = compare(
+            self._snapshot(), self._snapshot(throughput=70.0), threshold_pct=25
+        )
+        assert not result.ok
+        assert result.regressions[0].name == "throughput"
+
+    def test_faster_is_never_a_regression(self):
+        result = compare(
+            self._snapshot(),
+            self._snapshot(latency=0.1, throughput=500.0),
+            threshold_pct=25,
+        )
+        assert result.ok
+
+    def test_fingerprint_mismatch_fails_at_any_threshold(self):
+        result = compare(
+            self._snapshot(),
+            self._snapshot(fingerprint="zzz"),
+            threshold_pct=1e9,
+        )
+        assert not result.ok
+        assert result.regressions[0].name == "fingerprint"
+
+    def test_info_metrics_never_fail(self):
+        result = compare(
+            self._snapshot(), self._snapshot(footprint=10**9), threshold_pct=1
+        )
+        assert result.ok
+
+    def test_disjoint_metrics_are_skipped(self):
+        old = Snapshot(BENCH_SCHEMA, {"a": Metric(1.0, "s", "lower")})
+        new = Snapshot(BENCH_SCHEMA, {"b": Metric(1.0, "s", "lower")})
+        result = compare(old, new)
+        assert result.rows == []
+        assert result.ok
+
+    def test_format_mentions_regression(self):
+        result = compare(self._snapshot(), self._snapshot(latency=2.0))
+        text = format_comparison(result)
+        assert "REGRESSED" in text
+        assert "1 regression(s)" in text
+
+
+class TestCli:
+    """Acceptance criteria: self-compare of a committed baseline exits 0;
+    an injected 30 % latency regression and a fingerprint flip exit 1;
+    an unknown schema exits 2."""
+
+    def test_self_compare_of_pr4_baseline_exits_zero(self, capsys):
+        assert main(
+            ["bench", "compare", str(BENCH_PR4), str(BENCH_PR4)]
+        ) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_cross_schema_compare_runs(self, capsys):
+        # PR2 vs PR4 share the bounded-campaign fingerprint metrics.
+        code = main(["bench", "compare", str(BENCH_PR2), str(BENCH_PR4)])
+        out = capsys.readouterr().out
+        assert "campaign.bounded_depth_1.fingerprint" in out
+        assert code in (0, 1)  # wall-clock drift between PR eras may trip
+
+    def test_injected_thirty_percent_regression_exits_one(
+        self, tmp_path, capsys
+    ):
+        baseline = json.loads(BENCH_PR4.read_text())
+        regressed = copy.deepcopy(baseline)
+        for row in regressed["backends"]:
+            row["sparse_decision_ms"] *= 1.30
+        new = _write(tmp_path / "new.json", regressed)
+        code = main(
+            ["bench", "compare", str(BENCH_PR4), str(new), "--threshold", "25"]
+        )
+        assert code == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_fingerprint_mismatch_exits_one(self, tmp_path, capsys):
+        baseline = json.loads(BENCH_PR4.read_text())
+        tampered = copy.deepcopy(baseline)
+        tampered["campaign"]["fingerprint"] = "0" * 64
+        new = _write(tmp_path / "new.json", tampered)
+        assert main(["bench", "compare", str(BENCH_PR4), str(new)]) == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_unknown_schema_exits_two(self, tmp_path, capsys):
+        bad = _write(tmp_path / "bad.json", {"schema": "bench-pr99/v1"})
+        assert main(["bench", "compare", str(BENCH_PR4), str(bad)]) == 2
+        assert "unknown benchmark schema" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "missing.json"
+        assert main(["bench", "compare", str(BENCH_PR4), str(missing)]) == 2
+        assert "cannot read" in capsys.readouterr().out

@@ -83,3 +83,69 @@ class TestValidate:
         path.write_text("not json\n")
         assert main(["validate", str(path)]) == 1
         assert "not JSON" in capsys.readouterr().out
+
+    def test_unsupported_schema_version_flagged(self, tmp_path, capsys):
+        path = tmp_path / "future.jsonl"
+        lines = [
+            {"event": "session_start", "seq": 0, "schema": "repro-obs/v99"},
+            {"event": "summary", "seq": 1, "counters": {},
+             "process_counters": {}, "gauges": {}, "timers": {}},
+            {"event": "session_end", "seq": 2},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        assert main(["validate", str(path)]) == 1
+        assert "unsupported schema" in capsys.readouterr().out
+
+    def test_v1_stream_still_valid(self, tmp_path):
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            {"event": "session_start", "seq": 0, "schema": "repro-obs/v1"},
+            {"event": "summary", "seq": 1, "counters": {},
+             "process_counters": {}, "gauges": {}, "timers": {}},
+            {"event": "session_end", "seq": 2},
+        ]
+        path.write_text("\n".join(json.dumps(line) for line in lines) + "\n")
+        assert main(["validate", str(path)]) == 0
+
+
+class TestDegenerateStreams:
+    """Satellite regression tests: empty and header-only streams are clean
+    (a run killed before its summary is truncated, not corrupt), and a
+    missing file is a usage error (exit 2), never a traceback."""
+
+    def test_empty_stream_validates_clean(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["validate", str(path)]) == 0
+        assert "schema-valid" in capsys.readouterr().out
+
+    def test_header_only_stream_validates_clean(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        path.write_text(
+            json.dumps(
+                {"event": "session_start", "seq": 0, "schema": SCHEMA_VERSION}
+            )
+            + "\n"
+        )
+        assert main(["validate", str(path)]) == 0
+
+    def test_empty_stream_reports_clean(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["report", str(path)]) == 0
+        assert capsys.readouterr().out  # renders an (empty) report
+
+    def test_header_only_stream_reports_clean(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        path.write_text(
+            json.dumps(
+                {"event": "session_start", "seq": 0, "schema": SCHEMA_VERSION}
+            )
+            + "\n"
+        )
+        assert main(["report", str(path)]) == 0
+
+    @pytest.mark.parametrize("command", ["report", "validate", "convergence"])
+    def test_missing_file_is_usage_error(self, tmp_path, command, capsys):
+        assert main([command, str(tmp_path / "missing.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().out

@@ -1,0 +1,237 @@
+"""Bound-convergence analytics: phase split, rebasing, gap series."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bounds.incremental import refine_at
+from repro.bounds.ra_bound import ra_bound_vector
+from repro.bounds.vector_set import BoundVectorSet
+from repro.obs import session
+from repro.obs.convergence import (
+    format_report,
+    gap_series,
+    read_refinements,
+    save_png,
+)
+
+
+def _write_stream(path, events):
+    path.write_text(
+        "\n".join(json.dumps(event) for event in events) + "\n",
+        encoding="utf-8",
+    )
+
+
+def _refine(seq, *, t, improvement, chunk=None, **extra):
+    record = {
+        "event": "refine",
+        "seq": seq,
+        "action": 1,
+        "added": True,
+        "improvement": improvement,
+        "set_size": seq + 1,
+        "t": t,
+        "value": 10.0 + seq,
+        "dominated": 0,
+        "evicted": 0,
+    }
+    if chunk is not None:
+        record["chunk"] = chunk
+    record.update(extra)
+    return record
+
+
+class TestPhaseInference:
+    def test_refine_outside_episode_is_bootstrap(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(path, [_refine(0, t=0.1, improvement=2.0)])
+        (record,) = read_refinements(path)
+        assert record.phase == "bootstrap"
+
+    def test_refine_inside_episode_is_online(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                {"event": "episode_start", "seq": 0, "episode": 0,
+                 "fault_state": 1},
+                _refine(1, t=0.1, improvement=2.0),
+                {"event": "episode_end", "seq": 2, "episode": 0,
+                 "recovered": True, "terminated": True, "steps": 1,
+                 "cost": 1.0},
+            ],
+        )
+        (record,) = read_refinements(path)
+        assert record.phase == "online"
+
+    def test_chunk_tagged_refine_is_online(self, tmp_path):
+        # Chunk-buffered events lose their episode markers' interleaving
+        # guarantees; the chunk tag alone marks them online.
+        path = tmp_path / "run.jsonl"
+        _write_stream(path, [_refine(0, t=0.1, improvement=2.0, chunk=0)])
+        (record,) = read_refinements(path)
+        assert record.phase == "online"
+        assert record.chunk == 0
+
+    def test_indices_count_per_phase(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                _refine(0, t=0.1, improvement=1.0),
+                _refine(1, t=0.2, improvement=1.0),
+                _refine(2, t=0.1, improvement=1.0, chunk=0),
+            ],
+        )
+        records = read_refinements(path)
+        assert [(r.phase, r.index) for r in records] == [
+            ("bootstrap", 0),
+            ("bootstrap", 1),
+            ("online", 0),
+        ]
+
+
+class TestWallClockRebase:
+    def test_chunk_clocks_are_rebased_end_to_end(self, tmp_path):
+        # Two chunks, each with a clock starting near zero: the merged
+        # series must be monotone, chunk 1 landing after chunk 0's extent.
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                _refine(0, t=5.0, improvement=1.0, chunk=0),
+                _refine(1, t=5.4, improvement=1.0, chunk=0),
+                _refine(2, t=5.1, improvement=1.0, chunk=1),
+            ],
+        )
+        times = [record.t for record in read_refinements(path)]
+        assert times == sorted(times)
+        assert times[0] == pytest.approx(0.0)
+        assert times[1] == pytest.approx(0.4)
+        assert times[2] == pytest.approx(0.4)  # chunk 1 starts at 0.4 extent
+
+    def test_v1_stream_without_extras_still_reads(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                {"event": "refine", "seq": 0, "action": 2, "added": True,
+                 "improvement": 1.5, "set_size": 4},
+            ],
+        )
+        (record,) = read_refinements(path)
+        assert record.t == 0.0
+        assert record.value == 0.0
+        assert record.improvement == 1.5
+
+
+class TestGapSeries:
+    def test_gap_falls_to_zero(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                _refine(0, t=0.1, improvement=4.0),
+                _refine(1, t=0.2, improvement=2.0),
+                _refine(2, t=0.3, improvement=1.0),
+            ],
+        )
+        series = gap_series(read_refinements(path), "bootstrap")
+        gaps = [gap for _, _, gap in series]
+        assert gaps == pytest.approx([3.0, 1.0, 0.0])
+        cumulative = [c for _, c, _ in series]
+        assert cumulative == pytest.approx([4.0, 6.0, 7.0])
+
+    def test_phases_get_independent_totals(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                _refine(0, t=0.1, improvement=4.0),
+                _refine(1, t=0.1, improvement=6.0, chunk=0),
+            ],
+        )
+        records = read_refinements(path)
+        (_, _, bootstrap_gap) = gap_series(records, "bootstrap")[-1]
+        (_, _, online_gap) = gap_series(records, "online")[-1]
+        assert bootstrap_gap == 0.0
+        assert online_gap == 0.0
+
+
+class TestReport:
+    def test_empty_records_render_placeholder(self):
+        assert format_report([]) == "no refine events in stream\n"
+
+    def test_report_has_phase_sections(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                _refine(0, t=0.1, improvement=4.0),
+                _refine(1, t=0.1, improvement=6.0, chunk=0),
+            ],
+        )
+        report = format_report(read_refinements(path))
+        assert "bootstrap refinements" in report
+        assert "online refinements" in report
+        assert "gap" in report
+
+    def test_long_series_is_sampled(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        _write_stream(
+            path,
+            [
+                _refine(i, t=0.01 * i, improvement=1.0) for i in range(100)
+            ],
+        )
+        report = format_report(read_refinements(path))
+        assert "n=100" in report
+        assert "sampled to 20 rows" in report
+
+    def test_png_degrades_without_matplotlib(self, tmp_path):
+        # The container may or may not ship matplotlib; either way the
+        # call must not raise, and False means "no file written".
+        path = tmp_path / "run.jsonl"
+        _write_stream(path, [_refine(0, t=0.1, improvement=1.0)])
+        records = read_refinements(path)
+        png = tmp_path / "gap.png"
+        wrote = save_png(records, png)
+        assert wrote == png.exists()
+
+
+class TestLiveInstrumentation:
+    """refine events recorded by the real bound machinery carry the
+    convergence extras (value, t, dominated, evicted)."""
+
+    def test_refine_at_emits_convergence_fields(self, tmp_path, simple_system):
+        pomdp = simple_system.model.pomdp
+        path = tmp_path / "run.jsonl"
+        with session(path):
+            bound_set = BoundVectorSet(ra_bound_vector(pomdp))
+            belief = simple_system.model.initial_belief()
+            refine_at(pomdp, bound_set, belief)
+            refine_at(pomdp, bound_set, belief)
+        refines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line).get("event") == "refine"
+        ]
+        assert refines
+        for record in refines:
+            assert {"value", "t", "dominated", "evicted"} <= set(record)
+            assert record["t"] >= 0.0
+
+    def test_live_stream_feeds_read_refinements(self, tmp_path, simple_system):
+        pomdp = simple_system.model.pomdp
+        path = tmp_path / "run.jsonl"
+        with session(path):
+            bound_set = BoundVectorSet(ra_bound_vector(pomdp))
+            refine_at(pomdp, bound_set, simple_system.model.initial_belief())
+        records = read_refinements(path)
+        assert records
+        assert all(record.phase == "bootstrap" for record in records)
+        assert all(record.set_size > 0 for record in records)

@@ -1,0 +1,313 @@
+"""Hierarchical span tracing: recording, merge determinism, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.controllers.bounded import BoundedController
+from repro.obs import session
+from repro.obs.telemetry import (
+    SPANS_DROPPED_COUNTER,
+    SpanRecord,
+    Telemetry,
+)
+from repro.obs.trace import (
+    read_spans,
+    span_tree,
+    to_chrome_trace,
+    to_collapsed_stacks,
+    write_chrome_trace,
+)
+from repro.sim.campaign import run_campaign
+
+
+class TestSpanRecording:
+    def test_nesting_produces_parent_ids(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("outer"):
+            with telemetry.trace_span("inner"):
+                pass
+        spans = {span.name: span for span in telemetry.spans}
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].parent_id == spans["outer"].span_id
+
+    def test_children_close_before_parents(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("outer"):
+            with telemetry.trace_span("inner"):
+                pass
+        assert [span.name for span in telemetry.spans] == ["inner", "outer"]
+
+    def test_siblings_share_parent(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("root"):
+            with telemetry.trace_span("a"):
+                pass
+            with telemetry.trace_span("b"):
+                pass
+        spans = {span.name: span for span in telemetry.spans}
+        assert spans["a"].parent_id == spans["b"].parent_id == spans["root"].span_id
+
+    def test_args_are_recorded_sorted(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("s", zeta=1, alpha=2):
+            pass
+        (span,) = telemetry.spans
+        assert span.args == (("alpha", 2), ("zeta", 1))
+
+    def test_durations_nest(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("outer"):
+            with telemetry.trace_span("inner"):
+                pass
+        spans = {span.name: span for span in telemetry.spans}
+        assert spans["inner"].seconds <= spans["outer"].seconds
+        assert spans["inner"].t_start >= spans["outer"].t_start
+
+    def test_disabled_tracing_records_nothing(self):
+        telemetry = Telemetry()  # trace off
+        with telemetry.trace_span("outer"):
+            pass
+        assert len(telemetry.spans) == 0
+
+    def test_disabled_trace_span_is_shared_noop(self):
+        telemetry = Telemetry()
+        assert telemetry.trace_span("a") is telemetry.trace_span("b")
+
+
+class TestRingBuffer:
+    def test_oldest_spans_dropped_at_capacity(self):
+        telemetry = Telemetry(trace=True, max_spans=3)
+        for index in range(5):
+            with telemetry.trace_span(f"s{index}"):
+                pass
+        assert [span.name for span in telemetry.spans] == ["s2", "s3", "s4"]
+        assert telemetry.events_dropped == 2
+        assert telemetry.counters[SPANS_DROPPED_COUNTER] == 2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_TRACE_SPANS", "2")
+        telemetry = Telemetry(trace=True)
+        assert telemetry.max_spans == 2
+
+    def test_no_drops_below_capacity(self):
+        telemetry = Telemetry(trace=True, max_spans=10)
+        for _ in range(5):
+            with telemetry.trace_span("s"):
+                pass
+        assert telemetry.events_dropped == 0
+
+
+class TestAbsorbMerge:
+    def _chunk(self, episode: int) -> Telemetry:
+        chunk = Telemetry(trace=True)
+        with chunk.trace_span("episode", episode=episode):
+            with chunk.trace_span("decision"):
+                pass
+        return chunk
+
+    def test_chunk_roots_reparent_under_open_span(self):
+        aggregate = Telemetry(trace=True)
+        with aggregate.trace_span("campaign"):
+            aggregate.absorb(self._chunk(0).snapshot(), chunk=0)
+        spans = {span.name: span for span in aggregate.spans}
+        assert spans["episode"].parent_id == spans["campaign"].span_id
+        assert spans["decision"].parent_id == spans["episode"].span_id
+
+    def test_span_ids_stay_unique_across_chunks(self):
+        aggregate = Telemetry(trace=True)
+        with aggregate.trace_span("campaign"):
+            for index in range(3):
+                aggregate.absorb(self._chunk(index).snapshot(), chunk=index)
+        ids = [span.span_id for span in aggregate.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_timestamps_rebase_end_to_end(self):
+        aggregate = Telemetry(trace=True)
+        with aggregate.trace_span("campaign"):
+            for index in range(2):
+                aggregate.absorb(self._chunk(index).snapshot(), chunk=index)
+        episodes = sorted(
+            (span for span in aggregate.spans if span.name == "episode"),
+            key=lambda span: span.span_id,
+        )
+        # Chunk 1's episode starts at or after chunk 0's extent.
+        first_end = episodes[0].t_start + episodes[0].seconds
+        assert episodes[1].t_start >= first_end - 1e-9
+
+    def test_chunk_tag_appended_to_args(self):
+        aggregate = Telemetry(trace=True)
+        aggregate.absorb(self._chunk(0).snapshot(), chunk=7)
+        for span in aggregate.spans:
+            assert ("chunk", 7) in span.args
+
+
+class TestSpanTree:
+    def test_canonical_structure(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("root"):
+            with telemetry.trace_span("a", k=1):
+                pass
+            with telemetry.trace_span("b"):
+                pass
+        (root,) = span_tree(list(telemetry.spans))
+        assert root["name"] == "root"
+        assert [child["name"] for child in root["children"]] == ["a", "b"]
+        assert root["children"][0]["args"] == {"k": 1}
+
+    def test_orphaned_spans_become_roots(self):
+        spans = [
+            SpanRecord(5, 99, "orphan", "repro", 0.0, 1.0),
+        ]
+        assert [node["name"] for node in span_tree(spans)] == ["orphan"]
+
+
+class TestExporters:
+    def _spans(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("root", phase="x"):
+            with telemetry.trace_span("leaf"):
+                pass
+        return list(telemetry.spans)
+
+    def test_chrome_trace_structure(self):
+        document = to_chrome_trace(self._spans())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert set(event) >= {"name", "cat", "ts", "dur", "pid", "tid", "args"}
+        # Sorted by start time: the root opens first.
+        assert events[0]["name"] == "root"
+        assert events[0]["args"]["phase"] == "x"
+
+    def test_chrome_trace_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, self._spans())
+        document = json.loads(path.read_text())
+        assert len(document["traceEvents"]) == 2
+
+    def test_collapsed_stacks_weights_are_self_time(self):
+        spans = [
+            SpanRecord(0, None, "root", "repro", 0.0, 2.0),
+            SpanRecord(1, 0, "leaf", "repro", 0.5, 0.5),
+        ]
+        lines = dict(
+            line.rsplit(" ", 1) for line in to_collapsed_stacks(spans)
+        )
+        assert int(lines["root"]) == 1_500_000  # 2.0 s - 0.5 s child
+        assert int(lines["root;leaf"]) == 500_000
+
+    def test_identical_stacks_merge(self):
+        spans = [
+            SpanRecord(0, None, "root", "repro", 0.0, 1.0),
+            SpanRecord(1, None, "root", "repro", 1.0, 1.0),
+        ]
+        (line,) = to_collapsed_stacks(spans)
+        assert line == "root 2000000"
+
+
+class TestSessionIntegration:
+    def test_session_emits_span_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with session(path, trace=True) as telemetry:
+            with telemetry.trace_span("outer"):
+                pass
+        kinds = [
+            json.loads(line)["event"] for line in path.read_text().splitlines()
+        ]
+        assert "span" in kinds
+        # Spans are flushed between the payload events and the summary.
+        assert kinds.index("span") < kinds.index("summary")
+
+    def test_read_spans_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with session(path, trace=True) as telemetry:
+            with telemetry.trace_span("outer", k=3):
+                with telemetry.trace_span("inner"):
+                    pass
+        recovered = read_spans(path)
+        assert span_tree(recovered) == span_tree(list(telemetry.spans))
+
+    def test_untraced_session_emits_no_span_events(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with session(path) as telemetry:
+            with telemetry.trace_span("outer"):
+                pass
+            telemetry.count("x")
+        kinds = [
+            json.loads(line)["event"] for line in path.read_text().splitlines()
+        ]
+        assert "span" not in kinds
+
+
+class TestCampaignTraceDeterminism:
+    """Satellite: the sim_parallel determinism contract extended to spans —
+    serial and sharded campaigns produce the same span tree (modulo the
+    rebased timestamps) and identical aggregated counters."""
+
+    INJECTIONS = 24
+    SEED = 11
+
+    def _traced_campaign(self, system, parallel):
+        controller = BoundedController(system.model, depth=1)
+        faults = np.array([system.fault_a, system.fault_b])
+        with session(trace=True) as telemetry:
+            run_campaign(
+                controller,
+                fault_states=faults,
+                injections=self.INJECTIONS,
+                seed=self.SEED,
+                parallel=parallel,
+            )
+        return telemetry
+
+    @pytest.fixture(scope="class")
+    def serial(self, simple_system):
+        return self._traced_campaign(simple_system, parallel=None)
+
+    @pytest.fixture(scope="class")
+    def sharded(self, simple_system):
+        return self._traced_campaign(simple_system, parallel=4)
+
+    def test_span_tree_is_worker_count_invariant(self, serial, sharded):
+        assert span_tree(list(serial.spans)) == span_tree(list(sharded.spans))
+
+    def test_aggregated_counters_match_with_tracing_on(self, serial, sharded):
+        assert dict(serial.counters) == dict(sharded.counters)
+        assert serial.gauges == sharded.gauges
+
+    def test_expected_hierarchy_levels_present(self, serial):
+        tree = span_tree(list(serial.spans))
+        (campaign,) = tree
+        assert campaign["name"] == "campaign"
+        episodes = campaign["children"]
+        assert len(episodes) == self.INJECTIONS
+        assert {node["name"] for node in episodes} == {"episode"}
+        decision_names = {
+            child["name"]
+            for episode in episodes
+            for child in episode["children"]
+        }
+        assert decision_names == {"controller.decision"}
+        inner = {
+            grandchild["name"]
+            for episode in episodes
+            for child in episode["children"]
+            for grandchild in child["children"]
+        }
+        assert {"bounds.refine", "tree.expand"} <= inner
+
+    def test_episode_spans_carry_chunk_and_episode_args(self, sharded):
+        episode_spans = [
+            span for span in sharded.spans if span.name == "episode"
+        ]
+        assert len(episode_spans) == self.INJECTIONS
+        for span in episode_spans:
+            args = dict(span.args)
+            assert "episode" in args
+            assert "chunk" in args
