@@ -52,7 +52,13 @@ def run_smoke(replicas_per_tier: int) -> dict:
     build_seconds = time.perf_counter() - started
     assert model.pomdp.backend.is_sparse, "tiered build did not select sparse"
 
-    controller = BoundedController(model, depth=1, refine_online=False)
+    controller = BoundedController(
+        model, depth=1, refine_online=False, preflight=True
+    )
+    assert controller.preflight_report is not None
+    assert not any(
+        d.code == "R203" for d in controller.preflight_report.findings
+    ), "sparse preflight must run every pass without size skips"
     belief = uniform_belief(model.pomdp, support=model.fault_states)
     controller.reset(initial_belief=belief)
     started = time.perf_counter()

@@ -5,9 +5,18 @@ Inspects an :class:`~repro.mdp.MDP`, :class:`~repro.pomdp.POMDP`, or
 every violation of the paper's structural preconditions (Conditions 1/2,
 the Figure 2 rewirings, Eq. 5 finiteness) plus warnings and statistics —
 in contrast to the model constructors, which fail fast on the first
-problem.  Run ``python -m repro.analysis --help`` for the CLI.
+problem.  Every pass is sparse-native, so the full suite runs on
+300k-state sparse-backend models without densifying anything.  Run
+``python -m repro.analysis --help`` for the CLI.
+
+Two sibling checkers share the diagnostic machinery:
+:mod:`repro.analysis.certify` statically certifies persisted bound sets
+(R3xx), and :mod:`repro.analysis.codelint` lints the source tree for
+determinism hazards (R9xx; ``python -m repro.analysis.codelint src/``).
 """
 
+from repro.analysis.certify import certify_bound_set
+from repro.analysis.codelint import lint_paths, lint_source
 from repro.analysis.diagnostics import (
     CODES,
     AnalysisReport,
@@ -15,7 +24,10 @@ from repro.analysis.diagnostics import (
     Severity,
 )
 from repro.analysis.passes import (
+    DUPLICATE_PAIR_BUDGET,
+    PER_STATE_SCAN_CUTOFF,
     SLOW_ABSORPTION_STEPS,
+    SPARSE_SOLVE_SKIP_STATES,
     analyze,
     condition_1_diagnostics,
     condition_2_diagnostics,
@@ -32,16 +44,22 @@ from repro.analysis.view import ModelView
 
 __all__ = [
     "CODES",
+    "DUPLICATE_PAIR_BUDGET",
+    "PER_STATE_SCAN_CUTOFF",
     "SLOW_ABSORPTION_STEPS",
+    "SPARSE_SOLVE_SKIP_STATES",
     "AnalysisReport",
     "Diagnostic",
     "ModelView",
     "Severity",
     "analyze",
+    "certify_bound_set",
     "condition_1_diagnostics",
     "condition_2_diagnostics",
     "dead_observation_diagnostics",
     "duplicate_action_diagnostics",
+    "lint_paths",
+    "lint_source",
     "null_rewiring_diagnostics",
     "ra_finiteness_diagnostics",
     "slow_absorption_diagnostics",

@@ -5,6 +5,8 @@ Usage::
     python -m repro.analysis model.npz        # a repro.io archive
     python -m repro.analysis --emn            # a shipped system
     python -m repro.analysis --simple --tiered --emn
+    python -m repro.analysis --format json model.npz
+    python -m repro.analysis --force big.npz  # override R203 size cutoffs
     python -m repro.analysis --codes          # the diagnostic code table
 
 Archives are loaded *without* model validation, so a structurally broken
@@ -55,9 +57,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hide info-level (R2xx) findings",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default=None,
+        help="output format (default: text)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
-        help="emit the report(s) as JSON instead of text",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="run analysis passes past their R203 size cutoffs",
     )
     parser.add_argument(
         "--codes",
@@ -95,6 +108,7 @@ def _report_json(report: AnalysisReport) -> dict:
                 "code": d.code,
                 "severity": d.severity.label,
                 "message": d.message,
+                "location": d.location,
                 "states": list(d.states),
                 "actions": list(d.actions),
                 "fix_hint": d.fix_hint,
@@ -133,10 +147,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     reports = []
     for title, model in targets:
-        report = analyze(model)
+        report = analyze(model, force=args.force)
         reports.append(AnalysisReport(findings=report.findings, title=title))
 
-    if args.json:
+    if args.json or args.format == "json":
         print(json.dumps([_report_json(r) for r in reports], indent=2))
     else:
         for i, report in enumerate(reports):

@@ -1,0 +1,450 @@
+"""Determinism lint over the repro source tree (R9xx).
+
+The campaign fingerprints, span-merged traces, and dense/sparse parity
+guarantees all rest on the code being deterministic: same seeds, same
+decision sequence, same bytes.  Three code patterns quietly break that
+contract, and each has bitten a numerical codebase before:
+
+``R901`` — unseeded random-number generation: ``np.random.*`` module-level
+samplers, ``numpy.random.default_rng()`` with no seed, and the stdlib
+``random`` module's samplers.  All randomness must flow through an
+explicitly seeded generator (see :mod:`repro.util.rng`).
+
+``R902`` — iterating an unordered ``set``/``frozenset`` in a ``for`` loop
+or comprehension.  Set iteration order depends on insertion history and
+hash randomization; when the loop feeds a fingerprint, a merge, or any
+emitted sequence, the output differs run to run.  Wrap the iterable in
+``sorted(...)`` to fix the order.
+
+``R903`` — wall-clock reads (``time.time``, ``time.perf_counter``,
+``datetime.now``, ...).  Timestamps are fine in telemetry, but inside
+span-merged or fingerprinted code they poison determinism; the repro
+code routes them through :mod:`repro.util.timing` so replay can stub
+them out.
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` objects with
+``location`` set to ``path:line``, reported through the same
+:class:`~repro.analysis.diagnostics.AnalysisReport` machinery as the
+model analyzer, with the same exit-code contract (0 clean, 1 warnings,
+2 errors — R9xx are warnings, so a dirty tree exits 1).
+
+Suppressions: a line comment ``# codelint: ignore[R901]`` (one or more
+comma-separated codes) silences those codes on that line; a file whose
+first non-blank lines include ``# codelint: skip-file`` is not linted.
+
+Run as a CI gate::
+
+    python -m repro.analysis.codelint src/
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic
+
+#: ``np.random.<sampler>`` attributes that draw from the global state.
+_GLOBAL_NUMPY_SAMPLERS = frozenset(
+    {
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "dirichlet",
+        "multinomial",
+        "beta",
+        "gamma",
+        "geometric",
+        "seed",
+    }
+)
+
+#: stdlib ``random.<sampler>`` functions drawing from the global state.
+_GLOBAL_STDLIB_SAMPLERS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "normalvariate",
+        "gauss",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "seed",
+        "getrandbits",
+    }
+)
+
+#: ``time.<reader>`` wall-clock functions.
+_WALL_CLOCK_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+
+#: ``datetime.<reader>`` constructors reading the clock.
+_WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
+
+_IGNORE_PATTERN = re.compile(r"#\s*codelint:\s*ignore\[([A-Z0-9,\s]+)\]")
+_SKIP_FILE_PATTERN = re.compile(r"#\s*codelint:\s*skip-file")
+
+
+def _suppressions(source: str) -> tuple[dict[int, frozenset[str]], bool]:
+    """Per-line suppressed codes and the file-level skip flag."""
+    suppressed: dict[int, frozenset[str]] = {}
+    skip_file = False
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if lineno <= 5 and _SKIP_FILE_PATTERN.search(line):
+            skip_file = True
+        match = _IGNORE_PATTERN.search(line)
+        if match:
+            suppressed[lineno] = frozenset(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+    return suppressed, skip_file
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for an attribute/name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class _ModuleAliases(ast.NodeVisitor):
+    """Local names bound to the modules the rules care about."""
+
+    def __init__(self) -> None:
+        self.numpy: set[str] = set()
+        self.numpy_random: set[str] = set()
+        self.stdlib_random: set[str] = set()
+        self.time: set[str] = set()
+        self.datetime_module: set[str] = set()
+        self.datetime_class: set[str] = set()
+        self.default_rng: set[str] = set()
+        self.stdlib_samplers: set[str] = set()
+        self.time_readers: set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for item in node.names:
+            name = item.asname or item.name
+            if item.name == "numpy":
+                self.numpy.add(name)
+            elif item.name == "numpy.random":
+                self.numpy_random.add(name)
+            elif item.name == "random":
+                self.stdlib_random.add(name)
+            elif item.name == "time":
+                self.time.add(name)
+            elif item.name == "datetime":
+                self.datetime_module.add(name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for item in node.names:
+            name = item.asname or item.name
+            if node.module == "numpy" and item.name == "random":
+                self.numpy_random.add(name)
+            elif node.module == "numpy.random" and item.name == "default_rng":
+                self.default_rng.add(name)
+            elif node.module == "random" and item.name in _GLOBAL_STDLIB_SAMPLERS:
+                self.stdlib_samplers.add(name)
+            elif node.module == "time" and item.name in _WALL_CLOCK_TIME:
+                self.time_readers.add(name)
+            elif node.module == "datetime" and item.name == "datetime":
+                self.datetime_class.add(name)
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, aliases: _ModuleAliases):
+        self.path = path
+        self.aliases = aliases
+        self.findings: list[Diagnostic] = []
+
+    def _flag(self, code: str, node: ast.AST, message: str, fix_hint: str) -> None:
+        self.findings.append(
+            Diagnostic(
+                code=code,
+                message=message,
+                location=f"{self.path}:{node.lineno}",
+                fix_hint=fix_hint,
+            )
+        )
+
+    # -- R901: unseeded RNG ------------------------------------------------
+
+    def _check_rng(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        head, _, tail = dotted.rpartition(".")
+        # np.random.<sampler> / numpy.random.<sampler>
+        for np_alias in self.aliases.numpy:
+            if head == f"{np_alias}.random" and tail in _GLOBAL_NUMPY_SAMPLERS:
+                self._flag(
+                    "R901",
+                    node,
+                    f"call to the global numpy RNG: {dotted}()",
+                    "draw from an explicitly seeded np.random.Generator "
+                    "(repro.util.rng) instead of the global state",
+                )
+                return
+        for nr_alias in self.aliases.numpy_random:
+            if head == nr_alias and tail in _GLOBAL_NUMPY_SAMPLERS:
+                self._flag(
+                    "R901",
+                    node,
+                    f"call to the global numpy RNG: {dotted}()",
+                    "draw from an explicitly seeded np.random.Generator "
+                    "(repro.util.rng) instead of the global state",
+                )
+                return
+        # random.<sampler> (stdlib)
+        if head in self.aliases.stdlib_random and tail in _GLOBAL_STDLIB_SAMPLERS:
+            self._flag(
+                "R901",
+                node,
+                f"call to the global stdlib RNG: {dotted}()",
+                "use random.Random(seed) or a seeded numpy Generator",
+            )
+            return
+        if not head and dotted in self.aliases.stdlib_samplers:
+            self._flag(
+                "R901",
+                node,
+                f"call to the global stdlib RNG: {dotted}()",
+                "use random.Random(seed) or a seeded numpy Generator",
+            )
+            return
+        # default_rng() with no seed argument
+        is_default_rng = (not head and dotted in self.aliases.default_rng) or any(
+            dotted == f"{alias}.default_rng"
+            for alias in (
+                self.aliases.numpy_random
+                | {f"{np_alias}.random" for np_alias in self.aliases.numpy}
+            )
+        )
+        if is_default_rng and not node.args and not node.keywords:
+            self._flag(
+                "R901",
+                node,
+                f"{dotted}() without a seed draws entropy from the OS",
+                "pass an explicit seed (or a seeded SeedSequence)",
+            )
+
+    # -- R902: unordered set iteration ------------------------------------
+
+    def _is_unordered(self, node: ast.AST) -> str | None:
+        """Describe ``node`` if its iteration order is unordered."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in ("set", "frozenset"):
+                return f"{dotted}(...)"
+            # set operations also yield sets: a.union(b), a.intersection(b)...
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                inner = self._is_unordered(node.func.value)
+                if inner is not None:
+                    return f"{inner}.{node.func.attr}(...)"
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            left = self._is_unordered(node.left)
+            right = self._is_unordered(node.right)
+            if left is not None or right is not None:
+                return left or right
+        return None
+
+    def _check_iteration(self, iterable: ast.AST, node: ast.AST) -> None:
+        what = self._is_unordered(iterable)
+        if what is not None:
+            self._flag(
+                "R902",
+                node,
+                f"iteration over {what}: order depends on hashes and "
+                "insertion history",
+                "wrap the iterable in sorted(...) to pin the order",
+            )
+
+    # -- R903: wall-clock reads --------------------------------------------
+
+    def _check_clock(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return
+        head, _, tail = dotted.rpartition(".")
+        if head in self.aliases.time and tail in _WALL_CLOCK_TIME:
+            self._flag(
+                "R903",
+                node,
+                f"wall-clock read: {dotted}()",
+                "route timing through repro.util.timing so replays can "
+                "stub the clock",
+            )
+            return
+        if not head and dotted in self.aliases.time_readers:
+            self._flag(
+                "R903",
+                node,
+                f"wall-clock read: {dotted}()",
+                "route timing through repro.util.timing so replays can "
+                "stub the clock",
+            )
+            return
+        if tail in _WALL_CLOCK_DATETIME:
+            base = head.rpartition(".")[2]
+            direct = head in self.aliases.datetime_class
+            via_module = any(
+                head == f"{module}.datetime"
+                for module in self.aliases.datetime_module
+            ) or (base == "datetime" and head.endswith("datetime"))
+            if direct or via_module:
+                self._flag(
+                    "R903",
+                    node,
+                    f"wall-clock read: {dotted}()",
+                    "take timestamps at the edges (CLI, telemetry export), "
+                    "not inside deterministic code",
+                )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_rng(node)
+        self._check_clock(node)
+        self.generic_visit(node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter, node)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source text; returns the (possibly empty) findings."""
+    suppressed, skip_file = _suppressions(source)
+    if skip_file:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Diagnostic(
+                code="R900",
+                message=f"file does not parse: {error.msg}",
+                location=f"{path}:{error.lineno or 0}",
+                fix_hint="fix the syntax error so the file can be linted",
+            )
+        ]
+    aliases = _ModuleAliases()
+    aliases.visit(tree)
+    linter = _Linter(path, aliases)
+    linter.visit(tree)
+    return [
+        finding
+        for finding in linter.findings
+        if finding.code
+        not in suppressed.get(int(finding.location.rpartition(":")[2]), ())
+    ]
+
+
+def lint_paths(paths: list[str | Path]) -> AnalysisReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Files are visited in sorted path order so the report — and therefore
+    the CI log — is itself deterministic.
+    """
+    files: list[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            files.extend(sorted(entry.rglob("*.py")))
+        else:
+            files.append(entry)
+    findings: list[Diagnostic] = []
+    for file in files:
+        findings.extend(lint_source(file.read_text(), str(file)))
+    findings.append(
+        Diagnostic(
+            code="R201",
+            message=(
+                f"linted {len(files)} file(s); "
+                f"{sum(1 for f in findings if f.code.startswith('R9'))} "
+                "determinism finding(s)"
+            ),
+        )
+    )
+    title = "determinism lint (" + ", ".join(str(p) for p in paths) + ")"
+    return AnalysisReport(findings=tuple(findings), title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.analysis.codelint <paths...>``.
+
+    Exit codes mirror the model analyzer: 0 clean, 1 warnings (any R9xx
+    finding), 2 errors (unparseable files).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.codelint",
+        description="determinism lint: unseeded RNGs, unordered set "
+        "iteration, wall-clock reads",
+    )
+    parser.add_argument("paths", nargs="+", help=".py files or directories")
+    parser.add_argument(
+        "--no-info", action="store_true", help="hide the R201 summary line"
+    )
+    options = parser.parse_args(argv)
+    report = lint_paths(options.paths)
+    print(report.format(show_info=not options.no_info))
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,15 @@ suspicious, or an informational note.  Codes follow a lint-style scheme:
 * ``R1xx`` — warnings: legal but probably unintended structure
   (unreachable states, duplicate/dominated actions, dead observations,
   pathological absorption times).
-* ``R2xx`` — info: descriptive statistics and decompositions.
+* ``R2xx`` — info: descriptive statistics, decompositions, and the
+  bound-set certificate summary.
+* ``R3xx`` — errors: a persisted :class:`~repro.bounds.BoundVectorSet`
+  fails its soundness certificate against a model (dimension mismatch,
+  Bellman-backup inequality violation, terminate/null inconsistency);
+  see :mod:`repro.analysis.certify`.
+* ``R9xx`` — warnings from the determinism lint over the *source tree*
+  (:mod:`repro.analysis.codelint`): unseeded RNG use, unordered-set
+  iteration, wall-clock reads in span-merged code.
 
 An :class:`AnalysisReport` aggregates findings, renders them for humans,
 and adapts them back into the library's historical fail-fast exceptions via
@@ -59,7 +67,17 @@ CODES: dict[str, tuple[Severity, str]] = {
     # -- info -------------------------------------------------------------
     "R201": (Severity.INFO, "model statistics"),
     "R202": (Severity.INFO, "strongly-connected-component decomposition"),
-    "R203": (Severity.INFO, "analysis pass skipped on a large sparse model"),
+    "R203": (Severity.INFO, "analysis pass hit a size cutoff (see --force)"),
+    "R204": (Severity.INFO, "bound-set certificate summary"),
+    # -- bound-set certificates (errors) ----------------------------------
+    "R301": (Severity.ERROR, "bound set incompatible with the model"),
+    "R302": (Severity.ERROR, "bound vector violates the Bellman-backup inequality"),
+    "R303": (Severity.ERROR, "bound vector positive on terminate/null states"),
+    # -- determinism lint (warnings) --------------------------------------
+    "R900": (Severity.ERROR, "source file cannot be linted"),
+    "R901": (Severity.WARNING, "unseeded random-number generator use"),
+    "R902": (Severity.WARNING, "iteration over an unordered set"),
+    "R903": (Severity.WARNING, "wall-clock read in span-merged code"),
 }
 
 
@@ -75,6 +93,9 @@ class Diagnostic:
         actions: labels of the actions involved (possibly empty).
         fix_hint: one actionable sentence, or ``""`` when there is nothing
             to fix (info diagnostics).
+        location: where the finding anchors outside the model itself —
+            ``"path:line"`` for the determinism lint, ``"vector[i]"`` for
+            bound-set certificates, ``""`` for model findings.
     """
 
     code: str
@@ -82,6 +103,7 @@ class Diagnostic:
     states: tuple[str, ...] = ()
     actions: tuple[str, ...] = ()
     fix_hint: str = ""
+    location: str = ""
     severity: Severity = field(init=False)
 
     def __post_init__(self):
@@ -91,7 +113,10 @@ class Diagnostic:
 
     def format(self) -> str:
         """One- or multi-line rendering, lint style."""
-        parts = [f"{self.code} {self.severity.label}: {self.message}"]
+        head = f"{self.code} {self.severity.label}: {self.message}"
+        if self.location:
+            head = f"{self.location}: {head}"
+        parts = [head]
         if self.fix_hint:
             parts.append(f"    hint: {self.fix_hint}")
         return "\n".join(parts)

@@ -16,6 +16,15 @@ passes mirror the preconditions the paper's soundness results rest on:
   ``r(s, a_T) = rbar(s) * t_op`` termination rewards;
 * ``R009`` — the Eq. 5 finiteness precondition of the RA-Bound (no
   rewarded recurrent state in the uniformly-random chain).
+
+Every pass is *sparse-native*: on the sparse backend it works directly on
+the CSR containers (row hashing for duplicate detection, ``csgraph`` SCC
+labels for the decomposition, a sparse linear solve for absorption times)
+and never materialises a dense ``|S| x |S|`` matrix, so the full R0xx/R1xx
+suite runs on the 300,002-state tiered instance.  The few remaining size
+cutoffs are genuine super-linear scans; each reports an ``R203`` naming
+the pass, the threshold constant and its value, and every one can be
+overridden with ``analyze(..., force=True)`` (``--force`` on the CLI).
 """
 
 from __future__ import annotations
@@ -24,19 +33,19 @@ import numpy as np
 
 from repro.analysis.diagnostics import AnalysisReport, Diagnostic
 from repro.analysis.view import ModelView
-from repro.linalg.containers import StructuredRewards
+from repro.linalg.containers import SparseTransitions, StructuredRewards
 from repro.linalg.ops import (
-    mean_transition_matrix,
     observation_matrix_dense,
     reward_column,
     reward_row,
     transition_matrix_dense,
 )
 from repro.mdp.classify import (
+    EDGE_EPSILON,
     classify_chain,
     expected_absorption_time,
     reachable_set,
-    strongly_connected_components,
+    scc_summary,
 )
 from repro.util.validation import NEGATIVITY_ATOL, SUM_ATOL
 
@@ -51,34 +60,65 @@ SUPPORT_EPSILON = 1e-12
 #: which the RA-Bound, while finite, is flagged as pathologically loose.
 SLOW_ABSORPTION_STEPS = 10_000.0
 
-#: Sparse models past these sizes skip the passes whose cost is quadratic
-#: in |A| or needs a full linear solve; an R203 info finding records the
-#: skip so a "clean" report never silently means "unchecked".
-SPARSE_SKIP_STATES = 20_000
-SPARSE_SKIP_ACTIONS = 512
+#: Sparse models beyond this many states skip the R105 transient-state
+#: linear solve (the one remaining pass whose cost is a sparse
+#: factorisation, ~O(|S|^1.5) on chain-like supports).  Far above the
+#: 300,002-state acceptance instance, which solves in well under a second.
+SPARSE_SOLVE_SKIP_STATES = 2_000_000
+
+#: Budget of within-group pairwise comparisons for the hash-grouped
+#: duplicate-action pass.  Hashing keeps healthy models near zero pairs;
+#: only an adversarial model with thousands of content-identical actions
+#: can exceed this.
+DUPLICATE_PAIR_BUDGET = 250_000
+
+#: Per-state O(|A|) scans (null-rewiring, RA-finiteness reward columns)
+#: examine at most this many states on sparse models before noting the
+#: cutoff; healthy recovery models have a handful of null/recurrent states.
+PER_STATE_SCAN_CUTOFF = 4_096
+
+#: At most this many labels are spelled out inside a message.
+MESSAGE_LABEL_CAP = 8
+
+#: At most this many state labels are attached to a finding's ``states``
+#: tuple, so a 300k-state pathology cannot balloon a report.
+STATE_TUPLE_CAP = 32
 
 
-def _sparse_skip(view: ModelView, pass_name: str, why: str) -> list[Diagnostic]:
+def _sparse_skip(
+    pass_name: str,
+    threshold_name: str,
+    threshold: float,
+    measured: float,
+    why: str,
+) -> list[Diagnostic]:
+    """A parameterised R203: which pass, which cutoff, and how to override."""
     return [
         Diagnostic(
             code="R203",
             message=(
-                f"{pass_name} skipped on sparse model with "
-                f"|S|={view.n_states}, |A|={view.n_actions} ({why})"
+                f"{pass_name} pass hit its size cutoff: {why} "
+                f"({measured:g} exceeds {threshold_name}={threshold:g})"
             ),
             fix_hint=(
-                "densify a reduced instance of the model to run the full "
-                "pass suite"
+                "re-run with analyze(force=True) (CLI: --force) to run the "
+                "pass anyway, or reduce the instance"
             ),
         )
     ]
 
 
-def _sparse_oversized(view: ModelView) -> bool:
-    return (
-        view.n_states > SPARSE_SKIP_STATES
-        or view.n_actions > SPARSE_SKIP_ACTIONS
-    )
+def _labels_fragment(labels, indices) -> str:
+    """Render up to :data:`MESSAGE_LABEL_CAP` labels, noting the overflow."""
+    shown = [labels[int(i)] for i in indices[:MESSAGE_LABEL_CAP]]
+    overflow = len(indices) - len(shown)
+    if overflow > 0:
+        return f"{shown} (+{overflow} more)"
+    return f"{shown}"
+
+
+def _states_tuple(labels, indices) -> tuple[str, ...]:
+    return tuple(labels[int(i)] for i in indices[:STATE_TUPLE_CAP])
 
 
 def _bad_rows(matrix: np.ndarray) -> np.ndarray:
@@ -262,16 +302,16 @@ def condition_1_diagnostics(
     stuck = np.flatnonzero(~can_recover)
     if not stuck.size:
         return []
-    labels = [view.state_labels[s] for s in stuck]
     return [
         Diagnostic(
             code="R004",
             message=(
-                f"state {labels[0]!r} cannot reach any null-fault state "
-                f"under any action sequence ({stuck.size} such states: "
-                f"{labels})"
+                f"state {view.state_labels[int(stuck[0])]!r} cannot reach "
+                f"any null-fault state under any action sequence "
+                f"({stuck.size} such states: "
+                f"{_labels_fragment(view.state_labels, stuck)})"
             ),
-            states=tuple(labels),
+            states=_states_tuple(view.state_labels, stuck),
             fix_hint=(
                 "add a recovery action whose transitions lead these states "
                 "(possibly through intermediates) into S_phi"
@@ -329,7 +369,7 @@ def condition_2_diagnostics(view: ModelView) -> list[Diagnostic]:
                         else ""
                     )
                 ),
-                states=tuple(view.state_labels[s] for s in positive),
+                states=_states_tuple(view.state_labels, positive),
                 actions=(view.action_labels[a],),
                 fix_hint=(
                     "rewards are negated costs; express gains as smaller "
@@ -340,7 +380,36 @@ def condition_2_diagnostics(view: ModelView) -> list[Diagnostic]:
     return findings
 
 
-def null_rewiring_diagnostics(view: ModelView) -> list[Diagnostic]:
+class _SelfLoopIndex:
+    """Per-state effective self-loop lookup over a sparse container.
+
+    One upfront vectorised pass (override diag sampling + a stable sort by
+    state) makes each subsequent per-state query O(log R + overrides at
+    that state) instead of a full scan of the override list.
+    """
+
+    def __init__(self, transitions: SparseTransitions):
+        self._transitions = transitions
+        self._base_diag = np.asarray(transitions.base.diagonal()).ravel()
+        self._order = np.argsort(transitions.row_state, kind="stable")
+        self._sorted_states = transitions.row_state[self._order]
+        self._loops = transitions.override_self_loops()
+
+    def values(self, state: int) -> np.ndarray:
+        """``T_a[s, s]`` for every action ``a``."""
+        values = np.full(
+            self._transitions.n_actions, float(self._base_diag[state])
+        )
+        lo, hi = np.searchsorted(self._sorted_states, [state, state + 1])
+        hits = self._order[lo:hi]
+        if hits.size:
+            values[self._transitions.row_action[hits]] = self._loops[hits]
+        return values
+
+
+def null_rewiring_diagnostics(
+    view: ModelView, *, force: bool = False
+) -> list[Diagnostic]:
     """R006/R007: the Figure 2(a) rewiring for notified systems.
 
     With recovery notification every null state must be absorbing under
@@ -350,48 +419,58 @@ def null_rewiring_diagnostics(view: ModelView) -> list[Diagnostic]:
     """
     if not view.recovery_notification or view.null_states is None:
         return []
-    findings = []
-    for s in np.flatnonzero(view.null_states):
-        if view.is_sparse:
-            self_loops = view.transitions.self_loop_values(s)
+    nulls = np.flatnonzero(view.null_states)
+    findings: list[Diagnostic] = []
+    if view.is_sparse and nulls.size > PER_STATE_SCAN_CUTOFF and not force:
+        findings.extend(
+            _sparse_skip(
+                "null-rewiring (R006/R007)",
+                "PER_STATE_SCAN_CUTOFF",
+                PER_STATE_SCAN_CUTOFF,
+                nulls.size,
+                f"only the first {PER_STATE_SCAN_CUTOFF} of {nulls.size} "
+                "null states were checked",
+            )
+        )
+        nulls = nulls[:PER_STATE_SCAN_CUTOFF]
+    loop_index = _SelfLoopIndex(view.transitions) if view.is_sparse else None
+    for s in nulls:
+        if loop_index is not None:
+            self_loops = loop_index.values(int(s))
         else:
             self_loops = view.transitions[:, s, s]
-        leaky = [
-            view.action_labels[a]
-            for a in np.flatnonzero(np.abs(self_loops - 1.0) > SUM_ATOL)
-        ]
-        if leaky:
+        leaky = np.flatnonzero(np.abs(self_loops - 1.0) > SUM_ATOL)
+        if leaky.size:
             findings.append(
                 Diagnostic(
                     code="R006",
                     message=(
                         f"null state {view.state_labels[s]!r} is not "
-                        f"absorbing under actions {leaky}"
+                        "absorbing under actions "
+                        f"{_labels_fragment(view.action_labels, leaky)}"
                     ),
                     states=(view.state_labels[s],),
-                    actions=tuple(leaky),
+                    actions=_states_tuple(view.action_labels, leaky),
                     fix_hint=(
                         "apply make_null_absorbing (Figure 2(a)) so every "
                         "action self-loops in S_phi"
                     ),
                 )
             )
-        rewarded = [
-            view.action_labels[a]
-            for a in np.flatnonzero(
-                np.abs(reward_column(view.rewards, int(s))) > REWARD_EPSILON
-            )
-        ]
-        if rewarded:
+        rewarded = np.flatnonzero(
+            np.abs(reward_column(view.rewards, int(s))) > REWARD_EPSILON
+        )
+        if rewarded.size:
             findings.append(
                 Diagnostic(
                     code="R007",
                     message=(
                         f"absorbing null state {view.state_labels[s]!r} "
-                        f"accrues reward under actions {rewarded}"
+                        "accrues reward under actions "
+                        f"{_labels_fragment(view.action_labels, rewarded)}"
                     ),
                     states=(view.state_labels[s],),
-                    actions=tuple(rewarded),
+                    actions=_states_tuple(view.action_labels, rewarded),
                     fix_hint=(
                         "zero the rewards of every action in S_phi; a "
                         "recovered system must cost nothing to sit in"
@@ -434,11 +513,11 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
             Diagnostic(
                 code="R008",
                 message=(
-                    f"a_T does not move states "
-                    f"{[view.state_labels[s] for s in missed]} to s_T with "
-                    "probability 1"
+                    "a_T does not move states "
+                    f"{_labels_fragment(view.state_labels, missed)} to s_T "
+                    "with probability 1"
                 ),
-                states=tuple(view.state_labels[s] for s in missed),
+                states=_states_tuple(view.state_labels, missed),
                 actions=(view.action_labels[a_t],),
                 fix_hint="a_T must deterministically end the episode in s_T",
             )
@@ -447,33 +526,33 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
         terminate_loops = view.transitions.self_loop_values(s_t)
     else:
         terminate_loops = view.transitions[:, s_t, s_t]
-    leaky = [
-        view.action_labels[a]
-        for a in np.flatnonzero(np.abs(terminate_loops - 1.0) > SUM_ATOL)
-    ]
-    if leaky:
+    leaky = np.flatnonzero(np.abs(terminate_loops - 1.0) > SUM_ATOL)
+    if leaky.size:
         findings.append(
             Diagnostic(
                 code="R008",
-                message=f"s_T is not absorbing under actions {leaky}",
+                message=(
+                    "s_T is not absorbing under actions "
+                    f"{_labels_fragment(view.action_labels, leaky)}"
+                ),
                 states=(view.state_labels[s_t],),
-                actions=tuple(leaky),
+                actions=_states_tuple(view.action_labels, leaky),
                 fix_hint="every action must self-loop in s_T",
             )
         )
-    rewarded = [
-        view.action_labels[a]
-        for a in np.flatnonzero(
-            np.abs(reward_column(view.rewards, s_t)) > REWARD_EPSILON
-        )
-    ]
-    if rewarded:
+    rewarded = np.flatnonzero(
+        np.abs(reward_column(view.rewards, s_t)) > REWARD_EPSILON
+    )
+    if rewarded.size:
         findings.append(
             Diagnostic(
                 code="R008",
-                message=f"s_T accrues reward under actions {rewarded}",
+                message=(
+                    "s_T accrues reward under actions "
+                    f"{_labels_fragment(view.action_labels, rewarded)}"
+                ),
                 states=(view.state_labels[s_t],),
-                actions=tuple(rewarded),
+                actions=_states_tuple(view.action_labels, rewarded),
                 fix_hint="the terminated system must be free: r(s_T, .) = 0",
             )
         )
@@ -498,7 +577,7 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
                         f"{expected[first]:.6g} ({wrong.size} state(s) "
                         "mis-wired)"
                     ),
-                    states=tuple(view.state_labels[s] for s in wrong),
+                    states=_states_tuple(view.state_labels, wrong),
                     actions=(view.action_labels[a_t],),
                     fix_hint=(
                         "terminating leaves the fault cost running until the "
@@ -509,31 +588,43 @@ def terminate_wiring_diagnostics(view: ModelView) -> list[Diagnostic]:
     return findings
 
 
-def ra_finiteness_diagnostics(view: ModelView) -> list[Diagnostic]:
+def ra_finiteness_diagnostics(
+    view: ModelView, *, force: bool = False
+) -> list[Diagnostic]:
     """R009: Eq. 5 finiteness — no rewarded recurrent state in the uniform chain."""
     if view.discount < 1.0:
         return []
-    chain = mean_transition_matrix(view.transitions)
+    chain = view.mean_chain()
     recurrent = np.flatnonzero(classify_chain(chain).recurrent)
-    findings = []
-    for s in recurrent:
-        rewarded = [
-            view.action_labels[a]
-            for a in np.flatnonzero(
-                np.abs(reward_column(view.rewards, int(s))) > REWARD_EPSILON
+    findings: list[Diagnostic] = []
+    if view.is_sparse and recurrent.size > PER_STATE_SCAN_CUTOFF and not force:
+        findings.extend(
+            _sparse_skip(
+                "RA-finiteness (R009)",
+                "PER_STATE_SCAN_CUTOFF",
+                PER_STATE_SCAN_CUTOFF,
+                recurrent.size,
+                f"only the first {PER_STATE_SCAN_CUTOFF} of {recurrent.size} "
+                "recurrent states were checked for rewards",
             )
-        ]
-        if rewarded:
+        )
+        recurrent = recurrent[:PER_STATE_SCAN_CUTOFF]
+    for s in recurrent:
+        rewarded = np.flatnonzero(
+            np.abs(reward_column(view.rewards, int(s))) > REWARD_EPSILON
+        )
+        if rewarded.size:
             findings.append(
                 Diagnostic(
                     code="R009",
                     message=(
                         f"recurrent state {view.state_labels[s]!r} of the "
                         f"uniformly-random chain accrues reward under actions "
-                        f"{rewarded}; the RA-Bound (Eq. 5) diverges"
+                        f"{_labels_fragment(view.action_labels, rewarded)}; "
+                        "the RA-Bound (Eq. 5) diverges"
                     ),
                     states=(view.state_labels[s],),
-                    actions=tuple(rewarded),
+                    actions=_states_tuple(view.action_labels, rewarded),
                     fix_hint=(
                         "apply the Figure 2 recovery augmentation (absorbing "
                         "S_phi or the terminate pair) before solving"
@@ -569,15 +660,15 @@ def unreachable_diagnostics(view: ModelView) -> list[Diagnostic]:
     unreachable = np.flatnonzero(~reached)
     if not unreachable.size:
         return []
-    labels = [view.state_labels[s] for s in unreachable]
     return [
         Diagnostic(
             code="R101",
             message=(
-                f"states {labels} can never be entered from the initial "
-                "belief under any action sequence"
+                f"states {_labels_fragment(view.state_labels, unreachable)} "
+                "can never be entered from the initial belief under any "
+                "action sequence"
             ),
-            states=tuple(labels),
+            states=_states_tuple(view.state_labels, unreachable),
             fix_hint=(
                 "dead states cost belief-update and lookahead time; drop "
                 "them or include them in the initial fault distribution"
@@ -586,7 +677,151 @@ def unreachable_diagnostics(view: ModelView) -> list[Diagnostic]:
     ]
 
 
-def duplicate_action_diagnostics(view: ModelView) -> list[Diagnostic]:
+def _csr_equal(left, right) -> bool:
+    """Exact equality of two sparse matrices (canonical or not)."""
+    if left is right:
+        return True
+    if left.shape != right.shape:
+        return False
+    return (left - right).count_nonzero() == 0
+
+
+def _observation_classes(view: ModelView) -> np.ndarray:
+    """Content-equality class per action of a sparse observation stack.
+
+    Class 0 is the shared base; override matrices get classes 1+ with
+    content-identical overrides mapped to the same class (there are only
+    ever a handful of overrides, so the pairwise content check is cheap).
+    """
+    classes = np.zeros(view.n_actions, dtype=np.int64)
+    if view.observations is None:
+        return classes
+    observations = view.observations
+    representatives: list = []
+    for action, matrix in sorted(observations.overrides.items()):
+        if _csr_equal(matrix, observations.base):
+            continue
+        for class_id, representative in enumerate(representatives):
+            if _csr_equal(matrix, representative):
+                classes[action] = class_id + 1
+                break
+        else:
+            representatives.append(matrix)
+            classes[action] = len(representatives)
+    return classes
+
+
+def _transition_signatures(
+    transitions: SparseTransitions,
+) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Per-action effective-content signature ``(states, row hashes)``.
+
+    Only non-noop override rows participate: an override row identical to
+    its base row does not change the action's effective matrix, so two
+    actions are content-equal iff their non-noop ``(state, row)`` sets
+    coincide (hashes first, exact comparison within candidate groups).
+    """
+    hashes, noop = transitions.override_row_hashes()
+    pointers = transitions._action_ptr
+    signatures = []
+    for action in range(transitions.n_actions):
+        start, stop = int(pointers[action]), int(pointers[action + 1])
+        keep = ~noop[start:stop]
+        signatures.append(
+            (
+                tuple(transitions.row_state[start:stop][keep].tolist()),
+                tuple(hashes[start:stop][keep].tolist()),
+            )
+        )
+    return signatures
+
+
+def _sparse_actions_transitions_equal(
+    transitions: SparseTransitions, a: int, b: int
+) -> bool:
+    """Exact effective-matrix equality of two actions (collision guard)."""
+    _, noop = transitions.override_row_hashes()
+    block_a, block_b = (
+        transitions._override_slice(a),
+        transitions._override_slice(b),
+    )
+    keep_a = np.arange(block_a.start, block_a.stop)[~noop[block_a]]
+    keep_b = np.arange(block_b.start, block_b.stop)[~noop[block_b]]
+    if keep_a.size != keep_b.size:
+        return False
+    if not np.array_equal(
+        transitions.row_state[keep_a], transitions.row_state[keep_b]
+    ):
+        return False
+    if not keep_a.size:
+        return True
+    return _csr_equal(transitions.rows[keep_a], transitions.rows[keep_b])
+
+
+def _sparse_duplicate_actions(
+    view: ModelView, *, force: bool = False
+) -> list[Diagnostic]:
+    """Hash-grouped R102/R103 over the sparse containers.
+
+    Groups actions by (observation class, non-noop transition signature);
+    only within-group pairs are compared exactly.  Unlike the dense pass,
+    transition/observation equality here is exact rather than
+    tolerance-based — row hashing cannot see "almost equal" — which is the
+    right notion for machine-generated sparse models, where duplicates are
+    structural, not numeric.
+    """
+    transitions = view.transitions
+    observation_classes = _observation_classes(view)
+    signatures = _transition_signatures(transitions)
+    groups: dict[tuple, list[int]] = {}
+    for action in range(view.n_actions):
+        key = (int(observation_classes[action]), *signatures[action])
+        groups.setdefault(key, []).append(action)
+    total_pairs = sum(
+        len(members) * (len(members) - 1) // 2 for members in groups.values()
+    )
+    if total_pairs > DUPLICATE_PAIR_BUDGET and not force:
+        return _sparse_skip(
+            "duplicate-action (R102/R103)",
+            "DUPLICATE_PAIR_BUDGET",
+            DUPLICATE_PAIR_BUDGET,
+            total_pairs,
+            f"{total_pairs} content-collision pairs to compare",
+        )
+    pairs = sorted(
+        (a, b)
+        for members in groups.values()
+        for i, a in enumerate(members)
+        for b in members[i + 1 :]
+    )
+    findings = []
+    for a, b in pairs:
+        if not _sparse_actions_transitions_equal(transitions, a, b):
+            continue  # hash collision — contents differ
+        difference = reward_row(view.rewards, a) - reward_row(view.rewards, b)
+        if np.allclose(difference, 0.0, atol=REWARD_EPSILON):
+            findings.append(
+                Diagnostic(
+                    code="R102",
+                    message=(
+                        f"actions {view.action_labels[a]!r} and "
+                        f"{view.action_labels[b]!r} have identical "
+                        "transitions, observations, and rewards"
+                    ),
+                    actions=(view.action_labels[a], view.action_labels[b]),
+                    fix_hint="remove one; duplicates only slow the solver",
+                )
+            )
+        elif np.all(difference <= REWARD_EPSILON):
+            findings.append(_dominated(view, dominated=a, dominating=b))
+        elif np.all(difference >= -REWARD_EPSILON):
+            findings.append(_dominated(view, dominated=b, dominating=a))
+    return findings
+
+
+def duplicate_action_diagnostics(
+    view: ModelView, *, force: bool = False
+) -> list[Diagnostic]:
     """R102/R103: duplicate and row-wise dominated actions.
 
     Two actions are duplicates when their transition rows, observation
@@ -594,13 +829,13 @@ def duplicate_action_diagnostics(view: ModelView) -> list[Diagnostic]:
     another action's dynamics and information exactly but costs at least as
     much everywhere (and strictly more somewhere) — no policy ever needs it.
 
-    Quadratic in |A| (with a dense |S|^2 comparison per pair), so large
-    sparse models skip it with an R203 note.
+    The dense path compares all pairs with the validation tolerances; the
+    sparse path groups actions by override-content hashes
+    (:meth:`~repro.linalg.containers.SparseTransitions.override_row_hashes`)
+    so the 150k-action tiered instance needs no pairwise sweep at all.
     """
-    if view.is_sparse and _sparse_oversized(view):
-        return _sparse_skip(
-            view, "duplicate-action pass", "pairwise comparison is O(|A|^2 |S|^2)"
-        )
+    if view.is_sparse:
+        return _sparse_duplicate_actions(view, force=force)
     findings = []
 
     def transition_of(a: int) -> np.ndarray:
@@ -689,40 +924,49 @@ def dead_observation_diagnostics(view: ModelView) -> list[Diagnostic]:
 
 
 def slow_absorption_diagnostics(
-    view: ModelView, slow_absorption_steps: float = SLOW_ABSORPTION_STEPS
+    view: ModelView,
+    slow_absorption_steps: float = SLOW_ABSORPTION_STEPS,
+    *,
+    force: bool = False,
 ) -> list[Diagnostic]:
     """R105: transient states whose random-policy absorption is very slow.
 
     The RA-Bound charges each transient state roughly its expected
     absorption time worth of average cost; a state that takes
     ``slow_absorption_steps`` expected steps to absorb makes the bound
-    finite (Eq. 5 still converges) but extremely loose there.
+    finite (Eq. 5 still converges) but extremely loose there.  Sparse
+    models route through the sparse transient-state solve
+    (:func:`repro.mdp.classify.expected_absorption_time`), so the pass
+    covers the 300k-state instance; only beyond
+    :data:`SPARSE_SOLVE_SKIP_STATES` does it note a cutoff.
     """
     if view.discount < 1.0:
         return []
-    if view.is_sparse and view.n_states > SPARSE_SKIP_STATES:
+    if view.is_sparse and view.n_states > SPARSE_SOLVE_SKIP_STATES and not force:
         return _sparse_skip(
-            view,
-            "slow-absorption pass",
-            "needs a full linear solve over the transient states",
+            "slow-absorption (R105)",
+            "SPARSE_SOLVE_SKIP_STATES",
+            SPARSE_SOLVE_SKIP_STATES,
+            view.n_states,
+            "the transient-state solve factorises an "
+            f"{view.n_states} x {view.n_states} sparse system",
         )
-    chain = mean_transition_matrix(view.transitions)
+    chain = view.mean_chain()
     times = expected_absorption_time(chain)
     slow = np.flatnonzero(np.isfinite(times) & (times > slow_absorption_steps))
     if not slow.size:
         return []
-    labels = [view.state_labels[s] for s in slow]
     worst = int(slow[np.argmax(times[slow])])
     return [
         Diagnostic(
             code="R105",
             message=(
-                f"states {labels} take more than "
-                f"{slow_absorption_steps:g} expected random-policy steps to "
-                f"absorb (worst: {view.state_labels[worst]!r} at "
+                f"states {_labels_fragment(view.state_labels, slow)} take "
+                f"more than {slow_absorption_steps:g} expected random-policy "
+                f"steps to absorb (worst: {view.state_labels[worst]!r} at "
                 f"{times[worst]:.3g}); the RA-Bound will be very loose there"
             ),
-            states=tuple(labels),
+            states=_states_tuple(view.state_labels, slow),
             fix_hint=(
                 "raise repair probabilities or add a more direct recovery "
                 "action; consider seeding refinement at these states' beliefs"
@@ -762,27 +1006,34 @@ def stats_diagnostics(view: ModelView) -> list[Diagnostic]:
 
 
 def scc_diagnostics(view: ModelView) -> list[Diagnostic]:
-    """R202: SCC decomposition of the union graph and the uniform chain."""
-    if view.is_sparse and _sparse_oversized(view):
-        return _sparse_skip(
-            view,
-            "SCC decomposition pass",
-            "materialising every component is O(|S|) python objects",
-        )
-    union_components = strongly_connected_components(view.union_graph())
-    chain = mean_transition_matrix(view.transitions)
-    classification = classify_chain(chain)
-    sizes = sorted((len(c) for c in union_components), reverse=True)
+    """R202: SCC decomposition of the union graph and the uniform chain.
+
+    Uses the vectorised label/size summary
+    (:func:`repro.mdp.classify.scc_summary`) on both backends, so no
+    per-component Python set is ever materialised — the pass runs on the
+    300k-state union graph in one ``csgraph`` sweep.
+    """
+    union_summary = scc_summary(view.union_graph())
+    chain = view.mean_chain()
+    chain_summary = scc_summary(chain)
+    if view.is_sparse:
+        diagonal = np.asarray(chain.diagonal()).ravel()
+    else:
+        diagonal = np.diag(chain)
+    absorbing = int((diagonal >= 1.0 - EDGE_EPSILON).sum())
+    sizes = sorted(union_summary.sizes.tolist(), reverse=True)
+    recurrent_classes = int(chain_summary.closed.sum())
+    recurrent_states = int(chain_summary.sizes[chain_summary.closed].sum())
     return [
         Diagnostic(
             code="R202",
             message=(
-                f"union graph has {len(union_components)} SCC(s) "
+                f"union graph has {union_summary.count} SCC(s) "
                 f"(sizes {sizes[:8]}{' ...' if len(sizes) > 8 else ''}); "
                 f"uniform-random chain has "
-                f"{len(classification.recurrent_classes)} recurrent class(es) "
-                f"over {int(classification.recurrent.sum())} state(s), "
-                f"{int(classification.absorbing.sum())} absorbing"
+                f"{recurrent_classes} recurrent class(es) "
+                f"over {recurrent_states} state(s), "
+                f"{absorbing} absorbing"
             ),
         )
     ]
@@ -804,8 +1055,16 @@ _PASSES = (
     scc_diagnostics,
 )
 
+#: Passes that accept ``force=`` to override their R203 size cutoffs.
+_FORCEABLE = (
+    null_rewiring_diagnostics,
+    ra_finiteness_diagnostics,
+    duplicate_action_diagnostics,
+    slow_absorption_diagnostics,
+)
 
-def analyze(model, title: str | None = None) -> AnalysisReport:
+
+def analyze(model, title: str | None = None, force: bool = False) -> AnalysisReport:
     """Run every pass over ``model`` and return the aggregated report.
 
     Args:
@@ -813,11 +1072,16 @@ def analyze(model, title: str | None = None) -> AnalysisReport:
             :class:`~repro.recovery.RecoveryModel`, or a prepared
             :class:`~repro.analysis.view.ModelView`.
         title: report heading; derived from the model shape when omitted.
+        force: run passes past their R203 size cutoffs (may be slow on
+            adversarially large instances).
     """
     view = model if isinstance(model, ModelView) else ModelView.from_model(model)
     findings: list[Diagnostic] = []
     for check in _PASSES:
-        findings.extend(check(view))
+        if check in _FORCEABLE:
+            findings.extend(check(view, force=force))
+        else:
+            findings.extend(check(view))
     if title is None:
         kind = "recovery model" if view.null_states is not None else (
             "POMDP" if view.observations is not None else "MDP"

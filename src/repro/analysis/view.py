@@ -12,7 +12,7 @@ so a report can be produced even for archives the loaders would reject).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -22,7 +22,7 @@ from repro.linalg.containers import (
     SparseTransitions,
     StructuredRewards,
 )
-from repro.linalg.ops import union_transition_matrix
+from repro.linalg.ops import mean_transition_matrix, union_transition_matrix
 
 
 def _labels(prefix: str, count: int, given=None) -> tuple[str, ...]:
@@ -63,6 +63,9 @@ class ModelView:
     terminate_action: int | None = None
     operator_response_time: float | None = None
     initial_belief: np.ndarray | None = None
+    _cache: dict = field(
+        init=False, repr=False, compare=False, default_factory=dict
+    )
 
     def __post_init__(self):
         if isinstance(self.transitions, SparseTransitions):
@@ -184,9 +187,27 @@ class ModelView:
         """Structural union of all actions' transition supports.
 
         Dense array on the dense backend, CSR on the sparse one; both feed
-        the same (sparse-capable) reachability and SCC routines.
+        the same (sparse-capable) reachability and SCC routines.  Cached —
+        reachability (R003/R004), dead-state (R101) and SCC (R202) passes
+        all consume the same graph, so a 300k-state view builds it once.
         """
-        return union_transition_matrix(self.transitions)
+        cached = self._cache.get("union_graph")
+        if cached is None:
+            cached = union_transition_matrix(self.transitions)
+            self._cache["union_graph"] = cached
+        return cached
+
+    def mean_chain(self):
+        """``mean_a T_a`` — the Eq. 5 uniformly-random chain, cached.
+
+        Shared by the RA-finiteness (R009), slow-absorption (R105) and SCC
+        (R202) passes, which previously each rebuilt it.
+        """
+        cached = self._cache.get("mean_chain")
+        if cached is None:
+            cached = mean_transition_matrix(self.transitions)
+            self._cache["mean_chain"] = cached
+        return cached
 
     @classmethod
     def from_model(cls, model) -> "ModelView":

@@ -65,9 +65,9 @@ def run_scalability(
     for r in sizes:
         replicas = tuple([r] * n_tiers)
         chain, _ = tiered_ra_chain(replicas)
-        started = time.perf_counter()
+        started = time.perf_counter()  # codelint: ignore[R903]
         values = solve_tiered_ra_bound(replicas, method=method)
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # codelint: ignore[R903]
         points.append(
             ScalabilityPoint(
                 replicas_per_tier=r,
@@ -189,20 +189,22 @@ def run_online(
     from repro.pomdp.belief import uniform_belief
     from repro.sim.environment import RecoveryEnvironment
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # codelint: ignore[R903]
     system = build_tiered_system(replicas=replicas, backend="sparse")
     model = system.model
-    build_seconds = time.perf_counter() - started
+    build_seconds = time.perf_counter() - started  # codelint: ignore[R903]
 
-    started = time.perf_counter()
-    controller = BoundedController(model, depth=depth, refine_online=False)
-    controller_init_seconds = time.perf_counter() - started
+    started = time.perf_counter()  # codelint: ignore[R903]
+    controller = BoundedController(
+        model, depth=depth, refine_online=False, preflight=True
+    )
+    controller_init_seconds = time.perf_counter() - started  # codelint: ignore[R903]
 
     belief = uniform_belief(model.pomdp, support=model.fault_states)
     controller.reset(initial_belief=belief)
-    started = time.perf_counter()
+    started = time.perf_counter()  # codelint: ignore[R903]
     decision = controller.decide()
-    uniform_decision_seconds = time.perf_counter() - started
+    uniform_decision_seconds = time.perf_counter() - started  # codelint: ignore[R903]
     uniform_action_label = model.pomdp.action_labels[decision.action]
 
     environment = RecoveryEnvironment(model, seed=seed)
@@ -218,9 +220,9 @@ def run_online(
     decision_seconds: list[float] = []
     terminated = False
     for _ in range(8):
-        started = time.perf_counter()
+        started = time.perf_counter()  # codelint: ignore[R903]
         step = controller.decide()
-        decision_seconds.append(time.perf_counter() - started)
+        decision_seconds.append(time.perf_counter() - started)  # codelint: ignore[R903]
         result = environment.execute(step.action)
         if step.is_terminate:
             terminated = True

@@ -153,8 +153,19 @@ def save_bound_set(path, bound_set: BoundVectorSet) -> None:
     )
 
 
-def load_bound_set(path) -> BoundVectorSet:
-    """Reload a bound set; usage counters and pinning survive the round trip."""
+def load_bound_set(path, model=None) -> BoundVectorSet:
+    """Reload a bound set; usage counters and pinning survive the round trip.
+
+    When ``model`` is given (a RecoveryModel, POMDP, or prepared
+    :class:`~repro.analysis.view.ModelView`), the loaded set is certified
+    against it with the R3xx bound-soundness passes
+    (:func:`repro.analysis.certify.certify_bound_set`) before being
+    returned; a stale or corrupted archive — wrong dimension, non-finite
+    entries, vectors above the Bellman backup of the set's envelope, or
+    positive mass on pinned zero-value states — raises
+    :class:`~repro.exceptions.AnalysisError` instead of silently steering
+    the controller with an unsound bound.
+    """
     with np.load(path, allow_pickle=False) as archive:
         _check_kind(archive, "bound-set", path)
         max_vectors = int(archive["max_vectors"])
@@ -164,4 +175,10 @@ def load_bound_set(path) -> BoundVectorSet:
         )
         bound_set._usage = archive["usage"].copy()
         bound_set._pinned = int(archive["pinned"])
-        return bound_set
+    if model is not None:
+        from repro.analysis.certify import certify_bound_set
+
+        certify_bound_set(
+            model, bound_set, title=f"bound-set certificate for {path}"
+        ).raise_if_errors()
+    return bound_set

@@ -46,6 +46,33 @@ def _as_csr(matrix, shape=None) -> sp.csr_matrix:
     return csr
 
 
+#: Fibonacci-hash multiplier for :func:`csr_row_hashes` (2^64 / phi).
+_HASH_PRIME = np.uint64(0x9E3779B97F4A7C15)
+
+
+def csr_row_hashes(matrix: sp.csr_matrix) -> np.ndarray:
+    """Order-insensitive ``uint64`` content hash of every CSR row.
+
+    Two rows with identical ``(column, value)`` entry sets hash equally
+    (explicit zeros are dropped first, so padding does not perturb the
+    hash).  Collisions are possible — callers group rows by hash and then
+    compare candidate groups exactly — which keeps the duplicate-action
+    pass O(|rows|) instead of O(|rows|^2).
+    """
+    cleaned = matrix.tocsr(copy=True)
+    cleaned.eliminate_zeros()
+    hashes = np.zeros(cleaned.shape[0], dtype=np.uint64)
+    if cleaned.nnz:
+        mixed = (
+            (cleaned.indices.astype(np.uint64) + np.uint64(1)) * _HASH_PRIME
+        ) ^ cleaned.data.astype(np.float64).view(np.uint64)
+        row_nnz = np.diff(cleaned.indptr)
+        occupied = np.flatnonzero(row_nnz)
+        sums = np.add.reduceat(mixed, cleaned.indptr[occupied])
+        hashes[occupied] = sums * _HASH_PRIME + row_nnz[occupied].astype(np.uint64)
+    return hashes
+
+
 def _check_rows_stochastic(rows: sp.csr_matrix, labels: np.ndarray, name: str) -> None:
     """Validate that every row of CSR ``rows`` is a distribution.
 
@@ -239,6 +266,39 @@ class SparseTransitions:
                 np.asarray(self.rows[hits][:, state].todense()).ravel()
             )
         return values
+
+    def override_row_hashes(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(hashes, noop)`` per override row, both vectorised.
+
+        ``hashes[i]`` is the content hash of override row ``i``
+        (:func:`csr_row_hashes`); ``noop[i]`` is True when the override
+        row equals its base row exactly, i.e. replacing it changes
+        nothing.  Together they give each action an effective-content
+        signature without densifying anything: the analyzer's
+        duplicate-action pass groups actions by their non-noop
+        ``(state, hash)`` pairs.
+        """
+        cached = self._cache.get("override_row_hashes")
+        if cached is None:
+            delta = self.delta_rows.copy()
+            delta.eliminate_zeros()
+            noop = np.diff(delta.indptr) == 0
+            cached = (csr_row_hashes(self.rows), noop)
+            self._cache["override_row_hashes"] = cached
+        return cached
+
+    def override_self_loops(self) -> np.ndarray:
+        """``rows[i][row_state[i]]`` for every override row, vectorised.
+
+        The self-loop entry each override row assigns to its own state —
+        the per-row counterpart of :meth:`self_loop_values`, computed for
+        all override rows at once (absorbing-state passes over large
+        ``S_phi`` sets).
+        """
+        if not len(self.row_state):
+            return np.zeros(0)
+        picked = self.rows[np.arange(len(self.row_state)), self.row_state]
+        return np.asarray(picked).ravel()
 
     def effective_nnz(self) -> int:
         """Total stored entries summed over the |A| effective matrices."""
@@ -528,4 +588,5 @@ __all__ = [
     "SparseObservations",
     "SparseTransitions",
     "StructuredRewards",
+    "csr_row_hashes",
 ]

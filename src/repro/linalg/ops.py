@@ -178,6 +178,45 @@ def rewards_max_value(rewards) -> float:
     return float(np.max(rewards))
 
 
+def bellman_backup_envelope(
+    transitions, rewards, values: np.ndarray, discount: float
+) -> np.ndarray:
+    """``max_a [ r_a + discount * T_a @ values ]`` per state, exact.
+
+    The fully-observable Bellman backup of ``values``, maximised over
+    actions.  This is the right-hand side of the static bound-soundness
+    certificate (:mod:`repro.analysis.certify`): every vector of a bound
+    set produced by the Eq. 7 refinement is pointwise below the envelope
+    of the set's pointwise maximum.  Exact per-action evaluation — reward
+    overrides and transition row overrides are honoured entry for entry,
+    never approximated by the rank-one envelope — so the certificate can
+    not be loosened by override placement.
+
+    Sparse cost is O(|A| * |S|) after two sparse matvecs; dense cost is
+    one ``(|A|,|S|,|S|) @ (|S|,)`` product.  Bound sets are only ever
+    certified against models small enough to have been solved, so this
+    stays off the 300k-state analyzer budget.
+    """
+    values = np.asarray(values, dtype=float)
+    if isinstance(transitions, SparseTransitions):
+        base_backed = np.asarray(transitions.base @ values).ravel()
+        rows_backed = np.asarray(transitions.rows @ values).ravel()
+        envelope = np.full(transitions.n_states, -np.inf)
+        for action in range(transitions.n_actions):
+            backed = reward_row(rewards, action) + discount * base_backed
+            block = transitions._override_slice(action)
+            if block.start != block.stop:
+                states = transitions.row_state[block]
+                backed[states] += discount * (
+                    rows_backed[block] - base_backed[states]
+                )
+            np.maximum(envelope, backed, out=envelope)
+        return envelope
+    dense = np.asarray(transitions, dtype=float)
+    backed_all = np.asarray(rewards, dtype=float) + discount * (dense @ values)
+    return backed_all.max(axis=0)
+
+
 # -- generic ------------------------------------------------------------
 
 
@@ -190,6 +229,7 @@ def as_dense_chain(chain):
 
 __all__ = [
     "as_dense_chain",
+    "bellman_backup_envelope",
     "is_sparse_transitions",
     "mean_transition_matrix",
     "observation_column",

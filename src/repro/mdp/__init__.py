@@ -8,7 +8,12 @@ and the state-classification analysis used to decide whether an undiscounted
 chain has a finite expected accumulated reward.
 """
 
-from repro.mdp.classify import ChainClassification, classify_chain
+from repro.mdp.classify import (
+    ChainClassification,
+    SCCSummary,
+    classify_chain,
+    scc_summary,
+)
 from repro.mdp.linear_solvers import (
     gauss_seidel,
     jacobi,
@@ -26,7 +31,9 @@ __all__ = [
     "ChainClassification",
     "MDPSolution",
     "Policy",
+    "SCCSummary",
     "classify_chain",
+    "scc_summary",
     "evaluate_policy",
     "gauss_seidel",
     "jacobi",

@@ -153,6 +153,48 @@ def _scc_tarjan(adjacency: np.ndarray) -> list[frozenset]:
     return components
 
 
+@dataclass(frozen=True)
+class SCCSummary:
+    """Vectorised strong-component decomposition of a chain's support graph.
+
+    Unlike :func:`strongly_connected_components`, nothing here materialises
+    per-component Python sets — just label/size/closedness arrays — so the
+    analyzer can summarise the 300k-state tiered union graph without
+    allocating |S| frozenset members.
+
+    Attributes:
+        count: number of strongly-connected components.
+        labels: ``(n,)`` component label per state.
+        sizes: ``(count,)`` number of states per component.
+        closed: ``(count,)`` True for components with no outgoing edge
+            (the recurrent classes when the graph is a chain's support).
+    """
+
+    count: int
+    labels: np.ndarray
+    sizes: np.ndarray
+    closed: np.ndarray
+
+
+def scc_summary(chain) -> SCCSummary:
+    """SCC labels/sizes/closedness of ``chain > EDGE_EPSILON``, vectorised.
+
+    Works on dense arrays and scipy sparse matrices alike; both route
+    through :func:`scipy.sparse.csgraph.connected_components`, so the cost
+    is O(nodes + edges) with no per-component Python loop.
+    """
+    adjacency = _adjacency(chain)
+    if not sp.issparse(adjacency):
+        adjacency = sp.csr_matrix(adjacency)
+    count, labels = _sparse_scc_labels(adjacency)
+    sizes = np.bincount(labels, minlength=count)
+    coo = adjacency.tocoo()
+    cross = labels[coo.row] != labels[coo.col]
+    closed = np.ones(count, dtype=bool)
+    closed[labels[coo.row[cross]]] = False
+    return SCCSummary(count=count, labels=labels, sizes=sizes, closed=closed)
+
+
 def strongly_connected_components(chain: np.ndarray) -> list[frozenset]:
     """SCCs of the directed graph induced by ``chain > EDGE_EPSILON``.
 

@@ -381,13 +381,13 @@ def solve_markov_reward(
         ),
         telemetry.span("solver.solve"),
     ):
-        started = time.perf_counter()
+        started = time.perf_counter()  # codelint: ignore[R903]
         value = solvers[method]()
     telemetry.event(
         "solver_dispatch",
         requested=requested,
         method=method,
         n_states=int(np.asarray(reward).shape[0]),
-        seconds=round(time.perf_counter() - started, 6),
+        seconds=round(time.perf_counter() - started, 6),  # codelint: ignore[R903]
     )
     return value

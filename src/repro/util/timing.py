@@ -20,12 +20,12 @@ class Stopwatch:
         self._started_at: float | None = None
 
     def __enter__(self) -> "Stopwatch":
-        self._started_at = time.perf_counter()
+        self._started_at = time.perf_counter()  # codelint: ignore[R903]
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._started_at is not None:
-            self.total_seconds += time.perf_counter() - self._started_at
+            self.total_seconds += time.perf_counter() - self._started_at  # codelint: ignore[R903]
             self.laps += 1
             self._started_at = None
 

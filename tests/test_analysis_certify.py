@@ -1,0 +1,162 @@
+"""Bound-soundness certificates (R3xx) and the certified io load path.
+
+Acceptance contract: the certifier accepts every bound set the shipped
+refinement path produces (RA-Bound seed + ``refine_at`` at reachable and
+random beliefs, both Figure 2 variants, discounted and undiscounted) and
+rejects perturbed/corrupted/mismatched sets with the right R3xx code.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import certify_bound_set
+from repro.bounds import BoundVectorSet, ra_bound_vector, refine_at
+from repro.bounds.incremental import sample_reachable_beliefs
+from repro.exceptions import AnalysisError
+from repro.io import load_bound_set, save_bound_set
+from repro.systems.simple import build_simple_system
+
+
+def _refined_set(system, n_beliefs=40, seed=3) -> BoundVectorSet:
+    pomdp = system.model.pomdp
+    bound_set = BoundVectorSet(ra_bound_vector(pomdp))
+    rng = np.random.default_rng(seed)
+    for belief in rng.dirichlet(np.ones(pomdp.n_states), size=n_beliefs):
+        refine_at(pomdp, bound_set, belief)
+    return bound_set
+
+
+@pytest.fixture(scope="module")
+def notified_system():
+    return build_simple_system(recovery_notification=True, miss_rate=0.0)
+
+
+@pytest.fixture(scope="module")
+def terminate_system():
+    return build_simple_system(recovery_notification=False)
+
+
+class TestShippedPathIsAccepted:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"recovery_notification": True, "miss_rate": 0.0},
+            {"recovery_notification": False},
+            {"recovery_notification": False, "discount": 0.85},
+        ],
+        ids=["notified", "terminate", "terminate-discounted"],
+    )
+    def test_refined_sets_certify_clean(self, kwargs):
+        system = build_simple_system(**kwargs)
+        bound_set = _refined_set(system)
+        assert len(bound_set) > 1  # refinement actually added vectors
+        report = certify_bound_set(system.model, bound_set)
+        assert report.exit_code == 0, report.format()
+        assert any(d.code == "R204" for d in report.findings)
+
+    def test_ra_seed_alone_certifies(self, terminate_system):
+        seed_only = BoundVectorSet(
+            ra_bound_vector(terminate_system.model.pomdp)
+        )
+        report = certify_bound_set(terminate_system.model, seed_only)
+        assert report.exit_code == 0, report.format()
+
+    def test_reachable_belief_refinement_certifies(self, notified_system):
+        pomdp = notified_system.model.pomdp
+        bound_set = BoundVectorSet(ra_bound_vector(pomdp))
+        beliefs = sample_reachable_beliefs(
+            pomdp, notified_system.model.initial_belief(), depth=2, max_beliefs=48
+        )
+        for belief in beliefs:
+            refine_at(pomdp, bound_set, belief)
+        report = certify_bound_set(notified_system.model, bound_set)
+        assert report.exit_code == 0, report.format()
+
+    def test_raw_array_input_accepted(self, terminate_system):
+        vectors = _refined_set(terminate_system).vectors
+        report = certify_bound_set(terminate_system.model, np.asarray(vectors))
+        assert report.exit_code == 0
+
+
+class TestCorruptionIsRejected:
+    def test_perturbed_entry_fails_r302(self, notified_system):
+        corrupted = _refined_set(notified_system).vectors.copy()
+        corrupted[corrupted.shape[0] // 2, 1] += 0.5
+        report = certify_bound_set(notified_system.model, corrupted)
+        assert report.exit_code == 2
+        r302 = [d for d in report.findings if d.code == "R302"]
+        assert r302 and r302[0].location.startswith("vector[")
+
+    def test_positive_at_terminate_state_fails_r303(self, terminate_system):
+        model = terminate_system.model
+        corrupted = _refined_set(terminate_system).vectors.copy()
+        corrupted[0, model.terminate_state] = 1e-3
+        report = certify_bound_set(model, corrupted)
+        assert any(d.code == "R303" for d in report.findings)
+        assert report.exit_code == 2
+
+    def test_positive_on_null_set_fails_r303(self, notified_system):
+        model = notified_system.model
+        corrupted = _refined_set(notified_system).vectors.copy()
+        null = int(np.flatnonzero(model.null_states)[0])
+        corrupted[0, null] = 0.25
+        report = certify_bound_set(model, corrupted)
+        assert any(d.code == "R303" for d in report.findings)
+
+    def test_wrong_dimension_fails_r301(self, notified_system):
+        model = notified_system.model
+        wrong = np.zeros((2, model.pomdp.n_states + 1))
+        report = certify_bound_set(model, wrong)
+        assert any(d.code == "R301" for d in report.findings)
+        assert report.exit_code == 2
+
+    def test_nan_entries_fail_r301(self, notified_system):
+        model = notified_system.model
+        corrupted = _refined_set(notified_system).vectors.copy()
+        corrupted[0, 0] = np.nan
+        report = certify_bound_set(model, corrupted)
+        r301 = [d for d in report.findings if d.code == "R301"]
+        assert r301 and "non-finite" in r301[0].message
+
+    def test_failed_certificate_summarised_in_r204(self, notified_system):
+        corrupted = _refined_set(notified_system).vectors.copy()
+        corrupted[corrupted.shape[0] // 2, 1] += 0.5
+        report = certify_bound_set(notified_system.model, corrupted)
+        summary = [d for d in report.findings if d.code == "R204"]
+        assert summary and "FAILED" in summary[0].message
+
+
+class TestCertifiedLoadPath:
+    def test_round_trip_with_model_certifies(self, tmp_path, notified_system):
+        bound_set = _refined_set(notified_system)
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, bound_set)
+        loaded = load_bound_set(path, model=notified_system.model)
+        assert np.array_equal(loaded.vectors, bound_set.vectors)
+
+    def test_load_without_model_skips_certification(self, tmp_path, notified_system):
+        """Backwards compatible: no model, no certificate, no rejection."""
+        corrupted = _refined_set(notified_system)
+        corrupted._vectors[0, 1] += 5.0
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, corrupted)
+        loaded = load_bound_set(path)  # must not raise
+        assert len(loaded) == len(corrupted)
+
+    def test_corrupted_archive_rejected_on_load(self, tmp_path, notified_system):
+        corrupted = _refined_set(notified_system)
+        corrupted._vectors[0, 1] += 5.0  # unsound hyperplane
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, corrupted)
+        with pytest.raises(AnalysisError) as excinfo:
+            load_bound_set(path, model=notified_system.model)
+        assert "R302" in str(excinfo.value)
+
+    def test_stale_archive_rejected_on_load(self, tmp_path, notified_system):
+        """A set saved for a *different* model fails certification."""
+        other = build_simple_system(recovery_notification=False)
+        bound_set = _refined_set(other)
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, bound_set)
+        with pytest.raises(AnalysisError):
+            load_bound_set(path, model=notified_system.model)

@@ -32,10 +32,34 @@ class TestBuiltinModels:
         assert payload[0]["exit_code"] == 0
         assert any(f["code"] == "R201" for f in payload[0]["findings"])
 
+    def test_format_json(self, capsys):
+        import json
+
+        assert main(["--simple", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["exit_code"] == 0
+        finding = payload[0]["findings"][0]
+        # Machine-readable findings carry the full field set.
+        assert set(finding) >= {
+            "code",
+            "severity",
+            "message",
+            "location",
+            "states",
+            "actions",
+            "fix_hint",
+        }
+
+    def test_format_text_is_default(self, capsys):
+        assert main(["--simple", "--format", "text"]) == 0
+        assert "Static analysis" in capsys.readouterr().out
+
     def test_codes_table(self, capsys):
         assert main(["--codes"]) == 0
         out = capsys.readouterr().out
         assert "R001" in out and "R105" in out and "R202" in out
+        # The new pass families are registered.
+        assert "R302" in out and "R901" in out
 
     def test_no_target_is_usage_error(self, capsys):
         assert main([]) == 2
@@ -98,6 +122,37 @@ class TestArchives:
         np.savez_compressed(path, kind=np.array("bound-set"))
         assert main([str(path)]) == 2
         assert "cannot load" in capsys.readouterr().err
+
+
+class TestForceFlag:
+    def test_force_overrides_size_cutoffs(self, monkeypatch, capsys):
+        """--force runs gated passes; without it the R203 skip is reported."""
+        import repro.analysis.passes as passes
+        from repro.analysis import ModelView, analyze
+        from repro.linalg.backends import (
+            sparsify_observations,
+            sparsify_rewards,
+            sparsify_transitions,
+        )
+
+        monkeypatch.setattr(passes, "SPARSE_SOLVE_SKIP_STATES", 1)
+        rng = np.random.default_rng(0)
+        transitions = rng.dirichlet(np.ones(3), size=(2, 3))
+        view = ModelView(
+            transitions=sparsify_transitions(transitions),
+            observations=sparsify_observations(
+                rng.dirichlet(np.ones(2), size=(2, 3))
+            ),
+            rewards=sparsify_rewards(-np.ones((2, 3))),
+        )
+        gated = analyze(view)
+        assert any(d.code == "R203" for d in gated.findings)
+        forced = analyze(view, force=True)
+        assert not any(d.code == "R203" for d in forced.findings)
+
+    def test_force_flag_accepted_by_cli(self, capsys):
+        assert main(["--simple", "--force"]) == 0
+        capsys.readouterr()
 
 
 class TestWarningExitCode:

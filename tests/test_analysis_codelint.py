@@ -1,0 +1,259 @@
+"""Determinism lint (R9xx): rule positives/negatives, suppressions, CLI."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.codelint import lint_paths, lint_source, main
+
+
+def _codes(source: str) -> list[str]:
+    return [d.code for d in lint_source(textwrap.dedent(source))]
+
+
+class TestR901UnseededRandom:
+    def test_global_numpy_sampler(self):
+        assert _codes(
+            """
+            import numpy as np
+            x = np.random.uniform(0, 1)
+            """
+        ) == ["R901"]
+
+    def test_numpy_random_module_alias(self):
+        assert _codes(
+            """
+            import numpy.random as npr
+            x = npr.normal()
+            """
+        ) == ["R901"]
+
+    def test_stdlib_global_sampler(self):
+        assert _codes(
+            """
+            import random
+            x = random.choice([1, 2])
+            """
+        ) == ["R901"]
+
+    def test_stdlib_from_import(self):
+        assert _codes(
+            """
+            from random import shuffle
+            shuffle(items)
+            """
+        ) == ["R901"]
+
+    def test_argless_default_rng(self):
+        assert _codes(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        ) == ["R901"]
+
+    def test_seeded_default_rng_is_clean(self):
+        assert _codes(
+            """
+            import numpy as np
+            rng = np.random.default_rng(42)
+            x = rng.uniform(0, 1)
+            """
+        ) == []
+
+    def test_generator_methods_are_clean(self):
+        """Samplers on an explicit Generator object don't match the rule."""
+        assert _codes(
+            """
+            import numpy as np
+            rng = np.random.default_rng(0)
+            x = rng.normal()
+            y = rng.choice([1, 2])
+            """
+        ) == []
+
+    def test_seeded_stdlib_instance_is_clean(self):
+        assert _codes(
+            """
+            import random
+            rng = random.Random(7)
+            x = rng.random()
+            """
+        ) == []
+
+
+class TestR902SetIteration:
+    def test_for_over_set_literal(self):
+        assert _codes(
+            """
+            for x in {1, 2, 3}:
+                print(x)
+            """
+        ) == ["R902"]
+
+    def test_for_over_set_call(self):
+        assert _codes(
+            """
+            for x in set(items):
+                handle(x)
+            """
+        ) == ["R902"]
+
+    def test_comprehension_over_frozenset(self):
+        assert _codes("out = [f(x) for x in frozenset(items)]") == ["R902"]
+
+    def test_set_union_operator(self):
+        assert _codes(
+            """
+            for x in set(a) | set(b):
+                handle(x)
+            """
+        ) == ["R902"]
+
+    def test_sorted_wrapper_is_clean(self):
+        assert _codes(
+            """
+            for x in sorted(set(items)):
+                handle(x)
+            """
+        ) == []
+
+    def test_list_iteration_is_clean(self):
+        assert _codes(
+            """
+            for x in [1, 2, 3]:
+                print(x)
+            """
+        ) == []
+
+
+class TestR903WallClock:
+    def test_time_time(self):
+        assert _codes(
+            """
+            import time
+            t = time.time()
+            """
+        ) == ["R903"]
+
+    def test_perf_counter_from_import(self):
+        assert _codes(
+            """
+            from time import perf_counter
+            t = perf_counter()
+            """
+        ) == ["R903"]
+
+    def test_datetime_now(self):
+        assert _codes(
+            """
+            from datetime import datetime
+            stamp = datetime.now()
+            """
+        ) == ["R903"]
+
+    def test_datetime_module_utcnow(self):
+        assert _codes(
+            """
+            import datetime
+            stamp = datetime.datetime.utcnow()
+            """
+        ) == ["R903"]
+
+    def test_unrelated_now_attribute_is_clean(self):
+        assert _codes(
+            """
+            stamp = clock.now()
+            """
+        ) == []
+
+    def test_sleep_is_clean(self):
+        """time.sleep does not *read* the clock."""
+        assert _codes(
+            """
+            import time
+            time.sleep(0.1)
+            """
+        ) == []
+
+
+class TestSuppressions:
+    def test_inline_ignore(self):
+        assert _codes(
+            """
+            import time
+            t = time.time()  # codelint: ignore[R903]
+            """
+        ) == []
+
+    def test_inline_ignore_wrong_code_does_not_silence(self):
+        assert _codes(
+            """
+            import time
+            t = time.time()  # codelint: ignore[R901]
+            """
+        ) == ["R903"]
+
+    def test_inline_ignore_multiple_codes(self):
+        assert _codes(
+            """
+            import time, random
+            t = time.time() + random.random()  # codelint: ignore[R901, R903]
+            """
+        ) == []
+
+    def test_skip_file(self):
+        assert _codes(
+            """
+            # codelint: skip-file
+            import time
+            t = time.time()
+            """
+        ) == []
+
+    def test_locations_are_path_line(self):
+        findings = lint_source(
+            "import time\nt = time.time()\n", path="pkg/mod.py"
+        )
+        assert findings[0].location == "pkg/mod.py:2"
+
+
+class TestCLI:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = sorted({1, 2})\n")
+        assert main([str(tmp_path)]) == 0
+        assert "0 determinism finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\nt = time.time()\n")
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "R903" in out and "bad.py:2" in out
+
+    def test_unparseable_file_exits_two(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        assert main([str(tmp_path)]) == 2
+        capsys.readouterr()
+
+    def test_single_file_target(self, tmp_path, capsys):
+        target = tmp_path / "one.py"
+        target.write_text("import random\nrandom.seed(1)\n")
+        assert main([str(target)]) == 1
+        capsys.readouterr()
+
+    def test_report_order_is_deterministic(self, tmp_path, capsys):
+        for name in ("b.py", "a.py", "c.py"):
+            (tmp_path / name).write_text("import time\nt = time.time()\n")
+        main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert out.index("a.py") < out.index("b.py") < out.index("c.py")
+
+
+class TestRealTreeIsClean:
+    def test_src_has_no_determinism_findings(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        report = lint_paths([src])
+        offenders = [d for d in report.findings if d.code.startswith("R9")]
+        assert not offenders, "\n".join(d.format() for d in offenders)
+        assert report.exit_code == 0
