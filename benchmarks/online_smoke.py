@@ -9,6 +9,14 @@ asserted — CI runners are too noisy — but an accidental densification
 anywhere on the decision path is a deterministic, order-of-magnitude RSS
 regression that this smoke catches.
 
+The smoke also exercises the shared-memory model handoff
+(:mod:`repro.linalg.shm`): the sparse containers are exported into an
+arena, rebuilt from the handle payload, and verified to reference the
+same buffers.  The arena's segment bytes are *added* to the RSS ceiling
+(mapped shared pages count toward RSS while attached) and the run fails
+if any ``/dev/shm`` segment survives the export — a leaked segment would
+outlive the process and silently eat host memory.
+
 Usage::
 
     python -m benchmarks.online_smoke
@@ -18,12 +26,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
+import pickle
 import resource
 import time
 
 import numpy as np
 
 from repro.controllers.bounded import BoundedController
+from repro.linalg import shm
 from repro.pomdp.belief import uniform_belief
 from repro.sim.environment import RecoveryEnvironment
 from repro.systems.tiered import build_tiered_system
@@ -86,6 +97,8 @@ def run_smoke(replicas_per_tier: int) -> dict:
         if step.is_terminate:
             break
         controller.observe(step.action, result.observation)
+
+    shm_bytes = exercise_shm_handoff(model.pomdp)
     return {
         "n_states": model.pomdp.n_states,
         "n_actions": model.pomdp.n_actions,
@@ -93,7 +106,37 @@ def run_smoke(replicas_per_tier: int) -> dict:
         "uniform_decision_seconds": uniform_seconds,
         "episode_steps": steps,
         "episode_cost": environment.cost,
+        "shm_bytes": shm_bytes,
     }
+
+
+def exercise_shm_handoff(pomdp) -> int:
+    """Export the sparse model into shared memory and rebuild it.
+
+    Returns the arena's segment bytes (they count toward RSS while
+    attached) and raises if any segment leaks past the export.
+    """
+    arena = shm.SharedArena()
+    try:
+        with shm.exporting(arena):
+            payload = pickle.dumps(
+                (pomdp.transitions, pomdp.observations, pomdp.rewards)
+            )
+        shm_bytes = arena.total_bytes
+        assert shm_bytes > 0, "sparse export produced no shared segments"
+        assert len(payload) < shm_bytes, (
+            "handle payload should be far smaller than the model buffers"
+        )
+        transitions, _, _ = pickle.loads(payload)
+        assert transitions.base.nnz == pomdp.transitions.base.nnz
+        del transitions
+    finally:
+        gc.collect()
+        shm.detach_all()
+        arena.close()
+    leaked = shm.leaked_segments()
+    assert not leaked, f"leaked /dev/shm segments: {leaked}"
+    return shm_bytes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -112,19 +155,27 @@ def main(argv: list[str] | None = None) -> int:
 
     report = run_smoke(args.replicas)
     rss = peak_rss_mb()
+    shm_mb = report["shm_bytes"] / (1024.0 * 1024.0)
+    ceiling = args.max_rss_mb + shm_mb
     print(
         f"sparse online smoke: |S|={report['n_states']:,} "
         f"|A|={report['n_actions']:,}, build {report['build_seconds']:.1f}s, "
         f"uniform decision {report['uniform_decision_seconds']:.1f}s, "
         f"episode {report['episode_steps']} decisions "
-        f"(cost {report['episode_cost']:.3f}), peak RSS {rss:.0f} MB"
+        f"(cost {report['episode_cost']:.3f}), peak RSS {rss:.0f} MB "
+        f"(+{shm_mb:.0f} MB shm exported and released)"
     )
-    if rss > args.max_rss_mb:
+    if rss > ceiling:
         raise SystemExit(
-            f"peak RSS {rss:.0f} MB exceeded the {args.max_rss_mb:.0f} MB "
-            "ceiling — a decision-path operation is densifying the model"
+            f"peak RSS {rss:.0f} MB exceeded the {ceiling:.0f} MB ceiling "
+            f"({args.max_rss_mb:.0f} MB + {shm_mb:.0f} MB shm) — a "
+            "decision-path operation is densifying the model"
         )
-    print(f"peak RSS within the {args.max_rss_mb:.0f} MB ceiling")
+    print(
+        f"peak RSS within the {ceiling:.0f} MB ceiling "
+        f"({args.max_rss_mb:.0f} MB + {shm_mb:.0f} MB shm), "
+        "no leaked shared-memory segments"
+    )
     return 0
 
 

@@ -22,6 +22,18 @@ span-merged or fingerprinted code they poison determinism; the repro
 code routes them through :mod:`repro.util.timing` so replay can stub
 them out.
 
+``R904`` — Python-level row iteration over an ndarray in a hot path
+(``for row in matrix:``).  Not a determinism hazard but a performance
+one: the batched-evaluation work showed per-row loops over belief and
+hyperplane stacks dominating decision time, and the batched primitives
+in :mod:`repro.linalg.ops` replace them with single matrix products.
+The rule fires only under ``pomdp/`` and ``bounds/`` directories (the
+decision-time hot paths) and recognises iterables that are matrix
+constructors (``np.atleast_2d``/``vstack``/``stack``/``column_stack``),
+names assigned from them, or ``.vectors`` hyperplane stacks.  Loops
+that are intentionally row-wise (convergence checks, merge-with-reject
+loops) carry ``# codelint: ignore[R904]``.
+
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` objects with
 ``location`` set to ``path:line``, reported through the same
 :class:`~repro.analysis.diagnostics.AnalysisReport` machinery as the
@@ -111,6 +123,13 @@ _WALL_CLOCK_TIME = frozenset(
 #: ``datetime.<reader>`` constructors reading the clock.
 _WALL_CLOCK_DATETIME = frozenset({"now", "utcnow", "today"})
 
+#: ``np.<constructor>`` calls whose result is a 2-D row stack; iterating
+#: one row-by-row in a hot path is what R904 flags.
+_MATRIX_PRODUCERS = frozenset({"atleast_2d", "vstack", "stack", "column_stack"})
+
+#: Directory names whose files count as decision-time hot paths for R904.
+_HOT_PATH_DIRS = frozenset({"pomdp", "bounds"})
+
 _IGNORE_PATTERN = re.compile(r"#\s*codelint:\s*ignore\[([A-Z0-9,\s]+)\]")
 _SKIP_FILE_PATTERN = re.compile(r"#\s*codelint:\s*skip-file")
 
@@ -155,6 +174,29 @@ class _ModuleAliases(ast.NodeVisitor):
         self.default_rng: set[str] = set()
         self.stdlib_samplers: set[str] = set()
         self.time_readers: set[str] = set()
+        self.matrix_names: set[str] = set()
+
+    def _is_matrix_call(self, node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return False
+        head, _, tail = dotted.rpartition(".")
+        return head in self.numpy and tail in _MATRIX_PRODUCERS
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_matrix_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.matrix_names.add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_matrix_call(node.value):
+            if isinstance(node.target, ast.Name):
+                self.matrix_names.add(node.target.id)
+        self.generic_visit(node)
 
     def visit_Import(self, node: ast.Import) -> None:
         for item in node.names:
@@ -190,6 +232,9 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         self.aliases = aliases
         self.findings: list[Diagnostic] = []
+        self.hot_path = any(
+            part in _HOT_PATH_DIRS for part in Path(path).parts
+        )
 
     def _flag(self, code: str, node: ast.AST, message: str, fix_hint: str) -> None:
         self.findings.append(
@@ -300,6 +345,32 @@ class _Linter(ast.NodeVisitor):
                 f"iteration over {what}: order depends on hashes and "
                 "insertion history",
                 "wrap the iterable in sorted(...) to pin the order",
+            )
+        if self.hot_path:
+            self._check_matrix_rows(iterable, node)
+
+    # -- R904: ndarray row iteration in hot paths ---------------------------
+
+    def _is_matrix(self, node: ast.AST) -> str | None:
+        """Describe ``node`` if it evaluates to a 2-D row stack."""
+        if self.aliases._is_matrix_call(node):
+            return f"{_dotted(node.func)}(...)"  # type: ignore[union-attr]
+        if isinstance(node, ast.Name) and node.id in self.aliases.matrix_names:
+            return f"{node.id} (assigned from a matrix constructor)"
+        if isinstance(node, ast.Attribute) and node.attr == "vectors":
+            return "a .vectors hyperplane stack"
+        return None
+
+    def _check_matrix_rows(self, iterable: ast.AST, node: ast.AST) -> None:
+        what = self._is_matrix(iterable)
+        if what is not None:
+            self._flag(
+                "R904",
+                node,
+                f"Python-level row iteration over {what} in a hot path",
+                "replace the row loop with a batched primitive from "
+                "repro.linalg.ops (or mark the loop intentionally row-wise "
+                "with # codelint: ignore[R904])",
             )
 
     # -- R903: wall-clock reads --------------------------------------------

@@ -78,6 +78,7 @@ CODES: dict[str, tuple[Severity, str]] = {
     "R901": (Severity.WARNING, "unseeded random-number generator use"),
     "R902": (Severity.WARNING, "iteration over an unordered set"),
     "R903": (Severity.WARNING, "wall-clock read in span-merged code"),
+    "R904": (Severity.WARNING, "ndarray row iteration in a hot path"),
 }
 
 

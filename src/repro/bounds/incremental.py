@@ -29,9 +29,11 @@ import numpy as np
 
 from repro.bounds.vector_set import BoundVectorSet
 from repro.linalg.ops import (
+    BACKUP_TIE_EPSILON,
     observation_matrix_dense,
     predict,
     reward_row,
+    tie_break_argmax,
     transition_matvec,
 )
 from repro.obs.telemetry import active as telemetry_active
@@ -39,20 +41,19 @@ from repro.pomdp.belief import GAMMA_EPSILON, belief_bellman_backup
 from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
 
-#: Scores within this of the maximum count as tied; ties break toward the
-#: lowest index.  Symmetric models produce exactly-tied backup candidates,
-#: and the two storage backends agree only to linear-solver precision
-#: (~1e-13), so an exact argmax would let representation noise pick
-#: different hyperplanes on each backend and the refined sets would diverge
-#: structurally.
-BACKUP_TIE_EPSILON = 1e-9
+__all__ = [
+    "BACKUP_TIE_EPSILON",  # canonical home is repro.linalg.ops
+    "RefinementResult",
+    "incremental_update",
+    "refine_at",
+    "sample_reachable_beliefs",
+    "verify_lower_bound_invariant",
+]
 
 
 def _first_within(scores: np.ndarray) -> int:
     """Lowest index whose score is within the tie tolerance of the max."""
-    return int(
-        np.flatnonzero(scores >= np.max(scores) - BACKUP_TIE_EPSILON)[0]
-    )
+    return int(tie_break_argmax(scores, BACKUP_TIE_EPSILON))
 
 
 @dataclass(frozen=True)
@@ -95,10 +96,9 @@ def incremental_update(
                 pomdp.observations, action
             )
         # For each observation pick the existing hyperplane best at `mass`
-        # (ties toward the lowest vector index, tolerance above).
+        # (ties toward the lowest vector index, shared tolerance).
         scores = vectors @ mass  # (|B|, |O|)
-        tied = scores >= scores.max(axis=0) - BACKUP_TIE_EPSILON
-        chosen = np.argmax(tied, axis=0)  # (|O|,) first tied index
+        chosen = tie_break_argmax(scores, BACKUP_TIE_EPSILON)  # (|O|,)
         selected = vectors[chosen]  # (|O|, |S'|)
         # x(s') = sum_o q(o|s',a) * selected[o, s']
         backup = (
@@ -175,7 +175,9 @@ def verify_lower_bound_invariant(
     whole simplex, which the paper leaves to future work).
     """
     beliefs = np.atleast_2d(np.asarray(beliefs, dtype=float))
-    for belief in beliefs:
+    # Intentionally row-wise: each belief's backup builds its own posterior
+    # enumeration, and the check is a diagnostic, not a decision-time path.
+    for belief in beliefs:  # codelint: ignore[R904]
         current = float(np.max(bound_set.vectors @ belief))
         backed_up = belief_bellman_backup(
             pomdp, belief, lambda next_belief: float(

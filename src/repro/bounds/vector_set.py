@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import ModelError
+from repro.linalg.ops import BACKUP_TIE_EPSILON, tie_break_argmax
 from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp import alpha
 
@@ -70,18 +71,42 @@ class BoundVectorSet:
         return self._vectors.shape[0]
 
     def value(self, belief: np.ndarray) -> float:
-        """``V_B^-(belief)`` per Eq. 6; records usage for eviction."""
+        """``V_B^-(belief)`` per Eq. 6; records usage for eviction.
+
+        The returned value is the exact maximum; the usage credit goes to
+        the first vector within :data:`~repro.linalg.ops.BACKUP_TIE_EPSILON`
+        of it, the same tie-break the Eq. 7 backups and the lookahead tree
+        use, so eviction order cannot depend on backend representation
+        noise.
+        """
         scores = self._vectors @ belief
-        winner = int(np.argmax(scores))
+        winner = int(tie_break_argmax(scores, BACKUP_TIE_EPSILON))
         self._usage[winner] += 1
-        return float(scores[winner])
+        return float(np.max(scores))
 
     def value_batch(self, beliefs: np.ndarray) -> np.ndarray:
-        """Vectorised :meth:`value` over a ``(m, |S|)`` belief stack."""
+        """Vectorised :meth:`value` over a ``(m, |S|)`` belief stack.
+
+        One ``(|B|, |S|) x (|S|, m)`` matmul evaluates the whole bound set
+        against the whole stack.  A single belief may be passed 1-D; an
+        empty stack returns an empty result.  Returned values are the exact
+        per-column maxima (bit-identical to :meth:`value`); only the usage
+        accounting goes through the shared tie-break.
+        """
+        if self._vectors.shape[0] == 0:  # unreachable via the constructor
+            raise ModelError("bound set has no vectors to evaluate")
+        beliefs = np.atleast_2d(np.asarray(beliefs, dtype=float))
+        if beliefs.shape[1] != self.n_states:
+            raise ModelError(
+                f"beliefs must have shape (m, {self.n_states}), "
+                f"got {beliefs.shape}"
+            )
+        if beliefs.shape[0] == 0:
+            return np.zeros(0)
         scores = self._vectors @ beliefs.T
-        winners = np.argmax(scores, axis=0)
+        winners = tie_break_argmax(scores, BACKUP_TIE_EPSILON, axis=0)
         np.add.at(self._usage, winners, 1)
-        return scores[winners, np.arange(beliefs.shape[0])]
+        return scores.max(axis=0)
 
     def record_wins(self, winners: np.ndarray) -> None:
         """Credit usage to the vectors that won a batch of evaluations.
@@ -197,7 +222,9 @@ class BoundVectorSet:
                 f"got {stack.shape}"
             )
         added = 0
-        for vector in stack:
+        # Intentionally row-wise: each add() can change the dominance set the
+        # next candidate is tested against, so the merge cannot batch.
+        for vector in stack:  # codelint: ignore[R904]
             if self.add(vector, min_improvement=min_improvement):
                 added += 1
         if prune_after and added:

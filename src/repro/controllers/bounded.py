@@ -10,6 +10,13 @@ the terminate action ``a_T`` maximises the tree — no termination-probability
 knob is needed, which is the property Table 1's discussion highlights — or,
 for systems with recovery notification, when the belief certifies arrival in
 ``S_phi``.
+
+At the evaluated depth of 1 the expansion is fully batched
+(:mod:`repro.pomdp.tree`): the successor-belief matrix is built once and the
+bound set is evaluated against it in a single
+:meth:`~repro.bounds.vector_set.BoundVectorSet.value_batch` matmul — on the
+sparse backend the posteriors are skipped entirely and the whole decision is
+a handful of CSR × dense-block products.
 """
 
 from __future__ import annotations

@@ -38,6 +38,18 @@ from repro.exceptions import ModelError
 from repro.util.validation import NEGATIVITY_ATOL, SUM_ATOL
 
 
+def _rebuild_from_state(cls, state):
+    """Default-pickling reconstructor for the frozen containers.
+
+    Restores the instance ``__dict__`` directly (bypassing the frozen
+    ``__setattr__``), exactly like protocol-2 pickling did before the
+    containers grew shared-memory-aware ``__reduce__`` hooks.
+    """
+    self = object.__new__(cls)
+    self.__dict__.update(state)
+    return self
+
+
 def _as_csr(matrix, shape=None) -> sp.csr_matrix:
     """Coerce ``matrix`` to canonical CSR (sorted indices, no duplicates)."""
     csr = sp.csr_matrix(matrix, shape=shape)
@@ -198,15 +210,56 @@ class SparseTransitions:
         """``belief @ base`` as a dense vector."""
         return np.asarray(self.base.T @ belief).ravel()
 
+    def predict_base_batch(self, beliefs: np.ndarray) -> np.ndarray:
+        """``beliefs @ base`` for a ``(m, |S|)`` stack, row for row.
+
+        One CSR-transpose x dense-block product; scipy evaluates it column
+        by column with the matvec kernel, so each output row is
+        bit-identical to :meth:`predict_base` on that belief.
+        """
+        return np.asarray(self.base.T @ beliefs.T).T
+
+    def predict_batch(
+        self, beliefs: np.ndarray, action: int, base: np.ndarray | None = None
+    ) -> np.ndarray:
+        """``beliefs @ T_a`` for a ``(m, |S|)`` stack (batched Eq. 3).
+
+        The incremental fast path of the batched belief update: the shared
+        base product may be passed in as ``base`` (and is computed here
+        otherwise), and the override correction adds only the delta rows
+        the action replaces, scaled by each belief's mass on the origin
+        states — unchanged rows are reused across the whole batch.
+        """
+        predicted = (
+            self.predict_base_batch(beliefs) if base is None else base.copy()
+        )
+        block = self._override_slice(action)
+        if block.start != block.stop:
+            mass = beliefs[:, self.row_state[block]]
+            predicted += np.asarray(self.delta_rows[block].T @ mass.T).T
+        return predicted
+
     def correction_matrix(self, belief: np.ndarray) -> sp.csr_matrix:
         """CSR ``(|A|, |S|)`` with row ``a`` = ``belief @ T_a - belief @ base``.
 
         Two sparse products over all actions at once: scale each override's
         delta row by the belief mass sitting on its origin state, then sum
-        the rows of each action.
+        the rows of each action.  The row scaling is applied directly to
+        the CSR data (one multiply per non-zero, no COO round trip) — the
+        per-row factor expands over ``diff(indptr)``.
         """
         delta = self.delta_rows
-        scaled = delta.multiply(belief[self.row_state][:, None]).tocsr()
+        factors = np.repeat(
+            np.asarray(belief, dtype=float)[self.row_state],
+            np.diff(delta.indptr),
+        )
+        scaled = sp.csr_matrix(
+            (delta.data * factors, delta.indices, delta.indptr),
+            shape=delta.shape,
+            copy=False,
+        )
+        scaled.has_canonical_format = True
+        scaled.has_sorted_indices = True
         return _as_csr(self._aggregator @ scaled)
 
     def predict(self, belief: np.ndarray, action: int) -> np.ndarray:
@@ -339,6 +392,22 @@ class SparseTransitions:
         stacked = (collapsed @ self.rows).tocsr()
         return _as_csr(self.base.maximum(stacked))
 
+    # -- pickling -------------------------------------------------------
+    def __reduce__(self):
+        """Default pickling, or a shared-memory handle during plan export.
+
+        Inside :func:`repro.linalg.shm.exporting` the CSR buffers are moved
+        into shared-memory segments and only a lightweight handle is
+        pickled, so campaign workers attach the same pages instead of each
+        receiving (and unpickling) a full copy of the model.
+        """
+        from repro.linalg import shm
+
+        handle = shm.export_handle(self)
+        if handle is not None:
+            return (shm.rebuild, (handle,))
+        return (_rebuild_from_state, (type(self), self.__dict__.copy()))
+
     # -- validation -----------------------------------------------------
     def validate(self, name: str = "transitions") -> None:
         """Check every *effective* row is stochastic.
@@ -421,6 +490,15 @@ class SparseObservations:
                 best, np.asarray(matrix.max(axis=0).todense()).ravel()
             )
         return best
+
+    def __reduce__(self):
+        """Default pickling, or a shared-memory handle during plan export."""
+        from repro.linalg import shm
+
+        handle = shm.export_handle(self)
+        if handle is not None:
+            return (shm.rebuild, (handle,))
+        return (_rebuild_from_state, (type(self), self.__dict__.copy()))
 
     def validate(self, name: str = "observations") -> None:
         _check_rows_stochastic(
@@ -571,6 +649,15 @@ class StructuredRewards:
         coo = self.override.tocoo()
         values[coo.row, coo.col] = coo.data
         return values
+
+    def __reduce__(self):
+        """Default pickling, or a shared-memory handle during plan export."""
+        from repro.linalg import shm
+
+        handle = shm.export_handle(self)
+        if handle is not None:
+            return (shm.rebuild, (handle,))
+        return (_rebuild_from_state, (type(self), self.__dict__.copy()))
 
     def validate(self, name: str = "rewards") -> None:
         for label, array in (

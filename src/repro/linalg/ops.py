@@ -31,6 +31,38 @@ from repro.linalg.containers import (
 )
 from repro.obs.telemetry import active as telemetry_active
 
+#: Observation probabilities below this are treated as impossible branches.
+#: Canonical home of the constant (re-exported by :mod:`repro.pomdp.belief`
+#: for compatibility): the batched primitives below need it without creating
+#: an import cycle through the belief module.
+GAMMA_EPSILON = 1e-12
+
+#: Scores within this of the maximum count as tied; ties break toward the
+#: lowest index.  Symmetric models produce exactly-tied backup candidates,
+#: and the two storage backends agree only to linear-solver precision
+#: (~1e-13), so an exact argmax would let representation noise pick
+#: different winners on each backend.  Canonical home of the constant
+#: (re-exported by :mod:`repro.bounds.incremental` for compatibility).
+BACKUP_TIE_EPSILON = 1e-9
+
+
+def tie_break_argmax(
+    scores: np.ndarray, epsilon: float = BACKUP_TIE_EPSILON, axis: int = 0
+) -> np.ndarray | np.intp:
+    """Lowest index within ``epsilon`` of the max along ``axis``.
+
+    The shared tie-break used by the incremental Eq. 7 backups, the
+    lookahead tree's branch winners, and :meth:`BoundVectorSet.value_batch`
+    usage accounting: ``argmax`` over the boolean "within tolerance of the
+    max" array returns the *first* tied index, so winner selection is
+    deterministic and backend-independent.  Works on any score array; for
+    a 1-D input with ``axis=0`` it returns a scalar index like
+    :func:`numpy.argmax`.
+    """
+    scores = np.asarray(scores)
+    tied = scores >= scores.max(axis=axis, keepdims=True) - epsilon
+    return np.argmax(tied, axis=axis)
+
 
 def _count_dispatch(op: str, sparse: bool) -> None:
     telemetry = telemetry_active()
@@ -52,6 +84,27 @@ def predict(transitions, belief: np.ndarray, action: int) -> np.ndarray:
         return transitions.predict(belief, action)
     _count_dispatch("predict", sparse=False)
     return belief @ transitions[action]
+
+
+def predict_batch(
+    transitions, beliefs: np.ndarray, action: int
+) -> np.ndarray:
+    """``beliefs @ T_a`` for a ``(m, |S|)`` stack of beliefs at once.
+
+    Row ``i`` of the result is bit-identical to ``predict(transitions,
+    beliefs[i], action)``: the sparse path runs one CSR-transpose product
+    against the whole dense block (scipy evaluates a sparse x dense-block
+    product column by column with the same axpy kernel as the matvec), and
+    the incremental override correction touches only the columns whose base
+    rows the action replaces, so shared structure is computed once per
+    batch instead of once per belief.
+    """
+    beliefs = np.atleast_2d(np.asarray(beliefs, dtype=float))
+    if isinstance(transitions, SparseTransitions):
+        _count_dispatch("predict_batch", sparse=True)
+        return transitions.predict_batch(beliefs, action)
+    _count_dispatch("predict_batch", sparse=False)
+    return beliefs @ transitions[action]
 
 
 def transition_row(transitions, action: int, state: int) -> np.ndarray:
@@ -133,6 +186,66 @@ def observation_probabilities_from_predicted(
     return predicted @ observations[action]
 
 
+def observation_probabilities_batch(
+    observations, predicted: np.ndarray, action: int
+) -> np.ndarray:
+    """``predicted @ Z_a`` for a ``(m, |S|)`` stack of predictions.
+
+    The batched Eq. 3 denominator: row ``i`` is
+    ``observation_probabilities_from_predicted(observations, predicted[i],
+    action)`` computed through one product over the whole stack.
+    """
+    predicted = np.atleast_2d(np.asarray(predicted, dtype=float))
+    if isinstance(observations, SparseObservations):
+        _count_dispatch("observation_probabilities_batch", sparse=True)
+        matrix = observations.matrix(action)
+        return np.asarray(matrix.T @ predicted.T).T
+    _count_dispatch("observation_probabilities_batch", sparse=False)
+    return predicted @ observations[action]
+
+
+def belief_update_batch(
+    transitions,
+    observations,
+    beliefs: np.ndarray,
+    action: int,
+    epsilon: float = GAMMA_EPSILON,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Eqs. 3-4 for every observation over a ``(m, |S|)`` belief stack.
+
+    Returns ``(gamma, posteriors)`` with shapes ``(m, |O|)`` and
+    ``(m, |O|, |S|)``: ``gamma[i, o]`` is the probability of observing
+    ``o`` after choosing ``action`` in belief ``i``, and
+    ``posteriors[i, o]`` is the Eq. 4 posterior.  Branches with
+    ``gamma <= epsilon`` are impossible under the model; their posterior
+    rows are zeroed rather than divided through, so callers mask on
+    ``gamma`` exactly like the scalar path raises ``BeliefError``.
+
+    The sparse path is two CSR x dense-block products (prediction through
+    the shared transition base plus the per-action override correction,
+    then the observation weighting); only the joint factor expansion is
+    dense, so cost scales with ``m * |S| * |O|``, not with the model's
+    dense tensor sizes.
+    """
+    beliefs = np.atleast_2d(np.asarray(beliefs, dtype=float))
+    predicted = predict_batch(transitions, beliefs, action)  # (m, |S|)
+    if isinstance(observations, SparseObservations):
+        matrix = observations.matrix(action)
+        gamma = np.asarray(matrix.T @ predicted.T).T  # (m, |O|)
+        obs_dense = matrix.toarray()
+    else:
+        obs_dense = np.asarray(observations[action])
+        gamma = predicted @ obs_dense
+    # joint[i, o, s'] = predicted[i, s'] * q(o | s', a)
+    joint = predicted[:, None, :] * obs_dense.T[None, :, :]
+    reachable = gamma > epsilon
+    safe = np.where(reachable, gamma, 1.0)
+    posteriors = np.where(
+        reachable[:, :, None], joint / safe[:, :, None], 0.0
+    )
+    return gamma, posteriors
+
+
 # -- rewards ------------------------------------------------------------
 
 
@@ -196,8 +309,19 @@ def bellman_backup_envelope(
     one ``(|A|,|S|,|S|) @ (|S|,)`` product.  Bound sets are only ever
     certified against models small enough to have been solved, so this
     stays off the 300k-state analyzer budget.
+
+    ``values`` may also be a ``(k, |S|)`` stack, in which case the result
+    is the ``(k, |S|)`` stack of per-row envelopes: the sparse path backs
+    every row through the shared base/override products at once (one CSR x
+    dense-block product instead of ``k`` matvecs).  The 1-D form keeps its
+    original arithmetic bit for bit — the R302 soundness certificate
+    (:mod:`repro.analysis.certify`) depends on it.
     """
     values = np.asarray(values, dtype=float)
+    if values.ndim == 2:
+        return _bellman_backup_envelope_batch(
+            transitions, rewards, values, discount
+        )
     if isinstance(transitions, SparseTransitions):
         base_backed = np.asarray(transitions.base @ values).ravel()
         rows_backed = np.asarray(transitions.rows @ values).ravel()
@@ -217,6 +341,32 @@ def bellman_backup_envelope(
     return backed_all.max(axis=0)
 
 
+def _bellman_backup_envelope_batch(
+    transitions, rewards, values: np.ndarray, discount: float
+) -> np.ndarray:
+    """The ``(k, |S|)`` stacked form of :func:`bellman_backup_envelope`."""
+    if isinstance(transitions, SparseTransitions):
+        base_backed = np.asarray(transitions.base @ values.T).T  # (k, |S|)
+        rows_backed = np.asarray(transitions.rows @ values.T).T  # (k, R)
+        envelope = np.full(values.shape, -np.inf)
+        for action in range(transitions.n_actions):
+            backed = reward_row(rewards, action)[None, :] + discount * base_backed
+            block = transitions._override_slice(action)
+            if block.start != block.stop:
+                states = transitions.row_state[block]
+                backed[:, states] += discount * (
+                    rows_backed[:, block] - base_backed[:, states]
+                )
+            np.maximum(envelope, backed, out=envelope)
+        return envelope
+    dense = np.asarray(transitions, dtype=float)
+    # backed[a, k, s] = r[a, s] + discount * (T_a @ values.T).T[k, s]
+    backed_all = np.asarray(rewards, dtype=float)[:, None, :] + discount * (
+        np.einsum("aij,kj->aki", dense, values)
+    )
+    return backed_all.max(axis=0)
+
+
 # -- generic ------------------------------------------------------------
 
 
@@ -228,22 +378,28 @@ def as_dense_chain(chain):
 
 
 __all__ = [
+    "BACKUP_TIE_EPSILON",
+    "GAMMA_EPSILON",
     "as_dense_chain",
+    "belief_update_batch",
     "bellman_backup_envelope",
     "is_sparse_transitions",
     "mean_transition_matrix",
     "observation_column",
     "observation_matrix",
     "observation_matrix_dense",
+    "observation_probabilities_batch",
     "observation_probabilities_from_predicted",
     "observation_row",
     "predict",
+    "predict_batch",
     "reward_column",
     "reward_row",
     "reward_scalar",
     "rewards_matvec",
     "rewards_max_value",
     "rewards_mean_over_actions",
+    "tie_break_argmax",
     "transition_matrix_dense",
     "transition_matvec",
     "transition_row",

@@ -12,6 +12,8 @@ import numpy as np
 
 from repro.exceptions import BeliefError
 from repro.linalg.ops import (
+    GAMMA_EPSILON,
+    belief_update_batch,
     observation_column,
     observation_matrix_dense,
     observation_probabilities_from_predicted,
@@ -21,8 +23,18 @@ from repro.linalg.ops import (
 from repro.pomdp.cache import get_joint_cache
 from repro.pomdp.model import POMDP
 
-#: Observation probabilities below this are treated as impossible branches.
-GAMMA_EPSILON = 1e-12
+__all__ = [
+    "GAMMA_EPSILON",
+    "belief_bellman_backup",
+    "belief_reward",
+    "next_beliefs",
+    "observation_probabilities",
+    "point_belief",
+    "predicted_belief",
+    "uniform_belief",
+    "update_belief",
+    "update_belief_batch",
+]
 
 
 def uniform_belief(pomdp: POMDP, support: np.ndarray | None = None) -> np.ndarray:
@@ -88,6 +100,63 @@ def update_belief(
             f"{action} and the current belief"
         )
     return joint / total
+
+
+def update_belief_batch(
+    pomdp: POMDP,
+    beliefs: np.ndarray,
+    action: int,
+    observations: np.ndarray | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised Eq. 4 over a ``(m, |S|)`` stack of beliefs.
+
+    With ``observations=None`` returns ``(gamma, posteriors)`` of shapes
+    ``(m, |O|)`` and ``(m, |O|, |S|)`` — every observation branch of every
+    belief, with impossible branches (``gamma <= GAMMA_EPSILON``) zeroed.
+
+    With ``observations`` given (one index, or one per belief) the chosen
+    branches are selected and the shapes collapse to ``(m,)`` and
+    ``(m, |S|)``.  Mirroring the scalar path's strictness, a zero-probability
+    selection raises :class:`~repro.exceptions.BeliefError`, and so does a
+    negative index: the environment's ``NO_OBSERVATION`` sentinel (``-1``)
+    marks "no observation was emitted" and must never reach Eq. 4 — numpy
+    would silently wrap it to the last observation column and corrupt every
+    posterior in the batch.
+    """
+    beliefs = np.atleast_2d(np.asarray(beliefs, dtype=float))
+    gamma, posteriors = belief_update_batch(
+        pomdp.transitions, pomdp.observations, beliefs, action
+    )
+    if observations is None:
+        return gamma, posteriors
+    chosen = np.asarray(observations, dtype=np.int64)
+    if chosen.ndim == 0:
+        chosen = np.full(beliefs.shape[0], int(chosen), dtype=np.int64)
+    if chosen.shape != (beliefs.shape[0],):
+        raise BeliefError(
+            f"need one observation per belief: got {chosen.shape} "
+            f"for {beliefs.shape[0]} beliefs"
+        )
+    if np.any(chosen < 0):
+        raise BeliefError(
+            "negative observation index (the NO_OBSERVATION sentinel) "
+            "cannot be folded into Eq. 4"
+        )
+    if np.any(chosen >= pomdp.n_observations):
+        raise BeliefError(
+            f"observation index out of range for {pomdp.n_observations} "
+            "observations"
+        )
+    rows = np.arange(beliefs.shape[0])
+    selected_gamma = gamma[rows, chosen]
+    impossible = np.flatnonzero(selected_gamma <= GAMMA_EPSILON)
+    if impossible.size:
+        i = int(impossible[0])
+        raise BeliefError(
+            f"observation {int(chosen[i])} has probability ~0 under action "
+            f"{action} and belief {i} of the batch"
+        )
+    return selected_gamma, posteriors[rows, chosen]
 
 
 def next_beliefs(

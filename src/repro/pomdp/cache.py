@@ -64,6 +64,39 @@ def max_cache_bytes(max_bytes: int | None = None) -> int:
     return MAX_CACHE_BYTES
 
 
+def charge_block(
+    n_bytes: int,
+    *,
+    n_states: int,
+    kind: str = "leaf_block",
+    max_bytes: int | None = None,
+) -> bool:
+    """Charge a transient batched-evaluation block against the cache budget.
+
+    The batched depth-1 expansion materialises per-decision score blocks of
+    ``O((k + 3) * |A| * |O|)`` doubles; like the persistent factor caches,
+    those allocations must answer to :func:`max_cache_bytes` *before* they
+    exist.  Returns True when the block fits the budget.  A decline emits
+    the same process-local ``cache.declines`` counter and ``cache_decline``
+    event as a declined cache build (tagged with ``kind``), and the caller
+    falls back to its looped path.
+    """
+    limit = max_cache_bytes(max_bytes)
+    if n_bytes <= limit:
+        return True
+    telemetry = telemetry_active()
+    if telemetry is not None:
+        telemetry.count_process("cache.declines")
+        telemetry.event(
+            "cache_decline",
+            n_states=int(n_states),
+            required_bytes=int(n_bytes),
+            limit_bytes=int(limit),
+            kind=kind,
+        )
+    return False
+
+
 class JointFactorCache:
     """Precomputed ``p(s', o | s, a)`` factors for one POMDP.
 

@@ -16,7 +16,14 @@ expansion — so the tree leans on two model-level optimisations:
   per-action rebuild of the transition/observation product;
 * all of a node's leaf beliefs (across *every* action) are evaluated in one
   :meth:`LeafValue.value_batch` call rather than one call per action, so the
-  leaf estimator sees one big stack per node.
+  leaf estimator sees one big stack per node; at depth 1 the root expansion
+  is a single fused pass (:func:`_expand_depth1_batched`) with exactly one
+  such call;
+* on the sparse backend with a linear-function leaf, the depth-1 expansion
+  skips posteriors entirely: a batched kernel builds the full
+  ``(k, |A|, |O|)`` score block from a few CSR × dense-block products, with
+  a per-action looped fallback when the block is declined by the cache
+  budget.
 """
 
 from __future__ import annotations
@@ -27,13 +34,20 @@ from typing import Protocol
 import numpy as np
 
 from repro.linalg.ops import (
+    BACKUP_TIE_EPSILON,
     observation_matrix_dense,
     predict,
     rewards_matvec,
+    tie_break_argmax,
 )
 from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.belief import GAMMA_EPSILON
-from repro.pomdp.cache import JointFactorCache, SparseJointFactorCache, get_joint_cache
+from repro.pomdp.cache import (
+    JointFactorCache,
+    SparseJointFactorCache,
+    charge_block,
+    get_joint_cache,
+)
 from repro.pomdp.model import POMDP
 
 #: Root values within this of the maximum count as tied.  Ties break toward
@@ -45,8 +59,7 @@ DECISION_TIE_EPSILON = 1e-9
 
 def _best_action(action_values: np.ndarray) -> int:
     """Lowest-index action within :data:`DECISION_TIE_EPSILON` of the max."""
-    best = np.max(action_values)
-    return int(np.flatnonzero(action_values >= best - DECISION_TIE_EPSILON)[0])
+    return int(tie_break_argmax(action_values, DECISION_TIE_EPSILON))
 
 
 class LeafValue(Protocol):
@@ -221,6 +234,8 @@ def _expand(
     """Dispatch to the fused sparse depth-1 path or the generic recursion."""
     if fused:
         return _expand_depth1_sparse(pomdp, belief, leaf, allowed_actions)
+    if depth == 1:
+        return _expand_depth1_batched(pomdp, belief, leaf, allowed_actions, cache)
     counters = {"leaves": 0, "nodes": 0}
 
     def node_value(node_belief: np.ndarray, remaining: int) -> float:
@@ -252,20 +267,14 @@ def _expand(
     rewards = rewards_matvec(pomdp.rewards, belief)
     action_values = np.full(pomdp.n_actions, -np.inf)
     children = _children_all(pomdp, belief, cache, action_mask=allowed_actions)
-    if depth == 1:
-        futures = _batched_leaf_values(children, leaf)
-        counters["leaves"] += sum(
-            child[1].shape[0] for child in children if child is not None
+    futures = [
+        None
+        if child is None
+        else np.array(
+            [node_value(posterior, depth - 1) for posterior in child[1]]
         )
-    else:
-        futures = [
-            None
-            if child is None
-            else np.array(
-                [node_value(posterior, depth - 1) for posterior in child[1]]
-            )
-            for child in children
-        ]
+        for child in children
+    ]
     for action, child in enumerate(children):
         if child is None:
             continue
@@ -284,6 +293,46 @@ def _expand(
     )
 
 
+def _expand_depth1_batched(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    leaf: LeafValue,
+    allowed_actions: np.ndarray | None,
+    cache: JointFactorCache | SparseJointFactorCache | None,
+) -> TreeDecision:
+    """Depth-1 expansion as one successor-matrix build + one leaf batch.
+
+    The full successor-belief matrix (every action's reachable posteriors,
+    stacked action-major) is built once by :func:`_children_all` /
+    :func:`_batched_leaf_values` and evaluated through a single
+    ``leaf.value_batch`` call; the per-action combine then weighs each
+    action's slice with its observation probabilities.  Arithmetic is
+    bit-identical to the generic recursion at depth 1 — this is the same
+    computation with the recursion peeled off, and the campaign
+    fingerprints hold it to that.
+    """
+    rewards = rewards_matvec(pomdp.rewards, belief)
+    action_values = np.full(pomdp.n_actions, -np.inf)
+    children = _children_all(pomdp, belief, cache, action_mask=allowed_actions)
+    futures = _batched_leaf_values(children, leaf)
+    leaves = sum(child[1].shape[0] for child in children if child is not None)
+    for action, child in enumerate(children):
+        if child is None:
+            continue
+        gamma, _ = child
+        action_values[action] = rewards[action] + pomdp.discount * float(
+            gamma @ futures[action]
+        )
+    best_action = _best_action(action_values)
+    return TreeDecision(
+        action=best_action,
+        value=float(action_values[best_action]),
+        action_values=action_values,
+        leaf_evaluations=leaves,
+        nodes=1,
+    )
+
+
 def _expand_depth1_sparse(
     pomdp: POMDP,
     belief: np.ndarray,
@@ -297,19 +346,137 @@ def _expand_depth1_sparse(
         ``V(a) = r_a . pi + beta * sum_o max_b (pred_a * Z_a[:, o]) . b``
 
     — the posterior normalisation ``1/gamma_a(o)`` cancels against the
-    Max-Avg weighting, so no posterior is ever materialised.  The base
-    quantities (prediction through the shared transition base, scores
-    through the shared observation matrix) are computed once per decision;
-    each action then contributes only a correction of the size of its
-    overrides.  Actions whose override rows carry no belief mass and that
-    observe through the base matrix reuse the base score unchanged, which
-    is what makes a 150,002-action decision tractable.
+    Max-Avg weighting, so no posterior is ever materialised.  Two kernels
+    implement the identity: the batched one materialises the full
+    ``(k, |A|, |O|)`` score block in a handful of CSR × dense-block
+    products, the looped one visits one action at a time and never holds
+    more than one action's scores.  The block is charged against the cache
+    budget (:func:`~repro.pomdp.cache.charge_block`) *before* it exists;
+    a decline falls back to the looped kernel.
+    """
+    vectors = np.atleast_2d(np.asarray(leaf.vectors, dtype=float))
+    block_bytes = (
+        8 * (vectors.shape[0] + 3) * pomdp.n_actions * pomdp.n_observations
+    )
+    if charge_block(
+        block_bytes, n_states=pomdp.n_states, kind="tree.depth1_block"
+    ):
+        return _expand_depth1_sparse_batched(
+            pomdp, belief, vectors, leaf, allowed_actions
+        )
+    return _expand_depth1_sparse_looped(
+        pomdp, belief, vectors, leaf, allowed_actions
+    )
+
+
+def _expand_depth1_sparse_batched(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    vectors: np.ndarray,
+    leaf: LeafValue,
+    allowed_actions: np.ndarray | None,
+) -> TreeDecision:
+    """All-actions-at-once kernel of the fused sparse depth-1 expansion.
+
+    The per-action correction loop of the looped kernel collapses into CSR
+    × dense-block products: one ``corrections @ Z`` product yields every
+    action's observation-probability correction, and one such product per
+    bound vector (with the correction data scaled by that vector) yields
+    the full ``(k, |A|, |O|)`` score block.  Actions with observation
+    overrides are recomputed exactly as the looped kernel computes them,
+    since they do not observe through the shared base matrix.
+
+    Values agree with the looped kernel to summation re-association
+    (~1e-16): sparse row-times-matrix products may add the same terms in a
+    different order.  Branch bookkeeping (reachability, usage winners,
+    record order) is identical.
+    """
+    transitions = pomdp.transitions
+    observations = pomdp.observations
+    base_obs = observations.base
+    k = vectors.shape[0]
+
+    pred_base = transitions.predict_base(belief)
+    corrections = transitions.correction_matrix(belief).tocsr()
+    gamma_base = np.asarray(base_obs.T @ pred_base).ravel()
+    scores_base = np.asarray(base_obs.T @ (vectors * pred_base).T).T  # (k, |O|)
+
+    # gamma_all[a, o] = gamma_base[o] + (corrections[a] @ base_obs)[o]
+    gamma_all = (corrections @ base_obs).toarray() + gamma_base[None, :]
+    scores_all = np.empty((k, pomdp.n_actions, pomdp.n_observations))
+    scaled = corrections.copy()
+    for j in range(k):
+        scaled.data = corrections.data * vectors[j, corrections.indices]
+        scores_all[j] = (scaled @ base_obs).toarray()
+    scores_all += scores_base[:, None, :]
+
+    for action in sorted(observations.overrides):
+        # Overridden observation rows bypass the base matrix entirely;
+        # recompute them exactly as the looped kernel does.
+        matrix = observations.matrix(action)
+        start, stop = corrections.indptr[action], corrections.indptr[action + 1]
+        pred = pred_base.copy()
+        pred[corrections.indices[start:stop]] += corrections.data[start:stop]
+        gamma_all[action] = np.asarray(matrix.T @ pred).ravel()
+        scores_all[:, action, :] = np.asarray(matrix.T @ (vectors * pred).T).T
+
+    rewards = rewards_matvec(pomdp.rewards, belief)
+    reachable = gamma_all > GAMMA_EPSILON  # (|A|, |O|)
+    if allowed_actions is not None:
+        reachable &= np.asarray(allowed_actions, dtype=bool)[:, None]
+    leaf_evaluations = int(np.count_nonzero(reachable))
+
+    record = getattr(leaf, "record_wins", None)
+    if record is not None and leaf_evaluations:
+        # Row-major selection is action-major, observation-ascending — the
+        # exact order the looped kernel concatenates its winners in.  A
+        # single bound vector wins every branch by construction.
+        if k == 1:
+            record(np.zeros(leaf_evaluations, dtype=np.intp))
+        else:
+            winners = tie_break_argmax(scores_all, BACKUP_TIE_EPSILON, axis=0)
+            record(winners[reachable])
+
+    # max over one vector is the vector itself; skip the (k, |A|, |O|)
+    # reduction on the single-seed hot path.  scores_all is not read again,
+    # so zeroing the unreachable branches in place is safe.
+    best = scores_all[0] if k == 1 else scores_all.max(axis=0)
+    best[~reachable] = 0.0
+    future = best.sum(axis=1)
+    action_values = rewards + pomdp.discount * future
+    if allowed_actions is not None:
+        action_values[~np.asarray(allowed_actions, dtype=bool)] = -np.inf
+    best_action = _best_action(action_values)
+    return TreeDecision(
+        action=best_action,
+        value=float(action_values[best_action]),
+        action_values=action_values,
+        leaf_evaluations=leaf_evaluations,
+        nodes=1,
+    )
+
+
+def _expand_depth1_sparse_looped(
+    pomdp: POMDP,
+    belief: np.ndarray,
+    vectors: np.ndarray,
+    leaf: LeafValue,
+    allowed_actions: np.ndarray | None,
+) -> TreeDecision:
+    """Per-action kernel of the fused sparse depth-1 expansion.
+
+    The base quantities (prediction through the shared transition base,
+    scores through the shared observation matrix) are computed once per
+    decision; each action then contributes only a correction of the size
+    of its overrides.  Actions whose override rows carry no belief mass
+    and that observe through the base matrix reuse the base score
+    unchanged, which is what makes a 150,002-action decision tractable
+    even when the batched block is declined.
 
     Leaf-usage accounting matches the generic path: the winning bound
     vector of every reachable ``(a, o)`` branch is recorded via
     ``leaf.record_wins`` when the leaf supports it.
     """
-    vectors = np.atleast_2d(np.asarray(leaf.vectors, dtype=float))
     transitions = pomdp.transitions
     observations = pomdp.observations
     base_obs = observations.base
@@ -321,10 +488,10 @@ def _expand_depth1_sparse(
     reachable_base = gamma_base > GAMMA_EPSILON
     if reachable_base.any():
         branch_scores = scores_base[:, reachable_base]
-        winners_base = np.argmax(branch_scores, axis=0)
-        future_base = float(
-            branch_scores[winners_base, np.arange(winners_base.size)].sum()
+        winners_base = tie_break_argmax(
+            branch_scores, BACKUP_TIE_EPSILON, axis=0
         )
+        future_base = float(branch_scores.max(axis=0).sum())
     else:
         winners_base = np.zeros(0, dtype=int)
         future_base = 0.0
@@ -360,10 +527,8 @@ def _expand_depth1_sparse(
         reachable = gamma > GAMMA_EPSILON
         if reachable.any():
             branch_scores = scores[:, reachable]
-            winners = np.argmax(branch_scores, axis=0)
-            future = float(
-                branch_scores[winners, np.arange(winners.size)].sum()
-            )
+            winners = tie_break_argmax(branch_scores, BACKUP_TIE_EPSILON, axis=0)
+            future = float(branch_scores.max(axis=0).sum())
         else:
             winners = np.zeros(0, dtype=int)
             future = 0.0

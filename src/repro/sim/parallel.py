@@ -29,6 +29,18 @@ arrivals dominate.  The caller's controller ends the campaign with the
 union of every worker's refinements, exactly as a long-lived controller
 process would accumulate them.
 
+**Shared-memory model handoff.**  The plan is pickled exactly once per
+campaign.  For sparse models the pickling happens inside
+:func:`repro.linalg.shm.exporting`, which moves the model's CSR buffers
+into ``multiprocessing.shared_memory`` segments and replaces them in the
+pickle stream with lightweight handles; workers attach the segments and
+rebuild zero-copy container views.  The handoff payload shrinks from the
+full model to kilobytes (``model_handoff_bytes``), workers share the
+model's pages instead of copying them, and — because the rebuilt
+containers are value-identical views — campaign fingerprints stay
+bit-identical for any worker count.  Segments are unlinked in a
+``finally`` block, so none outlive the campaign.
+
 The one metric outside the determinism contract is ``algorithm_time`` — it
 is a wall-clock measurement and varies run to run even serially; use
 :func:`repro.sim.metrics.campaign_fingerprint` (which excludes it) to
@@ -39,11 +51,14 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.linalg import shm
 
 from repro.controllers.base import RecoveryController
 from repro.obs.telemetry import (
@@ -311,9 +326,15 @@ def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
 _WORKER_PLAN: CampaignPlan | None = None
 
 
-def _init_worker(plan: CampaignPlan) -> None:
+def _init_worker(payload: bytes) -> None:
+    """Install the worker's plan from the once-pickled campaign payload.
+
+    The payload is produced by :func:`export_plan`; for sparse models,
+    unpickling it attaches the parent's shared-memory segments instead of
+    copying the model buffers.
+    """
     global _WORKER_PLAN
-    _WORKER_PLAN = plan
+    _WORKER_PLAN = pickle.loads(payload)
 
 
 def _worker_chunk(bounds: tuple[int, int]) -> ChunkResult:
@@ -329,6 +350,46 @@ def _pool_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+def _plan_uses_sparse_model(plan: CampaignPlan) -> bool:
+    """True when any model a worker needs stores sparse containers."""
+    models = {id(plan.model): plan.model}
+    models.setdefault(id(plan.controller.model), plan.controller.model)
+    return any(model.pomdp.backend.is_sparse for model in models.values())
+
+
+def export_plan(plan: CampaignPlan) -> tuple[shm.SharedArena | None, bytes]:
+    """Pickle ``plan`` once, moving sparse model buffers into shared memory.
+
+    Returns ``(arena, payload)``.  For sparse models the payload carries
+    shared-memory handles instead of CSR buffers and ``arena`` owns the
+    segments — the caller must :meth:`~repro.linalg.shm.SharedArena.close`
+    it once every worker has shut down.  Dense models pickle as before and
+    ``arena`` is ``None``.
+    """
+    if not _plan_uses_sparse_model(plan):
+        return None, pickle.dumps(plan)
+    arena = shm.SharedArena()
+    try:
+        with shm.exporting(arena):
+            payload = pickle.dumps(plan)
+    except BaseException:
+        arena.close()
+        raise
+    return arena, payload
+
+
+def model_handoff_bytes(plan: CampaignPlan) -> int:
+    """Bytes of the per-worker campaign payload (the pickled plan).
+
+    With the shared-memory handoff this is the size of the *handles*, not
+    of the model — the ``parallel.model_handoff_bytes`` snapshot metric.
+    """
+    arena, payload = export_plan(plan)
+    if arena is not None:
+        arena.close()
+    return len(payload)
 
 
 def execute_plan(
@@ -351,13 +412,21 @@ def execute_plan(
     if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     if workers and workers > 1:
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)),
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=(plan,),
-        ) as pool:
-            results = list(pool.map(_worker_chunk, chunks, chunksize=1))
+        arena, payload = export_plan(plan)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(chunks)),
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(payload,),
+            ) as pool:
+                results = list(pool.map(_worker_chunk, chunks, chunksize=1))
+        finally:
+            # Segments must not outlive the campaign: workers have exited
+            # (the executor context joined them), so unlinking here leaves
+            # no /dev/shm entry behind.
+            if arena is not None:
+                arena.close()
     else:
         results = [run_chunk(plan, start, stop) for start, stop in chunks]
 

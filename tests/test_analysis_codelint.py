@@ -257,3 +257,100 @@ class TestRealTreeIsClean:
         offenders = [d for d in report.findings if d.code.startswith("R9")]
         assert not offenders, "\n".join(d.format() for d in offenders)
         assert report.exit_code == 0
+
+
+class TestR904HotPathRowIteration:
+    HOT = "src/repro/pomdp/tree.py"
+    COLD = "src/repro/sim/engine.py"
+
+    @staticmethod
+    def _codes_at(source, path):
+        return [d.code for d in lint_source(textwrap.dedent(source), path=path)]
+
+    def test_loop_over_matrix_producer_call(self):
+        assert self._codes_at(
+            """
+            import numpy as np
+            for row in np.atleast_2d(beliefs):
+                handle(row)
+            """,
+            self.HOT,
+        ) == ["R904"]
+
+    def test_loop_over_name_assigned_from_matrix_producer(self):
+        assert self._codes_at(
+            """
+            import numpy as np
+            stack = np.vstack([a, b])
+            for row in stack:
+                handle(row)
+            """,
+            self.HOT,
+        ) == ["R904"]
+
+    def test_loop_over_vectors_attribute(self):
+        assert self._codes_at(
+            """
+            for vector in leaf.vectors:
+                total += vector @ belief
+            """,
+            self.HOT,
+        ) == ["R904"]
+
+    def test_comprehension_over_matrix(self):
+        assert self._codes_at(
+            """
+            import numpy as np
+            rows = np.stack(parts)
+            out = [f(r) for r in rows]
+            """,
+            self.HOT,
+        ) == ["R904"]
+
+    def test_bounds_paths_are_hot(self):
+        assert self._codes_at(
+            """
+            for vector in bound.vectors:
+                use(vector)
+            """,
+            "src/repro/bounds/incremental.py",
+        ) == ["R904"]
+
+    def test_non_hot_path_is_clean(self):
+        assert self._codes_at(
+            """
+            import numpy as np
+            for row in np.atleast_2d(beliefs):
+                handle(row)
+            """,
+            self.COLD,
+        ) == []
+
+    def test_default_path_is_not_hot(self):
+        assert _codes(
+            """
+            import numpy as np
+            for row in np.atleast_2d(beliefs):
+                handle(row)
+            """
+        ) == []
+
+    def test_list_iteration_in_hot_path_is_clean(self):
+        assert self._codes_at(
+            """
+            for action in actions:
+                handle(action)
+            """,
+            self.HOT,
+        ) == []
+
+    def test_inline_ignore_silences(self):
+        assert self._codes_at(
+            """
+            import numpy as np
+            stack = np.vstack(parts)
+            for row in stack:  # codelint: ignore[R904]
+                handle(row)
+            """,
+            self.HOT,
+        ) == []

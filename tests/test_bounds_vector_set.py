@@ -45,6 +45,50 @@ class TestEvaluation:
             bound_set.improvement_at(better, np.array([1.0, 0.0])), 1.0
         )
 
+    def test_value_batch_accepts_a_single_one_dimensional_belief(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        batch = bound_set.value_batch(np.array([0.5, 0.5]))
+        assert batch.shape == (1,)
+        assert batch[0] == bound_set.value(np.array([0.5, 0.5]))
+
+    def test_value_batch_empty_belief_stack(self):
+        bound_set = make_set()
+        result = bound_set.value_batch(np.zeros((0, 2)))
+        assert result.shape == (0,)
+        assert np.array_equal(bound_set._usage, np.zeros(1, dtype=np.int64))
+
+    def test_value_batch_rejects_mismatched_belief_width(self):
+        bound_set = make_set()
+        with pytest.raises(ModelError):
+            bound_set.value_batch(np.zeros((2, 3)))
+
+    def test_value_batch_returns_exact_maxima(self):
+        """Returned values are the exact per-column max — bit-identical to
+        value() — with the tie-break applied only to usage accounting."""
+        vectors = np.array([[-1.0, -2.0, 0.0], [0.0, -1.0, -2.0]])
+        bound_set = BoundVectorSet(vectors)
+        rng = np.random.default_rng(0)
+        beliefs = rng.dirichlet(np.ones(3), size=8)
+        batch = bound_set.value_batch(beliefs)
+        np.testing.assert_array_equal(batch, (vectors @ beliefs.T).max(axis=0))
+
+    def test_value_batch_credits_usage_to_winning_vectors(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        bound_set.value_batch(np.array([[0.9, 0.1], [0.8, 0.2], [0.1, 0.9]]))
+        # Vector 1 wins the two fault-heavy columns, vector 0 the last.
+        assert bound_set._usage.tolist() == [1, 2]
+
+    def test_value_batch_tied_columns_credit_the_lowest_index(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, -1.0], [-1.0, -1.0]]))
+        bound_set.value_batch(np.array([[0.5, 0.5]]))
+        assert bound_set._usage.tolist() == [1, 0]
+
+    def test_record_wins_accumulates(self):
+        bound_set = BoundVectorSet(np.array([[-1.0, 0.0], [0.0, -1.0]]))
+        bound_set.record_wins(np.array([0, 1, 1]))
+        bound_set.record_wins(np.array([], dtype=np.int64))
+        assert bound_set._usage.tolist() == [1, 2]
+
 
 class TestAdd:
     def test_useful_vector_added(self):

@@ -167,3 +167,133 @@ def test_total_probability_of_posteriors(case):
         assert np.allclose(
             reconstruction, predicted_belief(pomdp, belief, action), atol=1e-9
         )
+
+
+class TestUpdateBeliefBatch:
+    """Vectorised Eq. 4 against the scalar path, sentinel handling included."""
+
+    @staticmethod
+    def _sparse_pomdp():
+        from repro.systems.tiered import build_tiered_system
+
+        return build_tiered_system(
+            replicas=(2, 2, 2), backend="sparse"
+        ).model.pomdp
+
+    def test_selected_form_matches_scalar_updates_sparse(self):
+        from repro.pomdp.belief import update_belief_batch
+
+        pomdp = self._sparse_pomdp()
+        rng = np.random.default_rng(23)
+        beliefs = rng.dirichlet(np.ones(pomdp.n_states), size=6)
+        for action in range(pomdp.n_actions):
+            gamma_all, posteriors_all = update_belief_batch(
+                pomdp, beliefs, action
+            )
+            for i, belief in enumerate(beliefs):
+                gamma_ref = observation_probabilities(pomdp, belief, action)
+                np.testing.assert_allclose(
+                    gamma_all[i], gamma_ref, atol=1e-13
+                )
+                for obs in np.flatnonzero(gamma_ref > 1e-9):
+                    np.testing.assert_allclose(
+                        posteriors_all[i, int(obs)],
+                        update_belief(pomdp, belief, action, int(obs)),
+                        atol=1e-13,
+                    )
+
+    def test_scalar_observation_broadcasts(self):
+        from repro.pomdp.belief import update_belief_batch
+
+        pomdp = tiny_pomdp()
+        beliefs = np.array([[0.5, 0.5], [0.3, 0.7]])
+        gamma, posteriors = update_belief_batch(
+            pomdp, beliefs, action=1, observations=0
+        )
+        assert gamma.shape == (2,)
+        assert posteriors.shape == (2, 2)
+        for i, belief in enumerate(beliefs):
+            np.testing.assert_allclose(
+                posteriors[i], update_belief(pomdp, belief, 1, 0), atol=1e-13
+            )
+
+    def test_no_observation_sentinel_rejected(self):
+        from repro.pomdp.belief import update_belief_batch
+        from repro.sim.environment import NO_OBSERVATION
+
+        pomdp = tiny_pomdp()
+        beliefs = np.array([[0.5, 0.5], [0.3, 0.7]])
+        with pytest.raises(BeliefError, match="NO_OBSERVATION"):
+            update_belief_batch(
+                pomdp, beliefs, action=1, observations=np.array([0, NO_OBSERVATION])
+            )
+
+    def test_out_of_range_observation_rejected(self):
+        from repro.pomdp.belief import update_belief_batch
+
+        pomdp = tiny_pomdp()
+        with pytest.raises(BeliefError, match="out of range"):
+            update_belief_batch(
+                pomdp,
+                np.array([[0.5, 0.5]]),
+                action=1,
+                observations=np.array([pomdp.n_observations]),
+            )
+
+    def test_observation_count_must_match_batch(self):
+        from repro.pomdp.belief import update_belief_batch
+
+        pomdp = tiny_pomdp()
+        with pytest.raises(BeliefError, match="one observation per belief"):
+            update_belief_batch(
+                pomdp,
+                np.array([[0.5, 0.5], [0.3, 0.7]]),
+                action=1,
+                observations=np.array([0, 1, 0]),
+            )
+
+    def test_zero_probability_selection_raises_like_scalar_path(self):
+        from repro.pomdp.belief import update_belief_batch
+        from repro.pomdp.model import POMDP
+
+        deterministic = tiny_pomdp()
+        observations = deterministic.observations.copy()
+        observations[0] = np.array([[1.0, 0.0], [0.0, 1.0]])
+        model = POMDP(
+            transitions=deterministic.transitions,
+            observations=observations,
+            rewards=deterministic.rewards,
+        )
+        with pytest.raises(BeliefError, match="probability ~0"):
+            update_belief_batch(
+                pomdp=model,
+                beliefs=np.array([[1.0, 0.0]]),
+                action=0,
+                observations=np.array([0]),
+            )
+
+
+@given(pomdp_and_belief())
+@settings(max_examples=40, deadline=None)
+def test_update_belief_batch_matches_scalar_loop(case):
+    """Property: the batched Eq. 4 agrees with the looped scalar update on
+    every reachable branch and zeroes the unreachable ones."""
+    from repro.pomdp.belief import update_belief_batch
+
+    pomdp, belief = case
+    beliefs = np.vstack([belief, uniform_belief(pomdp)])
+    for action in range(pomdp.n_actions):
+        gamma, posteriors = update_belief_batch(pomdp, beliefs, action)
+        for i in range(beliefs.shape[0]):
+            np.testing.assert_allclose(
+                gamma[i],
+                observation_probabilities(pomdp, beliefs[i], action),
+                atol=1e-12,
+            )
+            for obs in range(pomdp.n_observations):
+                if gamma[i, obs] > 1e-9:
+                    np.testing.assert_allclose(
+                        posteriors[i, obs],
+                        update_belief(pomdp, beliefs[i], action, obs),
+                        atol=1e-12,
+                    )

@@ -115,3 +115,53 @@ class TestRegistry:
         del pomdp
         gc.collect()
         assert key not in cache_module._CACHES
+
+
+class TestChargeBlock:
+    def test_block_within_budget_is_accepted(self):
+        from repro.pomdp.cache import charge_block
+
+        assert charge_block(1024, n_states=10)
+
+    def test_block_over_budget_is_declined(self):
+        from repro.pomdp.cache import charge_block
+
+        assert not charge_block(MAX_CACHE_BYTES + 1, n_states=10)
+
+    def test_explicit_budget_overrides_default(self):
+        from repro.pomdp.cache import charge_block
+
+        assert not charge_block(100, n_states=4, max_bytes=50)
+        assert charge_block(100, n_states=4, max_bytes=200)
+
+    def test_env_budget_applies(self, monkeypatch):
+        from repro.pomdp.cache import charge_block
+
+        monkeypatch.setenv(MAX_CACHE_BYTES_ENV, "0")
+        assert not charge_block(1, n_states=2)
+
+    def test_decline_emits_counter_and_event(self):
+        from repro.obs import session
+        from repro.pomdp.cache import charge_block
+
+        with session() as telemetry:
+            charge_block(10, n_states=7, kind="tree.depth1_block", max_bytes=5)
+        assert telemetry.process_counters["cache.declines"] == 1
+        declines = [
+            r
+            for r in telemetry.snapshot().events
+            if r["event"] == "cache_decline"
+        ]
+        assert len(declines) == 1
+        assert declines[0]["n_states"] == 7
+        assert declines[0]["required_bytes"] == 10
+        assert declines[0]["limit_bytes"] == 5
+        assert declines[0]["kind"] == "tree.depth1_block"
+
+    def test_accept_is_silent(self):
+        from repro.obs import session
+        from repro.pomdp.cache import charge_block
+
+        with session() as telemetry:
+            charge_block(10, n_states=3, max_bytes=100)
+        assert "cache.declines" not in telemetry.process_counters

@@ -131,3 +131,127 @@ class TestMonotonicityInLeaf:
         v_low = expand_tree(pomdp, belief, depth=2, leaf=low).value
         v_high = expand_tree(pomdp, belief, depth=2, leaf=high).value
         assert v_high >= v_low - 1e-9
+
+
+class TestFusedSparseKernels:
+    """The batched and looped fused depth-1 kernels agree with each other
+    and with the generic expansion, branch bookkeeping included."""
+
+    @staticmethod
+    def _setup(seed=3, n_vectors=4):
+        from repro.bounds.ra_bound import ra_bound_vector
+        from repro.systems.tiered import build_tiered_system
+
+        system = build_tiered_system(replicas=(2, 2, 2), backend="sparse")
+        pomdp = system.model.pomdp
+        rng = np.random.default_rng(seed)
+        seed_vector = ra_bound_vector(pomdp)
+        stack = [seed_vector]
+        for _ in range(n_vectors - 1):
+            stack.append(seed_vector - rng.uniform(0.0, 2.0, pomdp.n_states))
+        belief = rng.dirichlet(np.ones(pomdp.n_states))
+        return pomdp, belief, np.array(stack)
+
+    @staticmethod
+    def _leaf(stack):
+        from repro.bounds.vector_set import BoundVectorSet
+
+        return BoundVectorSet(stack)
+
+    def test_batched_matches_looped_kernel(self):
+        from repro.pomdp.tree import (
+            _expand_depth1_sparse_batched,
+            _expand_depth1_sparse_looped,
+        )
+
+        pomdp, belief, stack = self._setup()
+        vectors = np.atleast_2d(stack)
+        batched_leaf, looped_leaf = self._leaf(stack), self._leaf(stack)
+        batched = _expand_depth1_sparse_batched(
+            pomdp, belief, vectors, batched_leaf, None
+        )
+        looped = _expand_depth1_sparse_looped(
+            pomdp, belief, vectors, looped_leaf, None
+        )
+        assert batched.action == looped.action
+        np.testing.assert_allclose(
+            batched.action_values, looped.action_values, atol=1e-12
+        )
+        assert batched.leaf_evaluations == looped.leaf_evaluations
+        assert batched.nodes == looped.nodes == 1
+        np.testing.assert_array_equal(
+            batched_leaf._usage, looped_leaf._usage
+        )
+
+    def test_kernels_match_generic_expansion(self):
+        from repro.pomdp.tree import (
+            _expand_depth1_batched,
+            _expand_depth1_sparse_batched,
+        )
+
+        pomdp, belief, stack = self._setup(seed=11)
+        vectors = np.atleast_2d(stack)
+        fused = _expand_depth1_sparse_batched(
+            pomdp, belief, vectors, self._leaf(stack), None
+        )
+        generic = _expand_depth1_batched(
+            pomdp, belief, self._leaf(stack), None, cache=None
+        )
+        assert fused.action == generic.action
+        np.testing.assert_allclose(
+            fused.action_values, generic.action_values, atol=1e-10
+        )
+        assert fused.leaf_evaluations == generic.leaf_evaluations
+
+    def test_action_mask_respected_by_both_kernels(self):
+        from repro.pomdp.tree import (
+            _expand_depth1_sparse_batched,
+            _expand_depth1_sparse_looped,
+        )
+
+        pomdp, belief, stack = self._setup(seed=7)
+        vectors = np.atleast_2d(stack)
+        mask = np.ones(pomdp.n_actions, dtype=bool)
+        mask[::2] = False
+        batched = _expand_depth1_sparse_batched(
+            pomdp, belief, vectors, self._leaf(stack), mask
+        )
+        looped = _expand_depth1_sparse_looped(
+            pomdp, belief, vectors, self._leaf(stack), mask
+        )
+        assert np.all(np.isneginf(batched.action_values[~mask]))
+        np.testing.assert_allclose(
+            batched.action_values, looped.action_values, atol=1e-12
+        )
+        assert mask[batched.action]
+        assert batched.leaf_evaluations == looped.leaf_evaluations
+
+    def test_cache_budget_decline_falls_back_to_looped(self, monkeypatch):
+        """REPRO_MAX_CACHE_BYTES=0 declines both the joint cache and the
+        batched block; expand_tree then runs the fused looped kernel and
+        still agrees with the unconstrained decision."""
+        from repro.pomdp.cache import MAX_CACHE_BYTES_ENV, clear_caches
+        from repro.obs.telemetry import session
+
+        pomdp, belief, stack = self._setup(seed=19)
+        clear_caches()
+        free = expand_tree(pomdp, belief, depth=1, leaf=self._leaf(stack))
+        monkeypatch.setenv(MAX_CACHE_BYTES_ENV, "0")
+        clear_caches()
+        with session() as telemetry:
+            constrained = expand_tree(
+                pomdp, belief, depth=1, leaf=self._leaf(stack)
+            )
+        assert constrained.action == free.action
+        np.testing.assert_allclose(
+            constrained.action_values, free.action_values, atol=1e-10
+        )
+        counters = dict(telemetry.process_counters)
+        assert counters.get("cache.declines", 0) >= 1
+        events = [
+            r
+            for r in telemetry.snapshot().events
+            if r["event"] == "cache_decline"
+        ]
+        assert any(r.get("kind") == "tree.depth1_block" for r in events)
+        clear_caches()

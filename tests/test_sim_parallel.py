@@ -246,3 +246,39 @@ class TestMergeSemantics:
         base = BoundVectorSet(np.array([0.0, 0.0]))
         with pytest.raises(ModelError):
             base.merge(np.array([[1.0, 2.0, 3.0]]))
+
+
+class TestSharedMemoryHandoff:
+    """The shm model handoff: bit-identical fingerprints, no leaks."""
+
+    @staticmethod
+    def _sparse_fingerprint(parallel):
+        from repro.systems.tiered import build_tiered_system
+
+        system = build_tiered_system(replicas=(2, 2, 2), backend="sparse")
+        controller = BoundedController(system.model, depth=1)
+        result = run_campaign(
+            controller,
+            fault_states=system.zombie_states()[:2],
+            injections=INJECTIONS,
+            seed=SEED,
+            parallel=parallel,
+        )
+        return campaign_fingerprint(result.episodes)
+
+    def test_serial_and_four_workers_bit_identical(self):
+        """The acceptance criterion: the sparse model travels to workers
+        through shared memory and the campaign fingerprint is unchanged
+        for any worker count."""
+        from repro.linalg import shm
+
+        serial = self._sparse_fingerprint(None)
+        assert self._sparse_fingerprint(4) == serial
+        assert self._sparse_fingerprint(2) == serial
+        assert shm.leaked_segments() == []
+
+    def test_no_segments_leak_when_a_worker_count_is_one(self):
+        from repro.linalg import shm
+
+        self._sparse_fingerprint(1)  # in-process path: no export at all
+        assert shm.leaked_segments() == []
