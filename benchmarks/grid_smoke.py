@@ -1,0 +1,190 @@
+"""Grid-resume smoke: SIGINT a sweep mid-cell, resume, verify no drift.
+
+The CI guard for the resumable-checkpoint contract of
+:mod:`repro.experiments.grid`:
+
+1. run a reference sweep to completion in one process;
+2. start the *same* sweep against a fresh store in a subprocess, watch its
+   ``cells.jsonl`` and deliver ``SIGINT`` as soon as the first record
+   lands (so at least one cell is checkpointed and at least one is not);
+3. re-invoke the sweep on the interrupted store and let it finish;
+4. fail if the resumed store's per-cell fingerprints (or the grid
+   fingerprint over them) differ from the uninterrupted reference, if the
+   resume re-ran a checkpointed cell, or if any ``*.tmp`` file survived
+   anywhere in the store tree.
+
+Usage::
+
+    python -m benchmarks.grid_smoke [--injections N] [--keep DIR]
+
+Exit codes: 0 — contract holds; 1 — drift, re-run, or leftover temp
+files; 2 — harness failure (subprocess died for another reason).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.grid import GridSpec, run_grid
+from repro.experiments.store import ResultsStore
+from repro.io import TEMP_SUFFIX
+
+#: The smoke sweep: two campaign cells and two bootstrap cells — small
+#: enough for CI, with the heuristic cell slow enough (depth-1 lookahead,
+#: every episode) that SIGINT lands mid-sweep reliably.
+def smoke_spec(injections: int) -> GridSpec:
+    return GridSpec(
+        experiments=("table1", "fig5"),
+        controllers=("most likely", "heuristic (depth 1)"),
+        seeds=(2006,),
+        backends=("dense",),
+        injections=injections,
+        iterations=4,
+    )
+
+
+def _grid_argv(store: Path, injections: int) -> list[str]:
+    return [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "grid",
+        str(store),
+        "--experiments",
+        "table1",
+        "fig5",
+        "--controllers",
+        "most likely",
+        "heuristic (depth 1)",
+        "--seeds",
+        "2006",
+        "--injections",
+        str(injections),
+        "--iterations",
+        "4",
+    ]
+
+
+def _interrupt_after_first_record(store: Path, injections: int) -> int:
+    """Run the sweep in a subprocess; SIGINT it once one cell is stored.
+
+    Returns the number of records checkpointed before the interrupt.
+    """
+    process = subprocess.Popen(
+        _grid_argv(store, injections),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    records = ResultsStore(store)
+    deadline = time.monotonic() + 300.0  # codelint: ignore[R903] -- harness timeout, not simulated time
+    try:
+        while time.monotonic() < deadline:  # codelint: ignore[R903] -- harness timeout
+            if process.poll() is not None:
+                # Finished before we could interrupt: the sweep is too
+                # fast for this machine; treat as harness failure so CI
+                # flags it rather than silently passing.
+                print(
+                    "grid_smoke: sweep finished before SIGINT "
+                    f"(rc={process.returncode}); raise --injections"
+                )
+                raise SystemExit(2)
+            if len(records.records()) >= 1:
+                process.send_signal(signal.SIGINT)
+                break
+            time.sleep(0.05)
+        else:
+            raise SystemExit(2)
+        process.wait(timeout=120)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+    return len(records.records())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--injections",
+        type=int,
+        default=int(os.environ.get("REPRO_GRID_SMOKE_INJECTIONS", "300")),
+        help="campaign injections per table1 cell (default 300, which "
+        "keeps the second cell busy for ~1s; raise if the sweep outruns "
+        "the SIGINT)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run inside DIR and keep it (default: fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as scratch:
+        workdir = args.keep or Path(scratch)
+        workdir.mkdir(parents=True, exist_ok=True)
+
+        spec = smoke_spec(args.injections)
+        reference = run_grid(spec, workdir / "reference")
+        print(
+            f"reference sweep: {reference.ran} cells, "
+            f"grid fingerprint {reference.fingerprint[:16]}..."
+        )
+
+        resumed_store = workdir / "resumed"
+        checkpointed = _interrupt_after_first_record(
+            resumed_store, args.injections
+        )
+        print(f"interrupted with {checkpointed} cell(s) checkpointed")
+        if checkpointed >= reference.total:
+            failures.append(
+                "SIGINT landed after every cell completed; nothing resumed"
+            )
+
+        resumed = run_grid(spec, resumed_store)
+        print(
+            f"resume: {resumed.ran} run, {resumed.skipped} skipped, "
+            f"grid fingerprint {resumed.fingerprint[:16]}..."
+        )
+
+        if resumed.skipped != checkpointed:
+            failures.append(
+                f"resume skipped {resumed.skipped} cells but "
+                f"{checkpointed} were checkpointed"
+            )
+        if resumed.fingerprint != reference.fingerprint:
+            failures.append(
+                "grid fingerprint drift: "
+                f"{resumed.fingerprint} != {reference.fingerprint}"
+            )
+        for fresh, clean in zip(resumed.records, reference.records):
+            if fresh["fingerprint"] != clean["fingerprint"]:
+                failures.append(
+                    f"cell {fresh['cell_id']} fingerprint drift after resume"
+                )
+        leftovers = sorted(
+            str(p) for p in workdir.rglob(f"*{TEMP_SUFFIX}")
+        )
+        if leftovers:
+            failures.append(f"leftover temp files: {leftovers}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("grid-resume contract holds: checkpointed cells skipped, "
+          "fingerprints bit-identical, no temp files left")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -253,11 +253,17 @@ class ModelView:
     def from_npz(cls, path) -> "ModelView":
         """Load a :mod:`repro.io` archive *without* model validation.
 
-        Accepts both ``pomdp`` and ``recovery-model`` archives; unlike
+        Accepts both ``pomdp`` and ``recovery-model`` archives — v1 dense
+        and v2 backend-native (sparse archives analyze on their CSR
+        containers, never densified); unlike
         :func:`repro.io.load_recovery_model`, a structurally broken model
         still yields a view (and hence a full diagnostic report) instead of
         an exception naming only the first problem.
         """
+        # Lazy: repro.io imports the recovery layer, which preflights
+        # through this package — a module-level import would cycle.
+        from repro.io import _unpack_model_tensors
+
         with np.load(path, allow_pickle=False) as archive:
             kind = str(archive.get("kind", ""))
             if kind not in ("pomdp", "recovery-model"):
@@ -265,10 +271,13 @@ class ModelView:
                     f"{path} holds a {kind or 'unknown'} archive; expected a "
                     "pomdp or recovery-model archive"
                 )
+            transitions, observations, rewards = _unpack_model_tensors(
+                archive
+            )
             common = dict(
-                transitions=archive["transitions"],
-                rewards=archive["rewards"],
-                observations=archive["observations"],
+                transitions=transitions,
+                rewards=rewards,
+                observations=observations,
                 state_labels=tuple(str(s) for s in archive["state_labels"]),
                 action_labels=tuple(str(a) for a in archive["action_labels"]),
                 observation_labels=tuple(

@@ -12,6 +12,9 @@ per-experiment index):
   Section 3.1 (RA vs BI-POMDP vs blind-policy convergence), plus sweeps the
   paper motivates: operator response time, lookahead depth, monitor
   quality, and bound-computation cost.
+* :mod:`repro.experiments.grid` — the resumable, checkpointed sweep
+  runner: experiments × controllers × seeds × backends as fingerprinted
+  cells, persisted to an append-only :mod:`repro.experiments.store`.
 
 Run them from the command line::
 
@@ -19,9 +22,22 @@ Run them from the command line::
     python -m repro.experiments fig5a
     python -m repro.experiments fig5b
     python -m repro.experiments ablations
+    python -m repro.experiments grid results/ --experiments table1 fig5
 """
 
 from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.grid import GridCell, GridResult, GridSpec, run_grid
+from repro.experiments.store import ResultsStore
 from repro.experiments.table1 import Table1Result, run_table1
 
-__all__ = ["Fig5Result", "Table1Result", "run_fig5", "run_table1"]
+__all__ = [
+    "Fig5Result",
+    "GridCell",
+    "GridResult",
+    "GridSpec",
+    "ResultsStore",
+    "Table1Result",
+    "run_fig5",
+    "run_grid",
+    "run_table1",
+]

@@ -32,6 +32,7 @@ import cProfile
 import pstats
 
 from repro.experiments import ablations as ablations_module
+from repro.experiments import grid as grid_defaults
 from repro.experiments.fig5 import format_fig5a, format_fig5b, run_fig5, shape_checks
 from repro.experiments.table1 import (
     DEFAULT_CONTROLLERS,
@@ -77,6 +78,42 @@ def _cmd_table1(args) -> None:
 def _cmd_bounds(args) -> None:
     outcomes = ablations_module.bounds_comparison()
     print(ablations_module.format_bounds_comparison(outcomes))
+
+
+def _cmd_grid(args) -> None:
+    from repro.experiments.grid import GridSpec, format_grid, run_grid
+
+    spec = GridSpec(
+        experiments=tuple(args.experiments),
+        controllers=tuple(args.controllers),
+        seeds=tuple(args.seeds),
+        backends=tuple(args.backends),
+        injections=args.injections,
+        iterations=args.iterations,
+    )
+
+    def on_cell(kind, cell, record) -> None:
+        if kind == "skip":
+            print(f"[checkpoint] {cell.cell_id}")
+        else:
+            print(
+                f"[run]        {cell.cell_id}  "
+                f"fingerprint {record['fingerprint'][:12]}  "
+                f"({record['wall_seconds']:.2f}s)"
+            )
+
+    try:
+        result = run_grid(
+            spec, args.store, parallel=args.parallel, on_cell=on_cell
+        )
+    except KeyboardInterrupt:
+        print(
+            "\ninterrupted — completed cells are checkpointed; re-run the "
+            "same command to resume"
+        )
+        raise SystemExit(130) from None
+    print()
+    print(format_grid(result))
 
 
 def _cmd_robustness(args) -> None:
@@ -234,6 +271,59 @@ def main(argv: list[str] | None = None) -> None:
     add_seed(robustness)
     add_parallel(robustness)
 
+    grid = subparsers.add_parser(
+        "grid",
+        help="resumable checkpointed sweep: experiments x controllers x "
+        "seeds x backends (interrupt freely; re-run to resume)",
+    )
+    grid.add_argument(
+        "store",
+        help="results-store directory (created if missing; the checkpoint)",
+    )
+    grid.add_argument(
+        "--experiments",
+        nargs="+",
+        default=["table1"],
+        choices=["table1", "fig5", "robustness"],
+        help="experiments to sweep (default: table1)",
+    )
+    grid.add_argument(
+        "--controllers",
+        nargs="+",
+        default=list(grid_defaults.DEFAULT_CONTROLLERS),
+        metavar="NAME",
+        help="Table 1 controller rows for table1 cells",
+    )
+    grid.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[2006],
+        metavar="SEED",
+        help="campaign seeds (one cell per seed)",
+    )
+    grid.add_argument(
+        "--backends",
+        nargs="+",
+        default=["dense"],
+        choices=["dense", "sparse"],
+        help="model backends (one cell per backend; dense-only "
+        "controllers skip their sparse cells)",
+    )
+    grid.add_argument(
+        "--injections",
+        type=int,
+        default=200,
+        help="injections per campaign cell (table1/robustness)",
+    )
+    grid.add_argument(
+        "--iterations",
+        type=int,
+        default=10,
+        help="bootstrap iterations per fig5 cell",
+    )
+    add_parallel(grid)
+
     args = parser.parse_args(argv)
     commands = {
         "fig5a": lambda: _cmd_fig5(args, "a"),
@@ -243,6 +333,7 @@ def main(argv: list[str] | None = None) -> None:
         "ablations": lambda: _cmd_ablations(args),
         "scalability": lambda: _cmd_scalability(args),
         "robustness": lambda: _cmd_robustness(args),
+        "grid": lambda: _cmd_grid(args),
     }
     command = commands[args.command]
     telemetry = None

@@ -1,0 +1,152 @@
+"""Append-only results store for checkpointed experiment grids.
+
+A store is a directory with one append-only JSONL file of cell records
+(``cells.jsonl``) plus an ``artifacts/`` subdirectory of ``.npz`` archives
+(refined bound sets, saved through :mod:`repro.io`'s atomic writer).  The
+JSONL file *is* the checkpoint: every completed grid cell appends exactly
+one record, flushed and fsynced, so a sweep killed at any point leaves at
+worst one torn final line — which :meth:`ResultsStore.records` tolerates
+(the interrupted cell simply re-runs on resume).
+
+Records are schema-tagged ``repro-grid/v1``::
+
+    {
+      "schema": "repro-grid/v1",
+      "cell_id": "table1/bounded_depth_1/seed2006/dense/n200",
+      "cell": {"experiment": ..., "variant": ..., "seed": ...,
+               "backend": ..., "injections": ...},
+      "fingerprint": "<sha256>",          # deterministic cell fingerprint
+      "metrics": {"cost": ..., ...},      # deterministic metrics only
+      "wall_seconds": ...,                # informational, never fingerprinted
+      "artifact": "artifacts/....npz"     # or null
+    }
+
+The store is deliberately append-only: re-running a cell appends a fresh
+record and :meth:`completed` resolves duplicates last-wins, so the history
+of a sweep (including re-runs after code changes) stays queryable —
+``python -m repro.obs bench store DIR`` renders it as a trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.io import TEMP_SUFFIX
+
+#: Schema tag every cell record carries.
+GRID_SCHEMA = "repro-grid/v1"
+
+#: Name of the append-only record file inside a store directory.
+RECORDS_NAME = "cells.jsonl"
+
+#: Subdirectory holding per-cell ``.npz`` artifacts.
+ARTIFACTS_NAME = "artifacts"
+
+
+def _artifact_slug(cell_id: str) -> str:
+    """A filesystem-safe artifact stem for ``cell_id``."""
+    return "".join(
+        ch if (ch.isalnum() or ch in "._-") else "__" for ch in cell_id
+    )
+
+
+class ResultsStore:
+    """Append-only, crash-tolerant store of grid-cell results.
+
+    Creating the store object creates the directory layout; it never
+    deletes or rewrites records.  All writes go through :meth:`append`
+    (one fsynced JSONL line per completed cell) or through the atomic
+    archive writer of :mod:`repro.io` (artifacts).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(os.fspath(root))
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.artifacts_dir.mkdir(exist_ok=True)
+
+    @property
+    def records_path(self) -> Path:
+        """Path of the append-only JSONL record file."""
+        return self.root / RECORDS_NAME
+
+    @property
+    def artifacts_dir(self) -> Path:
+        """Directory holding per-cell ``.npz`` artifacts."""
+        return self.root / ARTIFACTS_NAME
+
+    def artifact_path(self, cell_id: str) -> Path:
+        """Where the ``.npz`` artifact of ``cell_id`` lives."""
+        return self.artifacts_dir / (_artifact_slug(cell_id) + ".npz")
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Append one cell record, flushed and fsynced before returning.
+
+        The line only becomes part of the store once fully written; a
+        crash mid-append leaves a torn final line that :meth:`records`
+        skips, never a corrupted earlier record.
+        """
+        line = json.dumps(record, sort_keys=True)
+        with open(self.records_path, "a", encoding="utf-8") as stream:
+            stream.write(line + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    def records(self) -> list[dict[str, Any]]:
+        """Every parseable cell record, in append order.
+
+        Torn or foreign lines (the tail a killed writer left behind) are
+        skipped, not fatal; :attr:`skipped_lines` after a call reports how
+        many were dropped.
+        """
+        self.skipped_lines = 0
+        records: list[dict[str, Any]] = []
+        if not self.records_path.exists():
+            return records
+        with open(self.records_path, encoding="utf-8") as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped_lines += 1
+                    continue
+                if (
+                    not isinstance(record, dict)
+                    or record.get("schema") != GRID_SCHEMA
+                    or "cell_id" not in record
+                    or "fingerprint" not in record
+                ):
+                    self.skipped_lines += 1
+                    continue
+                records.append(record)
+        return records
+
+    def completed(self) -> dict[str, dict[str, Any]]:
+        """Latest record per ``cell_id`` (duplicates resolve last-wins)."""
+        latest: dict[str, dict[str, Any]] = {}
+        for record in self.records():
+            latest[str(record["cell_id"])] = record
+        return latest
+
+    def sweep_temp(self) -> list[Path]:
+        """Remove in-flight temp files a hard-killed writer left behind.
+
+        Atomic archive writes (:mod:`repro.io`) clean their temp file on
+        any Python-level failure, but a SIGKILL mid-write can orphan one;
+        resuming a sweep calls this first so the acceptance invariant
+        "no leftover temp files" holds for the store directory tree.
+        """
+        removed = []
+        for directory in (self.root, self.artifacts_dir):
+            for temp in sorted(directory.glob(f"*{TEMP_SUFFIX}")):
+                temp.unlink(missing_ok=True)
+                removed.append(temp)
+        return removed
+
+
+__all__ = ["ARTIFACTS_NAME", "GRID_SCHEMA", "RECORDS_NAME", "ResultsStore"]

@@ -23,6 +23,7 @@ from repro.controllers.bounded import BoundedController
 from repro.controllers.heuristic import HeuristicController
 from repro.controllers.most_likely import MostLikelyController
 from repro.controllers.oracle import OracleController
+from repro.recovery.model import RecoveryModel
 from repro.sim.campaign import CampaignResult, run_campaign
 from repro.systems.emn import MONITOR_DURATION, EMNSystem, build_emn_system
 from repro.systems.faults import FaultKind
@@ -75,13 +76,18 @@ def make_controller(
     name: str,
     system: EMNSystem,
     termination_probability: float = 0.9999,
+    model: RecoveryModel | None = None,
 ) -> RecoveryController:
     """Instantiate a Table 1 controller by row name.
 
     The bounded controller is bootstrapped with the paper's configuration
-    (10 simulated runs at depth 2) before being returned.
+    (10 simulated runs at depth 2) before being returned.  ``model``
+    overrides the system's model (the grid runner passes backend-converted
+    copies); by construction the conversion is lossless, so the controller
+    behaves identically on either.
     """
-    model = system.model
+    if model is None:
+        model = system.model
     if name == "most likely":
         return MostLikelyController(
             model, termination_probability=termination_probability

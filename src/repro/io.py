@@ -1,4 +1,4 @@
-"""Serialization for models and bound sets.
+"""Crash-safe serialization for models and bound sets.
 
 Section 4.3 positions the RA-Bound computation and much of the refinement
 as *off-line* work; a production controller therefore needs to persist what
@@ -6,19 +6,60 @@ it computed — the model it was built for and the bound hyperplanes it has
 accumulated — and reload them at startup.  Everything serialises to a
 single ``.npz`` archive (arrays) with labels stored as fixed-width unicode
 arrays, so an archive is self-contained and loadable without pickle.
+
+**Format v2** stores sparse-backend models natively: the CSR component
+arrays (``data`` / ``indices`` / ``indptr`` / ``shape``) of
+:class:`~repro.linalg.containers.SparseTransitions` /
+:class:`~repro.linalg.containers.SparseObservations` and the rank-one
+components of :class:`~repro.linalg.containers.StructuredRewards` are
+written as first-class archive entries, so a 300k-state model round-trips
+bit-for-bit without ever densifying.  v1 archives (dense tensors only)
+remain readable.
+
+**Crash safety**: every save writes to a sibling temporary file and
+``os.replace``-s it into place, so an interrupted write can never corrupt
+a previously saved archive — the worst case is a leftover ``*.tmp`` file,
+which interrupted saves clean up on any Python-level failure and which
+:meth:`repro.experiments.store.ResultsStore.sweep_temp` removes after a
+hard kill.
+
+**Path normalization**: ``numpy.savez_compressed`` silently appends
+``.npz`` to suffixless paths; the loaders here apply the same
+normalization, so ``save_*(path)`` followed by ``load_*(path)`` round-trips
+for any spelling of ``path``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
 import numpy as np
+import scipy.sparse as sp
 
 from repro.bounds.vector_set import BoundVectorSet
 from repro.exceptions import ModelError
+from repro.linalg.containers import (
+    SparseObservations,
+    SparseTransitions,
+    StructuredRewards,
+)
 from repro.pomdp.model import POMDP
 from repro.recovery.model import RecoveryModel
 
-#: Archive format version; bumped on layout changes.
-FORMAT_VERSION = 1
+#: Archive format version; bumped on layout changes.  v2 adds native CSR
+#: storage for sparse-backend models and is what every save produces.
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_pomdp` / :func:`load_recovery_model` /
+#: :func:`load_bound_set` accept.  v1 archives are dense-only and keep the
+#: exact key layout this module wrote before v2.
+READABLE_VERSIONS = (1, 2)
+
+#: Suffix of in-flight temporary files (see :func:`_atomic_savez`).
+TEMP_SUFFIX = ".tmp"
 
 
 def _labels_array(labels: tuple[str, ...]) -> np.ndarray:
@@ -29,19 +70,165 @@ def _labels_tuple(array: np.ndarray) -> tuple[str, ...]:
     return tuple(str(label) for label in array)
 
 
+def archive_path(path) -> Path:
+    """``path`` with the ``.npz`` suffix ``numpy.savez`` would give it.
+
+    Both the save and the load side normalise through this helper, fixing
+    the historical asymmetry where ``save_pomdp("foo")`` silently wrote
+    ``foo.npz`` but ``load_pomdp("foo")`` raised ``FileNotFoundError``.
+    """
+    path = Path(os.fspath(path))
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _atomic_savez(path, **arrays) -> Path:
+    """``np.savez_compressed`` into ``path`` via a sibling temp file.
+
+    The archive is fully written and fsynced under a temporary name in the
+    target directory, then atomically renamed over ``path`` with
+    ``os.replace``.  A crash mid-write therefore leaves any previous
+    archive at ``path`` untouched; a Python-level interruption (including
+    ``KeyboardInterrupt``) additionally removes the temp file.
+    """
+    target = archive_path(path)
+    fd, temp_name = tempfile.mkstemp(
+        dir=target.parent or Path("."),
+        prefix=target.name + ".",
+        suffix=TEMP_SUFFIX,
+    )
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            np.savez_compressed(stream, **arrays)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.remove(temp_name)
+        raise
+    return target
+
+
+def _pack_csr(prefix: str, matrix: sp.csr_matrix) -> dict[str, np.ndarray]:
+    """The CSR component arrays of ``matrix`` under dotted ``prefix`` keys."""
+    return {
+        f"{prefix}.data": matrix.data,
+        f"{prefix}.indices": matrix.indices,
+        f"{prefix}.indptr": matrix.indptr,
+        f"{prefix}.shape": np.asarray(matrix.shape, dtype=np.int64),
+    }
+
+
+def _unpack_csr(archive, prefix: str) -> sp.csr_matrix:
+    """Rebuild a CSR matrix from its packed component arrays.
+
+    The components were written from a canonical matrix (sorted indices,
+    no duplicates), so the rebuilt matrix is bit-identical to the saved
+    one — container ``__post_init__`` re-canonicalisation is a no-op.
+    """
+    return sp.csr_matrix(
+        (
+            archive[f"{prefix}.data"],
+            archive[f"{prefix}.indices"],
+            archive[f"{prefix}.indptr"],
+        ),
+        shape=tuple(int(n) for n in archive[f"{prefix}.shape"]),
+    )
+
+
+def _pack_model_tensors(pomdp: POMDP) -> dict[str, np.ndarray]:
+    """Backend-native archive entries for a POMDP's three tensors."""
+    if not pomdp.backend.is_sparse:
+        return {
+            "backend": np.array("dense"),
+            "transitions": np.asarray(pomdp.transitions),
+            "observations": np.asarray(pomdp.observations),
+            "rewards": np.asarray(pomdp.rewards),
+        }
+    transitions = pomdp.transitions
+    observations = pomdp.observations
+    rewards = pomdp.rewards
+    assert isinstance(transitions, SparseTransitions)
+    assert isinstance(observations, SparseObservations)
+    assert isinstance(rewards, StructuredRewards)
+    arrays: dict[str, np.ndarray] = {"backend": np.array("sparse")}
+    arrays.update(_pack_csr("transitions.base", transitions.base))
+    arrays["transitions.row_action"] = transitions.row_action
+    arrays["transitions.row_state"] = transitions.row_state
+    arrays.update(_pack_csr("transitions.rows", transitions.rows))
+    arrays["transitions.n_actions"] = np.array(transitions.n_actions)
+    arrays.update(_pack_csr("observations.base", observations.base))
+    override_actions = sorted(observations.overrides)
+    arrays["observations.override_actions"] = np.asarray(
+        override_actions, dtype=np.int64
+    )
+    for action in override_actions:
+        arrays.update(
+            _pack_csr(
+                f"observations.override{action}",
+                observations.overrides[action],
+            )
+        )
+    arrays["rewards.time_scale"] = rewards.time_scale
+    arrays["rewards.rate"] = rewards.rate
+    arrays["rewards.fixed"] = rewards.fixed
+    arrays.update(_pack_csr("rewards.override", rewards.override))
+    return arrays
+
+
+def _unpack_model_tensors(archive):
+    """The ``(transitions, observations, rewards)`` tensors of an archive.
+
+    v1 archives carry no ``backend`` entry and are always dense.
+    """
+    backend = str(archive["backend"]) if "backend" in archive else "dense"
+    if backend == "dense":
+        return (
+            archive["transitions"],
+            archive["observations"],
+            archive["rewards"],
+        )
+    if backend != "sparse":
+        raise ModelError(f"archive names unknown backend {backend!r}")
+    transitions = SparseTransitions(
+        base=_unpack_csr(archive, "transitions.base"),
+        row_action=archive["transitions.row_action"],
+        row_state=archive["transitions.row_state"],
+        rows=_unpack_csr(archive, "transitions.rows"),
+        n_actions=int(archive["transitions.n_actions"]),
+    )
+    observations = SparseObservations(
+        base=_unpack_csr(archive, "observations.base"),
+        overrides={
+            int(action): _unpack_csr(
+                archive, f"observations.override{int(action)}"
+            )
+            for action in archive["observations.override_actions"]
+        },
+        n_actions=transitions.n_actions,
+    )
+    rewards = StructuredRewards(
+        time_scale=archive["rewards.time_scale"],
+        rate=archive["rewards.rate"],
+        fixed=archive["rewards.fixed"],
+        override=_unpack_csr(archive, "rewards.override"),
+    )
+    return transitions, observations, rewards
+
+
 def save_pomdp(path, pomdp: POMDP) -> None:
-    """Write ``pomdp`` to ``path`` as a ``.npz`` archive."""
-    np.savez_compressed(
+    """Write ``pomdp`` to ``path`` as a ``.npz`` archive (atomically)."""
+    _atomic_savez(
         path,
         kind=np.array("pomdp"),
         version=np.array(FORMAT_VERSION),
-        transitions=pomdp.transitions,
-        observations=pomdp.observations,
-        rewards=pomdp.rewards,
         state_labels=_labels_array(pomdp.state_labels),
         action_labels=_labels_array(pomdp.action_labels),
         observation_labels=_labels_array(pomdp.observation_labels),
         discount=np.array(pomdp.discount),
+        **_pack_model_tensors(pomdp),
     )
 
 
@@ -52,21 +239,22 @@ def _check_kind(archive, expected: str, path) -> None:
             f"{path} holds a {kind or 'unknown'} archive, expected {expected}"
         )
     version = int(archive.get("version", -1))
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise ModelError(
             f"{path} uses archive format {version}, this build reads "
-            f"{FORMAT_VERSION}"
+            f"{sorted(READABLE_VERSIONS)}"
         )
 
 
 def load_pomdp(path) -> POMDP:
     """Read a POMDP previously written by :func:`save_pomdp`."""
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(archive_path(path), allow_pickle=False) as archive:
         _check_kind(archive, "pomdp", path)
+        transitions, observations, rewards = _unpack_model_tensors(archive)
         return POMDP(
-            transitions=archive["transitions"],
-            observations=archive["observations"],
-            rewards=archive["rewards"],
+            transitions=transitions,
+            observations=observations,
+            rewards=rewards,
             state_labels=_labels_tuple(archive["state_labels"]),
             action_labels=_labels_tuple(archive["action_labels"]),
             observation_labels=_labels_tuple(archive["observation_labels"]),
@@ -83,13 +271,10 @@ def save_recovery_model(path, model: RecoveryModel) -> None:
         optional["operator_response_time"] = np.array(
             model.operator_response_time
         )
-    np.savez_compressed(
+    _atomic_savez(
         path,
         kind=np.array("recovery-model"),
         version=np.array(FORMAT_VERSION),
-        transitions=model.pomdp.transitions,
-        observations=model.pomdp.observations,
-        rewards=model.pomdp.rewards,
         state_labels=_labels_array(model.pomdp.state_labels),
         action_labels=_labels_array(model.pomdp.action_labels),
         observation_labels=_labels_array(model.pomdp.observation_labels),
@@ -99,18 +284,20 @@ def save_recovery_model(path, model: RecoveryModel) -> None:
         durations=model.durations,
         passive_actions=model.passive_actions,
         recovery_notification=np.array(model.recovery_notification),
+        **_pack_model_tensors(model.pomdp),
         **optional,
     )
 
 
 def load_recovery_model(path) -> RecoveryModel:
     """Read a recovery model previously written by :func:`save_recovery_model`."""
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(archive_path(path), allow_pickle=False) as archive:
         _check_kind(archive, "recovery-model", path)
+        transitions, observations, rewards = _unpack_model_tensors(archive)
         pomdp = POMDP(
-            transitions=archive["transitions"],
-            observations=archive["observations"],
-            rewards=archive["rewards"],
+            transitions=transitions,
+            observations=observations,
+            rewards=rewards,
             state_labels=_labels_tuple(archive["state_labels"]),
             action_labels=_labels_tuple(archive["action_labels"]),
             observation_labels=_labels_tuple(archive["observation_labels"]),
@@ -140,7 +327,7 @@ def load_recovery_model(path) -> RecoveryModel:
 
 def save_bound_set(path, bound_set: BoundVectorSet) -> None:
     """Persist a refined bound set (the off-line artefact of Section 4.3)."""
-    np.savez_compressed(
+    _atomic_savez(
         path,
         kind=np.array("bound-set"),
         version=np.array(FORMAT_VERSION),
@@ -166,7 +353,7 @@ def load_bound_set(path, model=None) -> BoundVectorSet:
     :class:`~repro.exceptions.AnalysisError` instead of silently steering
     the controller with an unsound bound.
     """
-    with np.load(path, allow_pickle=False) as archive:
+    with np.load(archive_path(path), allow_pickle=False) as archive:
         _check_kind(archive, "bound-set", path)
         max_vectors = int(archive["max_vectors"])
         bound_set = BoundVectorSet(

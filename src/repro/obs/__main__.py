@@ -8,6 +8,7 @@ Examples::
         --collapsed stacks.txt                  # export trace spans
     python -m repro.obs convergence run.jsonl [--png gap.png]
     python -m repro.obs bench compare OLD NEW --threshold 25
+    python -m repro.obs bench store results/ --snapshot BENCH.json
 
 Exit codes follow the ``repro.analysis`` convention throughout: 0 — clean;
 1 — diagnostics found (schema problems, benchmark regressions); 2 — usage
@@ -107,6 +108,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         load_snapshot,
     )
 
+    if args.bench_command == "store":
+        return _cmd_bench_store(args)
     try:
         old = load_snapshot(args.old)
         new = load_snapshot(args.new)
@@ -116,6 +119,33 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     result = compare(old, new, threshold_pct=args.threshold)
     print(format_comparison(result), end="")
     return 0 if result.ok else 1
+
+
+def _cmd_bench_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.bench import canonical_document, format_store, store_snapshot
+
+    if not args.store.is_dir():
+        print(f"{args.store}: not a results-store directory")
+        return 2
+    print(format_store(args.store), end="")
+    if args.snapshot is not None:
+        snapshot = store_snapshot(args.store)
+        document = canonical_document(
+            snapshot.metrics,
+            generated_by=f"python -m repro.obs bench store {args.store}",
+            source_schemas=["repro-grid/v1"],
+        )
+        args.snapshot.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote canonical snapshot to {args.snapshot} "
+            f"(gate future sweeps with 'bench compare')"
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -183,6 +213,22 @@ def main(argv: list[str] | None = None) -> int:
         default=25.0,
         metavar="PCT",
         help="allowed directional drift in percent (default: 25)",
+    )
+    bench_store = bench_sub.add_parser(
+        "store",
+        help="render a campaign-grid results store as a benchmark "
+        "trajectory; --snapshot exports it for 'bench compare'",
+    )
+    bench_store.add_argument(
+        "store", type=Path, help="results-store directory (cells.jsonl)"
+    )
+    bench_store.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additionally write a canonical repro-bench/v1 snapshot "
+        "(cell fingerprints as exact metrics)",
     )
 
     args = parser.parse_args(argv)

@@ -244,6 +244,83 @@ def canonical_document(
     }
 
 
+def store_snapshot(root) -> Snapshot:
+    """Normalise a grid results store into a comparable :class:`Snapshot`.
+
+    Every completed cell contributes its deterministic fingerprint as an
+    ``exact`` metric named ``grid.<cell id with dots>.fingerprint`` — so
+    ``compare(store_snapshot(a), store_snapshot(b))`` fails on any drift
+    between two sweeps of the same spec — plus its scalar metrics and wall
+    time as ``info`` metrics (recorded in exports, never gated: a code
+    change may legitimately move them, and the fingerprint already catches
+    unintentional moves bit-exactly).
+
+    Accepts a store directory path or a ``ResultsStore``.  This is how the
+    BENCH history becomes a queryable trajectory: sweep into a store,
+    export with ``python -m repro.obs bench store DIR --snapshot OUT.json``,
+    and gate future sweeps against the export with ``bench compare``.
+    """
+    from repro.experiments.store import ResultsStore
+
+    store = root if isinstance(root, ResultsStore) else ResultsStore(root)
+    metrics: dict[str, Metric] = {}
+    completed = store.completed()
+    for cell_id in sorted(completed):
+        record = completed[cell_id]
+        prefix = "grid." + str(cell_id).replace("/", ".")
+        metrics[f"{prefix}.fingerprint"] = Metric(
+            record["fingerprint"], "sha256", "exact"
+        )
+        cell_metrics = record.get("metrics", {})
+        for name in sorted(cell_metrics):
+            metrics[f"{prefix}.{name}"] = Metric(cell_metrics[name], "", "info")
+        if "wall_seconds" in record:
+            metrics[f"{prefix}.wall_seconds"] = Metric(
+                record["wall_seconds"], "s", "info"
+            )
+    return Snapshot(schema=BENCH_SCHEMA, metrics=metrics)
+
+
+def format_store(root) -> str:
+    """Render a results store's full record history as a table.
+
+    Unlike :func:`store_snapshot` (latest record per cell) this shows the
+    *trajectory*: every append, including re-runs of the same cell, in
+    append order.
+    """
+    from repro.experiments.store import ResultsStore
+
+    store = root if isinstance(root, ResultsStore) else ResultsStore(root)
+    records = store.records()
+    if not records:
+        return f"{store.root}: no completed cells\n"
+    rows = []
+    for record in records:
+        metrics = record.get("metrics", {})
+        rows.append(
+            [
+                record["cell_id"],
+                record["fingerprint"][:12],
+                "" if "cost" not in metrics else f"{metrics['cost']:.4g}",
+                f"{record.get('wall_seconds', 0.0):.2f}",
+                record.get("artifact") or "",
+            ]
+        )
+    skipped = getattr(store, "skipped_lines", 0)
+    footer = (
+        f"\n({skipped} torn/foreign line(s) skipped)\n" if skipped else "\n"
+    )
+    table = render_table(
+        ["cell", "fingerprint", "cost", "wall (s)", "artifact"],
+        rows,
+        title=(
+            f"{store.root}: {len(records)} record(s), "
+            f"{len({r['cell_id'] for r in records})} distinct cell(s)"
+        ),
+    )
+    return table + footer
+
+
 @dataclass(frozen=True)
 class MetricComparison:
     """Verdict for one metric present in both snapshots."""

@@ -116,6 +116,7 @@ def run_campaign(
     fault_probabilities: np.ndarray | None = None,
     parallel: int | None = None,
     chunk_size: int | None = None,
+    on_chunk=None,
 ) -> CampaignResult:
     """Run ``injections`` episodes with randomly drawn faults.
 
@@ -151,6 +152,10 @@ def run_campaign(
             :data:`repro.sim.parallel.DEFAULT_CHUNK_SIZE`).  Changing it
             changes refinement visibility and hence, potentially, metrics;
             worker count never does.
+        on_chunk: per-chunk scheduling hook forwarded to
+            :func:`repro.sim.parallel.execute_plan` — called in chunk
+            order at join time, which is what the grid runner uses for
+            per-cell progress without touching determinism.
     """
     from repro.sim.parallel import execute_plan, plan_campaign
 
@@ -195,9 +200,9 @@ def run_campaign(
         with telemetry.trace_span(
             "campaign", category="sim", controller=controller.name
         ):
-            episodes = execute_plan(plan, workers=parallel)
+            episodes = execute_plan(plan, workers=parallel, on_chunk=on_chunk)
     else:
-        episodes = execute_plan(plan, workers=parallel)
+        episodes = execute_plan(plan, workers=parallel, on_chunk=on_chunk)
     if telemetry is not None:
         telemetry.event(
             "campaign_end",

@@ -55,6 +55,7 @@ import pickle
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -393,7 +394,9 @@ def model_handoff_bytes(plan: CampaignPlan) -> int:
 
 
 def execute_plan(
-    plan: CampaignPlan, workers: int | None = None
+    plan: CampaignPlan,
+    workers: int | None = None,
+    on_chunk: Callable[[int, int, ChunkResult], None] | None = None,
 ) -> list[EpisodeMetrics]:
     """Run every chunk of ``plan`` and merge refinements back.
 
@@ -402,6 +405,10 @@ def execute_plan(
         workers: process count; ``None``, 0, or 1 runs in-process.  The
             metrics are identical either way — only wall-clock (and the
             wall-clock-derived ``algorithm_time`` field) changes.
+        on_chunk: scheduling hook, called as ``on_chunk(index, total,
+            result)`` for every chunk *in chunk order* during the join —
+            never concurrently, and never out of order, so callers (the
+            grid runner's per-cell progress accounting) need no locking.
 
     Returns:
         Episode metrics in injection order.  As a side effect the *caller's*
@@ -409,6 +416,7 @@ def execute_plan(
         vectors, deduplicated and dominance-pruned.
     """
     chunks = plan.chunks()
+    telemetry = telemetry_active()
     if workers is not None and workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     if workers and workers > 1:
@@ -432,9 +440,10 @@ def execute_plan(
 
     episodes: list[EpisodeMetrics] = []
     bound_set = plan.controller.refinement_state()
-    telemetry = telemetry_active()
     for chunk_index, result in enumerate(results):
         episodes.extend(result.episodes)
+        if on_chunk is not None:
+            on_chunk(chunk_index, len(chunks), result)
         if telemetry is not None and result.telemetry is not None:
             # Absorbed in chunk order, so counters/gauges/events aggregate
             # identically whatever the worker count.

@@ -79,6 +79,17 @@ class TestArchives:
         assert main([str(path)]) == 0
         capsys.readouterr()
 
+    def test_sparse_v2_archive_analyzes_on_native_containers(
+        self, tmp_path, simple_system, capsys
+    ):
+        """A v2 sparse archive loads into a view without densification."""
+        from repro.recovery.model import convert_backend
+
+        path = tmp_path / "sparse-model.npz"
+        save_recovery_model(path, convert_backend(simple_system.model))
+        assert main([str(path)]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
     def test_broken_model_reports_everything_at_once(self, tmp_path, capsys):
         """Acceptance: positive reward + unrecoverable state => both
         diagnostics in one run, exit code 2 (not fail-fast)."""

@@ -1,0 +1,186 @@
+"""Tests for the resumable campaign grid and its results store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.grid import (
+    DENSE_ONLY_CONTROLLERS,
+    GridCell,
+    GridSpec,
+    bound_set_fingerprint,
+    expand_cells,
+    run_cell,
+    run_grid,
+)
+from repro.experiments.store import GRID_SCHEMA, ResultsStore
+from repro.io import load_bound_set
+
+TINY = GridSpec(
+    experiments=("table1", "fig5"),
+    controllers=("most likely", "bounded (depth 1)"),
+    seeds=(7,),
+    backends=("dense",),
+    injections=3,
+    iterations=2,
+)
+
+
+class TestExpansion:
+    def test_order_is_deterministic(self):
+        assert [c.cell_id for c in expand_cells(TINY)] == [
+            "table1/most_likely/seed7/dense/n3",
+            "table1/bounded_depth_1/seed7/dense/n3",
+            "fig5/random/seed7/dense/n2",
+            "fig5/average/seed7/dense/n2",
+        ]
+
+    def test_dense_only_controllers_skip_sparse_cells(self):
+        spec = GridSpec(
+            controllers=DENSE_ONLY_CONTROLLERS + ("bounded (depth 1)",),
+            backends=("dense", "sparse"),
+            injections=3,
+        )
+        ids = [c.cell_id for c in expand_cells(spec)]
+        assert "table1/most_likely/seed2006/dense/n3" in ids
+        assert not any("most_likely/seed2006/sparse" in i for i in ids)
+        assert "table1/bounded_depth_1/seed2006/sparse/n3" in ids
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            GridSpec(experiments=("table2",))
+
+    def test_robustness_cells(self):
+        spec = GridSpec(
+            experiments=("robustness",), coverages=(1.0, 0.75), injections=5
+        )
+        assert [c.cell_id for c in expand_cells(spec)] == [
+            "robustness/coverage-1/seed2006/dense/n5",
+            "robustness/coverage-0.75/seed2006/dense/n5",
+        ]
+
+
+class TestStore:
+    def test_append_and_completed_last_wins(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        first = {"schema": GRID_SCHEMA, "cell_id": "a", "fingerprint": "1"}
+        second = {"schema": GRID_SCHEMA, "cell_id": "a", "fingerprint": "2"}
+        store.append(first)
+        store.append(second)
+        assert len(store.records()) == 2
+        assert store.completed()["a"]["fingerprint"] == "2"
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        store.append(
+            {"schema": GRID_SCHEMA, "cell_id": "a", "fingerprint": "1"}
+        )
+        with open(store.records_path, "a", encoding="utf-8") as stream:
+            stream.write('{"schema": "repro-grid/v1", "cell_id": "b", "fin')
+        records = store.records()
+        assert [r["cell_id"] for r in records] == ["a"]
+        assert store.skipped_lines == 1
+
+    def test_foreign_lines_are_skipped(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        with open(store.records_path, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps({"schema": "other/v1"}) + "\n")
+            stream.write("not json at all\n")
+        assert store.records() == []
+        assert store.skipped_lines == 2
+
+    def test_sweep_temp_removes_orphans(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        orphan = store.artifacts_dir / "cell.npz.abc123.tmp"
+        orphan.write_bytes(b"partial")
+        keep = store.artifacts_dir / "cell.npz"
+        keep.write_bytes(b"complete")
+        removed = store.sweep_temp()
+        assert [p.name for p in removed] == ["cell.npz.abc123.tmp"]
+        assert not orphan.exists()
+        assert keep.exists()
+
+
+class TestRunGrid:
+    def test_cells_run_once_and_resume_skips(self, tmp_path):
+        store = tmp_path / "store"
+        first = run_grid(TINY, store)
+        assert (first.ran, first.skipped) == (4, 0)
+        assert first.complete and first.fingerprint is not None
+        second = run_grid(TINY, store)
+        assert (second.ran, second.skipped) == (0, 4)
+        assert second.fingerprint == first.fingerprint
+        assert [r["fingerprint"] for r in second.records] == [
+            r["fingerprint"] for r in first.records
+        ]
+
+    def test_interrupted_sweep_resumes_bit_identically(self, tmp_path):
+        """Kill mid-sweep, resume, compare against an uninterrupted run."""
+        uninterrupted = run_grid(TINY, tmp_path / "clean")
+
+        calls = []
+
+        def kill_after_two(kind, cell, record):
+            calls.append((kind, cell.cell_id))
+            if len([c for c in calls if c[0] == "run"]) == 2:
+                raise KeyboardInterrupt
+
+        interrupted_store = tmp_path / "resumed"
+        with pytest.raises(KeyboardInterrupt):
+            run_grid(TINY, interrupted_store, on_cell=kill_after_two)
+        partial = ResultsStore(interrupted_store).completed()
+        assert len(partial) == 2
+
+        resumed = run_grid(TINY, interrupted_store)
+        assert (resumed.ran, resumed.skipped) == (2, 2)
+        assert resumed.fingerprint == uninterrupted.fingerprint
+        for fresh, clean in zip(resumed.records, uninterrupted.records):
+            assert fresh["cell_id"] == clean["cell_id"]
+            assert fresh["fingerprint"] == clean["fingerprint"]
+            assert fresh["metrics"] == clean["metrics"]
+
+    def test_artifacts_reload_with_matching_fingerprint(self, tmp_path):
+        store_path = tmp_path / "store"
+        result = run_grid(TINY, store_path)
+        store = ResultsStore(store_path)
+        with_artifacts = [r for r in result.records if r["artifact"]]
+        assert with_artifacts, "bounded/fig5 cells must persist bound sets"
+        for record in with_artifacts:
+            bound_set = load_bound_set(store.root / record["artifact"])
+            assert (
+                bound_set_fingerprint(bound_set)
+                == record["bound_set_fingerprint"]
+            )
+
+    def test_run_cell_is_a_pure_function_of_the_cell(self):
+        cell = GridCell(
+            experiment="fig5",
+            variant="average",
+            seed=11,
+            backend="dense",
+            injections=2,
+        )
+        first = run_cell(cell)
+        second = run_cell(cell)
+        assert first.fingerprint == second.fingerprint
+        assert np.array_equal(
+            first.bound_set.vectors, second.bound_set.vectors
+        )
+
+    def test_cell_parallelism_keeps_fingerprints(self, tmp_path):
+        """Worker count is outside the fingerprint contract."""
+        serial = run_grid(
+            GridSpec(
+                controllers=("bounded (depth 1)",), seeds=(7,), injections=40
+            ),
+            tmp_path / "serial",
+        )
+        parallel = run_grid(
+            GridSpec(
+                controllers=("bounded (depth 1)",), seeds=(7,), injections=40
+            ),
+            tmp_path / "parallel",
+            parallel=2,
+        )
+        assert parallel.fingerprint == serial.fingerprint

@@ -103,3 +103,282 @@ class TestBoundSetRoundTrip:
         rng = np.random.default_rng(0)
         for belief in rng.dirichlet(np.ones(pomdp.n_states), size=16):
             assert np.isclose(loaded.value(belief), bound_set.value(belief))
+
+
+# -- v2 format: sparse backends, atomic writes, path normalization ----------
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io import TEMP_SUFFIX, archive_path
+from repro.linalg.backends import (
+    densify_observations,
+    densify_rewards,
+    densify_transitions,
+    sparsify_observations,
+    sparsify_rewards,
+    sparsify_transitions,
+)
+from repro.recovery.model import RecoveryModel, convert_backend
+from tests.conftest import random_pomdp
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _sparse_twin(pomdp):
+    """The same POMDP with all three tensors in the sparse containers."""
+    from repro.pomdp.model import POMDP
+
+    return POMDP(
+        transitions=sparsify_transitions(pomdp.transitions),
+        observations=sparsify_observations(pomdp.observations),
+        rewards=sparsify_rewards(pomdp.rewards),
+        state_labels=pomdp.state_labels,
+        action_labels=pomdp.action_labels,
+        observation_labels=pomdp.observation_labels,
+        discount=pomdp.discount,
+    )
+
+
+def _pomdp_digest(pomdp) -> str:
+    """Backend-independent content fingerprint of a POMDP's tensors."""
+    digest = hashlib.sha256()
+    if pomdp.backend.is_sparse:
+        tensors = (
+            densify_transitions(pomdp.transitions),
+            densify_observations(pomdp.observations),
+            densify_rewards(pomdp.rewards),
+        )
+    else:
+        tensors = (pomdp.transitions, pomdp.observations, pomdp.rewards)
+    for tensor in tensors:
+        digest.update(np.ascontiguousarray(tensor, dtype=np.float64).tobytes())
+    digest.update(repr(pomdp.state_labels).encode())
+    digest.update(repr(pomdp.discount).encode())
+    return digest.hexdigest()
+
+
+def _random_recovery_model(rng, sparse: bool) -> RecoveryModel:
+    """A random (notification-style) recovery model for property tests."""
+    pomdp = random_pomdp(rng)
+    if sparse:
+        pomdp = _sparse_twin(pomdp)
+    null_states = np.zeros(pomdp.n_states, dtype=bool)
+    null_states[int(rng.integers(pomdp.n_states))] = True
+    return RecoveryModel(
+        pomdp=pomdp,
+        null_states=null_states,
+        rate_rewards=-rng.uniform(0.0, 2.0, size=pomdp.n_states),
+        durations=rng.uniform(0.0, 5.0, size=pomdp.n_actions),
+        passive_actions=rng.integers(0, 2, size=pomdp.n_actions).astype(bool),
+        recovery_notification=True,
+    )
+
+
+class TestPathNormalization:
+    """save_*("foo") writes foo.npz; load_*("foo") must find it again."""
+
+    def test_suffixless_pomdp_round_trip(self, tmp_path):
+        pomdp = tiny_pomdp(discount=0.9)
+        save_pomdp(tmp_path / "model", pomdp)
+        assert (tmp_path / "model.npz").exists()
+        loaded = load_pomdp(tmp_path / "model")
+        assert np.array_equal(loaded.transitions, pomdp.transitions)
+
+    def test_suffixless_recovery_model(self, tmp_path, simple_system):
+        save_recovery_model(tmp_path / "recovery", simple_system.model)
+        loaded = load_recovery_model(tmp_path / "recovery")
+        assert loaded.terminate_state == simple_system.model.terminate_state
+
+    def test_suffixless_bound_set(self, tmp_path):
+        save_bound_set(tmp_path / "bounds", BoundVectorSet(np.array([-1.0])))
+        assert len(load_bound_set(tmp_path / "bounds")) == 1
+
+    def test_dotted_names_keep_their_npz_suffix(self, tmp_path):
+        assert archive_path(tmp_path / "v1.2").name == "v1.2.npz"
+        assert archive_path(tmp_path / "v1.2.npz").name == "v1.2.npz"
+
+
+class TestSparseArchives:
+    """v2 stores CSR/rank-one components natively — never densified."""
+
+    def test_sparse_pomdp_round_trips_bit_identically(self, tmp_path):
+        pomdp = _sparse_twin(random_pomdp(np.random.default_rng(3)))
+        path = tmp_path / "sparse.npz"
+        save_pomdp(path, pomdp)
+        loaded = load_pomdp(path)
+        assert loaded.backend.is_sparse
+        original = pomdp.transitions
+        restored = loaded.transitions
+        assert np.array_equal(restored.base.data, original.base.data)
+        assert np.array_equal(restored.base.indices, original.base.indices)
+        assert np.array_equal(restored.base.indptr, original.base.indptr)
+        assert _pomdp_digest(loaded) == _pomdp_digest(pomdp)
+
+    def test_archive_holds_no_object_arrays(self, tmp_path):
+        """The v1 failure mode: containers pickled as object arrays."""
+        pomdp = _sparse_twin(random_pomdp(np.random.default_rng(4)))
+        path = tmp_path / "sparse.npz"
+        save_pomdp(path, pomdp)
+        with np.load(path, allow_pickle=False) as archive:
+            for name in archive.files:
+                assert archive[name].dtype != object
+
+    def test_sparse_emn_recovery_model_behaviour(self, tmp_path, emn_system):
+        sparse_model = convert_backend(emn_system.model, "sparse")
+        path = tmp_path / "emn_sparse.npz"
+        save_recovery_model(path, sparse_model)
+        loaded = load_recovery_model(path)
+        assert loaded.pomdp.backend.is_sparse
+        assert np.allclose(
+            ra_bound_vector(loaded.pomdp),
+            ra_bound_vector(emn_system.model.pomdp),
+        )
+
+    def test_observation_overrides_survive(self, tmp_path, emn_system):
+        sparse_model = convert_backend(emn_system.model, "sparse")
+        path = tmp_path / "emn_sparse.npz"
+        save_recovery_model(path, sparse_model)
+        loaded = load_recovery_model(path)
+        original = sparse_model.pomdp.observations
+        restored = loaded.pomdp.observations
+        assert sorted(restored.overrides) == sorted(original.overrides)
+        for action in original.overrides:
+            assert np.array_equal(
+                restored.overrides[action].data,
+                original.overrides[action].data,
+            )
+
+
+class TestV1Compatibility:
+    """Archives written before the backend key stay readable."""
+
+    def _write_v1(self, path, pomdp) -> None:
+        with open(path, "wb") as stream:
+            np.savez_compressed(
+                stream,
+                kind=np.array("pomdp"),
+                version=np.array(1),
+                transitions=pomdp.transitions,
+                observations=pomdp.observations,
+                rewards=pomdp.rewards,
+                state_labels=np.array(list(pomdp.state_labels), dtype=np.str_),
+                action_labels=np.array(
+                    list(pomdp.action_labels), dtype=np.str_
+                ),
+                observation_labels=np.array(
+                    list(pomdp.observation_labels), dtype=np.str_
+                ),
+                discount=np.array(pomdp.discount),
+            )
+
+    def test_v1_pomdp_loads(self, tmp_path):
+        pomdp = tiny_pomdp(discount=0.9)
+        path = tmp_path / "v1.npz"
+        self._write_v1(path, pomdp)
+        loaded = load_pomdp(path)
+        assert np.array_equal(loaded.transitions, pomdp.transitions)
+        assert loaded.state_labels == pomdp.state_labels
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.npz"
+        with open(path, "wb") as stream:
+            np.savez_compressed(
+                stream, kind=np.array("pomdp"), version=np.array(99)
+            )
+        with pytest.raises(ModelError, match="archive format 99"):
+            load_pomdp(path)
+
+
+class TestAtomicWrites:
+    """A crash mid-write must never corrupt a previously saved archive."""
+
+    def _crashing_savez(self, monkeypatch, error):
+        real = np.savez_compressed
+
+        def partial_write(stream, **arrays):
+            del arrays
+            stream.write(b"PK\x03\x04 truncated archive")
+            raise error
+
+        monkeypatch.setattr(np, "savez_compressed", partial_write)
+        return real
+
+    def test_prior_archive_survives_crash(self, tmp_path, monkeypatch):
+        path = tmp_path / "bounds.npz"
+        good = BoundVectorSet(np.array([-2.0, -3.0]))
+        save_bound_set(path, good)
+        self._crashing_savez(monkeypatch, RuntimeError("disk full"))
+        with pytest.raises(RuntimeError, match="disk full"):
+            save_bound_set(path, BoundVectorSet(np.array([-9.0, -9.0])))
+        monkeypatch.undo()
+        assert np.array_equal(load_bound_set(path).vectors, good.vectors)
+        assert list(tmp_path.glob(f"*{TEMP_SUFFIX}")) == []
+
+    def test_interrupt_leaves_no_temp_files(self, tmp_path, monkeypatch):
+        self._crashing_savez(monkeypatch, KeyboardInterrupt())
+        with pytest.raises(KeyboardInterrupt):
+            save_bound_set(
+                tmp_path / "bounds.npz", BoundVectorSet(np.array([-1.0]))
+            )
+        assert list(tmp_path.iterdir()) == []
+
+    def test_model_save_is_atomic_too(self, tmp_path, monkeypatch, simple_system):
+        path = tmp_path / "recovery.npz"
+        save_recovery_model(path, simple_system.model)
+        before = path.read_bytes()
+        self._crashing_savez(monkeypatch, RuntimeError("boom"))
+        with pytest.raises(RuntimeError, match="boom"):
+            save_recovery_model(path, simple_system.model)
+        monkeypatch.undo()
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob(f"*{TEMP_SUFFIX}")) == []
+
+
+class TestHypothesisRoundTrips:
+    """Property: every archive kind round-trips content-identically on
+    both backends (the fingerprint the grid checkpoints relies on)."""
+
+    @given(SEEDS, st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_pomdp_round_trip(self, tmp_path_factory, seed, sparse):
+        rng = np.random.default_rng(seed)
+        pomdp = random_pomdp(rng)
+        if sparse:
+            pomdp = _sparse_twin(pomdp)
+        directory = tmp_path_factory.mktemp("pomdp")
+        path = directory / "model.npz"
+        save_pomdp(path, pomdp)
+        loaded = load_pomdp(path)
+        assert loaded.backend.is_sparse == sparse
+        assert _pomdp_digest(loaded) == _pomdp_digest(pomdp)
+
+    @given(SEEDS, st.booleans())
+    @settings(max_examples=10, deadline=None)
+    def test_recovery_model_round_trip(self, tmp_path_factory, seed, sparse):
+        rng = np.random.default_rng(seed)
+        model = _random_recovery_model(rng, sparse=sparse)
+        directory = tmp_path_factory.mktemp("recovery")
+        path = directory / "model.npz"
+        save_recovery_model(path, model)
+        loaded = load_recovery_model(path)
+        assert loaded.pomdp.backend.is_sparse == sparse
+        assert _pomdp_digest(loaded.pomdp) == _pomdp_digest(model.pomdp)
+        assert np.array_equal(loaded.null_states, model.null_states)
+        assert np.array_equal(loaded.rate_rewards, model.rate_rewards)
+        assert np.array_equal(loaded.durations, model.durations)
+        assert np.array_equal(loaded.passive_actions, model.passive_actions)
+
+    @given(SEEDS)
+    @settings(max_examples=15, deadline=None)
+    def test_bound_set_round_trip(self, tmp_path_factory, seed):
+        rng = np.random.default_rng(seed)
+        vectors = -rng.uniform(0.0, 10.0, size=(int(rng.integers(1, 6)), 4))
+        bound_set = BoundVectorSet(vectors)
+        directory = tmp_path_factory.mktemp("bounds")
+        path = directory / "bounds.npz"
+        save_bound_set(path, bound_set)
+        loaded = load_bound_set(path)
+        assert loaded.vectors.tobytes() == bound_set.vectors.tobytes()

@@ -214,3 +214,78 @@ class TestCli:
         missing = tmp_path / "missing.json"
         assert main(["bench", "compare", str(BENCH_PR4), str(missing)]) == 2
         assert "cannot read" in capsys.readouterr().out
+
+
+class TestStoreView:
+    """The grid results store as a benchmark trajectory."""
+
+    def _store(self, tmp_path):
+        from repro.experiments.store import GRID_SCHEMA, ResultsStore
+
+        store = ResultsStore(tmp_path / "store")
+        store.append(
+            {
+                "schema": GRID_SCHEMA,
+                "cell_id": "table1/oracle/seed7/dense/n3",
+                "fingerprint": "a" * 64,
+                "metrics": {"cost": 84.4},
+                "wall_seconds": 0.5,
+                "artifact": None,
+            }
+        )
+        store.append(
+            {
+                "schema": GRID_SCHEMA,
+                "cell_id": "fig5/random/seed7/dense/n2",
+                "fingerprint": "b" * 64,
+                "metrics": {"final_upper_bound": 497.8},
+                "wall_seconds": 0.1,
+                "artifact": "artifacts/fig5__random__seed7__dense__n2.npz",
+            }
+        )
+        return store
+
+    def test_store_snapshot_marks_fingerprints_exact(self, tmp_path):
+        from repro.obs.bench import store_snapshot
+
+        snapshot = store_snapshot(self._store(tmp_path))
+        fingerprint = snapshot.metrics[
+            "grid.table1.oracle.seed7.dense.n3.fingerprint"
+        ]
+        assert fingerprint.direction == "exact"
+        assert fingerprint.value == "a" * 64
+        cost = snapshot.metrics["grid.table1.oracle.seed7.dense.n3.cost"]
+        assert cost.direction == "info"
+
+    def test_fingerprint_drift_between_sweeps_regresses(self, tmp_path):
+        from repro.obs.bench import store_snapshot
+
+        old = store_snapshot(self._store(tmp_path))
+        drifted = self._store(tmp_path)  # same dir: appends duplicates
+        drifted.append(
+            {
+                "schema": "repro-grid/v1",
+                "cell_id": "fig5/random/seed7/dense/n2",
+                "fingerprint": "c" * 64,
+                "metrics": {},
+            }
+        )
+        result = compare(old, store_snapshot(drifted))
+        assert [row.name for row in result.regressions] == [
+            "grid.fig5.random.seed7.dense.n2.fingerprint"
+        ]
+
+    def test_cli_store_renders_and_exports(self, tmp_path, capsys):
+        store = self._store(tmp_path)
+        out = tmp_path / "snapshot.json"
+        code = main(["bench", "store", str(store.root), "--snapshot", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "2 record(s), 2 distinct cell(s)" in text
+        document = json.loads(out.read_text())
+        assert document["schema"] == BENCH_SCHEMA
+        assert main(["bench", "compare", str(out), str(out)]) == 0
+
+    def test_cli_store_rejects_non_directory(self, tmp_path, capsys):
+        assert main(["bench", "store", str(tmp_path / "missing")]) == 2
+        assert "not a results-store" in capsys.readouterr().out
