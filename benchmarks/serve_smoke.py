@@ -1,0 +1,258 @@
+"""Policy-daemon smoke: SIGTERM mid-session, warm restart, identical decisions.
+
+The CI guard for the serve-layer contract of :mod:`repro.serve`:
+
+1. save a tiered model archive and start ``python -m repro.serve`` on it
+   (cold start: RA-Bound seeding, no bound archive yet);
+2. drive 8 concurrent refining sessions to completion over the unix
+   socket, so the shared bound set accumulates online refinements;
+3. open a read-only (``refine: false``) session, drive it halfway,
+   deliver ``SIGTERM`` *mid-session*, then finish driving it through the
+   draining daemon, recording every decision;
+4. fail unless the daemon exits 0 (graceful drain), checkpoints the
+   refined set, and unlinks its socket;
+5. restart the daemon from the checkpoint (warm start, R3xx-certified
+   via the digest sidecar), replay the same observation sequence in a
+   fresh read-only session, and fail on any decision drift;
+6. fail if the run leaked ``/dev/shm`` entries, socket files, or
+   ``*.tmp`` archives anywhere in the work tree.
+
+Usage::
+
+    python -m benchmarks.serve_smoke [--tiers N] [--keep DIR]
+
+Exit codes: 0 — contract holds; 1 — drift, leak, or unclean shutdown;
+2 — harness failure (daemon died for another reason).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.io import TEMP_SUFFIX, save_recovery_model
+from repro.serve.client import ServiceClient
+from repro.systems.tiered import build_tiered_system
+
+CONCURRENT_SESSIONS = 8
+REPLAY_STEPS = 12
+SIGTERM_AFTER = 1
+
+
+def _start_daemon(model: Path, socket_path: Path, bounds: Path) -> subprocess.Popen:
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "--model",
+            str(model),
+            "--socket",
+            str(socket_path),
+            "--bounds",
+            str(bounds),
+            "--checkpoint-interval",
+            "1",
+            "--drain-timeout",
+            "30",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 120.0  # codelint: ignore[R903] -- harness timeout
+    while not socket_path.exists():  # codelint: ignore[R903]
+        if process.poll() is not None:
+            print(process.stdout.read() if process.stdout else "")
+            print(f"serve_smoke: daemon died on startup (rc={process.returncode})")
+            raise SystemExit(2)
+        if time.monotonic() > deadline:  # codelint: ignore[R903]
+            process.kill()
+            raise SystemExit(2)
+        time.sleep(0.05)
+    return process
+
+
+def _drive_refining_sessions(socket_path: Path, failures: list[str]) -> None:
+    """8 concurrent refining sessions, each one short recovery episode."""
+    errors: list[str] = []
+
+    def worker(index: int) -> None:
+        try:
+            with ServiceClient(str(socket_path), timeout=120.0) as client:
+                sid = client.open_session(session_id=f"refine-{index}")
+                for _ in range(10):
+                    decision = client.decide(sid)
+                    if decision["terminate"]:
+                        break
+                    client.observe(sid, decision["action"], index % 2)
+                client.close_session(sid)
+        except Exception as error:  # noqa: BLE001 — collected for the report
+            errors.append(f"session {index}: {error}")
+
+    threads = [
+        threading.Thread(target=worker, args=(i,))
+        for i in range(CONCURRENT_SESSIONS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=300.0)
+    failures.extend(errors)
+
+
+def _replay(
+    client: ServiceClient,
+    session_id: str,
+    on_step=None,
+) -> list[tuple[int, bool]]:
+    """Drive one read-only session on a fixed observation schedule."""
+    sid = client.open_session(session_id=session_id, refine=False)
+    decisions: list[tuple[int, bool]] = []
+    for step in range(REPLAY_STEPS):
+        decision = client.decide(sid)
+        decisions.append((decision["action"], decision["terminate"]))
+        if on_step is not None:
+            on_step(step)
+        if decision["terminate"]:
+            break
+        client.observe(sid, decision["action"], step % 2)
+    client.close_session(sid)
+    return decisions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tiers",
+        type=int,
+        nargs=2,
+        default=(2, 2),
+        metavar=("FRONT", "BACK"),
+        help="tiered-system shape (default 2 2)",
+    )
+    parser.add_argument(
+        "--keep",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="run inside DIR and keep it (default: fresh temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    shm_before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+    with tempfile.TemporaryDirectory() as scratch:
+        workdir = args.keep or Path(scratch)
+        workdir.mkdir(parents=True, exist_ok=True)
+        model_path = workdir / "model.npz"
+        socket_path = workdir / "serve.sock"
+        bounds_path = workdir / "bounds.npz"
+
+        system = build_tiered_system(tuple(args.tiers), backend="sparse")
+        save_recovery_model(model_path, system.model)
+
+        # -- cold run: refine concurrently, then SIGTERM mid-replay --------
+        daemon = _start_daemon(model_path, socket_path, bounds_path)
+        try:
+            _drive_refining_sessions(socket_path, failures)
+            with ServiceClient(str(socket_path), timeout=120.0) as client:
+                stats = client.stats()
+                if stats["started_warm"]:
+                    failures.append("first launch reported a warm start")
+                print(
+                    f"cold daemon: {stats['decisions']} decisions, "
+                    f"{stats['bound_vectors']} bound vectors after "
+                    f"{CONCURRENT_SESSIONS} concurrent sessions"
+                )
+
+                fired = threading.Event()
+
+                def fire_sigterm(step: int) -> None:
+                    # Mid-session: the replay session is open and half
+                    # driven when the signal lands; the remaining steps go
+                    # through the draining daemon.
+                    if step >= SIGTERM_AFTER and not fired.is_set():
+                        fired.set()
+                        daemon.send_signal(signal.SIGTERM)
+
+                reference = _replay(client, "replay", on_step=fire_sigterm)
+                if not fired.is_set():  # replay terminated before the mark
+                    daemon.send_signal(signal.SIGTERM)
+            returncode = daemon.wait(timeout=120)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+        print(
+            f"SIGTERM at replay step {SIGTERM_AFTER}: daemon exited "
+            f"{returncode}; {len(reference)} reference decisions recorded"
+        )
+        if returncode != 0:
+            failures.append(f"daemon exited {returncode} after SIGTERM drain")
+        if socket_path.exists():
+            failures.append("socket file survived shutdown")
+        if not bounds_path.exists():
+            failures.append("no bound-set checkpoint written on SIGTERM")
+
+        # -- warm restart: same observations must give same decisions ------
+        if bounds_path.exists():
+            daemon = _start_daemon(model_path, socket_path, bounds_path)
+            try:
+                with ServiceClient(str(socket_path), timeout=120.0) as client:
+                    stats = client.stats()
+                    if not stats["started_warm"]:
+                        failures.append("restart did not warm-start from checkpoint")
+                    print(
+                        f"warm daemon: started_warm={stats['started_warm']}, "
+                        f"{stats['bound_vectors']} bound vectors, "
+                        f"startup {stats['startup_seconds']:.3f}s"
+                    )
+                    resumed = _replay(client, "replay")
+                    client.shutdown()
+                returncode = daemon.wait(timeout=120)
+            finally:
+                if daemon.poll() is None:
+                    daemon.kill()
+                    daemon.wait()
+            if returncode != 0:
+                failures.append(f"daemon exited {returncode} after shutdown op")
+            if resumed != reference:
+                failures.append(
+                    f"decision drift after restart: {resumed} != {reference}"
+                )
+            else:
+                print(f"replay identical across restart ({len(resumed)} decisions)")
+
+        if socket_path.exists():
+            failures.append("socket file survived final shutdown")
+        leftovers = sorted(str(p) for p in workdir.rglob(f"*{TEMP_SUFFIX}"))
+        if leftovers:
+            failures.append(f"leftover temp files: {leftovers}")
+
+    if os.path.isdir("/dev/shm"):
+        leaked = set(os.listdir("/dev/shm")) - shm_before
+        if leaked:
+            failures.append(f"leaked /dev/shm entries: {sorted(leaked)}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "serve contract holds: graceful drain on SIGTERM, warm restart "
+        "from checkpoint, decisions bit-identical, no leaks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

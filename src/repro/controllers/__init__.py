@@ -1,5 +1,14 @@
 """Recovery controllers (Sections 4 and 5).
 
+The decision logic lives in :class:`~repro.controllers.engine.PolicyEngine`
+subclasses — shared, immutable-after-warmup state (bound sets, Q-tables,
+fixing-action maps) that spawns lightweight per-episode
+:class:`~repro.controllers.engine.RecoverySession` objects.  The
+``*Controller`` classes are thin campaign-facing adapters binding one
+engine to one live session; subclassing
+:class:`~repro.controllers.base.RecoveryController` with a ``_decide``
+override (the legacy callback path) still works unchanged.
+
 * :mod:`repro.controllers.bounded` — the paper's controller: finite-depth
   lookahead with the piecewise-linear lower bound at the leaves, online
   refinement, and termination through the terminate action ``a_T``.
@@ -18,27 +27,47 @@
   Figures 5(a) and 5(b).
 """
 
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import NO_ACTION, Decision, RecoveryController
 from repro.controllers.bootstrap import BootstrapResult, bootstrap_bounds
-from repro.controllers.bounded import BoundedController
+from repro.controllers.bounded import BoundedController, BoundedPolicyEngine
 from repro.controllers.branch_and_bound import BranchAndBoundController
-from repro.controllers.heuristic import HeuristicController, HeuristicLeaf
-from repro.controllers.most_likely import MostLikelyController
-from repro.controllers.oracle import OracleController
-from repro.controllers.qmdp import QMDPController
-from repro.controllers.random_controller import RandomController
+from repro.controllers.engine import PolicyEngine, RecoverySession
+from repro.controllers.heuristic import (
+    HeuristicController,
+    HeuristicLeaf,
+    HeuristicPolicyEngine,
+)
+from repro.controllers.most_likely import (
+    MostLikelyController,
+    MostLikelyPolicyEngine,
+)
+from repro.controllers.oracle import OracleController, OraclePolicyEngine
+from repro.controllers.qmdp import QMDPController, QMDPPolicyEngine
+from repro.controllers.random_controller import (
+    RandomController,
+    RandomPolicyEngine,
+)
 
 __all__ = [
+    "NO_ACTION",
     "BootstrapResult",
     "BoundedController",
+    "BoundedPolicyEngine",
     "BranchAndBoundController",
     "Decision",
     "HeuristicController",
     "HeuristicLeaf",
+    "HeuristicPolicyEngine",
     "MostLikelyController",
+    "MostLikelyPolicyEngine",
     "OracleController",
+    "OraclePolicyEngine",
+    "PolicyEngine",
     "QMDPController",
+    "QMDPPolicyEngine",
     "RandomController",
+    "RandomPolicyEngine",
     "RecoveryController",
+    "RecoverySession",
     "bootstrap_bounds",
 ]

@@ -8,63 +8,99 @@ loop: ``reset()`` at fault-detection time, then alternating ``observe()``
 :mod:`repro.sim` owns the loop; controllers only own belief tracking and
 action selection, and they never see the true system state (except the
 oracle, which overrides the hook provided for it).
+
+Since the engine/session split (:mod:`repro.controllers.engine`) a
+controller is a *thin adapter*: the shared, immutable-after-warmup policy
+state lives in a :class:`~repro.controllers.engine.PolicyEngine` and the
+per-episode mutable state in one live
+:class:`~repro.controllers.engine.RecoverySession`, exposed as
+:attr:`RecoveryController.session`.  Every legacy method (``reset`` /
+``observe`` / ``decide`` / ``belief`` / ``stopwatch``) forwards to that
+session, so existing drivers and tests are unaffected.  Subclasses choose
+one of two shapes:
+
+* **engine-backed** (the shipped controllers): build a concrete engine and
+  pass it as ``engine=``; the adapter inherits its name, preflight report,
+  and decision logic.
+* **callback** (legacy / ad-hoc subclasses): pass a ``model`` and override
+  ``_decide`` (plus optionally ``_on_reset`` / ``sync_true_state``); the
+  base wires up a private :class:`_CallbackEngine` that routes session
+  decisions back through the override.  Nothing about the classic
+  subclassing contract changed.
 """
 
 from __future__ import annotations
 
-import abc
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.exceptions import BeliefError, ControllerError
-from repro.obs.telemetry import active as telemetry_active
-from repro.pomdp.belief import update_belief
+from repro.controllers.engine import (
+    NO_ACTION,
+    Decision,
+    PolicyEngine,
+    RecoverySession,
+)
+from repro.exceptions import ControllerError
 from repro.recovery.model import RecoveryModel
 from repro.util.timing import Stopwatch
 
-#: Sentinel action index for terminating decisions that execute nothing.
-#: Only controllers on models *without* a terminate action (recovery
-#: notification, Figure 2(a)) may emit it: their termination is a pure
-#: bookkeeping step.  Where the model has ``a_T``, terminating decisions
-#: carry it (see :meth:`RecoveryController._terminate_decision`) so the
-#: environment charges the termination reward.  The campaign, trace, and
-#: metrics layers treat ``NO_ACTION`` as "execute nothing": it is never run
-#: against the environment, counted as a recovery action, or rendered as an
-#: action label.
-NO_ACTION = -1
+__all__ = [
+    "NO_ACTION",
+    "Decision",
+    "RecoveryController",
+]
 
 
-@dataclass(frozen=True)
-class Decision:
-    """One controller decision.
+class _CallbackEngine(PolicyEngine):
+    """Adapter engine that routes decisions through a legacy controller.
 
-    Attributes:
-        action: index of the chosen action in the model's action space, or
-            :data:`NO_ACTION` when ``is_terminate`` is True and there is
-            nothing to execute (models with recovery notification have no
-            ``a_T``).
-        is_terminate: the controller declares recovery finished.  For the
-            bounded controller this coincides with choosing ``a_T``; for
-            the baselines it is the probability-threshold test.
-        value: the root value of the lookahead tree, when one was built.
+    Subclasses of :class:`RecoveryController` that predate the
+    engine/session split implement ``_decide(belief)`` (and optionally
+    ``_on_reset`` / ``sync_true_state``) on the controller itself.  This
+    engine keeps that contract alive: it holds a back-reference to the
+    controller and forwards every session hook to the classic override
+    points.  It is private to its adapter — it serves exactly the one
+    session the adapter owns.
     """
 
-    action: int
-    is_terminate: bool = False
-    value: float | None = None
+    def __init__(
+        self,
+        controller: RecoveryController,
+        model: RecoveryModel,
+        preflight: bool = False,
+    ):
+        super().__init__(model, preflight=preflight)
+        self._controller = controller
+        # The monitor opt-out is a class-level declaration on legacy
+        # controllers; mirror it onto the engine so sessions report it.
+        self.uses_monitors = bool(getattr(type(controller), "uses_monitors", True))
 
     @property
-    def executes_action(self) -> bool:
-        """True when ``action`` is a real model action to run."""
-        return self.action >= 0
+    def name(self) -> str:  # type: ignore[override]
+        return self._controller.name
+
+    def decide(self, session: RecoverySession) -> Decision:
+        return self._controller._decide(session.belief_view())
+
+    def on_reset(self, session: RecoverySession) -> None:
+        self._controller._on_reset()
+
+    def on_true_state(self, session: RecoverySession, state: int) -> None:
+        # Route through the controller so legacy overrides (the classic
+        # oracle pattern) still fire when the *session* is being driven.
+        # The base implementation writes session.true_state directly, so
+        # this cannot recurse.
+        self._controller.sync_true_state(state)
 
 
-class RecoveryController(abc.ABC):
-    """Base class handling belief tracking, timing, and episode state."""
+class RecoveryController:
+    """Thin adapter binding one :class:`PolicyEngine` to one live session."""
 
     #: Display name used in experiment tables (subclasses override).
     name: str = "controller"
+
+    #: The campaign skips monitor invocations for controllers that opt out
+    #: (class-level declaration; the oracle sets it False).
+    uses_monitors: bool = True
 
     #: Integer diagnostic counters that accumulate across a campaign's
     #: episodes (subclasses list attribute names here).  The campaign
@@ -77,152 +113,115 @@ class RecoveryController(abc.ABC):
 
         The campaign engine merges the refinements its controller clones
         produce back into this object (see :mod:`repro.sim.parallel`).
-        Subclasses with a differently-named set override this; returning
-        ``None`` opts out of refinement merging.
+        Defaults to the engine's :meth:`PolicyEngine.refinement_state`;
+        subclasses with a differently-named set override this, and
+        returning ``None`` opts out of refinement merging.
         """
-        return getattr(self, "bound_set", None)
+        state = getattr(self, "bound_set", None)
+        if state is not None:
+            return state
+        return self.engine.refinement_state()
 
-    def __init__(self, model: RecoveryModel, preflight: bool = False):
+    def __init__(
+        self,
+        model: RecoveryModel | None = None,
+        preflight: bool = False,
+        *,
+        engine: PolicyEngine | None = None,
+    ):
         """Args:
-            model: the (augmented) recovery model to control.
-            preflight: run the static analyzer over ``model`` before the
+            model: the (augmented) recovery model to control.  Required on
+                the legacy callback path; ignored when ``engine`` is given
+                (the engine owns the model).
+            preflight: run the static analyzer over the model before the
                 first action can be taken.  Error findings raise
                 :class:`~repro.exceptions.AnalysisError` (carrying the full
                 report); otherwise the report is kept on
                 :attr:`preflight_report` so operators can surface warnings
                 (loose bounds, dead observations) at deployment time.
+            engine: a prebuilt :class:`PolicyEngine` to adapt (the shipped
+                controllers construct their concrete engine and pass it
+                here).  When None, a :class:`_CallbackEngine` is wired up
+                around this instance's ``_decide`` override.
         """
-        self.model = model
-        self.stopwatch = Stopwatch()
-        self._belief: np.ndarray | None = None
-        self._done = True
-        self.preflight_report = None
-        if preflight:
-            from repro.analysis.passes import analyze
+        if engine is None:
+            if model is None:
+                raise ControllerError(
+                    "RecoveryController needs a model (legacy callback "
+                    "path) or an engine"
+                )
+            engine = _CallbackEngine(self, model, preflight=preflight)
+        else:
+            self.name = engine.name
+        self.engine = engine
+        self.preflight_report = engine.preflight_report
+        self.session: RecoverySession = engine.session()
 
-            report = analyze(model)
-            report.raise_if_errors()
-            self.preflight_report = report
+    # -- session pass-throughs ------------------------------------------------
 
-    # -- episode life cycle -------------------------------------------------
+    @property
+    def model(self) -> RecoveryModel:
+        """The engine's (shared) recovery model."""
+        return self.engine.model
+
+    @property
+    def stopwatch(self) -> Stopwatch:
+        """The live session's decision stopwatch ("algorithm time")."""
+        return self.session.stopwatch
 
     def reset(self, initial_belief: np.ndarray | None = None) -> None:
-        """Start a new recovery episode.
-
-        The default initial belief is the paper's "all faults equally
-        likely" distribution; the campaign then immediately feeds the first
-        monitor outputs through :meth:`observe`.
-        """
-        if initial_belief is None:
-            self._belief = self.model.initial_belief()
-        else:
-            belief = np.asarray(initial_belief, dtype=float)
-            if belief.shape != (self.model.pomdp.n_states,):
-                raise ControllerError(
-                    f"initial belief must have length {self.model.pomdp.n_states}"
-                )
-            self._belief = belief.copy()
-        self._done = False
-        self._on_reset()
+        """Start a new recovery episode (see :meth:`RecoverySession.reset`)."""
+        self.session.reset(initial_belief)
 
     @property
     def belief(self) -> np.ndarray:
         """The controller's current belief state (copy)."""
-        if self._belief is None:
-            raise ControllerError("controller has not been reset onto an episode")
-        return self._belief.copy()
+        return self.session.belief
 
     @property
     def done(self) -> bool:
         """True once the controller has terminated the current episode."""
-        return self._done
+        return self.session.done
 
     def observe(self, action: int, observation: int) -> None:
-        """Fold the monitor outputs after ``action`` into the belief (Eq. 4).
-
-        If the observation is impossible under the current belief (a
-        model/environment mismatch), the belief is re-seeded from the
-        initial fault distribution and the update retried, so the
-        controller re-diagnoses instead of crashing mid-recovery.
-        """
-        if self._belief is None:
-            raise ControllerError("observe() before reset()")
-        if observation < 0:
-            # The environment's terminate branch hands back the NO_OBSERVATION
-            # sentinel; feeding it to Eq. 4 would silently index the last
-            # observation column (numpy wraps negative indices) and corrupt
-            # the belief.  No shipped loop does this — fail loudly if a
-            # custom driver tries.
-            raise ControllerError(
-                f"observe() got negative observation {observation}; terminate "
-                "executions produce no monitor outputs and must not be fed "
-                "back into the belief update"
-            )
-        pomdp = self.model.pomdp
-        try:
-            self._belief = update_belief(pomdp, self._belief, action, observation)
-        except BeliefError:
-            fallback = self.model.initial_belief()
-            telemetry = telemetry_active()
-            try:
-                self._belief = update_belief(pomdp, fallback, action, observation)
-                fallback_recovered = True
-            except BeliefError:
-                self._belief = fallback
-                fallback_recovered = False
-            if telemetry is not None:
-                telemetry.count("belief.update_failures")
-                telemetry.event(
-                    "belief_update_failure",
-                    action=int(action),
-                    observation=int(observation),
-                    fallback_recovered=fallback_recovered,
-                )
+        """Fold the monitor outputs after ``action`` into the belief (Eq. 4)."""
+        self.session.observe(action, observation)
 
     def decide(self) -> Decision:
         """Choose the next action; timed for the "algorithm time" metric."""
-        if self._belief is None:
-            raise ControllerError("decide() before reset()")
-        if self._done:
-            raise ControllerError("decide() after the episode terminated")
-        with self.stopwatch:
-            decision = self._decide(self._belief)
-        if decision.is_terminate:
-            self._done = True
-        return decision
+        return self.session.decide()
 
     def _terminate_decision(self, value: float | None = None) -> Decision:
         """A terminating decision that executes ``a_T`` where the model has one.
 
-        Threshold and notification exits used to return a bare ``action=-1``
-        sentinel; on models with a terminate action that skipped the
-        termination-reward charge entirely (the operator-response cost of
-        walking away from a live fault, Section 3.1).  Now the decision
-        carries ``a_T`` whenever it exists — the campaign executes it, and
-        the environment charges ``r(s, a_T)`` (zero once recovered) — and
-        falls back to :data:`NO_ACTION` only for recovery-notification
-        models, whose termination is pure bookkeeping.
+        Forwarded to :meth:`PolicyEngine.terminate_decision`; kept as a
+        method so legacy ``_decide`` overrides keep their exit idiom.
         """
-        action = self.model.terminate_action
-        return Decision(
-            action=NO_ACTION if action is None else action,
-            is_terminate=True,
-            value=value,
-        )
+        return self.engine.terminate_decision(value=value)
 
     def sync_true_state(self, state: int) -> None:
-        """Ground-truth hook; a no-op for every honest controller.
+        """Ground-truth hook; records the state on the session.
 
-        The campaign calls this after every environment transition.  Only
-        the oracle controller overrides it — it models omniscient
-        diagnosis, not something a real controller could do.
+        The campaign calls this after every environment transition.  Honest
+        controllers never read it back — only the oracle engine does (it
+        models omniscient diagnosis, not something a real controller could
+        do).  Legacy oracle-style subclasses may still override this method
+        directly.
         """
+        self.session.true_state = int(state)
 
-    # -- subclass responsibilities -------------------------------------------
+    # -- legacy subclass responsibilities -------------------------------------
 
     def _on_reset(self) -> None:
-        """Per-episode subclass state reset (optional)."""
+        """Per-episode subclass state reset (optional, callback path)."""
 
-    @abc.abstractmethod
     def _decide(self, belief: np.ndarray) -> Decision:
-        """Choose an action for ``belief`` (already guarded and timed)."""
+        """Choose an action for ``belief`` (already guarded and timed).
+
+        Only the legacy callback path reaches this; engine-backed
+        controllers decide inside their engine.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} must either override _decide() or be "
+            "constructed with an engine"
+        )

@@ -1,8 +1,8 @@
-"""The bounded recovery controller (Section 4).
+"""The bounded recovery policy (Section 4).
 
-On startup it computes the RA-Bound (off-line, Section 4.3) and seeds a
-:class:`~repro.bounds.vector_set.BoundVectorSet` with it.  At every decision
-point it optionally refines the bound at the current belief (the
+On startup the engine computes the RA-Bound (off-line, Section 4.3) and
+seeds a :class:`~repro.bounds.vector_set.BoundVectorSet` with it.  At every
+decision point it optionally refines the bound at the current belief (the
 belief-states "naturally generated during the course of system recovery",
 Section 4.1) and then unrolls the POMDP recursion of Eq. 2 to a small fixed
 depth with the lower bound at the leaves (Figure 1(b)).  Recovery ends when
@@ -17,18 +17,21 @@ bound set is evaluated against it in a single
 :meth:`~repro.bounds.vector_set.BoundVectorSet.value_batch` matmul — on the
 sparse backend the posteriors are skipped entirely and the whole decision is
 a handful of CSR × dense-block products.
+
+All of that is shared, warm state, so it lives in
+:class:`BoundedPolicyEngine`; :class:`BoundedController` is the thin
+campaign-facing adapter over one engine plus one live session.
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
 
-import numpy as np
-
 from repro.bounds.incremental import refine_at
 from repro.bounds.ra_bound import ra_bound_vector
 from repro.bounds.vector_set import BoundVectorSet
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import RecoveryController
+from repro.controllers.engine import Decision, PolicyEngine, RecoverySession
 from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.tree import expand_tree
 from repro.recovery.model import RecoveryModel
@@ -40,17 +43,19 @@ NOTIFICATION_CERTAINTY = 1.0 - 1e-9
 TIE_EPSILON = 1e-9
 
 
-class BoundedController(RecoveryController):
-    """Lookahead controller with provable lower bounds at the leaves.
+class BoundedPolicyEngine(PolicyEngine):
+    """Lookahead policy with provable lower bounds at the leaves.
 
     Args:
         model: the (augmented) recovery model.
         depth: lookahead depth; the paper's evaluated configuration is 1.
         bound_set: an existing bound-vector set to share (e.g. one produced
-            by :func:`repro.controllers.bootstrap.bootstrap_bounds`); when
-            None, a fresh set seeded with the RA-Bound is computed.
+            by :func:`repro.controllers.bootstrap.bootstrap_bounds`, or one
+            reloaded through :func:`repro.io.load_bound_set`); when None, a
+            fresh set seeded with the RA-Bound is computed.
         refine_online: refine the bound at every visited belief (Section
             4.1).  Disable to freeze the bounds after bootstrapping.
+            Sessions can override per episode via their ``refine`` flag.
         refine_min_improvement: reject online refinements that raise the
             bound at the visited belief by less than this (in reward units,
             i.e. dropped requests for the EMN model).  Keeps the vector set
@@ -84,7 +89,8 @@ class BoundedController(RecoveryController):
         self.bound_set = bound_set
         self.name = f"bounded (depth {depth})"
 
-    def _decide(self, belief: np.ndarray) -> Decision:
+    def decide(self, session: RecoverySession) -> Decision:
+        belief = session.belief_view()
         pomdp = self.model.pomdp
         telemetry = telemetry_active()
         if (
@@ -99,14 +105,21 @@ class BoundedController(RecoveryController):
                 telemetry.event(
                     "decision", action=-1, terminate=True, notified=True
                 )
-            return self._terminate_decision(value=0.0)
+            return self.terminate_decision(value=0.0)
         decision_span = (
-            telemetry.trace_span("controller.decision", category="controller")
+            telemetry.trace_span(
+                "controller.decision",
+                category="controller",
+                **session.span_attributes(),
+            )
             if telemetry is not None
             else nullcontext()
         )
         with decision_span:
-            if self.refine_online:
+            refine = (
+                self.refine_online if session.refine is None else session.refine
+            )
+            if refine:
                 refine_at(
                     pomdp,
                     self.bound_set,
@@ -154,3 +167,49 @@ class BoundedController(RecoveryController):
             is_terminate=action == terminate,
             value=decision.value,
         )
+
+
+class BoundedController(RecoveryController):
+    """Campaign-facing adapter over a :class:`BoundedPolicyEngine`.
+
+    Accepts the engine's arguments (see there) and exposes the engine's
+    shared state under the historical attribute names.
+    """
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        depth: int = 1,
+        bound_set: BoundVectorSet | None = None,
+        refine_online: bool = True,
+        refine_min_improvement: float = 0.0,
+        max_vectors: int | None = None,
+        preflight: bool = False,
+    ):
+        super().__init__(
+            engine=BoundedPolicyEngine(
+                model,
+                depth=depth,
+                bound_set=bound_set,
+                refine_online=refine_online,
+                refine_min_improvement=refine_min_improvement,
+                max_vectors=max_vectors,
+                preflight=preflight,
+            )
+        )
+
+    @property
+    def depth(self) -> int:
+        return self.engine.depth
+
+    @property
+    def refine_online(self) -> bool:
+        return self.engine.refine_online
+
+    @property
+    def refine_min_improvement(self) -> float:
+        return self.engine.refine_min_improvement
+
+    @property
+    def bound_set(self) -> BoundVectorSet:
+        return self.engine.bound_set

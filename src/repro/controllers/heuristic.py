@@ -1,4 +1,4 @@
-"""The heuristic baseline controller (Section 5, and [8]).
+"""The heuristic baseline policy (Section 5, and [8]).
 
 Identical lookahead machinery to the bounded controller, but the leaves of
 the finite-depth expansion carry a *heuristic* approximation instead of a
@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import RecoveryController
+from repro.controllers.engine import Decision, PolicyEngine, RecoverySession
 from repro.linalg.ops import reward_row, rewards_max_value
 from repro.pomdp.tree import expand_tree
 from repro.recovery.model import RecoveryModel
@@ -71,14 +72,14 @@ class HeuristicLeaf:
         return unrecovered * self.cost
 
 
-class HeuristicController(RecoveryController):
+class HeuristicPolicyEngine(PolicyEngine):
     """Finite-depth lookahead with the heuristic leaf of [8].
 
     Args:
         model: the recovery model.
         depth: lookahead depth (the paper evaluates 1, 2, and 3).
         termination_probability: recovered-probability threshold at which
-            the controller stops (the paper uses 0.9999 for 10,000 runs).
+            the policy stops (the paper uses 0.9999 for 10,000 runs).
         literal_max: use the formula's literal ``max`` leaf (see module
             docstring).
     """
@@ -107,10 +108,11 @@ class HeuristicController(RecoveryController):
             self._allowed[model.terminate_action] = False
         self.name = f"heuristic (depth {depth})"
 
-    def _decide(self, belief: np.ndarray) -> Decision:
+    def decide(self, session: RecoverySession) -> Decision:
+        belief = session.belief_view()
         recovered = self.model.recovered_probability(belief)
         if recovered >= self.termination_probability:
-            return self._terminate_decision(value=0.0)
+            return self.terminate_decision(value=0.0)
         decision = expand_tree(
             self.model.pomdp,
             belief,
@@ -119,3 +121,37 @@ class HeuristicController(RecoveryController):
             allowed_actions=self._allowed,
         )
         return Decision(action=decision.action, value=decision.value)
+
+
+class HeuristicController(RecoveryController):
+    """Campaign-facing adapter over a :class:`HeuristicPolicyEngine`."""
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        depth: int = 1,
+        termination_probability: float = 0.9999,
+        literal_max: bool = False,
+        preflight: bool = False,
+    ):
+        super().__init__(
+            engine=HeuristicPolicyEngine(
+                model,
+                depth=depth,
+                termination_probability=termination_probability,
+                literal_max=literal_max,
+                preflight=preflight,
+            )
+        )
+
+    @property
+    def depth(self) -> int:
+        return self.engine.depth
+
+    @property
+    def termination_probability(self) -> float:
+        return self.engine.termination_probability
+
+    @property
+    def leaf(self) -> HeuristicLeaf:
+        return self.engine.leaf

@@ -1,4 +1,4 @@
-"""The "most likely" baseline controller (Section 5).
+"""The "most likely" baseline policy (Section 5).
 
 "A controller that performs probabilistic diagnosis on the system using the
 Bayes rule, and chooses the cheapest recovery action that recovers from the
@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import RecoveryController
+from repro.controllers.engine import Decision, PolicyEngine, RecoverySession
 from repro.exceptions import ModelError
 from repro.recovery.model import RecoveryModel
 
@@ -63,7 +64,7 @@ def cheapest_fixing_actions(model: RecoveryModel) -> dict[int, int]:
     return mapping
 
 
-class MostLikelyController(RecoveryController):
+class MostLikelyPolicyEngine(PolicyEngine):
     """Bayes diagnosis + cheapest fixing action for the belief's mode."""
 
     def __init__(
@@ -83,10 +84,33 @@ class MostLikelyController(RecoveryController):
         self._fault_indices = np.flatnonzero(model.fault_states)
         self.name = "most likely"
 
-    def _decide(self, belief: np.ndarray) -> Decision:
+    def decide(self, session: RecoverySession) -> Decision:
+        belief = session.belief_view()
         recovered = self.model.recovered_probability(belief)
         if recovered >= self.termination_probability:
-            return self._terminate_decision()
+            return self.terminate_decision()
         fault_mass = belief[self._fault_indices]
         most_likely = int(self._fault_indices[np.argmax(fault_mass)])
         return Decision(action=self._fixing_action[most_likely])
+
+
+class MostLikelyController(RecoveryController):
+    """Campaign-facing adapter over a :class:`MostLikelyPolicyEngine`."""
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        termination_probability: float = 0.9999,
+        preflight: bool = False,
+    ):
+        super().__init__(
+            engine=MostLikelyPolicyEngine(
+                model,
+                termination_probability=termination_probability,
+                preflight=preflight,
+            )
+        )
+
+    @property
+    def termination_probability(self) -> float:
+        return self.engine.termination_probability

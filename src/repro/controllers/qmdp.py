@@ -1,4 +1,4 @@
-"""QMDP baseline controller.
+"""QMDP baseline policy.
 
 A classic POMDP heuristic (Littman et al.) added as an extra baseline: act
 greedily with respect to the *fully observable* Q-values,
@@ -24,18 +24,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bounds.upper import QMDPBound
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import RecoveryController
+from repro.controllers.engine import Decision, PolicyEngine, RecoverySession
 from repro.recovery.model import RecoveryModel
 
 
-class QMDPController(RecoveryController):
+class QMDPPolicyEngine(PolicyEngine):
     """Greedy in the fully-observable Q-values.
 
     Args:
         model: the recovery model.
         termination_probability: recovered-probability threshold at which
             recovery stops.
-        allow_terminate_action: let the controller pick ``a_T`` when the
+        allow_terminate_action: let the policy pick ``a_T`` when the
             Q-values favour it (the default); when False, ``a_T`` is masked
             and only the threshold ends recovery.
     """
@@ -60,10 +61,11 @@ class QMDPController(RecoveryController):
             self._allowed[model.terminate_action] = False
         self.name = "qmdp"
 
-    def _decide(self, belief: np.ndarray) -> Decision:
+    def decide(self, session: RecoverySession) -> Decision:
+        belief = session.belief_view()
         recovered = self.model.recovered_probability(belief)
         if recovered >= self.termination_probability:
-            return self._terminate_decision()
+            return self.terminate_decision()
         scores = self.q_values @ belief
         scores[~self._allowed] = -np.inf
         action = int(np.argmax(scores))
@@ -72,3 +74,31 @@ class QMDPController(RecoveryController):
             is_terminate=action == self.model.terminate_action,
             value=float(scores[action]),
         )
+
+
+class QMDPController(RecoveryController):
+    """Campaign-facing adapter over a :class:`QMDPPolicyEngine`."""
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        termination_probability: float = 0.9999,
+        allow_terminate_action: bool = True,
+        preflight: bool = False,
+    ):
+        super().__init__(
+            engine=QMDPPolicyEngine(
+                model,
+                termination_probability=termination_probability,
+                allow_terminate_action=allow_terminate_action,
+                preflight=preflight,
+            )
+        )
+
+    @property
+    def termination_probability(self) -> float:
+        return self.engine.termination_probability
+
+    @property
+    def q_values(self) -> np.ndarray:
+        return self.engine.q_values

@@ -1,4 +1,4 @@
-"""Uniform-random recovery controller.
+"""Uniform-random recovery policy.
 
 Chooses uniformly among the model's recovery actions regardless of belief.
 This is exactly the policy whose expected cost the RA-Bound computes
@@ -9,18 +9,24 @@ the mean episode reward of this controller can be no better than the
 optimal value, and the RA-Bound can be no better than this controller when
 evaluated over the *full* action set.  It also serves as the sanity floor
 in ablation tables.
+
+The RNG lives on the engine — one stream shared by every session it
+serves, exactly the stream the single pre-session controller carried — so
+per-chunk engine clones in the campaign driver keep historical draws (and
+fingerprints) bit-identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.controllers.base import Decision, RecoveryController
+from repro.controllers.base import RecoveryController
+from repro.controllers.engine import Decision, PolicyEngine, RecoverySession
 from repro.recovery.model import RecoveryModel
 from repro.util.rng import as_generator
 
 
-class RandomController(RecoveryController):
+class RandomPolicyEngine(PolicyEngine):
     """Picks actions uniformly at random.
 
     Args:
@@ -51,11 +57,12 @@ class RandomController(RecoveryController):
         self.termination_probability = termination_probability
         self.name = "random"
 
-    def _decide(self, belief: np.ndarray) -> Decision:
+    def decide(self, session: RecoverySession) -> Decision:
+        belief = session.belief_view()
         if not self.include_all_actions:
             recovered = self.model.recovered_probability(belief)
             if recovered >= self.termination_probability:
-                return self._terminate_decision()
+                return self.terminate_decision()
         action = int(self._rng.choice(self._choices))
         is_terminate = action == self.model.terminate_action
         if (
@@ -64,3 +71,33 @@ class RandomController(RecoveryController):
         ):
             is_terminate = True
         return Decision(action=action, is_terminate=is_terminate)
+
+
+class RandomController(RecoveryController):
+    """Campaign-facing adapter over a :class:`RandomPolicyEngine`."""
+
+    def __init__(
+        self,
+        model: RecoveryModel,
+        include_all_actions: bool = True,
+        termination_probability: float = 0.9999,
+        seed=None,
+        preflight: bool = False,
+    ):
+        super().__init__(
+            engine=RandomPolicyEngine(
+                model,
+                include_all_actions=include_all_actions,
+                termination_probability=termination_probability,
+                seed=seed,
+                preflight=preflight,
+            )
+        )
+
+    @property
+    def include_all_actions(self) -> bool:
+        return self.engine.include_all_actions
+
+    @property
+    def termination_probability(self) -> float:
+        return self.engine.termination_probability

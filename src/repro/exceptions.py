@@ -96,3 +96,11 @@ class ControllerError(ReproError):
     Examples: asking a controller for a decision before it has been reset
     onto an episode, or stepping it after it has terminated recovery.
     """
+
+
+class ServeError(ReproError):
+    """A policy-service request cannot be honoured.
+
+    Examples: opening a session while the daemon is draining, addressing an
+    unknown session id, or re-using a session id that is still live.
+    """

@@ -32,6 +32,8 @@ for any spelling of ``path``.
 from __future__ import annotations
 
 import contextlib
+import hashlib
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -46,6 +48,7 @@ from repro.linalg.containers import (
     SparseTransitions,
     StructuredRewards,
 )
+from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.model import POMDP
 from repro.recovery.model import RecoveryModel
 
@@ -60,6 +63,12 @@ READABLE_VERSIONS = (1, 2)
 
 #: Suffix of in-flight temporary files (see :func:`_atomic_savez`).
 TEMP_SUFFIX = ".tmp"
+
+#: Schema tag of the certification sidecar (see :func:`certificate_path`).
+CERT_SCHEMA = "repro-cert/v1"
+
+#: Suffix appended to the archive path for the certification sidecar.
+CERT_SUFFIX = ".cert.json"
 
 
 def _labels_array(labels: tuple[str, ...]) -> np.ndarray:
@@ -340,7 +349,128 @@ def save_bound_set(path, bound_set: BoundVectorSet) -> None:
     )
 
 
-def load_bound_set(path, model=None) -> BoundVectorSet:
+def certificate_path(path) -> Path:
+    """The sidecar recording an archive's last clean R3xx certification."""
+    target = archive_path(path)
+    return target.with_name(target.name + CERT_SUFFIX)
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for block in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def model_fingerprint(model) -> str | None:
+    """SHA-256 content digest of a model's tensors, labels, and discount.
+
+    Accepts a :class:`~repro.recovery.model.RecoveryModel` or
+    :class:`~repro.pomdp.model.POMDP`; anything else (e.g. a prepared
+    :class:`~repro.analysis.view.ModelView`, which may hold derived
+    matrices rather than the originals) returns ``None``, meaning "no
+    stable fingerprint" — callers must then fall back to certifying.
+    """
+    pomdp = getattr(model, "pomdp", model)
+    if not isinstance(pomdp, POMDP):
+        return None
+    digest = hashlib.sha256()
+    arrays = _pack_model_tensors(pomdp)
+    for key in sorted(arrays):
+        value = np.asarray(arrays[key])
+        digest.update(key.encode())
+        digest.update(str(value.dtype).encode())
+        digest.update(repr(value.shape).encode())
+        digest.update(np.ascontiguousarray(value).tobytes())
+    for label in (
+        *pomdp.state_labels,
+        *pomdp.action_labels,
+        *pomdp.observation_labels,
+    ):
+        digest.update(label.encode())
+        digest.update(b"\x00")
+    digest.update(repr(float(pomdp.discount)).encode())
+    return digest.hexdigest()
+
+
+def _read_certificate(cert_file: Path) -> dict | None:
+    try:
+        with open(cert_file, encoding="utf-8") as stream:
+            record = json.load(stream)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return record if isinstance(record, dict) else None
+
+
+def _write_certificate(cert_file: Path, record: dict) -> None:
+    """Atomically persist the sidecar; failure to cache never fails the load."""
+    with contextlib.suppress(OSError):
+        fd, temp_name = tempfile.mkstemp(
+            dir=cert_file.parent or Path("."),
+            prefix=cert_file.name + ".",
+            suffix=TEMP_SUFFIX,
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(record, stream, sort_keys=True)
+                stream.write("\n")
+            os.replace(temp_name, cert_file)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.remove(temp_name)
+            raise
+
+
+def _certify_loaded(
+    target: Path, path, model, bound_set: BoundVectorSet, recertify: bool
+) -> None:
+    """Certify a freshly loaded bound set, memoised by content digests.
+
+    The full R3xx sweep (a Bellman-backup envelope over every vector) is
+    exactly the cost warm restarts are supposed to avoid, so a clean pass
+    is recorded in a sidecar keyed by the SHA-256 of the archive *file*
+    and of the model's packed tensors.  A later load of the same archive
+    against the same model skips straight through; any change to either —
+    a re-saved archive, a different model — misses the cache and pays the
+    sweep again.  Models without a stable fingerprint (prepared views)
+    always certify.
+    """
+    telemetry = telemetry_active()
+    model_digest = model_fingerprint(model)
+    cert_file = certificate_path(target)
+    archive_digest = _file_sha256(target)
+    if not recertify and model_digest is not None:
+        cached = _read_certificate(cert_file)
+        if (
+            cached is not None
+            and cached.get("schema") == CERT_SCHEMA
+            and cached.get("archive_sha256") == archive_digest
+            and cached.get("model_sha256") == model_digest
+        ):
+            if telemetry is not None:
+                telemetry.count_process("io.certify_skipped")
+            return
+    from repro.analysis.certify import certify_bound_set
+
+    certify_bound_set(
+        model, bound_set, title=f"bound-set certificate for {path}"
+    ).raise_if_errors()
+    if telemetry is not None:
+        telemetry.count_process("io.certify_runs")
+    if model_digest is not None:
+        _write_certificate(
+            cert_file,
+            {
+                "schema": CERT_SCHEMA,
+                "archive_sha256": archive_digest,
+                "model_sha256": model_digest,
+                "vectors": int(bound_set.vectors.shape[0]),
+            },
+        )
+
+
+def load_bound_set(path, model=None, recertify: bool = False) -> BoundVectorSet:
     """Reload a bound set; usage counters and pinning survive the round trip.
 
     When ``model`` is given (a RecoveryModel, POMDP, or prepared
@@ -352,8 +482,16 @@ def load_bound_set(path, model=None) -> BoundVectorSet:
     positive mass on pinned zero-value states — raises
     :class:`~repro.exceptions.AnalysisError` instead of silently steering
     the controller with an unsound bound.
+
+    A clean certification is memoised in a ``.cert.json`` sidecar next to
+    the archive, keyed by content digests of the archive and the model, so
+    repeated loads of an unchanged pair — a service warm-restarting from
+    its checkpoint — skip the Bellman-envelope sweep.  Pass
+    ``recertify=True`` to force the sweep regardless of the sidecar (it
+    re-records the sidecar on success).
     """
-    with np.load(archive_path(path), allow_pickle=False) as archive:
+    target = archive_path(path)
+    with np.load(target, allow_pickle=False) as archive:
         _check_kind(archive, "bound-set", path)
         max_vectors = int(archive["max_vectors"])
         bound_set = BoundVectorSet(
@@ -363,9 +501,5 @@ def load_bound_set(path, model=None) -> BoundVectorSet:
         bound_set._usage = archive["usage"].copy()
         bound_set._pinned = int(archive["pinned"])
     if model is not None:
-        from repro.analysis.certify import certify_bound_set
-
-        certify_bound_set(
-            model, bound_set, title=f"bound-set certificate for {path}"
-        ).raise_if_errors()
+        _certify_loaded(target, path, model, bound_set, recertify)
     return bound_set

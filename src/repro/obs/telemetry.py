@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from collections import Counter, deque
 from collections.abc import Iterator
@@ -147,8 +148,12 @@ class _TraceSpan:
 
     def __enter__(self) -> _TraceSpan:
         telemetry = self._telemetry
-        self._span_id = telemetry._next_span_id
-        telemetry._next_span_id += 1
+        with telemetry._lock:
+            self._span_id = telemetry._next_span_id
+            telemetry._next_span_id += 1
+        # The open-span stack is thread-local: concurrent sessions (the
+        # policy service runs one thread per connection) each nest their
+        # own spans without seeing each other's parents.
         stack = telemetry._span_stack
         self._parent_id = stack[-1] if stack else None
         stack.append(self._span_id)
@@ -226,10 +231,26 @@ class Telemetry:
         self._buffer: list[dict[str, Any]] = []
         self._seq = 0
         self._epoch = time.perf_counter()  # codelint: ignore[R903]
-        self._span_stack: list[int] = []
         self._next_span_id = 0
         #: Virtual-timeline cursor for rebased chunk spans (seconds).
         self._trace_cursor = 0.0
+        # Span-id allocation, the span ring buffer, and event emission are
+        # guarded so concurrent sessions (the policy service's threads) can
+        # share one registry; the open-span stack is kept per thread.  The
+        # plain counter/gauge/timer paths stay lock-free — they are the
+        # campaign hot path, single-threaded by construction, and a lost
+        # increment under concurrent writers costs accuracy, not safety.
+        self._lock = threading.RLock()
+        self._local = threading.local()
+
+    @property
+    def _span_stack(self) -> list[int]:
+        """This thread's stack of open span ids."""
+        stack = getattr(self._local, "span_stack", None)
+        if stack is None:
+            stack = []
+            self._local.span_stack = stack
+        return stack
 
     # -- registry -------------------------------------------------------------
 
@@ -276,10 +297,11 @@ class Telemetry:
         return _TraceSpan(self, name, category, args)
 
     def _append_span(self, record: SpanRecord) -> None:
-        if len(self.spans) >= self.max_spans:
-            self.spans.popleft()
-            self.counters[SPANS_DROPPED_COUNTER] += 1
-        self.spans.append(record)
+        with self._lock:
+            if len(self.spans) >= self.max_spans:
+                self.spans.popleft()
+                self.counters[SPANS_DROPPED_COUNTER] += 1
+            self.spans.append(record)
 
     @property
     def events_dropped(self) -> int:
@@ -290,13 +312,14 @@ class Telemetry:
 
     def event(self, kind: str, /, **fields: Any) -> None:
         """Record one structured event (written to the sink or buffered)."""
-        record: dict[str, Any] = {"event": kind, "seq": self._seq}
-        record.update(fields)
-        self._seq += 1
-        if self._sink is not None:
-            self._sink.write(json.dumps(record) + "\n")
-        else:
-            self._buffer.append(record)
+        with self._lock:
+            record: dict[str, Any] = {"event": kind, "seq": self._seq}
+            record.update(fields)
+            self._seq += 1
+            if self._sink is not None:
+                self._sink.write(json.dumps(record) + "\n")
+            else:
+                self._buffer.append(record)
 
     # -- chunk merge protocol -------------------------------------------------
 
@@ -353,6 +376,12 @@ class Telemetry:
             self._absorb_spans(snapshot.spans, chunk)
 
     def _absorb_spans(
+        self, spans: tuple[SpanRecord, ...], chunk: int | None
+    ) -> None:
+        with self._lock:
+            self._absorb_spans_locked(spans, chunk)
+
+    def _absorb_spans_locked(
         self, spans: tuple[SpanRecord, ...], chunk: int | None
     ) -> None:
         id_offset = self._next_span_id

@@ -158,7 +158,8 @@ def to_collapsed_stacks(
 def span_tree(
     spans: list[SpanRecord] | tuple[SpanRecord, ...],
     with_args: bool = True,
-) -> list[dict[str, Any]]:
+    by_session: bool = False,
+) -> list[dict[str, Any]] | dict[Any, list[dict[str, Any]]]:
     """The spans as a canonical nested tree, wall-clock fields stripped.
 
     Children appear in span-id (allocation) order, which is start order
@@ -166,6 +167,16 @@ def span_tree(
     deterministic order.  The result contains only ``name``, ``args``
     (optional), and ``children``, so two runs of the same seeded campaign
     compare equal with ``==`` regardless of worker count or timing.
+
+    With ``by_session=True`` the result is instead a dict mapping each
+    session label to that session's forest.  A span's session is its own
+    ``session`` arg or, failing that, the nearest ancestor's (spans with
+    no labelled ancestor group under ``None``).  Concurrent sessions
+    multiplexed onto one registry — the policy service's — interleave
+    their spans in allocation order, so the flat tree braids them
+    together; grouping restores one readable flamegraph per session.  A
+    span opened under a *differently*-labelled parent roots its own
+    session's forest rather than nesting across the boundary.
     """
     children: dict[int | None, list[SpanRecord]] = {}
     by_id = {span.span_id: span for span in spans}
@@ -184,4 +195,35 @@ def span_tree(
         ]
         return node
 
-    return [build(span) for span in children.get(None, [])]
+    if not by_session:
+        return [build(span) for span in children.get(None, [])]
+
+    session_of: dict[int, Any] = {}
+
+    def resolve(span: SpanRecord) -> Any:
+        if span.span_id in session_of:
+            return session_of[span.span_id]
+        label = dict(span.args).get("session")
+        if label is None and span.parent_id is not None and span.parent_id in by_id:
+            label = resolve(by_id[span.parent_id])
+        session_of[span.span_id] = label
+        return label
+
+    def build_session(span: SpanRecord, label: Any) -> dict[str, Any]:
+        node: dict[str, Any] = {"name": span.name}
+        if with_args:
+            node["args"] = dict(span.args)
+        node["children"] = [
+            build_session(child, label)
+            for child in children.get(span.span_id, [])
+            if resolve(child) == label
+        ]
+        return node
+
+    forests: dict[Any, list[dict[str, Any]]] = {}
+    for span in sorted(spans, key=lambda span: span.span_id):
+        label = resolve(span)
+        parent = by_id.get(span.parent_id) if span.parent_id is not None else None
+        if parent is None or resolve(parent) != label:
+            forests.setdefault(label, []).append(build_session(span, label))
+    return forests

@@ -1,0 +1,35 @@
+"""`repro.serve` — the persistent recovery-policy service.
+
+The batch campaign harness answers "how good is this policy over 10,000
+injections?"; this package answers the deployment question: a long-running
+daemon that loads a model archive *once*, keeps the RA-Bound-seeded (and
+online-refined) :class:`~repro.bounds.vector_set.BoundVectorSet` and the
+joint-factor cache warm, and multiplexes many concurrent recovery sessions
+over a line-delimited JSON protocol on a unix socket.  Refined bounds are
+checkpointed atomically — on an interval and on SIGTERM — so the Section
+4.1 amortization argument ("bounds improve along beliefs naturally
+generated during recovery") survives restarts: the next daemon warm-starts
+from the persisted set via :func:`repro.io.load_bound_set` instead of
+re-paying RA-Bound seeding and bootstrap refinement.
+
+* :mod:`repro.serve.service` — :class:`PolicyService`: engine warm-up,
+  the session registry, checkpointing, drain.
+* :mod:`repro.serve.protocol` — request/response schema and dispatch.
+* :mod:`repro.serve.daemon` — unix-socket server, supervisor loop, signal
+  handling, interval checkpointing.
+* :mod:`repro.serve.client` — a small blocking client for tests, smoke
+  checks, and ad-hoc operation.
+
+Run it with ``python -m repro.serve --model model.npz --socket /tmp/repro.sock``.
+"""
+
+from repro.serve.client import ServiceClient
+from repro.serve.daemon import PolicyDaemon
+from repro.serve.service import PolicyService, ServiceConfig
+
+__all__ = [
+    "PolicyDaemon",
+    "PolicyService",
+    "ServiceClient",
+    "ServiceConfig",
+]

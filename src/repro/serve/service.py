@@ -1,0 +1,310 @@
+"""The policy service: one warm engine, many concurrent recovery sessions.
+
+:class:`PolicyService` owns everything the daemon shares across
+connections: the loaded :class:`~repro.recovery.model.RecoveryModel`, the
+:class:`~repro.controllers.bounded.BoundedPolicyEngine` with its
+RA-Bound-seeded (or warm-restarted) bound set, the session registry, and
+the checkpointing of refined bounds back to disk.  It is transport-free —
+the unix-socket daemon (:mod:`repro.serve.daemon`) and in-process callers
+(tests, the perf snapshot) drive the same object.
+
+Concurrency model: belief state is per-session and never shared, but every
+decision reads — and, with refinement on, *writes* — the engine's shared
+bound set, so :meth:`decide` and :meth:`checkpoint` serialise on one lock.
+That is the same single-writer discipline the campaign engine gets from
+chunk isolation, here enforced at runtime because sessions are driven by
+whichever connection thread speaks next.  Session bookkeeping uses a
+separate registry lock so opens/closes never wait on a slow decision.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.controllers.bootstrap import bootstrap_bounds
+from repro.controllers.bounded import BoundedPolicyEngine
+from repro.controllers.engine import RecoverySession
+from repro.exceptions import ServeError
+from repro.io import load_bound_set, save_bound_set
+from repro.obs.telemetry import active as telemetry_active
+from repro.pomdp.cache import get_joint_cache
+from repro.recovery.model import RecoveryModel
+
+#: Telemetry gauge tracking the number of live sessions.
+LIVE_SESSIONS_GAUGE = "serve.live_sessions"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Static configuration of one policy-service process.
+
+    Attributes:
+        model_path: ``recovery-model`` archive to load (see
+            :func:`repro.io.load_recovery_model`).  Ignored when a model
+            object is handed to :class:`PolicyService` directly.
+        socket_path: unix-socket path the daemon binds.
+        bounds_path: bound-set archive for warm starts and checkpoints.
+            When the file exists at startup the service *warm-starts* —
+            reloads the refined set (R3xx-certified, digest-memoised)
+            instead of re-paying RA-Bound seeding and bootstrap; either
+            way, later checkpoints write here.  ``None`` disables
+            persistence entirely.
+        checkpoint_interval: seconds between automatic bound-set
+            checkpoints (0 disables the interval thread; SIGTERM still
+            checkpoints).
+        depth: lookahead depth of the bounded policy.
+        refine_online: engine-wide online-refinement default; individual
+            sessions may override (``refine`` on open).
+        refine_min_improvement: refinement acceptance threshold, in reward
+            units.
+        max_vectors: bound-vector storage limit for *cold* starts.
+        bootstrap_iterations: cold-start bootstrap episodes (Section 4.1's
+            off-line phase) run before serving; 0 serves straight off the
+            RA-Bound seed.
+        bootstrap_seed: RNG seed for the bootstrap phase.
+        recertify: force the R3xx sweep on warm start even when the
+            digest sidecar says the (archive, model) pair already passed.
+        drain_timeout: seconds :meth:`PolicyService.drain` waits for live
+            sessions to finish before giving up and reporting stragglers.
+    """
+
+    model_path: str | None = None
+    socket_path: str = "repro-serve.sock"
+    bounds_path: str | None = None
+    checkpoint_interval: float = 300.0
+    depth: int = 1
+    refine_online: bool = True
+    refine_min_improvement: float = 0.0
+    max_vectors: int | None = None
+    bootstrap_iterations: int = 0
+    bootstrap_seed: int | None = field(default=2006)
+    recertify: bool = False
+    drain_timeout: float = 10.0
+
+
+class PolicyService:
+    """Shared engine + session registry + checkpointing (transport-free).
+
+    Args:
+        config: static configuration.
+        model: a pre-built model, bypassing ``config.model_path`` (the
+            in-process path tests and the perf snapshot use).
+    """
+
+    def __init__(self, config: ServiceConfig, model: RecoveryModel | None = None):
+        self.config = config
+        started = time.perf_counter()  # codelint: ignore[R903]
+        if model is None:
+            if config.model_path is None:
+                raise ServeError("ServiceConfig.model_path or a model is required")
+            from repro.io import load_recovery_model
+
+            model = load_recovery_model(config.model_path)
+        self.model = model
+
+        bound_set = None
+        self.started_warm = False
+        if config.bounds_path is not None:
+            try:
+                bound_set = load_bound_set(
+                    config.bounds_path, model=model, recertify=config.recertify
+                )
+                self.started_warm = True
+            except FileNotFoundError:
+                bound_set = None
+        if bound_set is None and config.bootstrap_iterations > 0:
+            bound_set, _ = bootstrap_bounds(
+                model,
+                iterations=config.bootstrap_iterations,
+                depth=config.depth,
+                seed=config.bootstrap_seed,
+            )
+        self.engine = BoundedPolicyEngine(
+            model,
+            depth=config.depth,
+            bound_set=bound_set,
+            refine_online=config.refine_online,
+            refine_min_improvement=config.refine_min_improvement,
+            max_vectors=config.max_vectors if bound_set is None else None,
+        )
+        # Build the joint-factor cache now rather than on the first decide,
+        # so the first session never pays the warm-up.
+        get_joint_cache(model.pomdp)
+        self.startup_seconds = time.perf_counter() - started  # codelint: ignore[R903]
+
+        self._sessions: dict[str, RecoverySession] = {}
+        self._registry_lock = threading.Lock()
+        # Serialises every bound-set reader/writer: decides (refinement and
+        # the usage bumps of value_batch), checkpoints, and stats.
+        self._engine_lock = threading.Lock()
+        self._next_session = 0
+        self._draining = threading.Event()
+        self._idle = threading.Condition(self._registry_lock)
+        self.decisions = 0
+        self.checkpoints = 0
+
+    # -- session registry -----------------------------------------------------
+
+    @property
+    def live_sessions(self) -> int:
+        """Number of currently open sessions."""
+        with self._registry_lock:
+            return len(self._sessions)
+
+    def _gauge_sessions_locked(self) -> None:
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.gauge(LIVE_SESSIONS_GAUGE, float(len(self._sessions)))
+
+    def open_session(
+        self,
+        session_id: str | None = None,
+        refine: bool | None = None,
+        initial_belief=None,
+    ) -> str:
+        """Open (and reset) a new recovery session; returns its id.
+
+        Args:
+            session_id: client-chosen id; autogenerated (``s0``, ``s1``,
+                ...) when omitted.  Re-using a live id is an error.
+            refine: per-session override of the engine's online-refinement
+                default — ``False`` gives a read-only session that never
+                mutates the shared bound set (replay/audit traffic).
+            initial_belief: belief to reset onto; the model's uniform
+                fault prior when omitted.
+        """
+        if self._draining.is_set():
+            raise ServeError("service is draining; not accepting new sessions")
+        session = self.engine.session(refine=refine)
+        with self._registry_lock:
+            if session_id is None:
+                session_id = f"s{self._next_session}"
+                self._next_session += 1
+            elif session_id in self._sessions:
+                raise ServeError(f"session {session_id!r} is already open")
+            session.session_id = session_id
+            self._sessions[session_id] = session
+            self._gauge_sessions_locked()
+        belief = None if initial_belief is None else np.asarray(initial_belief)
+        session.reset(belief)
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.count_process("serve.sessions_opened")
+        return session_id
+
+    def _session(self, session_id: str) -> RecoverySession:
+        with self._registry_lock:
+            try:
+                return self._sessions[session_id]
+            except KeyError:
+                raise ServeError(f"unknown session {session_id!r}") from None
+
+    def observe(self, session_id: str, action: int, observation: int) -> None:
+        """Fold monitor outputs into one session's belief (Eq. 4)."""
+        session = self._session(session_id)
+        session.observe(int(action), int(observation))
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.count_process("serve.observations")
+
+    def decide(self, session_id: str) -> dict:
+        """One decision for ``session_id``; serialised on the engine lock."""
+        session = self._session(session_id)
+        with self._engine_lock:
+            decision = session.decide()
+            self.decisions += 1
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.count_process("serve.decisions")
+        action_label = None
+        if decision.executes_action:
+            action_label = self.model.pomdp.action_labels[decision.action]
+        return {
+            "action": int(decision.action),
+            "action_label": action_label,
+            "terminate": bool(decision.is_terminate),
+            "value": None if decision.value is None else float(decision.value),
+            "done": bool(session.done),
+            "steps": int(session.steps),
+        }
+
+    def close_session(self, session_id: str) -> None:
+        """Forget a session (idempotent: closing twice is an error)."""
+        with self._registry_lock:
+            if session_id not in self._sessions:
+                raise ServeError(f"unknown session {session_id!r}")
+            del self._sessions[session_id]
+            self._gauge_sessions_locked()
+            self._idle.notify_all()
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.count_process("serve.sessions_closed")
+
+    # -- shared-state maintenance ---------------------------------------------
+
+    def checkpoint(self, path: str | None = None) -> str | None:
+        """Atomically persist the refined bound set; returns the path.
+
+        The engine lock is held across the save so no refinement lands
+        mid-serialisation; :func:`repro.io.save_bound_set` is itself
+        tmp-then-rename atomic, so a crash mid-checkpoint leaves the
+        previous checkpoint intact.  Returns ``None`` when persistence is
+        disabled (no path configured or given).
+        """
+        target = path if path is not None else self.config.bounds_path
+        if target is None:
+            return None
+        with self._engine_lock:
+            save_bound_set(target, self.engine.bound_set)
+            self.checkpoints += 1
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.count_process("serve.checkpoints")
+        return str(target)
+
+    def stats(self) -> dict:
+        """Operational snapshot (the ``stats`` protocol op)."""
+        with self._registry_lock:
+            live = len(self._sessions)
+        with self._engine_lock:
+            vectors = int(self.engine.bound_set.vectors.shape[0])
+        return {
+            "live_sessions": live,
+            "sessions_opened": self._next_session,
+            "decisions": self.decisions,
+            "checkpoints": self.checkpoints,
+            "bound_vectors": vectors,
+            "started_warm": self.started_warm,
+            "startup_seconds": self.startup_seconds,
+            "draining": self._draining.is_set(),
+            "model_states": int(self.model.pomdp.n_states),
+        }
+
+    # -- shutdown -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has been called."""
+        return self._draining.is_set()
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Stop accepting sessions and wait for the live ones to close.
+
+        Returns the number of sessions still open when the wait ended (0
+        is the graceful outcome).  The daemon calls this on SIGTERM before
+        the final checkpoint, so in-flight recoveries get ``drain_timeout``
+        seconds to reach their terminate decision.
+        """
+        self._draining.set()
+        budget = self.config.drain_timeout if timeout is None else timeout
+        deadline = time.monotonic() + budget  # codelint: ignore[R903]
+        with self._registry_lock:
+            while self._sessions:
+                remaining = deadline - time.monotonic()  # codelint: ignore[R903]
+                if remaining <= 0 or not self._idle.wait(timeout=remaining):
+                    break
+            return len(self._sessions)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.controllers.base import RecoveryController
+from repro.controllers.engine import RecoverySession
 from repro.obs.telemetry import active as telemetry_active
 from repro.recovery.model import RecoveryModel
 from repro.sim.environment import RecoveryEnvironment
@@ -34,15 +35,21 @@ class CampaignResult:
 
 
 def run_episode(
-    controller: RecoveryController,
+    controller: RecoveryController | RecoverySession,
     environment: RecoveryEnvironment,
     fault_state: int,
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> EpisodeMetrics:
     """Inject ``fault_state`` and drive ``controller`` until it terminates.
 
+    ``controller`` is anything speaking the session protocol — a
+    :class:`~repro.controllers.engine.RecoverySession` spawned from a
+    warm :class:`~repro.controllers.engine.PolicyEngine` (what the chunk
+    runner passes), or a classic :class:`RecoveryController` adapter,
+    which forwards to its live session.
+
     Loop structure, following Section 4's controller description: the
-    controller starts from the all-faults-equally-likely belief, folds in
+    session starts from the all-faults-equally-likely belief, folds in
     the detection-time monitor outputs, then repeatedly decides, executes,
     and observes until it chooses to terminate.
     """

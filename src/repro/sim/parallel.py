@@ -62,6 +62,7 @@ import numpy as np
 from repro.linalg import shm
 
 from repro.controllers.base import RecoveryController
+from repro.controllers.engine import RecoverySession
 from repro.obs.telemetry import (
     Telemetry,
     TelemetrySnapshot,
@@ -206,6 +207,21 @@ def _clone_controller(plan: CampaignPlan) -> RecoveryController:
     return copy.deepcopy(plan.controller, memo)
 
 
+def _open_session(controller: RecoveryController) -> RecoverySession:
+    """The session the chunk loop drives.
+
+    Controller adapters carry a live session over their engine; the chunk
+    runner drives it directly (one fewer delegation layer per step, and
+    the same code path the policy service uses).  Anything else — a bare
+    session handed in as the "controller", or a duck-typed stand-in from
+    the tests — is driven as-is.
+    """
+    session = getattr(controller, "session", None)
+    if isinstance(session, RecoverySession):
+        return session
+    return controller
+
+
 def _bound_vectors(controller: RecoveryController) -> np.ndarray | None:
     """The controller's refinable bound-vector stack, when it has one."""
     bound_set = controller.refinement_state()
@@ -256,6 +272,7 @@ def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
     from repro.sim.campaign import run_episode
 
     controller = _clone_controller(plan)
+    session = _open_session(controller)
     baseline = _bound_vectors(controller)
     baseline_counters = _counters(controller)
     chunk_telemetry = (
@@ -284,7 +301,7 @@ def run_chunk(plan: CampaignPlan, start: int, stop: int) -> ChunkResult:
             )
             with episode_span:
                 metrics = run_episode(
-                    controller,
+                    session,
                     environment,
                     int(plan.faults[index]),
                     max_steps=plan.max_steps,

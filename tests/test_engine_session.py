@@ -1,0 +1,243 @@
+"""Engine/session refactor parity: the controller stack split must be invisible.
+
+PR 9 split every controller into a shared :class:`PolicyEngine` and a
+per-episode :class:`RecoverySession`.  These tests pin the campaign
+fingerprints captured on the pre-refactor stack (same models, seeds, and
+injection counts) and assert the refactored stack still produces them —
+serial and ``parallel=4``, dense and sparse — plus property-based checks
+that an engine-spawned session and the classic controller adapter are
+decision-for-decision identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controllers import (
+    BoundedController,
+    BoundedPolicyEngine,
+    BranchAndBoundController,
+    HeuristicController,
+    MostLikelyController,
+    OracleController,
+    QMDPController,
+    RandomController,
+    RecoveryController,
+)
+from repro.sim.campaign import run_campaign, run_episode
+from repro.sim.environment import RecoveryEnvironment
+from repro.sim.metrics import campaign_fingerprint, episode_fingerprint_bytes
+from repro.systems.tiered import build_tiered_system
+
+SEED = 2006
+SIMPLE_INJECTIONS = 40
+TIERED_INJECTIONS = 24
+
+#: Campaign fingerprints captured on the pre-refactor controller stack
+#: (commit 40ae943) with identical models, seeds, and injection counts.
+#: ``algorithm_time`` is excluded from the fingerprint, so these are exact.
+PRE_REFACTOR_FINGERPRINTS = {
+    "simple.bounded": "028766abd5e47d4fccdb8e046a412ae7a73fc7be4ef6fd8d88ce2492abb37016",
+    "simple.heuristic": "3abc52204e1d252d998293ca6ad1ef58b718157516b18fc5ef41ae8ba3fb9a4b",
+    "simple.most_likely": "edc4ff151e7b0af5480b7d7975e40c597a61950f02b9ab002e162e43d5bd1c77",
+    "simple.qmdp": "3abc52204e1d252d998293ca6ad1ef58b718157516b18fc5ef41ae8ba3fb9a4b",
+    "simple.oracle": "f5592ddd496615ed29fc2b2c8b25fcb515f8b37a29139d20b3a2572dd36ca913",
+    "simple.random": "cfef8fe3afb72a29043661841c5b6aea4594321adb95a2d0c0ba221c2f27b4b8",
+    "simple.branch_and_bound": "028766abd5e47d4fccdb8e046a412ae7a73fc7be4ef6fd8d88ce2492abb37016",
+    "tiered_sparse.bounded": "a2bd9a27c78ba1e6797d7d69097a3f25b5aada1da62b68e08631d1482b9dd098",
+    "tiered_dense.bounded": "a2bd9a27c78ba1e6797d7d69097a3f25b5aada1da62b68e08631d1482b9dd098",
+}
+
+SIMPLE_FACTORIES = {
+    "bounded": lambda model: BoundedController(model),
+    "heuristic": lambda model: HeuristicController(model),
+    "most_likely": lambda model: MostLikelyController(model),
+    "qmdp": lambda model: QMDPController(model),
+    "oracle": lambda model: OracleController(model),
+    "random": lambda model: RandomController(model, seed=7),
+    "branch_and_bound": lambda model: BranchAndBoundController(model),
+}
+
+
+def _simple_campaign(system, name, parallel=None):
+    controller = SIMPLE_FACTORIES[name](system.model)
+    faults = np.array([system.fault_a, system.fault_b])
+    return run_campaign(
+        controller,
+        fault_states=faults,
+        injections=SIMPLE_INJECTIONS,
+        seed=SEED,
+        parallel=parallel,
+    )
+
+
+class TestPinnedFingerprints:
+    """The refactored stack reproduces the pre-refactor campaigns bit-for-bit."""
+
+    @pytest.mark.parametrize("name", sorted(SIMPLE_FACTORIES))
+    def test_simple_serial(self, simple_system, name):
+        result = _simple_campaign(simple_system, name)
+        assert (
+            campaign_fingerprint(result.episodes)
+            == PRE_REFACTOR_FINGERPRINTS[f"simple.{name}"]
+        )
+
+    @pytest.mark.parametrize("name", ["bounded", "random", "branch_and_bound"])
+    def test_simple_parallel(self, simple_system, name):
+        """Workers drive engine-spawned sessions; fingerprints must not move."""
+        result = _simple_campaign(simple_system, name, parallel=4)
+        assert (
+            campaign_fingerprint(result.episodes)
+            == PRE_REFACTOR_FINGERPRINTS[f"simple.{name}"]
+        )
+
+    @pytest.mark.parametrize("backend", ["sparse", "dense"])
+    def test_tiered_both_backends(self, backend):
+        system = build_tiered_system((2, 2), backend=backend)
+        faults = np.flatnonzero(system.model.fault_states)
+        serial = run_campaign(
+            BoundedController(system.model),
+            fault_states=faults,
+            injections=TIERED_INJECTIONS,
+            seed=SEED,
+        )
+        assert (
+            campaign_fingerprint(serial.episodes)
+            == PRE_REFACTOR_FINGERPRINTS[f"tiered_{backend}.bounded"]
+        )
+        sharded = run_campaign(
+            BoundedController(system.model),
+            fault_states=faults,
+            injections=TIERED_INJECTIONS,
+            seed=SEED,
+            parallel=4,
+        )
+        assert campaign_fingerprint(sharded.episodes) == campaign_fingerprint(
+            serial.episodes
+        )
+
+
+class TestEngineDrivenEpisodes:
+    """Raw engine sessions and the controller adapter are interchangeable."""
+
+    def test_session_speaks_episode_protocol(self, simple_system):
+        """run_episode driven by an engine-spawned session matches the
+        classic controller adapter on every deterministic metric."""
+        model = simple_system.model
+        engine = BoundedPolicyEngine(model, refine_online=False)
+        session = engine.session()
+        controller = BoundedController(model, refine_online=False)
+        for fault in (simple_system.fault_a, simple_system.fault_b):
+            left = run_episode(
+                session, RecoveryEnvironment(model, seed=99), fault
+            )
+            right = run_episode(
+                controller, RecoveryEnvironment(model, seed=99), fault
+            )
+            assert episode_fingerprint_bytes(left) == episode_fingerprint_bytes(
+                right
+            )
+
+    def test_adapter_over_shared_engine(self, simple_system):
+        """Campaigns accept an adapter wrapping an externally built engine,
+        and refinements land in that engine's bound set."""
+        model = simple_system.model
+        engine = BoundedPolicyEngine(model)
+        controller = RecoveryController(engine=engine)
+        faults = np.array([simple_system.fault_a, simple_system.fault_b])
+        result = run_campaign(
+            controller, fault_states=faults, injections=SIMPLE_INJECTIONS, seed=SEED
+        )
+        assert (
+            campaign_fingerprint(result.episodes)
+            == PRE_REFACTOR_FINGERPRINTS["simple.bounded"]
+        )
+        assert controller.refinement_state() is engine.bound_set
+
+    def test_sessions_isolate_beliefs(self, simple_system):
+        """Two sessions of one engine never see each other's beliefs."""
+        engine = BoundedPolicyEngine(simple_system.model, refine_online=False)
+        one, two = engine.session(), engine.session()
+        one.reset()
+        two.reset()
+        one.observe(simple_system.observe_action, 0)
+        assert not np.array_equal(one.belief, two.belief)
+        two.reset()
+        assert one.steps == 0
+        decision = one.decide()
+        assert one.steps == (0 if decision.is_terminate else 1)
+        assert two.steps == 0
+
+    def test_session_refine_override(self, simple_system):
+        """A refine=False session never grows the shared bound set."""
+        engine = BoundedPolicyEngine(simple_system.model, refine_online=True)
+        frozen = engine.session(refine=False)
+        frozen.reset()
+        before = engine.bound_set.vectors.shape[0]
+        frozen.observe(simple_system.observe_action, 0)
+        frozen.decide()
+        assert engine.bound_set.vectors.shape[0] == before
+
+
+@st.composite
+def interaction_seeds(draw):
+    fault_pick = draw(st.integers(min_value=0, max_value=1))
+    env_seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return fault_pick, env_seed
+
+
+class TestPropertyParity:
+    """Property-based: session/adapter parity over arbitrary episodes."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(interaction_seeds())
+    def test_episode_parity_any_seed(self, simple_system, seeds):
+        fault_pick, env_seed = seeds
+        model = simple_system.model
+        fault = (simple_system.fault_a, simple_system.fault_b)[fault_pick]
+        engine = BoundedPolicyEngine(model, refine_online=False)
+        left = run_episode(
+            engine.session(), RecoveryEnvironment(model, seed=env_seed), fault
+        )
+        right = run_episode(
+            BoundedController(model, refine_online=False),
+            RecoveryEnvironment(model, seed=env_seed),
+            fault,
+        )
+        assert episode_fingerprint_bytes(left) == episode_fingerprint_bytes(right)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_belief_trajectory_parity(self, simple_system, env_seed):
+        """Step-for-step: identical decisions and identical belief evolution
+        between a raw session and the adapter, on the same episode."""
+        model = simple_system.model
+        engine = BoundedPolicyEngine(model, refine_online=False)
+        session = engine.session()
+        adapter = BoundedController(model, refine_online=False)
+        env_a = RecoveryEnvironment(model, seed=env_seed)
+        env_b = RecoveryEnvironment(model, seed=env_seed)
+        env_a.inject(simple_system.fault_a)
+        env_b.inject(simple_system.fault_a)
+        session.reset()
+        adapter.reset()
+        session.observe(simple_system.observe_action, env_a.initial_observation())
+        adapter.observe(simple_system.observe_action, env_b.initial_observation())
+        for _ in range(30):
+            np.testing.assert_array_equal(session.belief, adapter.belief)
+            left, right = session.decide(), adapter.decide()
+            assert (left.action, left.is_terminate) == (
+                right.action,
+                right.is_terminate,
+            )
+            if left.is_terminate:
+                assert session.done and adapter.done
+                break
+            result_a = env_a.execute(left.action)
+            result_b = env_b.execute(right.action)
+            assert result_a.observation == result_b.observation
+            session.observe(left.action, result_a.observation)
+            adapter.observe(right.action, result_b.observation)

@@ -382,3 +382,104 @@ class TestHypothesisRoundTrips:
         save_bound_set(path, bound_set)
         loaded = load_bound_set(path)
         assert loaded.vectors.tobytes() == bound_set.vectors.tobytes()
+
+
+# -- certification memoisation (the .cert.json sidecar) ---------------------
+
+import json
+
+from repro.exceptions import AnalysisError
+from repro.io import certificate_path, model_fingerprint
+from repro.obs.telemetry import Telemetry, activated
+
+
+class TestCertificationCache:
+    def _save(self, tmp_path, system):
+        bound_set = BoundVectorSet(ra_bound_vector(system.model.pomdp))
+        path = tmp_path / "bounds.npz"
+        save_bound_set(path, bound_set)
+        return path, bound_set
+
+    def test_first_load_writes_sidecar(self, tmp_path, simple_system):
+        path, _ = self._save(tmp_path, simple_system)
+        sidecar = certificate_path(path)
+        assert not sidecar.exists()
+        load_bound_set(path, model=simple_system.model)
+        assert sidecar.exists()
+        record = json.loads(sidecar.read_text())
+        assert record["schema"] == "repro-cert/v1"
+        assert record["model_sha256"] == model_fingerprint(simple_system.model)
+
+    def test_second_load_skips_certification(self, tmp_path, simple_system):
+        path, _ = self._save(tmp_path, simple_system)
+        telemetry = Telemetry()
+        with activated(telemetry):
+            load_bound_set(path, model=simple_system.model)
+            load_bound_set(path, model=simple_system.model)
+        assert telemetry.process_counters["io.certify_runs"] == 1
+        assert telemetry.process_counters["io.certify_skipped"] == 1
+
+    def test_recertify_forces_the_sweep(self, tmp_path, simple_system):
+        path, _ = self._save(tmp_path, simple_system)
+        telemetry = Telemetry()
+        with activated(telemetry):
+            load_bound_set(path, model=simple_system.model)
+            load_bound_set(path, model=simple_system.model, recertify=True)
+        assert telemetry.process_counters["io.certify_runs"] == 2
+
+    def test_archive_change_invalidates_sidecar(self, tmp_path, simple_system):
+        path, bound_set = self._save(tmp_path, simple_system)
+        load_bound_set(path, model=simple_system.model)
+        # Bump a usage counter: same (sound) vectors, different archive bytes.
+        bound_set.value(np.ones(bound_set.vectors.shape[1]) / bound_set.vectors.shape[1])
+        save_bound_set(path, bound_set)  # new content digest
+        telemetry = Telemetry()
+        with activated(telemetry):
+            load_bound_set(path, model=simple_system.model)
+        assert telemetry.process_counters["io.certify_runs"] == 1
+
+    def test_model_change_invalidates_sidecar(
+        self, tmp_path, simple_system, simple_discounted_system
+    ):
+        path, _ = self._save(tmp_path, simple_system)
+        load_bound_set(path, model=simple_system.model)
+        telemetry = Telemetry()
+        with activated(telemetry):
+            # Same archive, different model: the memo must not apply (and
+            # certification itself still runs — the RA-Bound of the
+            # undiscounted model is sound for the discounted one too).
+            load_bound_set(path, model=simple_discounted_system.model)
+        assert telemetry.process_counters["io.certify_runs"] == 1
+
+    def test_corrupt_sidecar_recertifies(self, tmp_path, simple_system):
+        path, _ = self._save(tmp_path, simple_system)
+        load_bound_set(path, model=simple_system.model)
+        certificate_path(path).write_text("{not json")
+        telemetry = Telemetry()
+        with activated(telemetry):
+            load_bound_set(path, model=simple_system.model)
+        assert telemetry.process_counters["io.certify_runs"] == 1
+
+    def test_unsound_archive_still_raises(self, tmp_path, simple_system):
+        """A failing certification is never memoised."""
+        pomdp = simple_system.model.pomdp
+        bad = BoundVectorSet(np.full(pomdp.n_states, 1e6))
+        path = tmp_path / "bad.npz"
+        save_bound_set(path, bad)
+        with pytest.raises(AnalysisError):
+            load_bound_set(path, model=simple_system.model)
+        assert not certificate_path(path).exists()
+        with pytest.raises(AnalysisError):
+            load_bound_set(path, model=simple_system.model)
+
+    def test_no_model_no_sidecar(self, tmp_path, simple_system):
+        path, _ = self._save(tmp_path, simple_system)
+        load_bound_set(path)
+        assert not certificate_path(path).exists()
+
+    def test_fingerprint_is_stable_and_model_sensitive(
+        self, simple_system, simple_discounted_system
+    ):
+        left = model_fingerprint(simple_system.model)
+        assert left == model_fingerprint(simple_system.model)
+        assert left != model_fingerprint(simple_discounted_system.model)

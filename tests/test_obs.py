@@ -262,3 +262,60 @@ class TestCampaignIntegration:
         for record in decisions:
             if record["action"] < 0:
                 assert record["terminate"] is True
+
+
+class TestThreadSafety:
+    """Concurrent sessions share one registry; spans must not cross-link."""
+
+    def test_span_stacks_are_per_thread(self):
+        telemetry = Telemetry(trace=True)
+        import threading
+
+        barrier = threading.Barrier(4)
+
+        def worker(label: str) -> None:
+            barrier.wait()
+            for turn in range(20):
+                with telemetry.trace_span("decision", session=label, turn=turn):
+                    with telemetry.trace_span("inner"):
+                        pass
+
+        threads = [
+            threading.Thread(target=worker, args=(f"s{i}",)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        spans = list(telemetry.spans)
+        assert len(spans) == 4 * 20 * 2
+        by_id = {span.span_id: span for span in spans}
+        # Every inner span's parent is a decision span of the *same* thread's
+        # session — interleaving across threads never produces a cross-thread
+        # parent link.
+        for span in spans:
+            if span.name != "inner":
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.name == "decision"
+        labelled = [dict(s.args)["session"] for s in spans if s.name == "decision"]
+        assert sorted(set(labelled)) == ["s0", "s1", "s2", "s3"]
+
+    def test_concurrent_events_are_not_lost(self):
+        telemetry = Telemetry(trace=False)
+        import threading
+
+        def worker() -> None:
+            for _ in range(200):
+                telemetry.event("decision", action=0, terminate=False)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = telemetry.snapshot().events
+        assert len([e for e in events if e["event"] == "decision"]) == 800
+        # seq numbers were allocated under the lock: unique and gap-free.
+        seqs = sorted(e["seq"] for e in events)
+        assert seqs == list(range(len(events)))

@@ -311,3 +311,65 @@ class TestCampaignTraceDeterminism:
             args = dict(span.args)
             assert "episode" in args
             assert "chunk" in args
+
+
+class TestSpanTreeBySession:
+    """Grouping interleaved multi-session spans into per-session forests."""
+
+    def _multiplexed(self):
+        """Two sessions interleaving decisions on one registry, the way the
+        policy service's connection threads produce them (serially here —
+        allocation order is what matters to the grouping, not timing)."""
+        telemetry = Telemetry(trace=True)
+        for turn in range(2):
+            for label in ("s0", "s1"):
+                with telemetry.trace_span(
+                    "controller.decision", session=label, turn=turn
+                ):
+                    with telemetry.trace_span("controller.expand_tree"):
+                        pass
+        return telemetry
+
+    def test_groups_by_session_label(self):
+        forests = span_tree(list(self._multiplexed().spans), by_session=True)
+        assert set(forests) == {"s0", "s1"}
+        for label, forest in forests.items():
+            assert [node["name"] for node in forest] == [
+                "controller.decision",
+                "controller.decision",
+            ]
+            assert [node["args"]["turn"] for node in forest] == [0, 1]
+            assert all(node["args"]["session"] == label for node in forest)
+
+    def test_children_inherit_parent_session(self):
+        forests = span_tree(list(self._multiplexed().spans), by_session=True)
+        for forest in forests.values():
+            for node in forest:
+                assert [child["name"] for child in node["children"]] == [
+                    "controller.expand_tree"
+                ]
+
+    def test_unlabelled_spans_group_under_none(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("warmup"):
+            pass
+        with telemetry.trace_span("controller.decision", session="s0"):
+            pass
+        forests = span_tree(list(telemetry.spans), by_session=True)
+        assert [node["name"] for node in forests[None]] == ["warmup"]
+        assert [node["name"] for node in forests["s0"]] == ["controller.decision"]
+
+    def test_cross_session_child_roots_its_own_forest(self):
+        telemetry = Telemetry(trace=True)
+        with telemetry.trace_span("controller.decision", session="s0"):
+            with telemetry.trace_span("controller.decision", session="s1"):
+                pass
+        forests = span_tree(list(telemetry.spans), by_session=True)
+        assert forests["s0"][0]["children"] == []
+        assert [node["name"] for node in forests["s1"]] == ["controller.decision"]
+
+    def test_flat_tree_unchanged_by_default(self):
+        spans = list(self._multiplexed().spans)
+        flat = span_tree(spans)
+        assert isinstance(flat, list)
+        assert len(flat) == 4  # the braided timeline, unchanged

@@ -1,0 +1,269 @@
+"""The policy service and daemon: sessions, persistence, protocol, shutdown."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.io import load_bound_set
+from repro.obs import telemetry as obs
+from repro.obs.trace import span_tree
+from repro.serve import PolicyDaemon, PolicyService, ServiceClient, ServiceConfig
+from repro.serve.protocol import decode_request, handle_line
+
+
+@pytest.fixture()
+def service(simple_system, tmp_path):
+    config = ServiceConfig(
+        socket_path=str(tmp_path / "repro.sock"),
+        bounds_path=str(tmp_path / "bounds.npz"),
+        checkpoint_interval=0,
+        drain_timeout=1.0,
+    )
+    return PolicyService(config, model=simple_system.model)
+
+
+def _drive_to_termination(service, session_id, env_seed=3):
+    """Run one recovery to the terminate decision via the service API."""
+    from repro.sim.environment import RecoveryEnvironment
+
+    environment = RecoveryEnvironment(service.model, seed=env_seed)
+    environment.inject(int(np.flatnonzero(service.model.fault_states)[0]))
+    passive = np.flatnonzero(service.model.passive_actions)
+    service.observe(session_id, int(passive[0]), environment.initial_observation())
+    for _ in range(50):
+        decision = service.decide(session_id)
+        if decision["terminate"]:
+            return decision
+        result = environment.execute(decision["action"])
+        service.observe(session_id, decision["action"], result.observation)
+    raise AssertionError("recovery did not terminate")
+
+
+class TestPolicyService:
+    def test_session_lifecycle(self, service):
+        sid = service.open_session()
+        assert service.live_sessions == 1
+        decision = _drive_to_termination(service, sid)
+        assert decision["done"] is True
+        service.close_session(sid)
+        assert service.live_sessions == 0
+
+    def test_unknown_and_duplicate_sessions(self, service):
+        with pytest.raises(ServeError, match="unknown session"):
+            service.decide("nope")
+        service.open_session(session_id="mine")
+        with pytest.raises(ServeError, match="already open"):
+            service.open_session(session_id="mine")
+        service.close_session("mine")
+        with pytest.raises(ServeError, match="unknown session"):
+            service.close_session("mine")
+
+    def test_sessions_isolated(self, service):
+        a = service.open_session()
+        b = service.open_session()
+        passive = int(np.flatnonzero(service.model.passive_actions)[0])
+        service.observe(a, passive, 0)
+        left = service._session(a).belief
+        right = service._session(b).belief
+        assert not np.array_equal(left, right)
+
+    def test_refine_false_session_freezes_bounds(self, service):
+        sid = service.open_session(refine=False)
+        before = service.engine.bound_set.vectors.shape[0]
+        _drive_to_termination(service, sid)
+        assert service.engine.bound_set.vectors.shape[0] == before
+
+    def test_checkpoint_and_warm_start(self, service, simple_system):
+        sid = service.open_session()
+        _drive_to_termination(service, sid)
+        path = service.checkpoint()
+        assert path is not None
+        reloaded = load_bound_set(path, model=simple_system.model)
+        np.testing.assert_array_equal(
+            reloaded.vectors, service.engine.bound_set.vectors
+        )
+        warm = PolicyService(service.config, model=simple_system.model)
+        assert warm.started_warm
+        np.testing.assert_array_equal(
+            warm.engine.bound_set.vectors, service.engine.bound_set.vectors
+        )
+
+    def test_warm_decisions_match_checkpoint_state(self, service, simple_system):
+        """A read-only session on a warm restart decides exactly as a
+        read-only session on the original service after the checkpoint —
+        the smoke check's resume-identical property."""
+        sid = service.open_session()
+        _drive_to_termination(service, sid)
+        service.checkpoint()
+        warm = PolicyService(service.config, model=simple_system.model)
+        old = service.open_session(refine=False)
+        new = warm.open_session(refine=False)
+        passive = int(np.flatnonzero(service.model.passive_actions)[0])
+        service.observe(old, passive, 0)
+        warm.observe(new, passive, 0)
+        for _ in range(10):
+            left = service.decide(old)
+            right = warm.decide(new)
+            assert left == right
+            if left["terminate"]:
+                break
+            service.observe(old, left["action"], 1)
+            warm.observe(new, right["action"], 1)
+
+    def test_drain_rejects_new_sessions(self, service):
+        sid = service.open_session()
+        closer = threading.Timer(0.1, service.close_session, args=(sid,))
+        closer.start()
+        try:
+            assert service.drain(timeout=5.0) == 0
+        finally:
+            closer.cancel()
+        with pytest.raises(ServeError, match="draining"):
+            service.open_session()
+
+    def test_drain_times_out_on_stuck_session(self, service):
+        service.open_session()
+        assert service.drain(timeout=0.05) == 1
+
+    def test_stats_shape(self, service):
+        sid = service.open_session()
+        service.decide(sid)
+        stats = service.stats()
+        assert stats["live_sessions"] == 1
+        assert stats["decisions"] == 1
+        assert stats["bound_vectors"] >= 1
+        assert stats["started_warm"] is False
+
+    def test_live_session_gauge_and_span_labels(self, service):
+        with obs.session(trace=True) as telemetry:
+            a = service.open_session()
+            b = service.open_session()
+            assert telemetry.gauges["serve.live_sessions"] == 2.0
+            service.decide(a)
+            service.decide(b)
+            service.close_session(a)
+            assert telemetry.gauges["serve.live_sessions"] == 1.0
+            forests = span_tree(telemetry.spans, by_session=True)
+        assert a in forests and b in forests
+        assert forests[a][0]["name"] == "controller.decision"
+        assert forests[a][0]["args"]["session"] == a
+
+
+class TestProtocol:
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ServeError):
+            decode_request("not json")
+        with pytest.raises(ServeError):
+            decode_request("[1,2]")
+        with pytest.raises(ServeError):
+            decode_request('{"no_op": 1}')
+
+    def test_handle_line_error_codes(self, service):
+        opened: set[str] = set()
+        bad = handle_line(service, "garbage", opened)
+        assert (bad["ok"], bad["error"]) == (False, "bad-request")
+        unknown = handle_line(service, '{"op": "frobnicate"}', opened)
+        assert unknown["error"] == "bad-request"
+        missing = handle_line(service, '{"op": "decide"}', opened)
+        assert missing["error"] == "bad-request"
+        stale = handle_line(service, '{"op": "decide", "session": "x"}', opened)
+        assert stale["error"] == "serve-error"
+
+    def test_handle_line_tracks_opened_sessions(self, service):
+        opened: set[str] = set()
+        response = handle_line(service, '{"op": "open"}', opened)
+        assert response["ok"] and opened == {response["session"]}
+        handle_line(
+            service, json.dumps({"op": "close", "session": response["session"]}), opened
+        )
+        assert opened == set()
+
+
+@pytest.fixture()
+def daemon(service):
+    daemon = PolicyDaemon(service)
+    thread = threading.Thread(
+        target=lambda: daemon.run(install_signals=False), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.connect(service.config.socket_path)
+            probe.close()
+            break
+        except OSError:
+            time.sleep(0.02)
+    yield daemon
+    daemon.request_shutdown()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+class TestDaemon:
+    def test_round_trip(self, daemon, service):
+        with ServiceClient(service.config.socket_path) as client:
+            assert client.ping()
+            sid = client.open_session()
+            decision = client.decide(sid)
+            assert isinstance(decision["action"], int)
+            client.observe(sid, decision["action"], 0)
+            stats = client.stats()
+            assert stats["live_sessions"] == 1
+            client.close_session(sid)
+
+    def test_concurrent_clients(self, daemon, service):
+        errors: list[Exception] = []
+
+        def worker(index: int) -> None:
+            try:
+                with ServiceClient(service.config.socket_path) as client:
+                    sid = client.open_session(session_id=f"c{index}")
+                    for _ in range(5):
+                        decision = client.decide(sid)
+                        if decision["terminate"]:
+                            break
+                        client.observe(sid, decision["action"], 0)
+                    client.close_session(sid)
+            except Exception as error:  # noqa: BLE001 — collected for the assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert errors == []
+        assert service.live_sessions == 0
+
+    def test_disconnect_releases_sessions(self, daemon, service):
+        client = ServiceClient(service.config.socket_path)
+        client.open_session(session_id="leaky")
+        assert service.live_sessions == 1
+        client.close()
+        deadline = time.monotonic() + 5.0
+        while service.live_sessions and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert service.live_sessions == 0
+
+    def test_shutdown_op_checkpoints_and_unlinks(self, daemon, service, tmp_path):
+        with ServiceClient(service.config.socket_path) as client:
+            sid = client.open_session()
+            client.decide(sid)
+            client.close_session(sid)
+            client.shutdown()
+        deadline = time.monotonic() + 10.0
+        import os
+
+        while os.path.exists(service.config.socket_path):
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        assert os.path.exists(service.config.bounds_path)
