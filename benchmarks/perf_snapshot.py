@@ -1,4 +1,4 @@
-"""Perf snapshot for the measured hot paths (BENCH_PR2/PR4/PR5.json).
+"""Perf snapshot for the measured hot paths (BENCH_PR2/PR4/PR10.json).
 
 Measures the hot paths the perf PRs optimised and writes three snapshot
 documents (schemas documented in EXPERIMENTS.md):
@@ -21,11 +21,17 @@ documents (schemas documented in EXPERIMENTS.md):
   campaign payload size (``parallel.model_handoff_bytes``).  This is what
   ``python -m repro.obs bench compare BENCH_PR5.json BENCH_PR7.json``
   judges.
-* ``BENCH_PR9.json`` (``repro-bench/v1``) — the *canonical* snapshot:
+* ``BENCH_PR9.json`` (``repro-bench/v1``) — the frozen PR 9-era snapshot:
   everything in the PR 7 document plus the policy-service metrics
   (``serve.cold_start_ms``, ``serve.warm_start_ms``,
-  ``serve.session_decision_ms``).  Generation enforces the PR 9
-  warm-start contract (warm ≤ 25% of cold on the tiered serve point).
+  ``serve.session_decision_ms``).
+* ``BENCH_PR10.json`` (``repro-bench/v1``) — the *canonical* snapshot:
+  everything in the PR 9 document plus
+  ``serve.session_decision_p99_ms``, the warm-model session-decision
+  p99 read from the live ``serve.session_decide`` latency histogram —
+  the same bucket-derived number the serve-smoke SLO gate reads over
+  the socket.  Generation still enforces the PR 9 warm-start contract
+  (warm ≤ 25% of cold on the tiered serve point).
 
 Usage::
 
@@ -79,7 +85,7 @@ BACKEND_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR4.json
 #: :mod:`repro.obs.bench`, plus the batched-decision, shared-memory-handoff,
 #: and policy-service startup/decision metrics.  The PR 5 and PR 7 files
 #: stay committed as frozen baselines the gates compare against.
-CANONICAL_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+CANONICAL_SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR10.json"
 
 #: Full-scale defaults (the acceptance configuration): a 1,000-injection
 #: campaign compared serial vs 4 workers.
@@ -548,6 +554,17 @@ def measure_serve(replicas_per_tier: int) -> dict:
                 result = environment.execute(decision["action"])
                 warm.observe(session_id, decision["action"], result.observation)
             warm.close_session(session_id)
+
+        # The p99 the serve-smoke SLO gate reads over the socket, taken
+        # here from the warm service's own live registry: the
+        # serve.session_decide histogram covers the whole decide() path
+        # (engine-lock queueing included) and derives its quantiles from
+        # fixed bucket edges, never wall-clock ordering.
+        from repro.obs.live import snapshot as live_snapshot
+
+        histogram = live_snapshot(warm.telemetry)["histograms"].get(
+            "serve.session_decide", {}
+        )
     return {
         "replicas_per_tier": replicas_per_tier,
         "n_states": model.pomdp.n_states,
@@ -558,6 +575,8 @@ def measure_serve(replicas_per_tier: int) -> dict:
         "session_decision_ms": round(
             1000.0 * sum(decision_seconds) / len(decision_seconds), 2
         ),
+        "session_decision_p99_ms": histogram.get("p99_ms"),
+        "session_decision_histogram_count": histogram.get("count", 0),
     }
 
 
@@ -630,6 +649,10 @@ def build_canonical_snapshot(
         metrics["serve.session_decision_ms"] = Metric(
             serve["session_decision_ms"], "ms", "lower"
         )
+        if serve.get("session_decision_p99_ms") is not None:
+            metrics["serve.session_decision_p99_ms"] = Metric(
+                serve["session_decision_p99_ms"], "ms", "lower"
+            )
     return canonical_document(
         metrics,
         machine=snapshot["machine"],
@@ -658,7 +681,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--bench-dir", type=Path, default=None, metavar="DIR",
-        help="write every snapshot (PR2/PR4/PR5) into DIR instead of the "
+        help="write every snapshot (PR2/PR4/PR10) into DIR instead of the "
         "repo root, leaving committed baselines untouched",
     )
     args = parser.parse_args(argv)

@@ -103,19 +103,27 @@ class BoundedPolicyEngine(PolicyEngine):
                 telemetry.count("controller.decisions")
                 telemetry.count("controller.notification_exits")
                 telemetry.event(
-                    "decision", action=-1, terminate=True, notified=True
+                    "decision",
+                    action=-1,
+                    terminate=True,
+                    notified=True,
+                    **session.span_attributes(),
                 )
             return self.terminate_decision(value=0.0)
-        decision_span = (
-            telemetry.trace_span(
+        if telemetry is not None:
+            decision_span = telemetry.trace_span(
                 "controller.decision",
                 category="controller",
                 **session.span_attributes(),
             )
-            if telemetry is not None
-            else nullcontext()
-        )
-        with decision_span:
+            # The same window feeds the controller.decision timer and
+            # latency histogram, so the distribution exists even when
+            # hierarchical tracing is off.
+            decision_timer = telemetry.span("controller.decision")
+        else:
+            decision_span = nullcontext()
+            decision_timer = nullcontext()
+        with decision_span, decision_timer:
             refine = (
                 self.refine_online if session.refine is None else session.refine
             )
@@ -161,6 +169,11 @@ class BoundedPolicyEngine(PolicyEngine):
                 tree_nodes=decision.nodes,
                 leaf_evaluations=decision.leaf_evaluations,
                 tie_break=tie_break,
+                # Labelled (service) sessions tag their decisions so a
+                # multi-session stream can be filtered per session; the
+                # campaign's unlabelled sessions add nothing, keeping
+                # batch streams byte-identical to the pre-session era.
+                **session.span_attributes(),
             )
         return Decision(
             action=action,

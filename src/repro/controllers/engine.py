@@ -32,6 +32,7 @@ chunk and merges back, and the policy service checkpoints to disk.
 from __future__ import annotations
 
 import abc
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -209,34 +210,55 @@ class RecoverySession:
             )
         model = self.engine.model
         pomdp = model.pomdp
-        try:
-            self._belief = update_belief(pomdp, self._belief, action, observation)
-        except BeliefError:
-            fallback = model.initial_belief()
-            telemetry = telemetry_active()
+        telemetry = telemetry_active()
+        span = (
+            telemetry.span("belief.update")
+            if telemetry is not None
+            else nullcontext()
+        )
+        with span:
             try:
-                self._belief = update_belief(pomdp, fallback, action, observation)
-                fallback_recovered = True
-            except BeliefError:
-                self._belief = fallback
-                fallback_recovered = False
-            if telemetry is not None:
-                telemetry.count("belief.update_failures")
-                telemetry.event(
-                    "belief_update_failure",
-                    action=int(action),
-                    observation=int(observation),
-                    fallback_recovered=fallback_recovered,
+                self._belief = update_belief(
+                    pomdp, self._belief, action, observation
                 )
+            except BeliefError:
+                fallback = model.initial_belief()
+                try:
+                    self._belief = update_belief(
+                        pomdp, fallback, action, observation
+                    )
+                    fallback_recovered = True
+                except BeliefError:
+                    self._belief = fallback
+                    fallback_recovered = False
+                if telemetry is not None:
+                    telemetry.count("belief.update_failures")
+                    telemetry.event(
+                        "belief_update_failure",
+                        action=int(action),
+                        observation=int(observation),
+                        fallback_recovered=fallback_recovered,
+                    )
 
     def decide(self) -> Decision:
-        """Ask the engine for the next action; timed for "algorithm time"."""
+        """Ask the engine for the next action; timed for "algorithm time".
+
+        The stopwatch lap also feeds the ``session.decide`` latency
+        histogram — the per-decision distribution the policy service's
+        SLO gate reads — reusing the stopwatch's own clock reads.
+        """
         if self._belief is None:
             raise ControllerError("decide() before reset()")
         if self._done:
             raise ControllerError("decide() after the episode terminated")
+        lap_start = self.stopwatch.total_seconds
         with self.stopwatch:
             decision = self.engine.decide(self)
+        telemetry = telemetry_active()
+        if telemetry is not None:
+            telemetry.observe_latency(
+                "session.decide", self.stopwatch.total_seconds - lap_start
+            )
         if decision.is_terminate:
             self._done = True
         else:

@@ -23,12 +23,20 @@ Six pieces:
 * :mod:`repro.obs.bench` — the canonical benchmark-snapshot schema and
   regression comparison (``bench compare OLD NEW --threshold PCT``);
 * :mod:`repro.obs.report` — offline aggregation of a recorded run
-  (``python -m repro.obs report run.jsonl``).
+  (``python -m repro.obs report run.jsonl``, ``--session ID`` to narrow
+  a multi-session daemon stream);
+* :mod:`repro.obs.live` — the v3 runtime metrics plane: lock-safe live
+  snapshots, Prometheus text exposition, snapshot rings for rates, and
+  the ``python -m repro.obs watch SOCKET`` terminal view of a running
+  policy daemon.
 
 Instrumentation is off by default; ``python -m repro.experiments
---telemetry PATH [--trace PATH] ...`` turns it on for one experiment run.
+--telemetry PATH [--trace PATH] ...`` turns it on for one experiment run,
+and the policy daemon (:mod:`repro.serve`) activates its own registry for
+the serve lifetime.
 """
 
+from repro.obs.live import SnapshotRing, render_prometheus, snapshot
 from repro.obs.schema import (
     SCHEMA_VERSION,
     SUPPORTED_SCHEMAS,
@@ -36,6 +44,8 @@ from repro.obs.schema import (
     validate_stream,
 )
 from repro.obs.telemetry import (
+    LATENCY_BUCKET_EDGES,
+    LatencyHistogram,
     SpanRecord,
     Telemetry,
     TelemetrySnapshot,
@@ -46,15 +56,20 @@ from repro.obs.telemetry import (
 )
 
 __all__ = [
+    "LATENCY_BUCKET_EDGES",
+    "LatencyHistogram",
     "SCHEMA_VERSION",
     "SUPPORTED_SCHEMAS",
+    "SnapshotRing",
     "SpanRecord",
     "Telemetry",
     "TelemetrySnapshot",
     "activated",
     "active",
     "enabled",
+    "render_prometheus",
     "session",
+    "snapshot",
     "validate_event",
     "validate_stream",
 ]

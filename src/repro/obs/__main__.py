@@ -3,7 +3,9 @@
 Examples::
 
     python -m repro.obs report run.jsonl        # aggregate + render a run
+    python -m repro.obs report run.jsonl --session s3   # one session only
     python -m repro.obs validate run.jsonl      # schema-check a run (CI)
+    python -m repro.obs watch /tmp/repro.sock   # live view of a daemon
     python -m repro.obs trace run.jsonl --chrome trace.json \
         --collapsed stacks.txt                  # export trace spans
     python -m repro.obs convergence run.jsonl [--png gap.png]
@@ -28,7 +30,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.obs.report import aggregate_stream, format_report
 
     try:
-        aggregate = aggregate_stream(args.run)
+        aggregate = aggregate_stream(args.run, session=args.session)
     except OSError as error:
         print(f"cannot read {args.run}: {error}")
         return 2
@@ -148,6 +150,46 @@ def _cmd_bench_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import sys
+    import time
+
+    from repro.exceptions import ServeError
+    from repro.obs.live import SnapshotRing, format_watch
+    from repro.serve.client import ServiceClient
+
+    ring = SnapshotRing()
+    count = 1 if args.once else args.count
+    try:
+        client = ServiceClient(args.socket, timeout=args.interval + 30.0)
+    except OSError as error:
+        print(f"cannot connect to {args.socket}: {error}")
+        return 2
+    polls = 0
+    clear = sys.stdout.isatty()
+    with client:
+        while True:
+            try:
+                metrics = client.metrics()
+                stats = client.stats()
+            except (OSError, ServeError) as error:
+                print(f"lost the daemon at {args.socket}: {error}")
+                return 2
+            # One clock, read only here at the CLI edge, stamps the ring.
+            ring.push(time.monotonic(), metrics)  # codelint: ignore[R903]
+            screen = format_watch(metrics, stats, ring)
+            if clear:
+                # ANSI clear+home between frames; plain stdout otherwise
+                # (piped output stays a readable frame-per-poll log).
+                sys.stdout.write("\x1b[2J\x1b[H")
+            sys.stdout.write(screen)
+            sys.stdout.flush()
+            polls += 1
+            if count is not None and polls >= count:
+                return 0
+            time.sleep(args.interval)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and dispatch to a subcommand."""
     parser = argparse.ArgumentParser(
@@ -161,6 +203,13 @@ def main(argv: list[str] | None = None) -> int:
 
     report = subparsers.add_parser("report", help="aggregate and render a run")
     report.add_argument("run", type=Path, help="telemetry JSONL file")
+    report.add_argument(
+        "--session",
+        default=None,
+        metavar="ID",
+        help="narrow a multi-session daemon stream to one session's "
+        "events (unlabelled shared-state events are kept)",
+    )
 
     validate = subparsers.add_parser(
         "validate", help="schema-check a run (exit 1 on problems)"
@@ -231,6 +280,32 @@ def main(argv: list[str] | None = None) -> int:
         "(cell fingerprints as exact metrics)",
     )
 
+    watch = subparsers.add_parser(
+        "watch",
+        help="live terminal view of a running policy daemon "
+        "(plain stdout, no curses)",
+    )
+    watch.add_argument("socket", help="the daemon's unix-socket path")
+    watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between polls (default: 2)",
+    )
+    watch.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N polls (default: poll until interrupted)",
+    )
+    watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (same as --count 1)",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "report": _cmd_report,
@@ -238,6 +313,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "convergence": _cmd_convergence,
         "bench": _cmd_bench,
+        "watch": _cmd_watch,
     }
     return handlers[args.command](args)
 

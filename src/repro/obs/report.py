@@ -24,11 +24,29 @@ from typing import Any
 from repro.util.tables import render_table
 
 
+def session_of(record: dict[str, Any]) -> str | None:
+    """The session label an event carries, or ``None`` for global events.
+
+    Service-labelled sessions tag their ``decision`` and ``slow_decision``
+    events with a top-level ``session`` field and their trace spans with a
+    ``session`` span argument (see
+    :meth:`repro.controllers.engine.RecoverySession.span_attributes`).
+    """
+    session = record.get("session")
+    if session is not None:
+        return str(session)
+    args = record.get("args")
+    if isinstance(args, dict) and args.get("session") is not None:
+        return str(args["session"])
+    return None
+
+
 @dataclass
 class RunAggregate:
     """Everything the report renders, folded out of one event stream."""
 
     events: int = 0
+    session_filter: str | None = None
     kinds: dict[str, int] = field(default_factory=dict)
     campaigns: list[dict[str, Any]] = field(default_factory=list)
     episodes: int = 0
@@ -47,14 +65,27 @@ class RunAggregate:
     summary: dict[str, Any] | None = None
 
 
-def aggregate_stream(path: str | Path) -> RunAggregate:
-    """Fold a JSONL run file into a :class:`RunAggregate`."""
-    aggregate = RunAggregate()
+def aggregate_stream(
+    path: str | Path, session: str | None = None
+) -> RunAggregate:
+    """Fold a JSONL run file into a :class:`RunAggregate`.
+
+    With ``session`` set, events labelled with a *different* session id
+    are skipped, narrowing a multi-session daemon stream to one
+    recovery's story.  Unlabelled events — campaign lifecycle, bound
+    refinement, cache outcomes, the summary — are shared state and stay
+    in the aggregate.
+    """
+    aggregate = RunAggregate(session_filter=session)
     with open(path, encoding="utf-8") as stream:
         for line in stream:
             if not line.strip():
                 continue
             record = json.loads(line)
+            if session is not None:
+                label = session_of(record)
+                if label is not None and label != session:
+                    continue
             kind = record.get("event", "?")
             aggregate.events += 1
             aggregate.kinds[kind] = aggregate.kinds.get(kind, 0) + 1
@@ -119,11 +150,14 @@ def format_report(aggregate: RunAggregate) -> str:
         [c.get("controller") or "-", c.get("injections") or "-"]
         for c in aggregate.campaigns
     ] or [["-", "-"]]
+    title = f"Telemetry report ({aggregate.events} events)"
+    if aggregate.session_filter is not None:
+        title += f" — session {aggregate.session_filter}"
     sections.append(
         render_table(
             ["Controller", "Injections"],
             campaign_rows,
-            title=f"Telemetry report ({aggregate.events} events)",
+            title=title,
         )
     )
 

@@ -16,12 +16,26 @@ Schema history:
 
 * ``repro-obs/v1`` — counters/gauges/timers summary, campaign and
   refinement events.
-* ``repro-obs/v2`` (current) — adds the ``span`` event kind: hierarchical
+* ``repro-obs/v2`` — adds the ``span`` event kind: hierarchical
   trace spans (``span_id``/``parent_id`` form the call tree) emitted just
   before the ``summary`` when tracing is on, and enriches ``refine``
   events with convergence extras (``value``, ``t``, cumulative
   ``dominated``/``evicted``).  v2 readers accept v1 streams unchanged —
   every v1 stream is a valid v2 stream; see :data:`SUPPORTED_SCHEMAS`.
+* ``repro-obs/v3`` (current) — the live-operations schema.  The
+  ``summary`` payload gains an optional ``histograms`` object (fixed
+  log-spaced bucket counts plus bucket-derived p50/p95/p99/max, see
+  :data:`repro.obs.telemetry.LATENCY_BUCKET_EDGES`); two event kinds are
+  added: ``slow_decision`` — the policy service's structured log entry
+  for a decision that exceeded its configured latency threshold,
+  optionally carrying the offending span subtree — and
+  ``metrics_snapshot`` — one timestamped live snapshot of the whole
+  registry, the line format of the daemon's periodic metrics flusher
+  (:mod:`repro.obs.live`).  A flusher stream is a ``session_start``
+  header followed by nothing but ``metrics_snapshot`` lines; the
+  framing rule below exempts snapshot lines, so a stream from a
+  daemon killed mid-flight stays valid (truncation is not corruption).
+  v3 readers accept v1 and v2 streams unchanged.
 
 Determinism contract: for a seeded campaign, the ``summary`` event's
 ``counters`` object and the episode-ordered simulation events
@@ -44,11 +58,11 @@ from pathlib import Path
 from typing import Any
 
 #: Version tag written by ``session_start`` events.
-SCHEMA_VERSION = "repro-obs/v2"
+SCHEMA_VERSION = "repro-obs/v3"
 
-#: Schema versions :func:`validate_stream` accepts.  v1 streams contain a
-#: strict subset of v2's event kinds, so one validator covers both.
-SUPPORTED_SCHEMAS = frozenset({"repro-obs/v1", "repro-obs/v2"})
+#: Schema versions :func:`validate_stream` accepts.  Each version's event
+#: kinds are a superset of its predecessor's, so one validator covers all.
+SUPPORTED_SCHEMAS = frozenset({"repro-obs/v1", "repro-obs/v2", "repro-obs/v3"})
 
 #: Required fields per event kind (beyond ``event`` and ``seq``).
 EVENT_FIELDS: dict[str, frozenset[str]] = {
@@ -79,6 +93,9 @@ EVENT_FIELDS: dict[str, frozenset[str]] = {
     "cache_decline": frozenset({"n_states", "required_bytes"}),
     # Hierarchical trace spans (repro.obs.telemetry, v2).
     "span": frozenset({"name", "span_id", "t_start", "seconds"}),
+    # Live operations (repro.serve / repro.obs.live, v3).
+    "slow_decision": frozenset({"session", "seconds", "threshold"}),
+    "metrics_snapshot": frozenset({"counters", "gauges", "histograms"}),
 }
 
 #: Optional fields whose values are wall-clock measurements and therefore
@@ -152,12 +169,16 @@ def validate_stream(path: str | Path) -> list[str]:
                             f"(previous {last_seq})"
                         )
                     last_seq = seq
-    if not kinds or kinds == ["session_start"]:
+    # Framing ignores metrics_snapshot lines: the daemon's flusher stream
+    # is a header followed by snapshots until the process dies, and a
+    # kill mid-flight must not render the artifact invalid.
+    framed = [kind for kind in kinds if kind != "metrics_snapshot"]
+    if not framed or framed == ["session_start"]:
         return problems
-    if kinds[0] != "session_start":
-        problems.append(f"stream must open with session_start, got {kinds[0]!r}")
-    if kinds[-1] != "session_end":
-        problems.append(f"stream must end with session_end, got {kinds[-1]!r}")
-    elif len(kinds) < 2 or kinds[-2] != "summary":
+    if framed[0] != "session_start":
+        problems.append(f"stream must open with session_start, got {framed[0]!r}")
+    if framed[-1] != "session_end":
+        problems.append(f"stream must end with session_end, got {framed[-1]!r}")
+    elif len(framed) < 2 or framed[-2] != "summary":
         problems.append("session_end must be preceded by a summary event")
     return problems

@@ -17,6 +17,19 @@ metrics taxonomy:
 * **timers** — accumulated wall-clock spans with call counts, recorded via
   :meth:`Telemetry.span`.  Wall-clock, hence never part of the determinism
   contract.
+* **latency histograms** — fixed-bucket distributions of wall-clock
+  durations, recorded via :meth:`Telemetry.observe_latency` (and
+  automatically by every :meth:`Telemetry.span` site).  The bucket edges
+  are the module constant :data:`LATENCY_BUCKET_EDGES` — log-spaced, four
+  per decade from 10 µs to 100 s — so histograms from different workers,
+  chunks, or processes merge by plain element-wise addition and the
+  aggregate never depends on merge order or worker count (the same
+  algebra the deterministic counters rely on).  Quantiles (p50/p95/p99)
+  and the maximum are *derived from the bucket counts* — the reported
+  value is a bucket upper edge, never a raw wall-clock sample — so any
+  two registries holding the same counts report the same quantiles.  The
+  recorded durations themselves are wall-clock and sit outside the
+  determinism contract, like timers.
 * **trace spans** — *hierarchical* wall-clock spans with parent ids,
   recorded via :meth:`Telemetry.trace_span` when the registry was created
   with ``trace=True``.  Where timers aggregate ("total seconds in
@@ -50,9 +63,11 @@ guard above.
 from __future__ import annotations
 
 import json
+import math
 import os
 import threading
 import time
+from bisect import bisect_left
 from collections import Counter, deque
 from collections.abc import Iterator
 from contextlib import contextmanager, nullcontext
@@ -73,6 +88,120 @@ MAX_SPANS_ENV = "REPRO_MAX_TRACE_SPANS"
 
 #: Counter incremented when the span ring buffer drops its oldest span.
 SPANS_DROPPED_COUNTER = "trace.events_dropped"
+
+#: Latency-histogram bucket *upper* edges in seconds: log-spaced, four per
+#: decade, 10 µs .. 100 s (29 edges; a 30th implicit overflow bucket
+#: catches anything slower).  Defined as a constant so every registry —
+#: serial, per-chunk, per-process — buckets identically and aggregation
+#: reduces to element-wise addition of counts, independent of worker
+#: count or merge order.
+LATENCY_BUCKET_EDGES: tuple[float, ...] = tuple(
+    10.0 ** (k / 4.0) for k in range(-20, 9)
+)
+
+#: Quantiles the summary/exposition layers derive from bucket counts.
+HISTOGRAM_QUANTILES: tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency distribution over :data:`LATENCY_BUCKET_EDGES`.
+
+    ``counts[i]`` counts observations with ``value <= LATENCY_BUCKET_EDGES[i]``
+    (exclusive of the previous edge); the final slot counts overflow
+    (``value > 100 s``).  ``sum_seconds`` accumulates the raw durations for
+    rate/mean reporting — wall-clock, outside the determinism contract,
+    exactly like timers.  Everything quantile-like is derived from the
+    bucket counts alone (:meth:`quantile`, :meth:`max_seconds`), so two
+    histograms with identical counts always report identical statistics.
+    """
+
+    __slots__ = ("counts", "sum_seconds")
+
+    def __init__(
+        self,
+        counts: list[int] | tuple[int, ...] | None = None,
+        sum_seconds: float = 0.0,
+    ):
+        if counts is None:
+            self.counts = [0] * (len(LATENCY_BUCKET_EDGES) + 1)
+        else:
+            if len(counts) != len(LATENCY_BUCKET_EDGES) + 1:
+                raise ValueError(
+                    f"histogram counts must have {len(LATENCY_BUCKET_EDGES) + 1} "
+                    f"slots, got {len(counts)}"
+                )
+            self.counts = list(counts)
+        self.sum_seconds = float(sum_seconds)
+
+    def record(self, seconds: float) -> None:
+        """Bucket one duration (a plain list-slot increment, GIL-atomic)."""
+        self.counts[bisect_left(LATENCY_BUCKET_EDGES, seconds)] += 1
+        self.sum_seconds += seconds
+
+    @property
+    def total(self) -> int:
+        """Number of recorded observations."""
+        return sum(self.counts)
+
+    def merge(self, counts: list[int] | tuple[int, ...], sum_seconds: float) -> None:
+        """Fold another histogram's counts in (element-wise addition)."""
+        for index, count in enumerate(counts):
+            self.counts[index] += count
+        self.sum_seconds += sum_seconds
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge at cumulative fraction ``q`` (seconds).
+
+        Returns ``math.inf`` when the quantile lands in the overflow
+        bucket, and ``0.0`` for an empty histogram.  Derived from counts
+        only — never from the order or exact values of the observations.
+        """
+        total = self.total
+        if total == 0:
+            return 0.0
+        target = q * total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= target:
+                if index < len(LATENCY_BUCKET_EDGES):
+                    return LATENCY_BUCKET_EDGES[index]
+                return math.inf
+        return math.inf  # pragma: no cover - cumulative always reaches total
+
+    def max_seconds(self) -> float:
+        """Upper edge of the highest non-empty bucket (0.0 when empty)."""
+        for index in range(len(self.counts) - 1, -1, -1):
+            if self.counts[index]:
+                if index < len(LATENCY_BUCKET_EDGES):
+                    return LATENCY_BUCKET_EDGES[index]
+                return math.inf
+        return 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """The histogram as the ``summary``/snapshot payload entry.
+
+        Quantiles are reported in milliseconds; an overflow-bucket
+        quantile renders as ``None`` (JSON has no infinity).
+        """
+
+        def edge_ms(seconds: float) -> float | None:
+            if math.isinf(seconds):
+                return None
+            return round(seconds * 1000.0, 6)
+
+        return {
+            "count": self.total,
+            "sum_seconds": round(self.sum_seconds, 9),
+            "counts": list(self.counts),
+            "p50_ms": edge_ms(self.quantile(0.5)),
+            "p95_ms": edge_ms(self.quantile(0.95)),
+            "p99_ms": edge_ms(self.quantile(0.99)),
+            "max_ms": edge_ms(self.max_seconds()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LatencyHistogram(count={self.total})"
 
 
 def max_trace_spans(max_spans: int | None = None) -> int:
@@ -196,6 +325,10 @@ class TelemetrySnapshot:
     process_counters: dict[str, int] = field(default_factory=dict)
     gauges: dict[str, float] = field(default_factory=dict)
     timers: dict[str, tuple[float, int]] = field(default_factory=dict)
+    #: name -> (bucket counts over LATENCY_BUCKET_EDGES + overflow, sum s).
+    histograms: dict[str, tuple[tuple[int, ...], float]] = field(
+        default_factory=dict
+    )
     events: tuple[dict[str, Any], ...] = ()
     spans: tuple[SpanRecord, ...] = ()
 
@@ -224,6 +357,7 @@ class Telemetry:
         self.process_counters: Counter[str] = Counter()
         self.gauges: dict[str, float] = {}
         self.timers: dict[str, list[float]] = {}  # name -> [seconds, calls]
+        self.histograms: dict[str, LatencyHistogram] = {}
         self.trace_enabled = bool(trace)
         self.max_spans = max_trace_spans(max_spans)
         self.spans: deque[SpanRecord] = deque()
@@ -266,9 +400,30 @@ class Telemetry:
         """Record the latest value of ``name`` (merged by max across chunks)."""
         self.gauges[name] = float(value)
 
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """Bucket one duration into the ``name`` latency histogram.
+
+        Buckets are the fixed :data:`LATENCY_BUCKET_EDGES`, so histograms
+        of the same name merge additively across chunks and processes.
+        Histogram *creation* is guarded by the registry lock (concurrent
+        service threads may race the first observation); recording itself
+        is a plain list-slot increment, lock-free like the counters.
+        """
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            with self._lock:
+                histogram = self.histograms.setdefault(name, LatencyHistogram())
+        histogram.record(seconds)
+
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
-        """Accumulate the wall-clock duration of the enclosed block."""
+        """Accumulate the wall-clock duration of the enclosed block.
+
+        Every span site doubles as a latency-histogram site: the same
+        duration that feeds the ``name`` timer is bucketed into the
+        ``name`` histogram, so any timed hot path gets its distribution
+        (p50/p95/p99) for free.
+        """
         started = time.perf_counter()  # codelint: ignore[R903]
         try:
             yield
@@ -277,6 +432,7 @@ class Telemetry:
             stat = self.timers.setdefault(name, [0.0, 0])
             stat[0] += elapsed
             stat[1] += 1
+            self.observe_latency(name, elapsed)
 
     def elapsed(self) -> float:
         """Seconds since this registry was created (its trace epoch)."""
@@ -330,6 +486,10 @@ class Telemetry:
             process_counters=dict(self.process_counters),
             gauges=dict(self.gauges),
             timers={name: (stat[0], stat[1]) for name, stat in self.timers.items()},
+            histograms={
+                name: (tuple(histogram.counts), histogram.sum_seconds)
+                for name, histogram in self.histograms.items()
+            },
             events=tuple(self._buffer),
             spans=tuple(self.spans),
         )
@@ -363,6 +523,15 @@ class Telemetry:
             stat = self.timers.setdefault(name, [0.0, 0])
             stat[0] += seconds
             stat[1] += calls
+        # Histograms merge by element-wise bucket addition — commutative
+        # and associative, so the aggregate is identical whatever the
+        # chunking (asserted worker-count invariant in tests, the same
+        # contract as the counters above).
+        for name, (counts, sum_seconds) in snapshot.histograms.items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms.setdefault(name, LatencyHistogram())
+            histogram.merge(counts, sum_seconds)
         for record in snapshot.events:
             fields = {
                 key: value
@@ -421,6 +590,10 @@ class Telemetry:
             "timers": {
                 name: {"seconds": round(stat[0], 6), "calls": stat[1]}
                 for name, stat in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
             },
         }
 

@@ -265,7 +265,11 @@ def get_joint_cache(
     if telemetry is None:
         return _lookup_joint_cache(pomdp, max_bytes, None)
     with telemetry.trace_span("cache.lookup", category="cache"):
-        return _lookup_joint_cache(pomdp, max_bytes, telemetry)
+        # The timer span doubles as the cache.lookup latency histogram,
+        # so hit-path cost vs. first-build cost shows up as distribution
+        # tails rather than a single averaged total.
+        with telemetry.span("cache.lookup"):
+            return _lookup_joint_cache(pomdp, max_bytes, telemetry)
 
 
 def _lookup_joint_cache(

@@ -85,6 +85,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="how long shutdown waits for live sessions to finish",
     )
+    parser.add_argument(
+        "--metrics-jsonl",
+        default=None,
+        metavar="PATH",
+        help="append periodic live-metrics snapshots (repro-obs/v3 "
+        "metrics_snapshot events) to this JSONL file",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="seconds between flushed metrics snapshots (default: 10)",
+    )
+    parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a slow_decision event for decisions slower than this "
+        "many milliseconds (with the span subtree when --trace is on)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record hierarchical trace spans on the service telemetry",
+    )
     return parser
 
 
@@ -102,6 +129,12 @@ def main(argv: list[str] | None = None) -> int:
         max_vectors=args.max_vectors,
         recertify=args.recertify,
         drain_timeout=args.drain_timeout,
+        slow_decision_seconds=(
+            None if args.slow_ms is None else args.slow_ms / 1000.0
+        ),
+        metrics_path=args.metrics_jsonl,
+        metrics_interval=args.metrics_interval,
+        trace=args.trace,
     )
     service = PolicyService(config)
     start = "warm" if service.started_warm else "cold"

@@ -99,8 +99,24 @@ class ServiceClient:
         self.call("close", session=session_id)
 
     def stats(self) -> dict[str, Any]:
-        """The daemon's operational snapshot."""
+        """The daemon's operational snapshot (with a per-session table)."""
         return dict(self.call("stats")["stats"])
+
+    def metrics(self) -> dict[str, Any]:
+        """Live telemetry snapshot: counters/gauges/timers/histograms."""
+        return dict(self.call("metrics")["metrics"])
+
+    def metrics_text(self) -> str:
+        """The live snapshot as Prometheus text exposition."""
+        return str(self.call("metrics", format="prometheus")["text"])
+
+    def health(self) -> dict[str, Any]:
+        """Liveness payload (true even while draining)."""
+        return dict(self.call("health")["health"])
+
+    def ready(self) -> bool:
+        """True when the daemon is ready to accept new sessions."""
+        return bool(self.call("ready")["ready"])
 
     def checkpoint(self) -> str | None:
         """Ask for an immediate bound-set checkpoint; returns the path."""

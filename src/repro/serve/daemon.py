@@ -11,16 +11,29 @@ Each client connection is handled by its own thread reading line-delimited
 JSON requests (:mod:`repro.serve.protocol`).  Sessions a connection opened
 and never closed are released when the connection drops, so a crashed
 client cannot pin the live-session gauge (or block drain) forever.
+
+While serving, the service's telemetry registry is *activated*
+process-wide, so the deep layers (controller decisions, bound refinement,
+solver calls, cache lookups) record into the same registry the ``metrics``
+op snapshots.  With ``metrics_path``/``metrics_interval`` configured, a
+flusher thread appends one ``metrics_snapshot`` JSONL event per interval
+(plus a final one at teardown) — a truncated-but-valid ``repro-obs/v3``
+stream whatever instant the process dies at.
 """
 
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import signal
 import socketserver
 import threading
+from typing import IO
 
+from repro.obs.live import snapshot_event
+from repro.obs.schema import SCHEMA_VERSION
+from repro.obs.telemetry import activated
 from repro.serve.protocol import encode_response, handle_line
 from repro.serve.service import PolicyService
 
@@ -71,6 +84,9 @@ class PolicyDaemon:
         self._shutdown = threading.Event()
         self._server: _Server | None = None
         self._checkpointer: threading.Thread | None = None
+        self._metrics_flusher: threading.Thread | None = None
+        self._metrics_stream: IO[str] | None = None
+        self._metrics_seq = 0
 
     def request_shutdown(self) -> None:
         """Begin graceful shutdown (idempotent; safe from any thread)."""
@@ -84,6 +100,49 @@ class PolicyDaemon:
         while not self._shutdown.wait(interval):
             with contextlib.suppress(Exception):
                 self.service.checkpoint()
+
+    # -- metrics flusher ------------------------------------------------------
+
+    def _write_metrics_line(self, record: dict) -> None:
+        stream = self._metrics_stream
+        if stream is None:
+            return
+        stream.write(json.dumps(record) + "\n")
+        stream.flush()
+
+    def _flush_metrics_snapshot(self) -> None:
+        self._metrics_seq += 1
+        self._write_metrics_line(
+            snapshot_event(
+                self.service.telemetry,
+                self._metrics_seq,
+                self.service.telemetry.elapsed(),
+            )
+        )
+
+    def _metrics_loop(self) -> None:
+        interval = self.service.config.metrics_interval
+        while not self._shutdown.wait(interval):
+            with contextlib.suppress(Exception):
+                self._flush_metrics_snapshot()
+
+    def _open_metrics_stream(self) -> None:
+        config = self.service.config
+        if config.metrics_path is None or config.metrics_interval <= 0:
+            return
+        self._metrics_stream = open(
+            config.metrics_path, "w", encoding="utf-8"
+        )
+        # A flusher stream is a session_start header followed by nothing
+        # but metrics_snapshot lines — valid at any truncation point (the
+        # v3 framing rule exempts snapshot lines).
+        self._write_metrics_line(
+            {"event": "session_start", "seq": 0, "schema": SCHEMA_VERSION}
+        )
+        self._metrics_flusher = threading.Thread(
+            target=self._metrics_loop, name="serve-metrics", daemon=True
+        )
+        self._metrics_flusher.start()
 
     def _bind(self) -> _Server:
         # A previous unclean exit can leave a stale socket file; binding
@@ -108,16 +167,24 @@ class PolicyDaemon:
         server_thread = threading.Thread(
             target=self._server.serve_forever, name="serve-accept", daemon=True
         )
-        server_thread.start()
-        if self.service.config.checkpoint_interval > 0:
-            self._checkpointer = threading.Thread(
-                target=self._checkpoint_loop, name="serve-checkpoint", daemon=True
-            )
-            self._checkpointer.start()
-        try:
-            self._shutdown.wait()
-        finally:
-            stragglers = self._teardown(server_thread)
+        # Activating the service registry here (not per connection) means
+        # every layer below — controller, bounds, solver, cache — records
+        # into the registry the metrics op snapshots, for the whole serve
+        # lifetime including teardown's final flush.
+        with activated(self.service.telemetry):
+            server_thread.start()
+            if self.service.config.checkpoint_interval > 0:
+                self._checkpointer = threading.Thread(
+                    target=self._checkpoint_loop,
+                    name="serve-checkpoint",
+                    daemon=True,
+                )
+                self._checkpointer.start()
+            self._open_metrics_stream()
+            try:
+                self._shutdown.wait()
+            finally:
+                stragglers = self._teardown(server_thread)
         return stragglers
 
     def _teardown(self, server_thread: threading.Thread) -> int:
@@ -134,6 +201,13 @@ class PolicyDaemon:
         server_thread.join(timeout=5.0)
         if self._checkpointer is not None:
             self._checkpointer.join(timeout=5.0)
+        if self._metrics_flusher is not None:
+            self._metrics_flusher.join(timeout=5.0)
+        if self._metrics_stream is not None:
+            with contextlib.suppress(Exception):
+                self._flush_metrics_snapshot()
+            self._metrics_stream.close()
+            self._metrics_stream = None
         with contextlib.suppress(OSError):
             os.unlink(self.socket_path)
         return stragglers

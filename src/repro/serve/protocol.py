@@ -26,7 +26,18 @@ Ops:
 ``close``
     ``session``: release it.  → ``{"ok": true}``.
 ``stats``
-    Operational snapshot.  → ``{"ok": true, "stats": {...}}``.
+    Operational snapshot, including a per-session table.
+    → ``{"ok": true, "stats": {...}}``.
+``metrics``
+    Live telemetry snapshot (counters/gauges/timers/histograms).
+    → ``{"ok": true, "metrics": {...}}``; with ``"format": "prometheus"``
+    → ``{"ok": true, "text": "..."}`` (Prometheus text exposition).
+``health``
+    Liveness probe (true even while draining).
+    → ``{"ok": true, "health": {...}}``.
+``ready``
+    Readiness probe: model loaded + bound set certified + not draining.
+    → ``{"ok": true, "ready": bool, ...}``.
 ``checkpoint``
     Persist the refined bound set now.  → ``{"ok": true, "path": str|null}``.
 ``shutdown``
@@ -126,6 +137,19 @@ def dispatch(
         return {"ok": True}
     if op == "stats":
         return {"ok": True, "stats": service.stats()}
+    if op == "metrics":
+        fmt = request.get("format", "json")
+        if fmt == "json":
+            return {"ok": True, "metrics": service.metrics()}
+        if fmt == "prometheus":
+            from repro.obs.live import render_prometheus
+
+            return {"ok": True, "text": render_prometheus(service.metrics())}
+        raise BadRequest('"format" must be "json" or "prometheus"')
+    if op == "health":
+        return {"ok": True, "health": service.health()}
+    if op == "ready":
+        return {"ok": True, **service.ready()}
     if op == "checkpoint":
         return {"ok": True, "path": service.checkpoint()}
     if op == "shutdown":

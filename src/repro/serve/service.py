@@ -15,6 +15,15 @@ That is the same single-writer discipline the campaign engine gets from
 chunk isolation, here enforced at runtime because sessions are driven by
 whichever connection thread speaks next.  Session bookkeeping uses a
 separate registry lock so opens/closes never wait on a slow decision.
+
+Since obs v3 the service also owns a :class:`~repro.obs.telemetry.Telemetry`
+registry — the daemon activates it process-wide so the deep layers
+(controller, bounds, cache) record into it, and in-process callers get the
+service-level metrics regardless.  :meth:`metrics` snapshots it live
+(:mod:`repro.obs.live`), :meth:`health`/:meth:`ready` answer the probe
+ops, and decisions slower than ``config.slow_decision_seconds`` leave a
+``slow_decision`` structured event carrying the offending span subtree
+when tracing is on.
 """
 
 from __future__ import annotations
@@ -30,12 +39,19 @@ from repro.controllers.bounded import BoundedPolicyEngine
 from repro.controllers.engine import RecoverySession
 from repro.exceptions import ServeError
 from repro.io import load_bound_set, save_bound_set
+from repro.obs.live import snapshot as live_snapshot
+from repro.obs.telemetry import Telemetry
 from repro.obs.telemetry import active as telemetry_active
 from repro.pomdp.cache import get_joint_cache
 from repro.recovery.model import RecoveryModel
 
 #: Telemetry gauge tracking the number of live sessions.
 LIVE_SESSIONS_GAUGE = "serve.live_sessions"
+
+#: Latency-histogram name for service-level decisions (engine-lock wait
+#: included — the queueing delay is what a caller actually experiences, so
+#: it is what the serve-smoke SLO gate reads its p99 from).
+SESSION_DECIDE_HISTOGRAM = "serve.session_decide"
 
 
 @dataclass(frozen=True)
@@ -70,6 +86,16 @@ class ServiceConfig:
             digest sidecar says the (archive, model) pair already passed.
         drain_timeout: seconds :meth:`PolicyService.drain` waits for live
             sessions to finish before giving up and reporting stragglers.
+        slow_decision_seconds: decisions slower than this leave a
+            ``slow_decision`` structured event on the service telemetry
+            (with the span subtree when tracing is on); ``None`` disables
+            the log.
+        metrics_path: JSONL file the daemon's periodic metrics flusher
+            writes ``metrics_snapshot`` events to (``None`` disables).
+        metrics_interval: seconds between flushed snapshots (0 disables
+            the flusher thread even when a path is set).
+        trace: record hierarchical spans on the service telemetry, which
+            lets the slow-decision log capture the offending subtree.
     """
 
     model_path: str | None = None
@@ -84,6 +110,10 @@ class ServiceConfig:
     bootstrap_seed: int | None = field(default=2006)
     recertify: bool = False
     drain_timeout: float = 10.0
+    slow_decision_seconds: float | None = None
+    metrics_path: str | None = None
+    metrics_interval: float = 10.0
+    trace: bool = False
 
 
 class PolicyService:
@@ -105,6 +135,12 @@ class PolicyService:
 
             model = load_recovery_model(config.model_path)
         self.model = model
+
+        # The service's own metrics registry (obs v3).  The daemon
+        # activates it process-wide so the engine/bounds/cache layers
+        # record into it too; in-process callers at least get the
+        # service-level counters and histograms recorded below.
+        self.telemetry = Telemetry(trace=config.trace)
 
         bound_set = None
         self.started_warm = False
@@ -134,6 +170,13 @@ class PolicyService:
         # Build the joint-factor cache now rather than on the first decide,
         # so the first session never pays the warm-up.
         get_joint_cache(model.pomdp)
+        # Readiness: the bound set is certified either by the R3xx sweep a
+        # warm load just passed (load_bound_set raises otherwise) or by
+        # construction — RA-Bound seeding and bootstrap refinement only
+        # produce sound vectors.  Constructing past this point therefore
+        # certifies; the flag exists so ready() states it explicitly and a
+        # future lazy-loading path has somewhere to say "not yet".
+        self.bounds_certified = True
         self.startup_seconds = time.perf_counter() - started  # codelint: ignore[R903]
 
         self._sessions: dict[str, RecoverySession] = {}
@@ -147,6 +190,17 @@ class PolicyService:
         self.decisions = 0
         self.checkpoints = 0
 
+    def _telemetry(self) -> Telemetry:
+        """The registry service-level instrumentation records into.
+
+        The process-active registry when one is activated (the daemon
+        activates :attr:`telemetry` itself, so both names resolve to the
+        same object there); the service's own registry otherwise, so
+        in-process callers still accumulate service metrics.
+        """
+        active = telemetry_active()
+        return self.telemetry if active is None else active
+
     # -- session registry -----------------------------------------------------
 
     @property
@@ -156,9 +210,7 @@ class PolicyService:
             return len(self._sessions)
 
     def _gauge_sessions_locked(self) -> None:
-        telemetry = telemetry_active()
-        if telemetry is not None:
-            telemetry.gauge(LIVE_SESSIONS_GAUGE, float(len(self._sessions)))
+        self._telemetry().gauge(LIVE_SESSIONS_GAUGE, float(len(self._sessions)))
 
     def open_session(
         self,
@@ -191,9 +243,7 @@ class PolicyService:
             self._gauge_sessions_locked()
         belief = None if initial_belief is None else np.asarray(initial_belief)
         session.reset(belief)
-        telemetry = telemetry_active()
-        if telemetry is not None:
-            telemetry.count_process("serve.sessions_opened")
+        self._telemetry().count_process("serve.sessions_opened")
         return session_id
 
     def _session(self, session_id: str) -> RecoverySession:
@@ -207,19 +257,32 @@ class PolicyService:
         """Fold monitor outputs into one session's belief (Eq. 4)."""
         session = self._session(session_id)
         session.observe(int(action), int(observation))
-        telemetry = telemetry_active()
-        if telemetry is not None:
-            telemetry.count_process("serve.observations")
+        self._telemetry().count_process("serve.observations")
 
     def decide(self, session_id: str) -> dict:
-        """One decision for ``session_id``; serialised on the engine lock."""
+        """One decision for ``session_id``; serialised on the engine lock.
+
+        The whole call — engine-lock wait included — feeds the
+        :data:`SESSION_DECIDE_HISTOGRAM` latency histogram, and decisions
+        slower than ``config.slow_decision_seconds`` leave a
+        ``slow_decision`` structured event carrying the span subtree
+        recorded during the call (when tracing is on).
+        """
         session = self._session(session_id)
+        telemetry = self._telemetry()
+        span_mark = telemetry._next_span_id
+        started = time.perf_counter()  # codelint: ignore[R903]
         with self._engine_lock:
             decision = session.decide()
             self.decisions += 1
-        telemetry = telemetry_active()
-        if telemetry is not None:
-            telemetry.count_process("serve.decisions")
+        elapsed = time.perf_counter() - started  # codelint: ignore[R903]
+        telemetry.count_process("serve.decisions")
+        telemetry.observe_latency(SESSION_DECIDE_HISTOGRAM, elapsed)
+        threshold = self.config.slow_decision_seconds
+        if threshold is not None and elapsed > threshold:
+            self._log_slow_decision(
+                telemetry, session_id, elapsed, threshold, span_mark
+            )
         action_label = None
         if decision.executes_action:
             action_label = self.model.pomdp.action_labels[decision.action]
@@ -232,6 +295,41 @@ class PolicyService:
             "steps": int(session.steps),
         }
 
+    def _log_slow_decision(
+        self,
+        telemetry: Telemetry,
+        session_id: str,
+        elapsed: float,
+        threshold: float,
+        span_mark: int,
+    ) -> None:
+        """Emit a ``slow_decision`` event, with the offending span subtree.
+
+        ``span_mark`` is the next-span-id watermark taken before the
+        decision: every span allocated at or after it was recorded during
+        the call.  Other connection threads can interleave spans into the
+        same window, but decides themselves serialise on the engine lock,
+        so the captured subtree is the slow decision's own work plus at
+        most some belief-update noise — and it is capped so one
+        pathological decision cannot bloat the event stream.
+        """
+        slow_spans: list[dict] = []
+        if telemetry.trace_enabled:
+            with telemetry._lock:
+                slow_spans = [
+                    record.event_fields()
+                    for record in telemetry.spans
+                    if record.span_id >= span_mark
+                ][:100]
+        telemetry.count_process("serve.slow_decisions")
+        telemetry.event(
+            "slow_decision",
+            session=session_id,
+            seconds=round(elapsed, 9),
+            threshold=threshold,
+            spans=slow_spans,
+        )
+
     def close_session(self, session_id: str) -> None:
         """Forget a session (idempotent: closing twice is an error)."""
         with self._registry_lock:
@@ -240,9 +338,7 @@ class PolicyService:
             del self._sessions[session_id]
             self._gauge_sessions_locked()
             self._idle.notify_all()
-        telemetry = telemetry_active()
-        if telemetry is not None:
-            telemetry.count_process("serve.sessions_closed")
+        self._telemetry().count_process("serve.sessions_closed")
 
     # -- shared-state maintenance ---------------------------------------------
 
@@ -261,15 +357,33 @@ class PolicyService:
         with self._engine_lock:
             save_bound_set(target, self.engine.bound_set)
             self.checkpoints += 1
-        telemetry = telemetry_active()
-        if telemetry is not None:
-            telemetry.count_process("serve.checkpoints")
+        self._telemetry().count_process("serve.checkpoints")
         return str(target)
 
     def stats(self) -> dict:
-        """Operational snapshot (the ``stats`` protocol op)."""
+        """Operational snapshot (the ``stats`` protocol op).
+
+        The per-session table is built under a *single* registry-lock
+        acquisition, so the session list and the live count always agree
+        with each other even while other threads open and close sessions.
+        """
         with self._registry_lock:
             live = len(self._sessions)
+            refine_default = bool(getattr(self.engine, "refine_online", False))
+            sessions = {
+                session_id: {
+                    "steps": int(session.steps),
+                    "done": bool(session.done),
+                    # The effective flag: a session with no per-session
+                    # override follows the engine's refine_online default.
+                    "refine": (
+                        refine_default
+                        if session.refine is None
+                        else bool(session.refine)
+                    ),
+                }
+                for session_id, session in sorted(self._sessions.items())
+            }
         with self._engine_lock:
             vectors = int(self.engine.bound_set.vectors.shape[0])
         return {
@@ -282,6 +396,46 @@ class PolicyService:
             "startup_seconds": self.startup_seconds,
             "draining": self._draining.is_set(),
             "model_states": int(self.model.pomdp.n_states),
+            "sessions": sessions,
+        }
+
+    # -- live metrics / probes ------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Live snapshot of the service telemetry (the ``metrics`` op).
+
+        Lock-safe against concurrent writers; see
+        :func:`repro.obs.live.snapshot`.
+        """
+        return live_snapshot(self._telemetry())
+
+    def health(self) -> dict:
+        """Liveness payload: the process is up and answering (``health`` op).
+
+        Unlike :meth:`ready`, health stays true while draining — the
+        process is still alive and finishing in-flight recoveries.
+        """
+        return {
+            "healthy": True,
+            "draining": self._draining.is_set(),
+            "live_sessions": self.live_sessions,
+            "decisions": self.decisions,
+            "started_warm": self.started_warm,
+        }
+
+    def ready(self) -> dict:
+        """Readiness payload (the ``ready`` op).
+
+        Ready means the model is loaded, the bound set is certified, and
+        the service is not draining — i.e. a load balancer may route new
+        sessions here.
+        """
+        draining = self._draining.is_set()
+        return {
+            "ready": self.bounds_certified and not draining,
+            "model_loaded": True,
+            "bounds_certified": self.bounds_certified,
+            "draining": draining,
         }
 
     # -- shutdown -------------------------------------------------------------

@@ -149,3 +149,54 @@ class TestDegenerateStreams:
     def test_missing_file_is_usage_error(self, tmp_path, command, capsys):
         assert main([command, str(tmp_path / "missing.jsonl")]) == 2
         assert "cannot read" in capsys.readouterr().out
+
+
+class TestReportSessionFilter:
+    """`report --session ID` narrows a multi-session daemon stream."""
+
+    @pytest.fixture()
+    def multi_session_file(self, tmp_path):
+        path = tmp_path / "daemon.jsonl"
+        events = [
+            {"event": "session_start", "seq": 0, "schema": SCHEMA_VERSION},
+            {"event": "decision", "seq": 1, "action": 1, "terminate": False,
+             "session": "alpha"},
+            {"event": "decision", "seq": 2, "action": 0, "terminate": True,
+             "session": "beta"},
+            {"event": "refine", "seq": 3, "action": 1, "added": True,
+             "improvement": 2.0, "set_size": 4},
+            {"event": "span", "seq": 4, "name": "controller.decision",
+             "span_id": 0, "parent_id": None, "t_start": 0.1,
+             "seconds": 0.01, "args": {"session": "alpha"}},
+            {"event": "slow_decision", "seq": 5, "session": "beta",
+             "seconds": 0.5, "threshold": 0.1},
+            {"event": "summary", "seq": 6, "counters": {}, "gauges": {},
+             "process_counters": {}, "timers": {}},
+            {"event": "session_end", "seq": 7},
+        ]
+        path.write_text(
+            "".join(json.dumps(record) + "\n" for record in events),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_filter_drops_other_sessions_keeps_shared(self, multi_session_file):
+        aggregate = aggregate_stream(multi_session_file, session="alpha")
+        assert aggregate.kinds.get("decision") == 1
+        assert "slow_decision" not in aggregate.kinds  # beta's
+        assert aggregate.kinds.get("span") == 1  # alpha's, via span args
+        assert aggregate.kinds.get("refine") == 1  # shared state stays
+        assert aggregate.session_filter == "alpha"
+
+    def test_unfiltered_sees_everything(self, multi_session_file):
+        aggregate = aggregate_stream(multi_session_file)
+        assert aggregate.kinds.get("decision") == 2
+        assert aggregate.kinds.get("slow_decision") == 1
+
+    def test_cli_flag_and_title(self, multi_session_file, capsys):
+        assert main(["report", str(multi_session_file), "--session", "beta"]) == 0
+        out = capsys.readouterr().out
+        assert "session beta" in out
+
+    def test_multi_session_stream_is_schema_valid(self, multi_session_file):
+        assert main(["validate", str(multi_session_file)]) == 0

@@ -267,3 +267,267 @@ class TestDaemon:
             assert time.monotonic() < deadline
             time.sleep(0.02)
         assert os.path.exists(service.config.bounds_path)
+
+
+class TestLiveOps:
+    """The obs v3 surface of the service: metrics, health, ready, slow log."""
+
+    def test_metrics_counts_service_activity(self, service):
+        sid = service.open_session()
+        service.decide(sid)
+        metrics = service.metrics()
+        assert metrics["process_counters"]["serve.sessions_opened"] == 1
+        assert metrics["process_counters"]["serve.decisions"] >= 1
+        histogram = metrics["histograms"]["serve.session_decide"]
+        assert histogram["count"] >= 1
+        assert histogram["p99_ms"] is not None
+        assert metrics["gauges"]["serve.live_sessions"] == 1.0
+
+    def test_health_and_ready_flip_on_drain(self, service):
+        assert service.health()["healthy"] is True
+        ready = service.ready()
+        assert ready == {
+            "ready": True,
+            "model_loaded": True,
+            "bounds_certified": True,
+            "draining": False,
+        }
+        service.drain(timeout=0)
+        assert service.ready()["ready"] is False
+        assert service.ready()["draining"] is True
+        # Health stays true while draining: the process is still alive.
+        assert service.health()["healthy"] is True
+        assert service.health()["draining"] is True
+
+    def test_per_session_stats_table(self, service):
+        a = service.open_session(session_id="alpha")
+        b = service.open_session(session_id="beta", refine=False)
+        service.decide(a)
+        stats = service.stats()
+        assert set(stats["sessions"]) == {"alpha", "beta"}
+        assert stats["sessions"]["alpha"]["steps"] >= 0
+        # alpha has no per-session override: the table reports the
+        # engine's effective refine_online default, not None.
+        assert stats["sessions"]["alpha"]["refine"] is True
+        assert stats["sessions"]["beta"]["refine"] is False
+        assert stats["live_sessions"] == len(stats["sessions"])
+
+    def test_slow_decision_event_with_span_subtree(self, simple_system, tmp_path):
+        config = ServiceConfig(
+            socket_path=str(tmp_path / "slow.sock"),
+            checkpoint_interval=0,
+            slow_decision_seconds=0.0,  # every decision is "slow"
+            trace=True,
+        )
+        slow_service = PolicyService(config, model=simple_system.model)
+        with obs.activated(slow_service.telemetry):
+            sid = slow_service.open_session()
+            slow_service.decide(sid)
+        events = [
+            record
+            for record in slow_service.telemetry.snapshot().events
+            if record["event"] == "slow_decision"
+        ]
+        assert len(events) == 1
+        (event,) = events
+        assert event["session"] == sid
+        assert event["seconds"] > 0.0
+        assert event["threshold"] == 0.0
+        names = {span["name"] for span in event["spans"]}
+        assert "controller.decision" in names
+        from repro.obs.schema import validate_event
+
+        assert validate_event(event) == []
+
+    def test_slow_log_disabled_by_default(self, service):
+        sid = service.open_session()
+        service.decide(sid)
+        kinds = [
+            record["event"] for record in service.telemetry.snapshot().events
+        ]
+        assert "slow_decision" not in kinds
+
+
+class TestLiveProtocolOps:
+    def test_metrics_op_json_and_prometheus(self, service):
+        opened: set[str] = set()
+        handle_line(service, '{"op": "open"}', opened)
+        response = handle_line(service, '{"op": "metrics"}', opened)
+        assert response["ok"]
+        assert "serve.sessions_opened" in response["metrics"]["process_counters"]
+        text = handle_line(
+            service, '{"op": "metrics", "format": "prometheus"}', opened
+        )
+        assert text["ok"]
+        assert "# TYPE repro_serve_sessions_opened_total counter" in text["text"]
+        bad = handle_line(
+            service, '{"op": "metrics", "format": "xml"}', opened
+        )
+        assert (bad["ok"], bad["error"]) == (False, "bad-request")
+
+    def test_health_and_ready_ops(self, service):
+        opened: set[str] = set()
+        health = handle_line(service, '{"op": "health"}', opened)
+        assert health["ok"] and health["health"]["healthy"] is True
+        ready = handle_line(service, '{"op": "ready"}', opened)
+        assert ready["ok"] and ready["ready"] is True
+        service.drain(timeout=0)
+        assert handle_line(service, '{"op": "ready"}', opened)["ready"] is False
+
+
+class TestConcurrentStats:
+    """Satellite: hammer decide from N threads while polling stats/metrics."""
+
+    WORKERS = 4
+    DECISIONS_EACH = 6
+
+    def test_stats_and_metrics_stay_consistent_under_load(self, service):
+        errors: list[Exception] = []
+        inconsistencies: list[str] = []
+        stop = threading.Event()
+
+        def hammer(index: int) -> None:
+            try:
+                sid = service.open_session(session_id=f"h{index}")
+                for _ in range(self.DECISIONS_EACH):
+                    service.decide(sid)
+                    service._sessions[sid].reset()  # keep deciding forever
+                service.close_session(sid)
+            except Exception as error:  # noqa: BLE001 — collected for the assert
+                errors.append(error)
+
+        def poll() -> None:
+            try:
+                while not stop.is_set():
+                    stats = service.stats()
+                    if stats["live_sessions"] != len(stats["sessions"]):
+                        inconsistencies.append(
+                            f"live={stats['live_sessions']} "
+                            f"table={len(stats['sessions'])}"
+                        )
+                    metrics = service.metrics()
+                    if not isinstance(metrics["histograms"], dict):
+                        inconsistencies.append("torn metrics snapshot")
+            except Exception as error:  # noqa: BLE001 — collected for the assert
+                errors.append(error)
+
+        workers = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(self.WORKERS)
+        ]
+        poller = threading.Thread(target=poll)
+        poller.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60.0)
+        stop.set()
+        poller.join(timeout=10.0)
+        assert errors == []
+        assert inconsistencies == []
+        # Session counts match the registry once the dust settles.
+        assert service.live_sessions == 0
+        stats = service.stats()
+        assert stats["sessions"] == {}
+        assert stats["decisions"] == self.WORKERS * self.DECISIONS_EACH
+        histogram = service.metrics()["histograms"]["serve.session_decide"]
+        assert 0 < histogram["count"] <= self.WORKERS * self.DECISIONS_EACH
+
+
+@pytest.fixture()
+def live_daemon(simple_system, tmp_path):
+    """A daemon with the full obs v3 wiring: flusher, slow log, trace."""
+    config = ServiceConfig(
+        socket_path=str(tmp_path / "live.sock"),
+        checkpoint_interval=0,
+        drain_timeout=1.0,
+        slow_decision_seconds=0.0,
+        metrics_path=str(tmp_path / "metrics.jsonl"),
+        metrics_interval=0.05,
+        trace=True,
+    )
+    service = PolicyService(config, model=simple_system.model)
+    daemon = PolicyDaemon(service)
+    thread = threading.Thread(
+        target=lambda: daemon.run(install_signals=False), daemon=True
+    )
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        try:
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.connect(config.socket_path)
+            probe.close()
+            break
+        except OSError:
+            time.sleep(0.02)
+    yield daemon, service
+    daemon.request_shutdown()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+
+
+class TestDaemonLiveOps:
+    def test_client_typed_wrappers(self, live_daemon):
+        daemon, service = live_daemon
+        with ServiceClient(service.config.socket_path) as client:
+            assert client.ready() is True
+            health = client.health()
+            assert health["healthy"] is True and health["draining"] is False
+            sid = client.open_session()
+            client.decide(sid)
+            metrics = client.metrics()
+            assert metrics["histograms"]["serve.session_decide"]["count"] >= 1
+            # Deep layers record into the same registry because the daemon
+            # activated the service telemetry process-wide.
+            assert metrics["counters"]["controller.decisions"] >= 1
+            text = client.metrics_text()
+            assert "repro_controller_decisions_total" in text
+            assert 'le="+Inf"' in text
+            client.close_session(sid)
+
+    def test_watch_renders_against_daemon(self, live_daemon, capsys):
+        daemon, service = live_daemon
+        with ServiceClient(service.config.socket_path) as client:
+            sid = client.open_session(session_id="watched")
+            client.decide(sid)
+            from repro.obs.__main__ import main as obs_main
+
+            code = obs_main(
+                ["watch", service.config.socket_path, "--once", "--interval", "0.1"]
+            )
+            client.close_session(sid)
+        assert code == 0
+        screen = capsys.readouterr().out
+        assert "repro.serve [serving]" in screen
+        assert "serve.session_decide" in screen
+        assert "watched" in screen
+
+    def test_metrics_flusher_writes_valid_v3_stream(self, live_daemon):
+        import os
+
+        daemon, service = live_daemon
+        with ServiceClient(service.config.socket_path) as client:
+            sid = client.open_session()
+            client.decide(sid)
+            client.close_session(sid)
+            time.sleep(0.2)  # let the flusher tick at least once
+            client.shutdown()
+        deadline = time.monotonic() + 10.0
+        while os.path.exists(service.config.socket_path):
+            assert time.monotonic() < deadline
+            time.sleep(0.02)
+        from repro.obs.schema import validate_stream
+
+        path = service.config.metrics_path
+        assert validate_stream(path) == []
+        with open(path, encoding="utf-8") as stream:
+            records = [json.loads(line) for line in stream if line.strip()]
+        assert records[0]["event"] == "session_start"
+        assert records[0]["schema"] == "repro-obs/v3"
+        snapshots = [r for r in records if r["event"] == "metrics_snapshot"]
+        assert len(snapshots) >= 2  # interval ticks plus the final flush
+        last = snapshots[-1]
+        assert last["process_counters"]["serve.decisions"] >= 1
+        assert "serve.session_decide" in last["histograms"]
+        assert last["t"] >= 0.0
